@@ -1,0 +1,381 @@
+// Command experiments regenerates every table and figure of the Megaphone
+// paper's evaluation at laptop scale, printing the same rows/series the
+// paper reports. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured shapes.
+//
+// Usage:
+//
+//	experiments -exp fig1          # one experiment
+//	experiments -exp all -quick    # everything, shrunk durations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"megaphone/internal/harness"
+	"megaphone/internal/keycount"
+	"megaphone/internal/nexmark"
+	"megaphone/internal/plan"
+)
+
+type config struct {
+	workers int
+	quick   bool
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig1, fig5..fig20, or all")
+		workers = flag.Int("workers", 4, "number of workers")
+		quick   = flag.Bool("quick", false, "shrink durations for a fast pass")
+	)
+	flag.Parse()
+	c := config{workers: *workers, quick: *quick}
+
+	all := map[string]func(config){
+		"table1": table1,
+		"fig1":   fig1,
+		"fig5":   func(c config) { statelessFig(c, "fig5", "q1") },
+		"fig6":   func(c config) { statelessFig(c, "fig6", "q2") },
+		"fig7":   func(c config) { queryFig(c, "fig7", "q3", true) },
+		"fig8":   func(c config) { queryFig(c, "fig8", "q4", false) },
+		"fig9":   func(c config) { queryFig(c, "fig9", "q5", false) },
+		"fig10":  func(c config) { queryFig(c, "fig10", "q6", false) },
+		"fig11":  func(c config) { queryFig(c, "fig11", "q7", false) },
+		"fig12":  func(c config) { queryFig(c, "fig12", "q8", false) },
+		"fig13":  func(c config) { overheadFig(c, "fig13", keycount.HashCount, 1<<20) },
+		"fig14":  func(c config) { overheadFig(c, "fig14", keycount.KeyCount, 1<<20) },
+		"fig15":  func(c config) { overheadFig(c, "fig15", keycount.KeyCount, 1<<23) },
+		"fig16":  fig16,
+		"fig17":  fig17,
+		"fig18":  fig18,
+		"fig19":  fig19,
+		"fig20":  fig20,
+	}
+	if *exp == "all" {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return orderKey(names[i]) < orderKey(names[j])
+		})
+		for _, n := range names {
+			all[n](c)
+		}
+		return
+	}
+	fn, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn(c)
+}
+
+func orderKey(n string) int {
+	if n == "table1" {
+		return 0
+	}
+	var x int
+	fmt.Sscanf(n, "fig%d", &x)
+	return x
+}
+
+func header(name, what string) {
+	fmt.Printf("\n==================== %s: %s ====================\n", strings.ToUpper(name), what)
+}
+
+// scale shrinks durations under -quick.
+func (c config) dur(d time.Duration) time.Duration {
+	if c.quick {
+		return d / 4
+	}
+	return d
+}
+
+// table1 — lines of code of the NEXMark query implementations.
+func table1(c config) {
+	header("table1", "NEXMark query implementations, lines of code")
+	native, mega, err := nexmark.LoC()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("%-12s", "")
+	for i := 1; i <= 8; i++ {
+		fmt.Printf("%6s", fmt.Sprintf("Q%d", i))
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "Native")
+	for i := 1; i <= 8; i++ {
+		fmt.Printf("%6d", native[fmt.Sprintf("q%d", i)])
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "Megaphone")
+	for i := 1; i <= 8; i++ {
+		fmt.Printf("%6d", mega[fmt.Sprintf("q%d", i)])
+	}
+	fmt.Println()
+}
+
+// fig1 — all-at-once vs fluid vs optimized on a large key-count migration.
+func fig1(c config) {
+	header("fig1", "migration strategies on key-count (latency timelines)")
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Optimized} {
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant: keycount.HashCount,
+				LogBins: 8,
+				Domain:  1 << 21,
+				Preload: true,
+			},
+			Workers:   c.workers,
+			Rate:      200_000,
+			Duration:  c.dur(12 * time.Second),
+			Strategy:  st,
+			Batch:     16,
+			MigrateAt: c.dur(6 * time.Second),
+		})
+		fmt.Printf("\n--- %v ---\n", st)
+		res.Timeline.Fprint(os.Stdout)
+		printSpans(res)
+	}
+}
+
+// statelessFig — Q1/Q2: no state, migration is a no-op.
+func statelessFig(c config, name, q string) {
+	header(name, "NEXMark "+q+" (stateless): reconfigurations cause no spike")
+	res := nexmark.Run(nexmark.RunConfig{
+		Query:     q,
+		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8},
+		Workers:   c.workers,
+		Rate:      200_000,
+		Duration:  c.dur(9 * time.Second),
+		Strategy:  plan.Batched,
+		Batch:     16,
+		MigrateAt: c.dur(3 * time.Second),
+	})
+	res.Timeline.Fprint(os.Stdout)
+	printSpans(res)
+}
+
+// queryFig — stateful NEXMark queries: all-at-once vs batched (vs native).
+func queryFig(c config, name, q string, withNative bool) {
+	header(name, "NEXMark "+q+": all-at-once vs Megaphone batched")
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Batched} {
+		res := nexmark.Run(nexmark.RunConfig{
+			Query:     q,
+			Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8},
+			Workers:   c.workers,
+			Rate:      200_000,
+			Duration:  c.dur(12 * time.Second),
+			Strategy:  st,
+			Batch:     16,
+			MigrateAt: c.dur(4 * time.Second),
+		})
+		fmt.Printf("\n--- %s %v ---\n", q, st)
+		res.Timeline.Fprint(os.Stdout)
+		printSpans(res)
+	}
+	if withNative {
+		res := nexmark.Run(nexmark.RunConfig{
+			Query:    q,
+			Params:   nexmark.Params{Impl: nexmark.Native},
+			Workers:  c.workers,
+			Rate:     200_000,
+			Duration: c.dur(12 * time.Second),
+		})
+		fmt.Printf("\n--- %s native ---\n", q)
+		res.Timeline.Fprint(os.Stdout)
+	}
+}
+
+// overheadFig — steady-state CCDF/percentiles vs bin count (Figures 13-15).
+func overheadFig(c config, name string, v keycount.Variant, domain int64) {
+	header(name, fmt.Sprintf("%v overhead, domain=%d: percentiles by bin count", v, domain))
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "experiment", "90%[ms]", "99%[ms]", "99.99%[ms]", "max[ms]")
+	logBins := []int{4, 8, 12, 16}
+	if c.quick {
+		logBins = []int{4, 12}
+	}
+	run := func(label string, variant keycount.Variant, bins int) {
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant: variant,
+				LogBins: bins,
+				Domain:  domain,
+				Preload: true,
+			},
+			Workers:  c.workers,
+			Rate:     200_000,
+			Duration: c.dur(6 * time.Second),
+		})
+		h := res.Hist
+		ms := func(v int64) float64 { return float64(v) / 1e6 }
+		fmt.Printf("%-12s %10.2f %10.2f %10.2f %10.2f\n", label,
+			ms(h.Quantile(0.90)), ms(h.Quantile(0.99)), ms(h.Quantile(0.9999)), ms(h.Max()))
+	}
+	for _, lb := range logBins {
+		run(fmt.Sprintf("%d", lb), v, lb)
+	}
+	nat := keycount.NativeHash
+	if v == keycount.KeyCount {
+		nat = keycount.NativeKey
+	}
+	run("Native", nat, 4)
+}
+
+// sweepRow runs one migration configuration and prints its latency/duration
+// point (the coordinates of Figures 16-18).
+func sweepRow(c config, st plan.Strategy, logBins int, domain int64, rate int, label string) {
+	res := keycount.Run(keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: keycount.HashCount,
+			LogBins: logBins,
+			Domain:  domain,
+			Preload: true,
+		},
+		Workers:   c.workers,
+		Rate:      rate,
+		Duration:  c.dur(10 * time.Second),
+		Strategy:  st,
+		Batch:     16,
+		MigrateAt: c.dur(5 * time.Second),
+	})
+	if len(res.MigrationSpans) > 0 {
+		sp := res.MigrationSpans[0]
+		fmt.Printf("%-12v %-12s %12.3f %14.2f\n", st, label, sp.Duration, sp.MaxLatency)
+	} else {
+		fmt.Printf("%-12v %-12s %12s %14s\n", st, label, "-", "-")
+	}
+}
+
+// fig16 — latency vs duration while the bin count varies.
+func fig16(c config) {
+	header("fig16", "migration latency vs duration, varying bin count (fixed domain)")
+	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
+	logBins := []int{4, 6, 8, 10}
+	if c.quick {
+		logBins = []int{4, 8}
+	}
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
+		for _, lb := range logBins {
+			sweepRow(c, st, lb, 1<<21, 200_000, fmt.Sprintf("2^%d", lb))
+		}
+	}
+}
+
+// fig17 — latency vs duration while the domain varies.
+func fig17(c config) {
+	header("fig17", "migration latency vs duration, varying domain (fixed bins)")
+	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "domain", "duration[s]", "max-latency[ms]")
+	domains := []int64{1 << 19, 1 << 20, 1 << 21, 1 << 22}
+	if c.quick {
+		domains = []int64{1 << 19, 1 << 21}
+	}
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
+		for _, d := range domains {
+			sweepRow(c, st, 8, d, 200_000, fmt.Sprintf("%dM", d>>20))
+		}
+	}
+}
+
+// fig18 — domain and bins grow proportionally: keys-per-bin fixed.
+func fig18(c config) {
+	header("fig18", "migration latency vs duration, fixed state per bin")
+	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
+	cfgs := []struct {
+		logBins int
+		domain  int64
+	}{{6, 1 << 19}, {7, 1 << 20}, {8, 1 << 21}, {9, 1 << 22}}
+	if c.quick {
+		cfgs = cfgs[:2]
+	}
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
+		for _, kc := range cfgs {
+			sweepRow(c, st, kc.logBins, kc.domain, 200_000, fmt.Sprintf("2^%d", kc.logBins))
+		}
+	}
+}
+
+// fig19 — offered load vs max latency per strategy.
+func fig19(c config) {
+	header("fig19", "offered load vs max latency")
+	fmt.Printf("%-14s %12s %14s %14s\n", "strategy", "rate[/s]", "max[ms]", "p99[ms]")
+	rates := []int{50_000, 100_000, 200_000, 400_000, 800_000}
+	if c.quick {
+		rates = []int{100_000, 400_000}
+	}
+	type variant struct {
+		name string
+		st   plan.Strategy
+		mig  bool
+	}
+	for _, v := range []variant{
+		{"non-migrating", plan.Batched, false},
+		{"all-at-once", plan.AllAtOnce, true},
+		{"fluid", plan.Fluid, true},
+		{"batched", plan.Batched, true},
+	} {
+		for _, r := range rates {
+			cfg := keycount.RunConfig{
+				Params: keycount.Params{
+					Variant: keycount.HashCount,
+					LogBins: 8,
+					Domain:  1 << 21,
+					Preload: true,
+				},
+				Workers:  c.workers,
+				Rate:     r,
+				Duration: c.dur(8 * time.Second),
+				Strategy: v.st,
+				Batch:    16,
+			}
+			if v.mig {
+				cfg.MigrateAt = c.dur(4 * time.Second)
+			}
+			res := keycount.Run(cfg)
+			fmt.Printf("%-14s %12d %14.2f %14.2f\n", v.name, r,
+				float64(res.Hist.Max())/1e6, float64(res.Hist.Quantile(0.99))/1e6)
+		}
+	}
+}
+
+// fig20 — memory over time per strategy.
+func fig20(c config) {
+	header("fig20", "heap bytes over time per migration strategy")
+	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant: keycount.HashCount,
+				LogBins: 8,
+				Domain:  1 << 22,
+				Preload: true,
+			},
+			Workers:    c.workers,
+			Rate:       200_000,
+			Duration:   c.dur(12 * time.Second),
+			Strategy:   st,
+			Batch:      16,
+			MigrateAt:  c.dur(4 * time.Second),
+			MigrateTwo: true,
+			Memory:     true,
+		})
+		fmt.Printf("\n--- %v ---  steady p50=%.1f MiB, peak=%.1f MiB\n",
+			st, res.Memory.Quantile(0.5)/(1<<20), res.Memory.Max()/(1<<20))
+		res.Memory.Fprint(os.Stdout)
+	}
+}
+
+func printSpans(res harness.Result) {
+	for i, sp := range res.MigrationSpans {
+		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
+	}
+}

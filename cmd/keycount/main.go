@@ -1,0 +1,104 @@
+// Command keycount runs the counting micro-benchmark of Sections 5.2-5.3:
+// a uniform stream of identifiers whose per-key counts are the operator
+// state, with configurable bins, domain, rate and migration strategy. It
+// prints the latency timeline, overall percentiles and (optionally) CCDF
+// rows and the memory series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"megaphone/internal/keycount"
+	"megaphone/internal/plan"
+)
+
+func main() {
+	var (
+		variant   = flag.String("variant", "hash", "hash, key, native-hash or native-key")
+		workers   = flag.Int("workers", 4, "number of workers")
+		rate      = flag.Int("rate", 200000, "records per second")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		bins      = flag.Int("bins", 8, "log2 bin count")
+		domain    = flag.Int64("domain", 1<<20, "number of distinct keys (power of two)")
+		strategy  = flag.String("strategy", "batched", "all-at-once, fluid, batched, optimized")
+		batch     = flag.Int("batch", 16, "bins per step")
+		migrateAt = flag.Duration("migrate-at", 4*time.Second, "first migration time (0 disables)")
+		ccdf      = flag.Bool("ccdf", false, "print per-record latency CCDF")
+		memory    = flag.Bool("memory", false, "print heap series")
+		preload   = flag.Bool("preload", true, "pre-create per-bin state")
+	)
+	flag.Parse()
+
+	var v keycount.Variant
+	switch *variant {
+	case "hash":
+		v = keycount.HashCount
+	case "key":
+		v = keycount.KeyCount
+	case "native-hash":
+		v = keycount.NativeHash
+	case "native-key":
+		v = keycount.NativeKey
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := keycount.Run(keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: v,
+			LogBins: *bins,
+			Domain:  *domain,
+			Preload: *preload,
+		},
+		Workers:    *workers,
+		Rate:       *rate,
+		Duration:   *duration,
+		Strategy:   st,
+		Batch:      *batch,
+		MigrateAt:  *migrateAt,
+		MigrateTwo: true,
+		Memory:     *memory,
+	})
+
+	fmt.Printf("# keycount %v, %d workers, rate=%d, domain=%d, bins=2^%d, strategy=%v\n",
+		v, *workers, *rate, *domain, *bins, st)
+	res.Timeline.Fprint(os.Stdout)
+	for i, sp := range res.MigrationSpans {
+		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
+	}
+	fmt.Printf("# records=%d overall: %s\n", res.Records, res.Hist.Summary())
+	if *ccdf {
+		fmt.Println("# CCDF: latency[ms] fraction-greater")
+		for _, p := range res.Hist.CCDF() {
+			fmt.Printf("%12.3f %12.6g\n", float64(p.Value)/1e6, p.Fraction)
+		}
+	}
+	if *memory {
+		res.Memory.Fprint(os.Stdout)
+	}
+}
+
+func parseStrategy(s string) (plan.Strategy, error) {
+	switch s {
+	case "all-at-once":
+		return plan.AllAtOnce, nil
+	case "fluid":
+		return plan.Fluid, nil
+	case "batched":
+		return plan.Batched, nil
+	case "optimized":
+		return plan.Optimized, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

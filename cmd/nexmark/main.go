@@ -1,0 +1,87 @@
+// Command nexmark runs one NEXMark query open-loop, optionally migrating
+// its state mid-run, and prints the latency timeline (the rows behind
+// Figures 5-12 of the Megaphone paper).
+//
+// Example:
+//
+//	nexmark -query q4 -impl megaphone -workers 4 -rate 200000 \
+//	        -duration 20s -migrate-at 8s -strategy batched -bins 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"megaphone/internal/nexmark"
+	"megaphone/internal/plan"
+)
+
+func main() {
+	var (
+		query     = flag.String("query", "q3", "query to run (q1..q8)")
+		impl      = flag.String("impl", "megaphone", "implementation: native or megaphone")
+		workers   = flag.Int("workers", 4, "number of workers")
+		rate      = flag.Int("rate", 100000, "events per second")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		bins      = flag.Int("bins", 8, "log2 bin count")
+		strategy  = flag.String("strategy", "batched", "migration strategy: all-at-once, fluid, batched, optimized")
+		batch     = flag.Int("batch", 16, "bins per step for batched/optimized")
+		migrateAt = flag.Duration("migrate-at", 4*time.Second, "when to start the first migration (0 disables)")
+		window    = flag.Uint64("window", 60, "window epochs for q5/q7/q8 (time dilation)")
+	)
+	flag.Parse()
+
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	im := nexmark.Megaphone
+	if *impl == "native" {
+		im = nexmark.Native
+	}
+
+	cfg := nexmark.RunConfig{
+		Query: *query,
+		Params: nexmark.Params{
+			Impl:         im,
+			LogBins:      *bins,
+			WindowEpochs: nexmark.Time(*window),
+		},
+		Workers:  *workers,
+		Rate:     *rate,
+		Duration: *duration,
+		Strategy: st,
+		Batch:    *batch,
+	}
+	if im == nexmark.Megaphone {
+		cfg.MigrateAt = *migrateAt
+	}
+
+	fmt.Printf("# nexmark %s (%s), %d workers, %d ev/s, %v, strategy=%v\n",
+		*query, im, *workers, *rate, *duration, st)
+	res := nexmark.Run(cfg)
+	res.Timeline.Fprint(os.Stdout)
+	for i, sp := range res.MigrationSpans {
+		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
+	}
+	fmt.Printf("# records=%d epochs=%d overall: %s\n", res.Records, res.Epochs, res.Hist.Summary())
+}
+
+func parseStrategy(s string) (plan.Strategy, error) {
+	switch s {
+	case "all-at-once":
+		return plan.AllAtOnce, nil
+	case "fluid":
+		return plan.Fluid, nil
+	case "batched":
+		return plan.Batched, nil
+	case "optimized":
+		return plan.Optimized, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,153 @@
+// Controller example: drive migrations from measurements, the way an
+// external controller such as DS2 or Dhalion would (Section 4.4). The
+// workload is skewed — most records hash to a few hot bins that all start on
+// worker 0 — and a load-watching controller observes per-worker application
+// counts, computes a balanced assignment, and feeds the moves into the
+// control stream as ordinary data.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/plan"
+)
+
+const (
+	workers = 4
+	logBins = 5
+	bins    = 1 << logBins
+)
+
+func main() {
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var dataIns []*dataflow.InputHandle[uint64]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+
+	// Per-worker application counters: the controller's measurements.
+	var mu sync.Mutex
+	applied := make([]int, workers)
+	perBin := make([]int, bins)
+
+	handle := &core.Handle[uint64, map[uint64]uint64, uint64]{}
+	handle.OnApply = func(_ core.Time, bin, worker int) {
+		mu.Lock()
+		applied[worker]++
+		perBin[bin]++
+		mu.Unlock()
+	}
+
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, conf := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, data := dataflow.NewInput[uint64](w, "data")
+		dataIns = append(dataIns, in)
+		out := core.Unary(w, core.Config{Name: "skewed-count", LogBins: logBins},
+			conf, data,
+			// Identity hash: key k lands in bin k, so a skewed key
+			// distribution produces skewed bins.
+			func(k uint64) uint64 { return k << (64 - logBins) },
+			func() *map[uint64]uint64 { m := make(map[uint64]uint64); return &m },
+			func(t core.Time, k uint64, s *map[uint64]uint64, _ *core.Notificator[uint64, map[uint64]uint64, uint64], emit func(uint64)) {
+				(*s)[k]++
+				emit((*s)[k])
+			}, handle)
+		p := dataflow.NewProbe(w, out)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+	ctl := plan.NewController(ctlIns, probe)
+
+	// Assignment the controller believes is current.
+	current := plan.Initial(bins, workers)
+
+	report := func(when string) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf("%-18s applications per worker: %v\n", when, applied)
+		for i := range applied {
+			applied[i] = 0
+		}
+	}
+
+	rebalanced := false
+	for epoch := core.Time(1); epoch <= 600; epoch++ {
+		// Skew: 80% of records hit eight hot bins that the initial
+		// round-robin assignment places entirely on worker 0 (bins that are
+		// multiples of the worker count).
+		for w := 0; w < workers; w++ {
+			batch := make([]uint64, 50)
+			for i := range batch {
+				r := core.Mix64(uint64(epoch)*1009 + uint64(w*53+i))
+				if r%5 != 0 {
+					batch[i] = workers * (r % 8) // hot bins 0,4,8,...,28
+				} else {
+					batch[i] = r % bins
+				}
+			}
+			dataIns[w].SendBatchAt(epoch, batch)
+		}
+
+		// The controller acts at epoch 300: it measures the per-bin load,
+		// packs bins onto workers greedily by load, and emits the moves.
+		if epoch == 300 && ctl.Idle() && !rebalanced {
+			rebalanced = true
+			report("before rebalance:")
+			target := balanceByLoad(perBinSnapshot(&mu, perBin), current)
+			p := plan.Build(plan.Batched, current, target, 4)
+			fmt.Printf("-> controller emits %d moves in %d steps\n", p.NumMoves(), len(p.Steps))
+			ctl.Start(p)
+			current = target
+		}
+		ctl.Tick(epoch)
+		for _, h := range dataIns {
+			h.AdvanceTo(epoch + 1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctl.Close()
+	for _, h := range dataIns {
+		h.Close()
+	}
+	exec.Wait()
+	report("after rebalance:")
+}
+
+func perBinSnapshot(mu *sync.Mutex, perBin []int) []int {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]int, len(perBin))
+	copy(out, perBin)
+	return out
+}
+
+// balanceByLoad assigns bins to workers with a greedy longest-processing-
+// time packing of the measured per-bin loads.
+func balanceByLoad(load []int, current plan.Assignment) plan.Assignment {
+	type binLoad struct{ bin, load int }
+	bl := make([]binLoad, len(load))
+	for b, l := range load {
+		bl[b] = binLoad{bin: b, load: l}
+	}
+	sort.Slice(bl, func(i, j int) bool { return bl[i].load > bl[j].load })
+	target := make(plan.Assignment, len(load))
+	sum := make([]int, workers)
+	for _, x := range bl {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if sum[w] < sum[best] {
+				best = w
+			}
+		}
+		target[x.bin] = best
+		sum[best] += x.load
+	}
+	return target
+}

@@ -1,0 +1,133 @@
+// Quickstart: the paper's running example (Figure 4 / Listing 2) — a
+// migrating word-count. Words stream in while the per-word counts live in
+// binned state; halfway through, a batched migration moves half of worker
+// 0's bins to worker 1 without stopping the stream.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/plan"
+)
+
+func main() {
+	const workers = 2
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var textIns []*dataflow.InputHandle[core.KV[string, int]]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	where := map[string]int{} // word -> worker that last updated it
+
+	exec.Build(func(w *dataflow.Worker) {
+		// Introduce configuration and input streams (cf. Listing 2).
+		ctl, conf := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, text := dataflow.NewInput[core.KV[string, int]](w, "text")
+		textIns = append(textIns, in)
+
+		// Update per-word accumulated counts on migrateable state.
+		idx := w.Index()
+		countStream := core.StateMachine(w,
+			core.Config{Name: "wordcount", LogBins: 4},
+			conf, text,
+			func(word string) uint64 { return hash(word) },
+			func(word string, diff int, count *int, emit func(core.KV[string, int])) {
+				*count += diff
+				emit(core.KV[string, int]{Key: word, Val: *count})
+			}, nil)
+
+		sink := w.NewOp("sink", 0)
+		dataflow.Connect(sink, countStream, dataflow.Pipeline[core.KV[string, int]]{})
+		sink.Build(func(c *dataflow.OpCtx) {
+			dataflow.ForEachBatch(c, 0, func(_ core.Time, out []core.KV[string, int]) {
+				mu.Lock()
+				for _, kv := range out {
+					counts[kv.Key] = kv.Val
+					where[kv.Key] = idx
+				}
+				mu.Unlock()
+			})
+		})
+		p := dataflow.NewProbe(w, countStream)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+
+	ctl := plan.NewController(ctlIns, probe)
+	text := "the quick brown fox jumps over the lazy dog the fox the dog"
+	words := strings.Fields(text)
+
+	// Stream the text, one epoch per word round; at epoch 30 migrate every
+	// bin to worker 1 in batches of 4, while the stream keeps flowing.
+	migration := plan.Build(plan.Batched,
+		plan.Initial(16, workers),
+		plan.Rebalance(16, []int{1}),
+		4)
+	epoch := core.Time(1)
+	for ; epoch <= 60; epoch++ {
+		word := words[int(epoch)%len(words)]
+		textIns[int(epoch)%workers].SendAt(epoch, core.KV[string, int]{Key: word, Val: 1})
+		if epoch == 30 {
+			fmt.Println("-> starting batched migration of all bins to worker 1")
+			ctl.Start(migration)
+		}
+		ctl.Tick(epoch)
+		for _, h := range textIns {
+			h.AdvanceTo(epoch + 1)
+		}
+	}
+	// Keep ticking until the plan finishes: the controller issues steps as
+	// completions are observed, so it needs epochs to act in.
+	for ; !ctl.Idle(); epoch++ {
+		ctl.Tick(epoch)
+		for _, h := range textIns {
+			h.AdvanceTo(epoch + 1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	fmt.Println("-> migration complete; streaming more words")
+	for end := epoch + 30; epoch < end; epoch++ {
+		word := words[int(epoch)%len(words)]
+		textIns[int(epoch)%workers].SendAt(epoch, core.KV[string, int]{Key: word, Val: 1})
+		ctl.Tick(epoch)
+		for _, h := range textIns {
+			h.AdvanceTo(epoch + 1)
+		}
+	}
+	ctl.Close()
+	for _, h := range textIns {
+		h.Close()
+	}
+	exec.Wait()
+
+	var list []string
+	for w := range counts {
+		list = append(list, w)
+	}
+	sort.Strings(list)
+	fmt.Println("final counts (word: count @ last-updating worker):")
+	for _, w := range list {
+		fmt.Printf("  %-6s %3d @ worker %d\n", w, counts[w], where[w])
+	}
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return core.Mix64(h)
+}

@@ -1,0 +1,76 @@
+// Native word-count: the same computation as examples/quickstart but on the
+// plain timely-style state machine, for an API comparison. The state lives
+// in a per-worker map the system knows nothing about — there is no control
+// input and no way to migrate the counts without stopping the dataflow.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+func main() {
+	const workers = 2
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var textIns []*dataflow.InputHandle[operators.KV[string, int]]
+	exec.Build(func(w *dataflow.Worker) {
+		in, text := dataflow.NewInput[operators.KV[string, int]](w, "text")
+		textIns = append(textIns, in)
+		countStream := operators.StateMachine(w, "wordcount", text,
+			func(word string) uint64 { return hash(word) },
+			func(word string, diff int, count *int, emit func(operators.KV[string, int])) {
+				*count += diff
+				emit(operators.KV[string, int]{Key: word, Val: *count})
+			})
+		operators.Sink(w, "sink", countStream, func(_ dataflow.Time, out []operators.KV[string, int]) {
+			mu.Lock()
+			for _, kv := range out {
+				counts[kv.Key] = kv.Val
+			}
+			mu.Unlock()
+		})
+	})
+	exec.Start()
+
+	words := strings.Fields("the quick brown fox jumps over the lazy dog the fox the dog")
+	for epoch := dataflow.Time(1); epoch <= 60; epoch++ {
+		word := words[int(epoch)%len(words)]
+		textIns[int(epoch)%workers].SendAt(epoch, operators.KV[string, int]{Key: word, Val: 1})
+		for _, h := range textIns {
+			h.AdvanceTo(epoch + 1)
+		}
+	}
+	for _, h := range textIns {
+		h.Close()
+	}
+	exec.Wait()
+
+	var list []string
+	for w := range counts {
+		list = append(list, w)
+	}
+	sort.Strings(list)
+	fmt.Println("final counts:")
+	for _, w := range list {
+		fmt.Printf("  %-6s %3d\n", w, counts[w])
+	}
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return core.Mix64(h)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// StateMsg is a migration message: the state of one bin in flight from its
+// old owner to its new owner, timestamped with the configuration command's
+// logical time.
+type StateMsg struct {
+	Bin   int
+	To    int    // destination worker (drives the exchange)
+	Bytes []byte // serialized BinState (nil in direct mode)
+	Dir   any    // *BinState[R,S] transferred by pointer in direct mode
+}
+
+// Transfer selects how bin state crosses workers during migration.
+type Transfer int
+
+const (
+	// TransferGob serializes bins with encoding/gob, paying a marshalling
+	// and copy cost proportional to state size — this models the paper's
+	// cross-process migrations and is the default.
+	TransferGob Transfer = iota
+	// TransferDirect hands the bin over by pointer. It is only sound inside
+	// one process and exists as the ablation baseline for the codec cost.
+	TransferDirect
+)
+
+// encodeBin serializes a bin for migration.
+func encodeBin[R, S any](b *BinState[R, S]) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(b.State); err != nil {
+		return nil, fmt.Errorf("megaphone: encoding bin state: %w", err)
+	}
+	if err := enc.Encode(b.Pending); err != nil {
+		return nil, fmt.Errorf("megaphone: encoding pending records: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBin reconstructs a bin from its migration payload.
+func decodeBin[R, S any](data []byte) (*BinState[R, S], error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	b := &BinState[R, S]{State: new(S)}
+	if err := dec.Decode(b.State); err != nil {
+		return nil, fmt.Errorf("megaphone: decoding bin state: %w", err)
+	}
+	if err := dec.Decode(&b.Pending); err != nil {
+		return nil, fmt.Errorf("megaphone: decoding pending records: %w", err)
+	}
+	return b, nil
+}

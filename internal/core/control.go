@@ -1,0 +1,61 @@
+// Package core implements Megaphone: latency-conscious state migration for
+// streaming dataflows (Hoffmann et al., VLDB 2019).
+//
+// Megaphone splits a stateful, data-parallel operator L into a routing
+// operator F and a hosting operator S (Section 3.4 of the paper). F routes
+// keyed records according to a bin-to-worker routing table that is itself
+// updated by a timely dataflow stream of configuration commands, each
+// bearing the logical timestamp at which it takes effect. When the control
+// frontier passes a command's time, and the output frontier of S shows that
+// all earlier work has completed, F extracts the state of the moving bins
+// from its co-located S instance and ships it — over an ordinary dataflow
+// channel, at the command's timestamp — to the new owner. Frontier-ordered
+// application in S guarantees that every update to a key at time t is
+// applied at the worker the configuration assigns for t (Property 2), that
+// outputs equal those of an unmigrated execution (Property 1), and that the
+// computation keeps draining (Property 3).
+package core
+
+import (
+	"megaphone/internal/dataflow"
+)
+
+// Time is the logical timestamp of the runtime.
+type Time = dataflow.Time
+
+// None is the empty-frontier sentinel.
+const None = dataflow.None
+
+// Move is one configuration command: as of its logical timestamp, Bin and
+// the keys hashing to it live on Worker. Commands are data on a broadcast
+// dataflow stream; their timestamp is the stream timestamp.
+type Move struct {
+	Bin    int
+	Worker int
+}
+
+// Mix64 finalizes a 64-bit value into a well-distributed hash (the
+// splitmix64 finalizer). Megaphone assigns keys to bins by the *most
+// significant* bits of the exchange hash (Section 4.2), so exchange
+// functions built from small integer keys should pass through Mix64.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// BinOf returns the bin of a hash for a given log2 bin count: the top
+// logBins bits.
+func BinOf(hash uint64, logBins int) int {
+	if logBins == 0 {
+		return 0
+	}
+	return int(hash >> (64 - uint(logBins)))
+}
+
+// InitialWorker is the default assignment of bins to workers before any
+// configuration command: round-robin.
+func InitialWorker(bin, peers int) int { return bin % peers }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBinOf checks the top-bits binning of Section 4.2.
+func TestBinOf(t *testing.T) {
+	if got := BinOf(0xffffffffffffffff, 4); got != 15 {
+		t.Errorf("BinOf(max, 4) = %d, want 15", got)
+	}
+	if got := BinOf(0, 4); got != 0 {
+		t.Errorf("BinOf(0, 4) = %d, want 0", got)
+	}
+	if got := BinOf(0x8000000000000000, 1); got != 1 {
+		t.Errorf("BinOf(msb, 1) = %d, want 1", got)
+	}
+	if got := BinOf(12345, 0); got != 0 {
+		t.Errorf("BinOf(x, 0) = %d, want 0", got)
+	}
+	// Property: bin always within range.
+	prop := func(h uint64, lb uint8) bool {
+		l := int(lb % 20)
+		b := BinOf(h, l)
+		return b >= 0 && b < 1<<uint(l)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMix64Distributes: sequential keys spread across bins roughly evenly.
+func TestMix64Distributes(t *testing.T) {
+	const logBins = 4
+	counts := make([]int, 1<<logBins)
+	const n = 1 << 14
+	for k := uint64(0); k < n; k++ {
+		counts[BinOf(Mix64(k), logBins)]++
+	}
+	want := n / (1 << logBins)
+	for b, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bin %d has %d keys, want ~%d", b, c, want)
+		}
+	}
+}
+
+// TestBinStatePendingHeap: pushPending/popPendingAt maintain time order.
+func TestBinStatePendingHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := &BinState[int, int]{State: new(int)}
+	byTime := map[Time][]int{}
+	for i := 0; i < 500; i++ {
+		tm := Time(rng.Intn(50))
+		b.pushPending(tm, i)
+		byTime[tm] = append(byTime[tm], i)
+	}
+	prev := Time(0)
+	for len(b.Pending) > 0 {
+		head, _ := b.headPending()
+		if head < prev {
+			t.Fatalf("heap order violated: %v after %v", head, prev)
+		}
+		prev = head
+		recs := b.popPendingAt(head)
+		if len(recs) != len(byTime[head]) {
+			t.Fatalf("time %v: popped %d, want %d", head, len(recs), len(byTime[head]))
+		}
+		delete(byTime, head)
+	}
+	if len(byTime) != 0 {
+		t.Fatalf("%d times never popped", len(byTime))
+	}
+}
+
+// TestCodecRoundTrip: gob encode/decode preserves state and pending records.
+func TestCodecRoundTrip(t *testing.T) {
+	type rec struct {
+		Key uint64
+		Val int64
+	}
+	type state struct {
+		M map[uint64]int64
+	}
+	b := &BinState[rec, state]{State: &state{M: map[uint64]int64{1: 10, 2: -5}}}
+	b.pushPending(7, rec{Key: 1, Val: 2})
+	b.pushPending(3, rec{Key: 9, Val: 4})
+
+	enc, err := encodeBin(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBin[rec, state](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.State.M) != 2 || got.State.M[1] != 10 || got.State.M[2] != -5 {
+		t.Errorf("state mismatch: %+v", got.State.M)
+	}
+	if len(got.Pending) != 2 {
+		t.Fatalf("pending length %d, want 2", len(got.Pending))
+	}
+	if head, _ := got.headPending(); head != 3 {
+		t.Errorf("pending head = %v, want 3", head)
+	}
+}
+
+// TestCodecEmpty: empty bins round-trip.
+func TestCodecEmpty(t *testing.T) {
+	b := &BinState[uint64, int]{State: new(int)}
+	enc, err := encodeBin(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBin[uint64, int](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pending) != 0 || *got.State != 0 {
+		t.Errorf("empty bin round-trip: %+v", got)
+	}
+}
+
+// TestOwnerHistory: routeAt-style lookups against the assignment history,
+// including compaction.
+func TestOwnerHistory(t *testing.T) {
+	f := &fOp[int, int, int]{peers: 4, hist: make([][]assign, 8)}
+	bin := 5
+	if got := f.ownerAt(bin, 100); got != 5%4 {
+		t.Fatalf("initial owner = %d", got)
+	}
+	f.hist[bin] = append(f.hist[bin], assign{From: 10, Worker: 2})
+	f.hist[bin] = append(f.hist[bin], assign{From: 20, Worker: 0})
+	cases := []struct {
+		t    Time
+		want int
+	}{{5, 1}, {10, 2}, {15, 2}, {20, 0}, {99, 0}}
+	for _, c := range cases {
+		if got := f.ownerAt(bin, c.t); got != c.want {
+			t.Errorf("ownerAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if got := f.ownerBefore(bin, 20); got != 2 {
+		t.Errorf("ownerBefore(20) = %d, want 2", got)
+	}
+	if got := f.ownerBefore(bin, 10); got != 1 {
+		t.Errorf("ownerBefore(10) = %d, want 1", got)
+	}
+	// Compaction keeps the entry effective at t and later ones.
+	f.compact(bin, 20)
+	if len(f.hist[bin]) != 1 || f.hist[bin][0].Worker != 0 {
+		t.Errorf("after compact: %+v", f.hist[bin])
+	}
+	if got := f.ownerAt(bin, 25); got != 0 {
+		t.Errorf("post-compact ownerAt(25) = %d", got)
+	}
+}
+
+// TestBinsHolderTakeInstall covers the shared-bin lifecycle.
+func TestBinsHolderTakeInstall(t *testing.T) {
+	h := newBinsHolder[int, int](3)
+	if h.occupied() != 0 {
+		t.Fatal("fresh holder occupied")
+	}
+	b := h.getOrCreate(2, func() *int { return new(int) })
+	*b.State = 42
+	if h.occupied() != 1 {
+		t.Fatal("occupied != 1")
+	}
+	taken := h.take(2)
+	if taken == nil || *taken.State != 42 {
+		t.Fatal("take lost state")
+	}
+	if h.data[2] != nil {
+		t.Fatal("take did not clear")
+	}
+	h.install(0, taken)
+	if *h.data[0].State != 42 {
+		t.Fatal("install mismatch")
+	}
+	if h.take(5) != nil {
+		t.Fatal("taking an empty bin should return nil")
+	}
+}
+
+// TestMatchingConversion sanity-checks the Move type used on the wire.
+func TestInitialWorker(t *testing.T) {
+	for peers := 1; peers <= 8; peers++ {
+		for b := 0; b < 64; b++ {
+			w := InitialWorker(b, peers)
+			if w < 0 || w >= peers {
+				t.Fatalf("InitialWorker(%d, %d) = %d out of range", b, peers, w)
+			}
+		}
+	}
+}

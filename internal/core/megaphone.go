@@ -1,0 +1,546 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"megaphone/internal/dataflow"
+)
+
+// Config configures a migrateable operator.
+type Config struct {
+	// Name prefixes the F and S operator names in the dataflow.
+	Name string
+	// LogBins is the log2 of the number of bins keys are grouped into
+	// (Section 4.2). Fixed at construction; defaults to 8 (256 bins).
+	LogBins int
+	// Transfer selects the state movement mechanism (gob by default).
+	Transfer Transfer
+}
+
+func (c *Config) defaults() {
+	if c.Name == "" {
+		c.Name = "megaphone"
+	}
+	if c.LogBins == 0 {
+		c.LogBins = 8
+	}
+}
+
+// Notificator lets operator logic schedule a record for redelivery at a
+// future timestamp (the paper's extended notificator: it buffers (time, key,
+// val) triples in a per-bin priority queue that migrates with the bin).
+type Notificator[R, S, O any] struct {
+	s   *sOp[R, S, O]
+	bin int
+	now Time
+}
+
+// NotifyAt schedules rec for redelivery at time t, which must be strictly
+// greater than the timestamp currently being processed.
+func (n *Notificator[R, S, O]) NotifyAt(t Time, rec R) {
+	if t <= n.now {
+		panic(fmt.Sprintf("megaphone: NotifyAt(%v) not after current time %v", t, n.now))
+	}
+	b := n.s.bins.data[n.bin]
+	b.pushPending(t, rec)
+	heap.Push(&n.s.notify, binTime{time: t, bin: n.bin})
+}
+
+// Ops bundles the user logic of a migrateable operator.
+type Ops[R, S, O any] struct {
+	// Hash is the exchange function: it maps a record to the hash whose top
+	// bits select the record's bin. Use Mix64 for small integer keys.
+	Hash func(R) uint64
+	// NewState allocates empty per-bin state.
+	NewState func() *S
+	// Fold applies one record to its bin's state, optionally emitting
+	// outputs and scheduling future records.
+	Fold func(t Time, rec R, state *S, n *Notificator[R, S, O], emit func(O))
+}
+
+// Handle exposes a built operator's migration-facing state for tests and
+// instrumentation.
+type Handle[R, S, O any] struct {
+	// OnApply, when set before Start, is invoked for every record
+	// application with the worker index it ran on (used by the Property 2
+	// "Migration" tests).
+	OnApply  func(t Time, bin, worker int)
+	bins     []*binsHolder[R, S]
+	newState func() *S
+	// Migrated counts state messages sent, per worker.
+	migrated []int
+}
+
+// Bins returns the number of occupied bins on worker w (instrumentation).
+func (h *Handle[R, S, O]) Bins(w int) int { return h.bins[w].occupied() }
+
+// Preload initializes a bin's state on a worker before the execution
+// starts, so runs measure migration rather than first-touch allocation (the
+// paper pre-loads one instance of each key). Must not be called after
+// Start.
+func (h *Handle[R, S, O]) Preload(worker, bin int, init func(state *S)) {
+	b := h.bins[worker].getOrCreate(bin, h.newState)
+	init(b.State)
+}
+
+// Migrated returns the number of state messages worker w has sent.
+func (h *Handle[R, S, O]) Migrated(w int) int { return h.migrated[w] }
+
+// routed is a record annotated with its destination worker by F.
+type routed[R any] struct {
+	To  int
+	Rec R
+}
+
+// binTime pairs a pending time with the bin that owns it (lazy index into
+// the per-bin pending heaps).
+type binTime struct {
+	time Time
+	bin  int
+}
+
+type binTimeHeap []binTime
+
+func (h binTimeHeap) Len() int           { return len(h) }
+func (h binTimeHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h binTimeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *binTimeHeap) Push(x any)        { *h = append(*h, x.(binTime)) }
+func (h *binTimeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Operator builds a migrateable stateful operator over records R with
+// per-bin state S and outputs O, controlled by the given stream of Move
+// commands. It returns the output stream.
+//
+// The control stream must be driven identically on every worker's input (it
+// is broadcast); see package plan for strategy drivers.
+func Operator[R, S, O any](
+	w *dataflow.Worker,
+	cfg Config,
+	control dataflow.Stream[Move],
+	input dataflow.Stream[R],
+	ops Ops[R, S, O],
+	handle *Handle[R, S, O],
+) dataflow.Stream[O] {
+	cfg.defaults()
+	if handle == nil {
+		handle = &Handle[R, S, O]{}
+	}
+	if handle.bins == nil {
+		handle.bins = make([]*binsHolder[R, S], w.Peers())
+		handle.migrated = make([]int, w.Peers())
+		handle.newState = ops.NewState
+	}
+	bins := newBinsHolder[R, S](cfg.LogBins)
+	handle.bins[w.Index()] = bins
+
+	var probe *dataflow.Probe // set after S is built; nil disables migration
+
+	f := &fOp[R, S, O]{
+		cfg:   cfg,
+		ops:   ops,
+		bins:  bins,
+		index: w.Index(),
+		peers: w.Peers(),
+		probe: func() *dataflow.Probe { return probe },
+		hist:  make([][]assign, 1<<uint(cfg.LogBins)),
+		h:     handle,
+	}
+
+	fb := w.NewOp(cfg.Name+"-F", 2)
+	dataflow.Connect(fb, control, dataflow.Broadcast[Move]{})
+	dataflow.Connect(fb, input, dataflow.Pipeline[R]{})
+	fouts := fb.Build(f.schedule)
+	routedData := dataflow.Typed[routed[R]](fouts[0])
+	stateOut := dataflow.Typed[StateMsg](fouts[1])
+
+	s := &sOp[R, S, O]{
+		cfg:     cfg,
+		ops:     ops,
+		bins:    bins,
+		index:   w.Index(),
+		pending: make(map[Time][]R),
+		h:       handle,
+	}
+	sb := w.NewOp(cfg.Name+"-S", 1)
+	dataflow.Connect(sb, routedData, dataflow.ExchangeTo[routed[R]]{To: func(r routed[R]) int { return r.To }})
+	dataflow.Connect(sb, stateOut, dataflow.ExchangeTo[StateMsg]{To: func(m StateMsg) int { return m.To }})
+	souts := sb.Build(s.schedule)
+	out := dataflow.Typed[O](souts[0])
+
+	probe = dataflow.NewProbe(w, out)
+	return out
+}
+
+// assign is one entry of a bin's assignment history: Worker owns the bin for
+// times in [From, next entry's From).
+type assign struct {
+	From   Time
+	Worker int
+}
+
+// pendingConfig is a configuration batch whose time is still in advance of
+// the control frontier.
+type pendingConfig struct {
+	time  Time
+	moves []Move
+}
+
+type configHeap []pendingConfig
+
+func (h configHeap) Len() int           { return len(h) }
+func (h configHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h configHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *configHeap) Push(x any)        { *h = append(*h, x.(pendingConfig)) }
+func (h *configHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fOp is one worker's instance of the F (routing and migration) operator.
+type fOp[R, S, O any] struct {
+	cfg   Config
+	ops   Ops[R, S, O]
+	bins  *binsHolder[R, S]
+	index int
+	peers int
+	probe func() *dataflow.Probe
+	h     *Handle[R, S, O]
+
+	hist [][]assign // per-bin assignment history; nil = initial assignment only
+
+	pendingCfg configHeap // configs not yet final (time in advance of control frontier)
+	installed  configHeap // final configs awaiting state movement
+
+	buffered map[Time][]R // data records whose routing is not yet determined
+	bufTimes binTimeHeap  // heap of buffered times (bin unused)
+}
+
+const (
+	fCtl      = 0 // F input ports
+	fData     = 1
+	fOutData  = 0 // F output ports
+	fOutState = 1
+)
+
+// ownerAt returns the worker owning bin at time t.
+func (f *fOp[R, S, O]) ownerAt(bin int, t Time) int {
+	h := f.hist[bin]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].From <= t {
+			return h[i].Worker
+		}
+	}
+	return InitialWorker(bin, f.peers)
+}
+
+func (f *fOp[R, S, O]) schedule(c *dataflow.OpCtx) {
+	// 1. Ingest configuration commands; their capability is pinned by a
+	// hold on the state output so migrations can be sent at their time.
+	dataflow.ForEachBatch(c, fCtl, func(t Time, moves []Move) {
+		cp := make([]Move, len(moves))
+		copy(cp, moves)
+		heap.Push(&f.pendingCfg, pendingConfig{time: t, moves: cp})
+	})
+	ctl := c.Frontier(fCtl)
+
+	// 2. Install configurations that are final: no command at a time less
+	// than the control frontier can still arrive.
+	for len(f.pendingCfg) > 0 && f.pendingCfg[0].time < ctl {
+		pc := heap.Pop(&f.pendingCfg).(pendingConfig)
+		// Merge same-time batches.
+		for len(f.pendingCfg) > 0 && f.pendingCfg[0].time == pc.time {
+			more := heap.Pop(&f.pendingCfg).(pendingConfig)
+			pc.moves = append(pc.moves, more.moves...)
+		}
+		for _, m := range pc.moves {
+			f.hist[m.Bin] = append(f.hist[m.Bin], assign{From: pc.time, Worker: m.Worker})
+		}
+		heap.Push(&f.installed, pc)
+	}
+
+	// 3. Route data. Records whose time is in advance of the control
+	// frontier are buffered: their configuration could still change.
+	if f.buffered == nil {
+		f.buffered = make(map[Time][]R)
+	}
+	dataflow.ForEachBatch(c, fData, func(t Time, data []R) {
+		if t < ctl {
+			f.route(c, t, data)
+			return
+		}
+		if _, ok := f.buffered[t]; !ok {
+			heap.Push(&f.bufTimes, binTime{time: t})
+		}
+		f.buffered[t] = append(f.buffered[t], data...)
+	})
+	for len(f.bufTimes) > 0 && f.bufTimes[0].time < ctl {
+		t := heap.Pop(&f.bufTimes).(binTime).time
+		f.route(c, t, f.buffered[t])
+		delete(f.buffered, t)
+	}
+
+	// 4. Execute installed migrations once the S output frontier has
+	// reached their time: all earlier updates have then been applied.
+	for len(f.installed) > 0 {
+		p := f.probe()
+		if p == nil || p.Frontier() < f.installed[0].time {
+			break
+		}
+		mg := heap.Pop(&f.installed).(pendingConfig)
+		f.execute(c, mg)
+	}
+
+	// 5. Maintain capability holds: the data output covers buffered
+	// records; the state output covers pending and installed migrations.
+	if len(f.bufTimes) > 0 {
+		c.Hold(fOutData, f.bufTimes[0].time)
+	} else {
+		c.DropHold(fOutData)
+	}
+	stateHold := None
+	if len(f.pendingCfg) > 0 {
+		stateHold = f.pendingCfg[0].time
+	}
+	if len(f.installed) > 0 && f.installed[0].time < stateHold {
+		stateHold = f.installed[0].time
+	}
+	if stateHold != None {
+		c.Hold(fOutState, stateHold)
+	} else {
+		c.DropHold(fOutState)
+	}
+}
+
+// route sends records at a routable time to their configured workers.
+func (f *fOp[R, S, O]) route(c *dataflow.OpCtx, t Time, data []R) {
+	all := make([]routed[R], len(data))
+	for i, r := range data {
+		bin := BinOf(f.ops.Hash(r), f.cfg.LogBins)
+		all[i] = routed[R]{To: f.ownerAt(bin, t), Rec: r}
+	}
+	dataflow.SendBatch(c, fOutData, t, all)
+}
+
+// execute performs the state movement of one installed configuration: for
+// every moved bin this worker currently owns, uninstall it from the local S
+// instance and ship it at the migration's timestamp.
+func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
+	var msgs []StateMsg
+	for _, m := range mg.moves {
+		// Owner just before the migration takes effect.
+		old := f.ownerBefore(m.Bin, mg.time)
+		if old == m.Worker {
+			f.compact(m.Bin, mg.time)
+			continue
+		}
+		if old == f.index {
+			b := f.bins.take(m.Bin)
+			if b != nil {
+				msg := StateMsg{Bin: m.Bin, To: m.Worker}
+				switch f.cfg.Transfer {
+				case TransferDirect:
+					msg.Dir = b
+				default:
+					enc, err := encodeBin(b)
+					if err != nil {
+						panic(err)
+					}
+					msg.Bytes = enc
+				}
+				msgs = append(msgs, msg)
+				f.h.migrated[f.index]++
+			}
+		}
+		f.compact(m.Bin, mg.time)
+	}
+	if len(msgs) > 0 {
+		dataflow.SendBatch(c, fOutState, mg.time, msgs)
+	}
+}
+
+// ownerBefore returns the owner of bin for times strictly less than t,
+// ignoring history entries at exactly t (the migration being executed).
+func (f *fOp[R, S, O]) ownerBefore(bin int, t Time) int {
+	h := f.hist[bin]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].From < t {
+			return h[i].Worker
+		}
+	}
+	return InitialWorker(bin, f.peers)
+}
+
+// compact drops history entries that no record can consult anymore: once a
+// migration at time t executes, no record with time earlier than t can
+// arrive, so only the assignment effective at t and later entries matter.
+func (f *fOp[R, S, O]) compact(bin int, t Time) {
+	h := f.hist[bin]
+	keep := 0
+	for i, a := range h {
+		if a.From <= t {
+			keep = i
+		}
+	}
+	if keep > 0 {
+		f.hist[bin] = append(h[:0], h[keep:]...)
+	}
+}
+
+// sOp is one worker's instance of the S (state hosting) operator.
+type sOp[R, S, O any] struct {
+	cfg   Config
+	ops   Ops[R, S, O]
+	bins  *binsHolder[R, S]
+	index int
+	h     *Handle[R, S, O]
+
+	pending   map[Time][]R // data deferred until its time completes
+	dataTimes binTimeHeap  // heap of deferred times (bin unused)
+	notify    binTimeHeap  // (time, bin) index into per-bin pending heaps
+}
+
+const (
+	sData  = 0 // S input ports
+	sState = 1
+)
+
+func (s *sOp[R, S, O]) schedule(c *dataflow.OpCtx) {
+	// 1. Install migrated state immediately.
+	dataflow.ForEachBatch(c, sState, func(t Time, msgs []StateMsg) {
+		for _, m := range msgs {
+			var b *BinState[R, S]
+			if m.Dir != nil {
+				b = m.Dir.(*BinState[R, S])
+			} else {
+				var err error
+				b, err = decodeBin[R, S](m.Bytes)
+				if err != nil {
+					panic(err)
+				}
+			}
+			s.bins.install(m.Bin, b)
+			if ht, ok := b.headPending(); ok {
+				heap.Push(&s.notify, binTime{time: ht, bin: m.Bin})
+			}
+		}
+	})
+
+	// 2. Defer data until its time is not in advance of both frontiers.
+	dataflow.ForEachBatch(c, sData, func(t Time, data []routed[R]) {
+		recs, ok := s.pending[t]
+		if !ok {
+			heap.Push(&s.dataTimes, binTime{time: t})
+		}
+		for _, r := range data {
+			recs = append(recs, r.Rec)
+		}
+		s.pending[t] = recs
+	})
+
+	bound := c.Frontier(sData)
+	if sf := c.Frontier(sState); sf < bound {
+		bound = sf
+	}
+
+	// 3. Apply complete times in timestamp order: first replayed pending
+	// records, then fresh data, per time.
+	for {
+		t := None
+		if len(s.dataTimes) > 0 {
+			t = s.dataTimes[0].time
+		}
+		if nt, ok := s.notifyHead(); ok && nt < t {
+			t = nt
+		}
+		if t >= bound {
+			break
+		}
+		s.processTime(c, t)
+	}
+
+	// 4. Hold the output at the earliest deferred work.
+	holdAt := None
+	if len(s.dataTimes) > 0 {
+		holdAt = s.dataTimes[0].time
+	}
+	if nt, ok := s.notifyHead(); ok && nt < holdAt {
+		holdAt = nt
+	}
+	if holdAt != None {
+		c.Hold(0, holdAt)
+	} else {
+		c.DropHold(0)
+	}
+}
+
+// notifyHead returns the earliest valid (time, bin) notification, skipping
+// entries staled by replay or by bin migration.
+func (s *sOp[R, S, O]) notifyHead() (Time, bool) {
+	for len(s.notify) > 0 {
+		bt := s.notify[0]
+		b := s.bins.data[bt.bin]
+		if b != nil {
+			if ht, ok := b.headPending(); ok && ht == bt.time {
+				return bt.time, true
+			}
+		}
+		heap.Pop(&s.notify)
+	}
+	return 0, false
+}
+
+// processTime applies all work at time t: replayed pending records of every
+// bin notified at t, then deferred data records at t.
+func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
+	var out []O
+	emit := func(o O) { out = append(out, o) }
+
+	for {
+		nt, ok := s.notifyHead()
+		if !ok || nt != t {
+			break
+		}
+		bt := heap.Pop(&s.notify).(binTime)
+		b := s.bins.data[bt.bin]
+		recs := b.popPendingAt(t)
+		n := &Notificator[R, S, O]{s: s, bin: bt.bin, now: t}
+		if s.h.OnApply != nil {
+			s.h.OnApply(t, bt.bin, s.index)
+		}
+		for _, tr := range recs {
+			s.ops.Fold(t, tr.Rec, b.State, n, emit)
+		}
+		if ht, ok := b.headPending(); ok {
+			heap.Push(&s.notify, binTime{time: ht, bin: bt.bin})
+		}
+	}
+
+	if len(s.dataTimes) > 0 && s.dataTimes[0].time == t {
+		heap.Pop(&s.dataTimes)
+		recs := s.pending[t]
+		delete(s.pending, t)
+		for _, r := range recs {
+			bin := BinOf(s.ops.Hash(r), s.cfg.LogBins)
+			b := s.bins.getOrCreate(bin, s.ops.NewState)
+			n := &Notificator[R, S, O]{s: s, bin: bin, now: t}
+			if s.h.OnApply != nil {
+				s.h.OnApply(t, bin, s.index)
+			}
+			s.ops.Fold(t, r, b.State, n, emit)
+		}
+	}
+
+	if len(out) > 0 {
+		dataflow.SendBatch(c, 0, t, out)
+	}
+}

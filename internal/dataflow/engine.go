@@ -1,0 +1,312 @@
+// Package dataflow is a timely-dataflow-style streaming runtime: a fixed
+// dataflow graph of operators is instantiated on every worker, records flow
+// along exchange channels carrying logical timestamps, and a shared progress
+// tracker (internal/progress) reports to every operator input a frontier of
+// timestamps that may still arrive.
+//
+// The package reproduces the subset of timely dataflow that Megaphone
+// depends on: asynchronous data-parallel workers, logical timestamps,
+// frontiers, capability holds, exchange/pipeline/broadcast channel contracts
+// ("pacts"), inputs with epochs, and probes for out-of-band frontier
+// observation. Dataflows are acyclic and operators never advance message
+// timestamps, which keeps the progress summary exact.
+//
+// Workers are goroutines within one process; cross-worker channels are Go
+// channels. See DESIGN.md for why this substitution preserves the paper's
+// behaviour.
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+
+	"megaphone/internal/progress"
+	"megaphone/internal/timestamp"
+)
+
+// Time is the logical timestamp carried by every record batch.
+type Time = timestamp.Scalar
+
+// None is the frontier value meaning "no further timestamps": the port or
+// computation has completed.
+const None = timestamp.MaxScalar
+
+// Config configures an execution.
+type Config struct {
+	// Workers is the number of worker goroutines. Defaults to 1.
+	Workers int
+	// InboxSize is the per-worker channel buffer, in batches. Defaults to
+	// 4096.
+	InboxSize int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.InboxSize <= 0 {
+		c.InboxSize = 4096
+	}
+}
+
+// message is one timestamped batch of records in flight to a worker.
+type message struct {
+	edge progress.Edge
+	time Time
+	data any // a []T, owned by the receiver
+}
+
+// canonEdge is the canonical (worker-independent) description of an edge.
+type canonEdge struct {
+	dst progress.Port
+}
+
+// Execution owns a dataflow computation: the shared graph summary, the
+// tracker, and the workers. Build the graph with Build, start the workers
+// with Start, drive any inputs, and Wait for completion.
+type Execution struct {
+	cfg     Config
+	gb      *progress.GraphBuilder
+	tracker *progress.Tracker
+	workers []*Worker
+
+	// canonical structure, registered by worker 0 and verified by others
+	canonNodes []struct{ in, out int }
+	canonEdges []canonEdge
+
+	pendingHolds []pendingHold
+
+	started bool
+	wg      sync.WaitGroup
+}
+
+// NewExecution creates an execution with the given configuration.
+func NewExecution(cfg Config) *Execution {
+	cfg.defaults()
+	e := &Execution{cfg: cfg, gb: progress.NewGraphBuilder()}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &Worker{
+			exec:  e,
+			index: i,
+			inbox: make(chan message, cfg.InboxSize),
+			wake:  make(chan struct{}, 1),
+		}
+		e.workers = append(e.workers, w)
+	}
+	return e
+}
+
+// Build runs the graph constructor once per worker. The constructor must be
+// deterministic: every worker must declare the same operators and edges in
+// the same order. Worker 0's run registers the canonical structure; later
+// runs are verified against it.
+func (e *Execution) Build(build func(w *Worker)) {
+	if e.started {
+		panic("dataflow: Build after Start")
+	}
+	for _, w := range e.workers {
+		build(w)
+	}
+	e.tracker = e.gb.Build()
+	// Initial holds were recorded against port coordinates before the
+	// tracker existed; resolve them to locations and apply.
+	var b progress.Batch
+	for _, h := range e.pendingHolds {
+		b.Add(e.tracker.CapLocation(h.port), h.time, 1)
+	}
+	e.tracker.Apply(&b)
+	for _, w := range e.workers {
+		w.finalize()
+	}
+}
+
+// Tracker exposes the progress tracker (for probes and tests).
+func (e *Execution) Tracker() *progress.Tracker { return e.tracker }
+
+// Start launches the worker goroutines.
+func (e *Execution) Start() {
+	if e.tracker == nil {
+		panic("dataflow: Start before Build")
+	}
+	e.started = true
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go func(w *Worker) {
+			defer e.wg.Done()
+			w.run()
+		}(w)
+	}
+}
+
+// Wait blocks until the computation completes: all inputs closed, all
+// messages drained, and all capability holds dropped.
+func (e *Execution) Wait() { e.wg.Wait() }
+
+// Run is a convenience for Build + Start + Wait with no external input
+// driving (inputs must be driven from within operator logic or closed during
+// build).
+func (e *Execution) Run(build func(w *Worker)) {
+	e.Build(build)
+	e.Start()
+	e.Wait()
+}
+
+// Worker is one data-parallel worker: it owns an instance of every operator
+// in the dataflow and an inbox for batches sent to it by peers.
+type Worker struct {
+	exec  *Execution
+	index int
+
+	ops      []*opInstance // indexed by node id
+	inbox    chan message
+	wake     chan struct{}
+	pollers  []func() bool // report pending out-of-band work (e.g. staged input)
+	nodeSeq  int           // build-time counter for canonical verification
+	edgeSeq  int
+	frontier []Time // scratch
+}
+
+// Index returns this worker's index in [0, Peers).
+func (w *Worker) Index() int { return w.index }
+
+// Peers returns the number of workers.
+func (w *Worker) Peers() int { return w.exec.cfg.Workers }
+
+// poke wakes the worker if it is parked.
+func (w *Worker) poke() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// finalize wires each operator's outgoing edges after the whole graph is
+// known.
+func (w *Worker) finalize() {
+	for _, op := range w.ops {
+		op.finalize(w)
+	}
+}
+
+// route places an inbound message on the owning operator's input queue.
+func (w *Worker) route(m message) {
+	dst := w.exec.canonEdges[m.edge].dst
+	op := w.ops[dst.Node]
+	op.queues[dst.Port] = append(op.queues[dst.Port], batchIn{time: m.time, data: m.data})
+}
+
+// drainInbox moves all currently queued inbound messages to operator queues.
+func (w *Worker) drainInbox() bool {
+	any := false
+	for {
+		select {
+		case m := <-w.inbox:
+			w.route(m)
+			any = true
+		default:
+			return any
+		}
+	}
+}
+
+// hasLocalWork reports whether any operator has queued input or staged
+// out-of-band work.
+func (w *Worker) hasLocalWork() bool {
+	for _, op := range w.ops {
+		for _, q := range op.queues {
+			if len(q) > 0 {
+				return true
+			}
+		}
+	}
+	for _, p := range w.pollers {
+		if p() {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the worker event loop: drain inbound batches, schedule every
+// operator, and park until new work can exist. The loop exits when the
+// tracker reports no live pointstamps anywhere.
+func (w *Worker) run() {
+	tr := w.exec.tracker
+	for {
+		v := tr.Version()
+		w.drainInbox()
+		for _, op := range w.ops {
+			w.schedule(op)
+		}
+		if tr.Idle() {
+			return
+		}
+		// Park. Take the wait channel before the re-checks so a progress
+		// change between a check and the select is not lost. If anything
+		// changed anywhere since this iteration began, some operator may
+		// have been scheduled against a stale frontier — loop again.
+		wc := tr.WaitChan()
+		if w.drainInbox() || w.hasLocalWork() || tr.Version() != v {
+			continue
+		}
+		select {
+		case m := <-w.inbox:
+			w.route(m)
+		case <-w.wake:
+		case <-wc:
+		}
+	}
+}
+
+// schedule runs one operator's logic with a context exposing its queued
+// input, input frontiers, and output ports, then atomically applies the
+// progress consequences and releases any cross-worker sends.
+func (w *Worker) schedule(op *opInstance) {
+	c := OpCtx{w: w, op: op}
+	w.frontier = w.exec.tracker.Frontiers(op.node, op.numIn, w.frontier)
+	c.frontiers = w.frontier
+	c.minFrontier = None
+	for _, f := range c.frontiers {
+		if f < c.minFrontier {
+			c.minFrontier = f
+		}
+	}
+	op.logic(&c)
+	// First make all produced pointstamps and hold changes visible, then
+	// release the messages themselves: a receiver can never observe a
+	// message whose pointstamp is unaccounted.
+	w.exec.tracker.Apply(&c.batch)
+	for _, m := range c.remote {
+		w.send(m)
+	}
+	for _, m := range c.local {
+		w.route(m)
+	}
+}
+
+// send delivers a message to a peer worker, draining our own inbox while the
+// peer's inbox is full to avoid send-send deadlocks.
+func (w *Worker) send(m outMsg) {
+	target := w.exec.workers[m.peer]
+	for {
+		select {
+		case target.inbox <- m.msg:
+			target.poke()
+			return
+		default:
+			if !w.drainInbox() {
+				// Peer is full and we have nothing to drain; block for real.
+				target.inbox <- m.msg
+				target.poke()
+				return
+			}
+		}
+	}
+}
+
+type outMsg struct {
+	peer int
+	msg  message
+}
+
+func (w *Worker) String() string { return fmt.Sprintf("worker[%d/%d]", w.index, w.Peers()) }

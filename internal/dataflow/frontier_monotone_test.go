@@ -1,0 +1,73 @@
+package dataflow_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+// TestProbeFrontierMonotone watches a probe while a notify-heavy dataflow
+// runs and checks the observed frontier never regresses: capability
+// re-acquisition at earlier times is always bundled atomically with the
+// input message that justifies it, so no observer can see the frontier go
+// backwards.
+func TestProbeFrontierMonotone(t *testing.T) {
+	exec := dataflow.NewExecution(dataflow.Config{Workers: 4})
+	var ins []*dataflow.InputHandle[int]
+	var probe *dataflow.Probe
+	exec.Build(func(w *dataflow.Worker) {
+		h, s := dataflow.NewInput[int](w, "in")
+		ins = append(ins, h)
+		out := operators.UnaryNotify(w, "hold-churn", s,
+			dataflow.Exchange[int]{Hash: func(x int) uint64 { return uint64(x) }},
+			func() struct{} { return struct{}{} },
+			func(tm dataflow.Time, data []int, _ struct{}, emit func(int)) {
+				for _, x := range data {
+					emit(x)
+				}
+			})
+		p := dataflow.NewProbe(w, out)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+
+	stop := make(chan struct{})
+	var regressed atomic.Bool
+	go func() {
+		last := dataflow.Time(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := probe.Frontier()
+			if f < last {
+				regressed.Store(true)
+				return
+			}
+			last = f
+		}
+	}()
+
+	for e := dataflow.Time(1); e <= 2000; e++ {
+		for wi, h := range ins {
+			h.SendAt(e, int(e)+wi)
+		}
+		for _, h := range ins {
+			h.AdvanceTo(e + 1)
+		}
+	}
+	for _, h := range ins {
+		h.Close()
+	}
+	exec.Wait()
+	close(stop)
+	if regressed.Load() {
+		t.Fatal("probe frontier regressed")
+	}
+}

@@ -1,0 +1,113 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+// buildTrivial returns an execution with one input and a sink.
+func buildTrivial() (*dataflow.Execution, *dataflow.InputHandle[int]) {
+	exec := dataflow.NewExecution(dataflow.Config{Workers: 1})
+	var in *dataflow.InputHandle[int]
+	exec.Build(func(w *dataflow.Worker) {
+		h, s := dataflow.NewInput[int](w, "in")
+		in = h
+		operators.Sink(w, "sink", s, func(dataflow.Time, []int) {})
+	})
+	return exec, in
+}
+
+// TestSendBehindEpochPanics: sending at a time earlier than the epoch is a
+// contract violation and must fail loudly.
+func TestSendBehindEpochPanics(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.AdvanceTo(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SendAt behind epoch did not panic")
+			}
+		}()
+		in.SendAt(5, 1)
+	}()
+	in.Close()
+	exec.Wait()
+}
+
+// TestAdvanceBackwardsPanics: epochs are monotone.
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.AdvanceTo(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo backwards did not panic")
+			}
+		}()
+		in.AdvanceTo(3)
+	}()
+	in.Close()
+	exec.Wait()
+}
+
+// TestSendAfterClosePanics: a closed input rejects records.
+func TestSendAfterClosePanics(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SendAt after Close did not panic")
+			}
+		}()
+		in.SendAt(1, 1)
+	}()
+	exec.Wait()
+}
+
+// TestAdvanceAfterCloseIsNoop: advancing a closed input is tolerated.
+func TestAdvanceAfterCloseIsNoop(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.Close()
+	in.AdvanceTo(100) // must not panic
+	exec.Wait()
+}
+
+// TestEmptySendIsNoop: zero-record batches do not create pointstamps.
+func TestEmptySendIsNoop(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.SendAt(1)
+	in.SendBatchAt(2, nil)
+	in.Close()
+	exec.Wait()
+	if !exec.Tracker().Idle() {
+		t.Error("tracker not idle after empty sends")
+	}
+}
+
+// TestImmediateClose: a dataflow whose inputs close without any data
+// terminates.
+func TestImmediateClose(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	in.Close()
+	exec.Wait()
+}
+
+// TestManyEpochsNoData: pure epoch advancement drains cleanly.
+func TestManyEpochsNoData(t *testing.T) {
+	exec, in := buildTrivial()
+	exec.Start()
+	for e := dataflow.Time(1); e <= 10000; e++ {
+		in.AdvanceTo(e)
+	}
+	in.Close()
+	exec.Wait()
+}

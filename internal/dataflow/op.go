@@ -1,0 +1,324 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"megaphone/internal/progress"
+)
+
+// batchIn is a queued inbound batch awaiting consumption by an operator.
+type batchIn struct {
+	time Time
+	data any
+}
+
+// outEdgeInst is one outgoing edge of an operator output port on a specific
+// worker: the canonical edge id plus this worker's partitioner.
+type outEdgeInst struct {
+	edge progress.Edge
+	dst  progress.Port
+	part Partitioner
+}
+
+// opInstance is one worker's instance of an operator.
+type opInstance struct {
+	node     progress.Node
+	name     string
+	numIn    int
+	numOut   int
+	queues   [][]batchIn
+	holds    []Time          // current capability hold per output port; None = none
+	inEdges  []progress.Edge // canonical edge id feeding each input port
+	outEdges [][]outEdgeInst
+	logic    func(*OpCtx)
+}
+
+func (op *opInstance) finalize(w *Worker) {
+	if op.logic == nil {
+		panic(fmt.Sprintf("dataflow: operator %q built without logic", op.name))
+	}
+}
+
+// Partitioner splits a batch (a []T boxed as any) into per-worker batches.
+// The result is indexed by worker; nil entries mean "nothing for that
+// worker". A nil Partitioner is the pipeline contract: the batch stays on
+// the sending worker.
+type Partitioner func(data any) []any
+
+// StreamCore identifies a stream of timestamped batches: the output port of
+// the operator that produces it. It is worker-specific only in that it was
+// obtained from some worker's builder; the port coordinates are canonical.
+type StreamCore struct {
+	w   *Worker
+	src progress.Port
+}
+
+// Valid reports whether the stream was produced by a builder.
+func (s StreamCore) Valid() bool { return s.w != nil }
+
+// OpBuilder declares one operator during graph construction.
+type OpBuilder struct {
+	w       *Worker
+	name    string
+	numOut  int
+	inputs  []StreamCore
+	parts   []Partitioner
+	node    progress.Node
+	holdsAt []struct {
+		port int
+		time Time
+	}
+}
+
+// NewOp starts the declaration of an operator with the given number of
+// output ports.
+func (w *Worker) NewOp(name string, outputs int) *OpBuilder {
+	return &OpBuilder{w: w, name: name, numOut: outputs}
+}
+
+// AddInput connects a stream to the next input port of the operator under
+// construction using the given partitioner (nil = pipeline), returning the
+// input port index.
+func (b *OpBuilder) AddInput(s StreamCore, part Partitioner) int {
+	if s.w != b.w {
+		panic("dataflow: stream from a different worker")
+	}
+	b.inputs = append(b.inputs, s)
+	b.parts = append(b.parts, part)
+	return len(b.inputs) - 1
+}
+
+// InitialHold grants the operator a capability hold at time t on the given
+// output port from the start of the computation. Source operators (inputs)
+// need this to be allowed to send unprompted.
+func (b *OpBuilder) InitialHold(port int, t Time) {
+	b.holdsAt = append(b.holdsAt, struct {
+		port int
+		time Time
+	}{port, t})
+}
+
+// Build registers the operator with the given logic and returns its output
+// streams. The logic runs whenever the worker schedules the operator; it
+// must consume queued input via the context and may send, hold, and drop
+// capabilities.
+func (b *OpBuilder) Build(logic func(*OpCtx)) []StreamCore {
+	w := b.w
+	e := w.exec
+
+	// Canonical registration (worker 0) or verification (others).
+	if w.index == 0 {
+		node := e.gb.AddNode(b.name, len(b.inputs), b.numOut)
+		e.canonNodes = append(e.canonNodes, struct{ in, out int }{len(b.inputs), b.numOut})
+		b.node = node
+		for i, in := range b.inputs {
+			edge := e.gb.AddEdge(in.src, progress.Port{Node: node, Port: i})
+			e.canonEdges = append(e.canonEdges, canonEdge{dst: progress.Port{Node: node, Port: i}})
+			_ = edge
+		}
+	} else {
+		if w.nodeSeq >= len(e.canonNodes) {
+			panic(fmt.Sprintf("dataflow: worker %d built extra operator %q", w.index, b.name))
+		}
+		cn := e.canonNodes[w.nodeSeq]
+		if cn.in != len(b.inputs) || cn.out != b.numOut {
+			panic(fmt.Sprintf("dataflow: worker %d operator %q differs from canonical graph", w.index, b.name))
+		}
+		b.node = progress.Node(w.nodeSeq)
+	}
+	w.nodeSeq++
+
+	op := &opInstance{
+		node:   b.node,
+		name:   b.name,
+		numIn:  len(b.inputs),
+		numOut: b.numOut,
+		queues: make([][]batchIn, len(b.inputs)),
+		holds:  make([]Time, b.numOut),
+		logic:  logic,
+	}
+	for i := range op.holds {
+		op.holds[i] = None
+	}
+	w.ops = append(w.ops, op)
+
+	// Wire this worker's instances of the inbound edges into the producing
+	// operators' outgoing edge lists. Edge ids are assigned in declaration
+	// order, matching the canonical registration above.
+	for i, in := range b.inputs {
+		edgeID := progress.Edge(w.edgeSeq)
+		w.edgeSeq++
+		op.inEdges = append(op.inEdges, edgeID)
+		src := w.ops[in.src.Node]
+		src.outEdges = ensureLen(src.outEdges, in.src.Port+1)
+		src.outEdges[in.src.Port] = append(src.outEdges[in.src.Port], outEdgeInst{
+			edge: edgeID,
+			dst:  progress.Port{Node: b.node, Port: i},
+			part: b.parts[i],
+		})
+	}
+
+	// Record initial holds. Every worker's instance holds its own
+	// capability, so each contributes one occurrence at the shared
+	// (node, port) location. Locations cannot be computed until the graph
+	// freezes, so stash the port coordinates; Execution.Build resolves them.
+	for _, h := range b.holdsAt {
+		op.holds[h.port] = h.time
+		e.pendingHolds = append(e.pendingHolds, pendingHold{
+			port: progress.Port{Node: b.node, Port: h.port},
+			time: h.time,
+		})
+	}
+
+	outs := make([]StreamCore, b.numOut)
+	for i := range outs {
+		outs[i] = StreamCore{w: w, src: progress.Port{Node: b.node, Port: i}}
+	}
+	return outs
+}
+
+type pendingHold struct {
+	port progress.Port
+	time Time
+}
+
+func ensureLen[T any](s [][]T, n int) [][]T {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s
+}
+
+// OpCtx is the scheduling context handed to operator logic: queued input,
+// input frontiers, and output capabilities. All progress consequences of one
+// scheduling (consumed input, produced output, hold changes) are applied
+// atomically after the logic returns.
+type OpCtx struct {
+	w           *Worker
+	op          *opInstance
+	frontiers   []Time
+	minFrontier Time
+	batch       progress.Batch
+	remote      []outMsg
+	local       []message
+}
+
+// Index returns the worker index.
+func (c *OpCtx) Index() int { return c.w.index }
+
+// Peers returns the number of workers.
+func (c *OpCtx) Peers() int { return c.w.Peers() }
+
+// Frontier returns the frontier of input port i: the least timestamp that
+// may still arrive there (None when the input is complete).
+func (c *OpCtx) Frontier(i int) Time { return c.frontiers[i] }
+
+// NumQueued reports the number of batches queued on input i.
+func (c *OpCtx) NumQueued(i int) int { return len(c.op.queues[i]) }
+
+// ForEach drains input port i, invoking f once per queued batch. The data
+// argument is the []T the producer sent; ownership passes to the callee.
+func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
+	q := c.op.queues[i]
+	if len(q) == 0 {
+		return
+	}
+	c.op.queues[i] = nil
+	loc := c.w.exec.tracker.EdgeLocation(c.op.inEdges[i])
+	for _, b := range q {
+		c.batch.Add(loc, b.time, -1)
+		f(b.time, b.data)
+	}
+}
+
+// Send emits a batch (a []T boxed as any) at time t on output port o. The
+// batch is routed along every edge attached to the port according to each
+// edge's partitioner. Send panics if t is not covered by a held capability
+// or by the operator's input frontier.
+func (c *OpCtx) Send(o int, t Time, data any) {
+	c.assertCanSendAt(o, t)
+	if o >= len(c.op.outEdges) {
+		return // no consumers
+	}
+	for _, oe := range c.op.outEdges[o] {
+		if oe.part == nil {
+			// Pipeline: deliver locally.
+			c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
+			c.local = append(c.local, message{edge: oe.edge, time: t, data: data})
+			continue
+		}
+		parts := oe.part(data)
+		for peer, pd := range parts {
+			if pd == nil || emptyBatch(pd) {
+				continue
+			}
+			c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
+			m := message{edge: oe.edge, time: t, data: pd}
+			if peer == c.w.index {
+				c.local = append(c.local, m)
+			} else {
+				c.remote = append(c.remote, outMsg{peer: peer, msg: m})
+			}
+		}
+	}
+}
+
+func emptyBatch(data any) bool {
+	type lener interface{ Len() int }
+	if l, ok := data.(lener); ok {
+		return l.Len() == 0
+	}
+	return false
+}
+
+func (c *OpCtx) assertCanSendAt(o int, t Time) {
+	if h := c.op.holds[o]; h != None && t >= h {
+		return
+	}
+	if t >= c.minFrontier {
+		// Covered by a timestamp that may still arrive on some input; the
+		// batch being reacted to is accounted at the input edge until this
+		// scheduling's deltas apply atomically.
+		return
+	}
+	panic(fmt.Sprintf("dataflow: %s sent at %v without capability (hold=%v, frontier=%v)",
+		c.op.name, t, c.op.holds[o], c.minFrontier))
+}
+
+// Hold sets the capability hold of output port o to time t, allowing the
+// operator to send at times >= t in future schedulings. Holding at a time
+// earlier than the current hold or before the input frontier is rejected
+// unless covered by the previous hold.
+func (c *OpCtx) Hold(o int, t Time) {
+	prev := c.op.holds[o]
+	if t == prev {
+		return
+	}
+	// A hold move is valid when covered by the previous hold (downgrade) or
+	// by the input frontier (a fresh acquisition justified by input that may
+	// still arrive, e.g. a batch consumed in this very scheduling).
+	if !(prev != None && t >= prev) && !(t >= c.minFrontier) && c.op.numIn > 0 {
+		panic(fmt.Sprintf("dataflow: %s held at %v uncovered (prev=%v, frontier=%v)",
+			c.op.name, t, prev, c.minFrontier))
+	}
+	loc := c.w.exec.tracker.CapLocation(progress.Port{Node: c.op.node, Port: o})
+	if prev != None {
+		c.batch.Add(loc, prev, -1)
+	}
+	c.batch.Add(loc, t, 1)
+	c.op.holds[o] = t
+}
+
+// DropHold releases the capability hold of output port o.
+func (c *OpCtx) DropHold(o int) {
+	prev := c.op.holds[o]
+	if prev == None {
+		return
+	}
+	loc := c.w.exec.tracker.CapLocation(progress.Port{Node: c.op.node, Port: o})
+	c.batch.Add(loc, prev, -1)
+	c.op.holds[o] = None
+}
+
+// HeldAt returns the current hold of output port o (None if none).
+func (c *OpCtx) HeldAt(o int) Time { return c.op.holds[o] }

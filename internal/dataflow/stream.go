@@ -1,0 +1,120 @@
+package dataflow
+
+// Stream is a typed stream of timestamped batches of T. Batches are
+// immutable once sent: multiple consumers may observe the same underlying
+// slice and must not modify it.
+type Stream[T any] struct {
+	core StreamCore
+}
+
+// Core returns the type-erased stream.
+func (s Stream[T]) Core() StreamCore { return s.core }
+
+// Valid reports whether the stream was produced by a builder.
+func (s Stream[T]) Valid() bool { return s.core.Valid() }
+
+// Typed wraps a type-erased stream; the caller asserts its element type.
+func Typed[T any](c StreamCore) Stream[T] { return Stream[T]{core: c} }
+
+// Pact is a parallelization contract: it decides how batches on an edge are
+// routed between workers.
+type Pact[T any] interface {
+	partitioner(peers int) Partitioner
+}
+
+// Pipeline keeps batches on the worker that produced them.
+type Pipeline[T any] struct{}
+
+func (Pipeline[T]) partitioner(peers int) Partitioner { return nil }
+
+// Exchange routes each record to the worker given by its hash modulo the
+// number of workers.
+type Exchange[T any] struct {
+	Hash func(T) uint64
+}
+
+func (e Exchange[T]) partitioner(peers int) Partitioner {
+	hash := e.Hash
+	if peers == 1 {
+		return func(data any) []any { return []any{data} }
+	}
+	return func(data any) []any {
+		in := data.([]T)
+		out := make([]any, peers)
+		parts := make([][]T, peers)
+		for _, r := range in {
+			p := int(hash(r) % uint64(peers))
+			parts[p] = append(parts[p], r)
+		}
+		for i, p := range parts {
+			if len(p) > 0 {
+				out[i] = p
+			}
+		}
+		return out
+	}
+}
+
+// ExchangeTo routes each record to the worker index returned by To. This is
+// the indirection Megaphone introduces: the routing decision is made by the
+// sender against its routing table rather than by a static hash.
+type ExchangeTo[T any] struct {
+	To func(T) int
+}
+
+func (e ExchangeTo[T]) partitioner(peers int) Partitioner {
+	to := e.To
+	return func(data any) []any {
+		in := data.([]T)
+		out := make([]any, peers)
+		parts := make([][]T, peers)
+		for _, r := range in {
+			p := to(r)
+			parts[p] = append(parts[p], r)
+		}
+		for i, p := range parts {
+			if len(p) > 0 {
+				out[i] = p
+			}
+		}
+		return out
+	}
+}
+
+// Broadcast delivers every batch to every worker.
+type Broadcast[T any] struct{}
+
+func (Broadcast[T]) partitioner(peers int) Partitioner {
+	return func(data any) []any {
+		in := data.([]T)
+		out := make([]any, peers)
+		for i := range out {
+			// Share the slice: batches are immutable after send.
+			out[i] = in
+		}
+		return out
+	}
+}
+
+// Connect attaches stream s to the next input of builder b under pact p,
+// returning the input port index.
+func Connect[T any](b *OpBuilder, s Stream[T], p Pact[T]) int {
+	return b.AddInput(s.core, p.partitioner(b.w.Peers()))
+}
+
+// SendBatch emits a typed batch on output port o at time t.
+func SendBatch[T any](c *OpCtx, o int, t Time, data []T) {
+	if len(data) == 0 {
+		return
+	}
+	c.Send(o, t, data)
+}
+
+// ForEachBatch drains input i, invoking f once per batch with its typed
+// contents.
+func ForEachBatch[T any](c *OpCtx, i int, f func(t Time, data []T)) {
+	c.ForEach(i, func(t Time, data any) { f(t, data.([]T)) })
+}
+
+// Output returns output port o of the built streams as a typed stream.
+func Output[T any](outs []StreamCore, o int) Stream[T] { return Typed[T](outs[o]) }

@@ -1,0 +1,248 @@
+// Package harness drives dataflows the way the paper's evaluation does: an
+// open-loop source supplies input at a specified rate even if the system
+// becomes unresponsive (e.g. during a migration), a prober measures the lag
+// of the output frontier behind each epoch's injection deadline, and
+// per-window latency distributions are collected every reporting interval.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/metrics"
+	"megaphone/internal/plan"
+)
+
+// Options configures an open-loop run. Logical time is the epoch index:
+// epoch e's records are injected at wall time start + e*EpochEvery.
+type Options struct {
+	// Rate is the total offered load in records per second.
+	Rate int
+	// EpochEvery is the epoch granularity (default 1ms): inputs advance
+	// their frontier once per epoch.
+	EpochEvery time.Duration
+	// Duration is the total run length.
+	Duration time.Duration
+	// ReportEvery is the latency timeline window (default 250ms, as in the
+	// paper).
+	ReportEvery time.Duration
+	// SampleMemory enables heap sampling into the memory series.
+	SampleMemory bool
+	// Migrations schedules plans to start at given epochs; each waits for
+	// the previous to complete.
+	Migrations []Migration
+}
+
+// Migration schedules a plan to start at a given epoch.
+type Migration struct {
+	AtEpoch int64
+	Plan    plan.Plan
+}
+
+// Result carries a run's measurements.
+type Result struct {
+	// Timeline is the per-window latency series (max/p99/p50/p25).
+	Timeline *metrics.Timeline
+	// Hist is the per-epoch latency distribution over the whole run.
+	Hist *metrics.Histogram
+	// Memory is the sampled heap size in bytes over time.
+	Memory *metrics.Series
+	// MigrationSpans records, for each scheduled migration, the wall-clock
+	// seconds (relative to run start) at which its plan started and ended
+	// and the maximum latency (ms) observed while it ran.
+	MigrationSpans []Span
+	// Epochs is the number of epochs driven.
+	Epochs int64
+	// Records is the number of records injected.
+	Records int64
+}
+
+// Span is one migration's execution window.
+type Span struct {
+	Start, End float64 // seconds since run start
+	MaxLatency float64 // ms, max observed in [Start, End]
+	Duration   float64 // seconds
+}
+
+// Gen produces worker w's records for epoch e. The harness splits Rate
+// evenly across workers; n is the record budget for this call.
+type Gen[T any] func(w int, epoch int64, n int) []T
+
+// Run drives the execution open-loop and returns its measurements.
+//
+// inputs are the per-worker data handles; ctl is the migration controller
+// (its Tick both paces plans and advances the control epochs); probe
+// observes the dataflow output.
+func Run[T any](
+	exec *dataflow.Execution,
+	inputs []*dataflow.InputHandle[T],
+	ctl *plan.Controller,
+	probe *dataflow.Probe,
+	gen Gen[T],
+	opts Options,
+) Result {
+	if opts.EpochEvery <= 0 {
+		opts.EpochEvery = time.Millisecond
+	}
+	if opts.ReportEvery <= 0 {
+		opts.ReportEvery = 250 * time.Millisecond
+	}
+	totalEpochs := int64(opts.Duration / opts.EpochEvery)
+	perEpoch := int64(float64(opts.Rate) * opts.EpochEvery.Seconds())
+	workers := len(inputs)
+
+	res := Result{
+		Timeline: metrics.NewTimeline(),
+		Hist:     &metrics.Histogram{},
+		Memory:   &metrics.Series{Name: "heap-bytes"},
+	}
+
+	start := time.Now()
+	deadline := func(e int64) time.Time {
+		return start.Add(time.Duration(e) * opts.EpochEvery)
+	}
+
+	// Prober: watch the output frontier; when it passes epoch e, the
+	// latency of e is now - deadline(e).
+	var probeWG sync.WaitGroup
+	stopProbe := make(chan struct{})
+	var mu sync.Mutex
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		lastReported := int64(0) // epochs <= lastReported measured
+		nextFlush := start.Add(opts.ReportEvery)
+		nextMem := start
+		for {
+			now := time.Now()
+			f := probe.Frontier()
+			var passed int64
+			if f == core.None {
+				passed = totalEpochs
+			} else {
+				passed = int64(f) - 1 // epochs strictly below the frontier are complete
+			}
+			if passed > totalEpochs {
+				passed = totalEpochs
+			}
+			for e := lastReported + 1; e <= passed; e++ {
+				lat := now.Sub(deadline(e)).Nanoseconds()
+				mu.Lock()
+				res.Timeline.Record(lat)
+				res.Hist.Record(lat)
+				mu.Unlock()
+			}
+			// The frontier may transiently regress (operators can acquire
+			// earlier capabilities while covered by their input frontier);
+			// completed epochs stay completed.
+			if passed > lastReported {
+				lastReported = passed
+			}
+
+			if !now.Before(nextFlush) {
+				mu.Lock()
+				res.Timeline.Flush(now.Sub(start).Seconds())
+				mu.Unlock()
+				nextFlush = nextFlush.Add(opts.ReportEvery)
+			}
+			if opts.SampleMemory && !now.Before(nextMem) {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				mu.Lock()
+				res.Memory.Add(now.Sub(start).Seconds(), float64(ms.HeapAlloc))
+				mu.Unlock()
+				nextMem = now.Add(100 * time.Millisecond)
+			}
+			select {
+			case <-stopProbe:
+				// Final pass to catch the tail.
+				if lastReported >= totalEpochs {
+					return
+				}
+			default:
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	migIdx := 0
+	type pendingSpan struct{ started bool }
+	var spanStates []pendingSpan
+	for range opts.Migrations {
+		spanStates = append(spanStates, pendingSpan{})
+	}
+
+	// Open-loop injection: epoch e's records go in at deadline(e) — or as
+	// soon as possible if we are running behind, without ever skipping.
+	for e := int64(1); e <= totalEpochs; e++ {
+		if d := time.Until(deadline(e)); d > 0 {
+			time.Sleep(d)
+		}
+		t := core.Time(e)
+		for w := 0; w < workers; w++ {
+			n := int(perEpoch / int64(workers))
+			if int64(w) < perEpoch%int64(workers) {
+				n++
+			}
+			if n > 0 {
+				batch := gen(w, e, n)
+				inputs[w].SendBatchAt(t, batch)
+				res.Records += int64(len(batch))
+			}
+		}
+		if migIdx < len(opts.Migrations) && e >= opts.Migrations[migIdx].AtEpoch && ctl.Idle() {
+			if !spanStates[migIdx].started {
+				ctl.Start(opts.Migrations[migIdx].Plan)
+				spanStates[migIdx].started = true
+			} else {
+				// The plan has completed (controller idle again).
+				s, eEnd, ok := ctl.Span()
+				if ok {
+					res.MigrationSpans = append(res.MigrationSpans, Span{
+						Start: float64(s) * opts.EpochEvery.Seconds(),
+						End:   float64(eEnd) * opts.EpochEvery.Seconds(),
+					})
+				}
+				migIdx++
+			}
+		}
+		ctl.Tick(t)
+		for _, in := range inputs {
+			in.AdvanceTo(t + 1)
+		}
+		res.Epochs = e
+	}
+
+	// Shut down: close inputs, drain, stop measurement.
+	ctl.Close()
+	for _, in := range inputs {
+		in.Close()
+	}
+	exec.Wait()
+	close(stopProbe)
+	probeWG.Wait()
+	mu.Lock()
+	res.Timeline.Flush(time.Since(start).Seconds())
+	mu.Unlock()
+
+	// A plan that completed only while draining is captured here.
+	if migIdx < len(opts.Migrations) && spanStates[migIdx].started {
+		if s, eEnd, ok := ctl.Span(); ok {
+			res.MigrationSpans = append(res.MigrationSpans, Span{
+				Start: float64(s) * opts.EpochEvery.Seconds(),
+				End:   float64(eEnd) * opts.EpochEvery.Seconds(),
+			})
+		}
+	}
+
+	// Fill in migration span latencies.
+	for i := range res.MigrationSpans {
+		sp := &res.MigrationSpans[i]
+		sp.MaxLatency = res.Timeline.MaxOver(sp.Start, sp.End+0.5)
+		sp.Duration = sp.End - sp.Start
+	}
+	return res
+}

@@ -1,0 +1,70 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/harness"
+	"megaphone/internal/operators"
+	"megaphone/internal/plan"
+)
+
+// TestOpenLoopRun drives a trivial dataflow and checks the harness's
+// accounting: epochs driven, records injected at the configured rate, and
+// latencies measured for (nearly) every epoch.
+func TestOpenLoopRun(t *testing.T) {
+	const workers = 2
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var ins []*dataflow.InputHandle[uint64]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, _ := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		h, s := dataflow.NewInput[uint64](w, "in")
+		ins = append(ins, h)
+		doubled := operators.Map(w, "x2", s, func(x uint64) uint64 { return 2 * x })
+		p := dataflow.NewProbe(w, doubled)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+	ctl := plan.NewController(ctlIns, probe)
+
+	opts := harness.Options{
+		Rate:        10_000,
+		EpochEvery:  time.Millisecond,
+		Duration:    500 * time.Millisecond,
+		ReportEvery: 100 * time.Millisecond,
+	}
+	res := harness.Run(exec, ins, ctl, probe,
+		func(w int, epoch int64, n int) []uint64 {
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(epoch)
+			}
+			return out
+		}, opts)
+
+	wantEpochs := int64(opts.Duration / opts.EpochEvery)
+	if res.Epochs != wantEpochs {
+		t.Errorf("epochs = %d, want %d", res.Epochs, wantEpochs)
+	}
+	wantRecords := int64(opts.Rate) * int64(opts.Duration) / int64(time.Second)
+	if res.Records < wantRecords*9/10 || res.Records > wantRecords*11/10 {
+		t.Errorf("records = %d, want ~%d", res.Records, wantRecords)
+	}
+	if res.Hist.Count() != wantEpochs {
+		t.Errorf("latency count = %d, want %d (one per epoch)", res.Hist.Count(), wantEpochs)
+	}
+	if got := len(res.Timeline.Samples()); got < 4 {
+		t.Errorf("timeline samples = %d, want >= 4", got)
+	}
+	// Open loop on an idle system: p50 should be at most a few epochs.
+	if p50 := res.Hist.Quantile(0.5); p50 > (50 * time.Millisecond).Nanoseconds() {
+		t.Errorf("p50 latency %v suspiciously high for trivial dataflow", time.Duration(p50))
+	}
+}

@@ -1,0 +1,109 @@
+package keycount
+
+import (
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/harness"
+	"megaphone/internal/plan"
+)
+
+// RunConfig configures a complete open-loop key-count run.
+type RunConfig struct {
+	Params
+	Workers     int
+	Rate        int           // records per second
+	Duration    time.Duration // total run
+	EpochEvery  time.Duration // epoch granularity (default 1ms)
+	ReportEvery time.Duration
+	// Strategy and Batch configure the migration executed mid-run (at half
+	// of the run, rebalancing 25% of the bins as in Section 5: half the
+	// bins of half the workers move to the other half). MigrateAt <= 0
+	// disables migration.
+	Strategy   plan.Strategy
+	Batch      int
+	MigrateAt  time.Duration
+	MigrateTwo bool // also run the re-balancing second migration
+	Memory     bool
+}
+
+// Run executes the benchmark and returns its measurements.
+func Run(cfg RunConfig) harness.Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.EpochEvery <= 0 {
+		cfg.EpochEvery = time.Millisecond
+	}
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
+	var dataIns []*dataflow.InputHandle[uint64]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+	handles := &Handles{
+		Hash: &core.Handle[uint64, HashState, Out]{},
+		Key:  &core.Handle[uint64, ArrayState, Out]{},
+	}
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, data := dataflow.NewInput[uint64](w, "data")
+		dataIns = append(dataIns, in)
+		out := Build(w, cfg.Params, ctlStream, data, handles)
+		p := dataflow.NewProbe(w, out)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	if cfg.Preload {
+		PreloadAll(cfg.Params, cfg.Workers, handles)
+	}
+	exec.Start()
+
+	ctl := plan.NewController(ctlIns, probe)
+
+	var migrations []harness.Migration
+	if cfg.MigrateAt > 0 {
+		bins := 1 << uint(cfg.LogBins)
+		initial := plan.Initial(bins, cfg.Workers)
+		// First migration: move the keys of half the workers to the other
+		// half (25% of total state), producing an imbalanced assignment.
+		var firstHalf []int
+		for i := 0; i < (cfg.Workers+1)/2; i++ {
+			firstHalf = append(firstHalf, i)
+		}
+		imbalanced := plan.Rebalance(bins, firstHalf)
+		epoch := int64(cfg.MigrateAt / cfg.EpochEvery)
+		migrations = append(migrations, harness.Migration{
+			AtEpoch: epoch,
+			Plan:    plan.Build(cfg.Strategy, initial, imbalanced, cfg.Batch),
+		})
+		if cfg.MigrateTwo {
+			migrations = append(migrations, harness.Migration{
+				AtEpoch: epoch + (int64(cfg.Duration/cfg.EpochEvery)-epoch)/2,
+				Plan:    plan.Build(cfg.Strategy, imbalanced, initial, cfg.Batch),
+			})
+		}
+	}
+
+	domain := uint64(cfg.Domain)
+	gen := func(w int, epoch int64, n int) []uint64 {
+		out := make([]uint64, n)
+		seed := core.Mix64(uint64(epoch)*31 + uint64(w))
+		for i := range out {
+			seed = core.Mix64(seed + uint64(i) + 1)
+			out[i] = seed % domain
+		}
+		return out
+	}
+
+	return harness.Run(exec, dataIns, ctl, probe, gen, harness.Options{
+		Rate:         cfg.Rate,
+		EpochEvery:   cfg.EpochEvery,
+		Duration:     cfg.Duration,
+		ReportEvery:  cfg.ReportEvery,
+		SampleMemory: cfg.Memory,
+		Migrations:   migrations,
+	})
+}

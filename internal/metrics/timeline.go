@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TimelineSample is one reporting window of a latency timeline: the paper's
+// Figures 5-12 plot max, p99, p50 and p25 per 250 ms window.
+type TimelineSample struct {
+	At  float64 // window end, seconds since run start
+	Max float64 // milliseconds
+	P99 float64
+	P50 float64
+	P25 float64
+}
+
+// Timeline accumulates per-window latency distributions.
+type Timeline struct {
+	window  *Histogram
+	samples []TimelineSample
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{window: &Histogram{}}
+}
+
+// Record adds a latency observation (nanoseconds) to the current window.
+func (tl *Timeline) Record(ns int64) { tl.window.Record(ns) }
+
+// Flush closes the current window at time at (seconds) and starts the next.
+// Empty windows produce a zero sample, keeping the time axis regular.
+func (tl *Timeline) Flush(at float64) {
+	h := tl.window
+	ms := func(v int64) float64 { return float64(v) / 1e6 }
+	tl.samples = append(tl.samples, TimelineSample{
+		At:  at,
+		Max: ms(h.Max()),
+		P99: ms(h.Quantile(0.99)),
+		P50: ms(h.Quantile(0.50)),
+		P25: ms(h.Quantile(0.25)),
+	})
+	h.Reset()
+}
+
+// Samples returns the flushed windows.
+func (tl *Timeline) Samples() []TimelineSample { return tl.samples }
+
+// MaxOver returns the maximum latency (ms) over samples with At in [from,
+// to], and the duration of the sub-interval with samples above threshold.
+func (tl *Timeline) MaxOver(from, to float64) float64 {
+	max := 0.0
+	for _, s := range tl.samples {
+		if s.At >= from && s.At <= to && s.Max > max {
+			max = s.Max
+		}
+	}
+	return max
+}
+
+// Fprint writes the timeline as aligned rows: time, max, p99, p50, p25 —
+// the series the paper's latency figures plot.
+func (tl *Timeline) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%10s %12s %12s %12s %12s\n", "time[s]", "max[ms]", "p99[ms]", "p50[ms]", "p25[ms]")
+	for _, s := range tl.samples {
+		fmt.Fprintf(w, "%10.2f %12.3f %12.3f %12.3f %12.3f\n", s.At, s.Max, s.P99, s.P50, s.P25)
+	}
+}
+
+// Series is a generic named time series (e.g. memory over time, Figure 20).
+type Series struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// SeriesPoint is one (time, value) observation.
+type SeriesPoint struct {
+	At    float64
+	Value float64
+}
+
+// Add appends an observation.
+func (s *Series) Add(at, value float64) {
+	s.Points = append(s.Points, SeriesPoint{At: at, Value: value})
+}
+
+// Max returns the maximum value in the series (0 when empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile of the series values.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vals[i] = p.Value
+	}
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	return vals[idx]
+}
+
+// Fprint writes the series as rows.
+func (s *Series) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%10s %14s  # %s\n", "time[s]", "value", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%10.2f %14.3f\n", p.At, p.Value)
+	}
+}

@@ -1,0 +1,95 @@
+package nexmark
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+)
+
+//go:embed q1.go q2.go q3.go q4.go q5.go q6.go q7.go q8.go
+var querySources embed.FS
+
+// LoC reports the lines of code of each query's native and Megaphone
+// implementations, counted between the BEGIN/END markers in the query
+// sources — this regenerates Table 1 of the paper. Blank lines and comment
+// markers are excluded.
+func LoC() (native, megaphone map[string]int, err error) {
+	native = make(map[string]int)
+	megaphone = make(map[string]int)
+	for i := 1; i <= 8; i++ {
+		name := fmt.Sprintf("q%d", i)
+		src, rerr := querySources.ReadFile(name + ".go")
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("nexmark: reading %s.go: %w", name, rerr)
+		}
+		n, m := countMarked(string(src))
+		native[name] = n
+		megaphone[name] = m
+	}
+	// Q4 and Q6 share the closed-auctions stage defined in q4.go; charge
+	// its lines to both, as the paper's per-query counts do.
+	closedN, closedM := countSection(string(mustRead("q4.go")), "CLOSED NATIVE"), countSection(string(mustRead("q4.go")), "CLOSED MEGAPHONE")
+	native["q6"] += closedN
+	megaphone["q6"] += closedM
+	return native, megaphone, nil
+}
+
+func mustRead(name string) []byte {
+	b, err := querySources.ReadFile(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// countMarked counts the code lines in all NATIVE and MEGAPHONE sections of
+// one source file.
+func countMarked(src string) (native, megaphone int) {
+	lines := strings.Split(src, "\n")
+	mode := 0 // 0 none, 1 native, 2 megaphone
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.Contains(trimmed, "// BEGIN") && strings.Contains(trimmed, "NATIVE"):
+			mode = 1
+			continue
+		case strings.Contains(trimmed, "// BEGIN") && strings.Contains(trimmed, "MEGAPHONE"):
+			mode = 2
+			continue
+		case strings.Contains(trimmed, "// END"):
+			mode = 0
+			continue
+		}
+		if mode == 0 || trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		if mode == 1 {
+			native++
+		} else {
+			megaphone++
+		}
+	}
+	return native, megaphone
+}
+
+// countSection counts the code lines of one named marker section.
+func countSection(src, section string) int {
+	lines := strings.Split(src, "\n")
+	in := false
+	n := 0
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.Contains(trimmed, "// BEGIN "+section):
+			in = true
+			continue
+		case strings.Contains(trimmed, "// END "+section):
+			in = false
+			continue
+		}
+		if in && trimmed != "" && !strings.HasPrefix(trimmed, "//") {
+			n++
+		}
+	}
+	return n
+}

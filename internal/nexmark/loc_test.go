@@ -1,0 +1,58 @@
+package nexmark_test
+
+import (
+	"testing"
+
+	"megaphone/internal/nexmark"
+)
+
+// TestLoCTable: every query reports non-trivial line counts for both
+// implementations (Table 1 machinery), and the stateful queries are shorter
+// under Megaphone, as the paper reports.
+func TestLoCTable(t *testing.T) {
+	native, mega, err := nexmark.LoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		q := []string{"", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8"}[i]
+		if native[q] <= 0 || mega[q] <= 0 {
+			t.Errorf("%s: native=%d megaphone=%d (markers missing?)", q, native[q], mega[q])
+		}
+	}
+	for _, q := range []string{"q3", "q4", "q6", "q8"} {
+		if mega[q] >= native[q] {
+			t.Errorf("stateful %s: megaphone %d lines >= native %d; expected shorter", q, mega[q], native[q])
+		}
+	}
+	for _, q := range []string{"q1", "q2"} {
+		if mega[q] <= native[q] {
+			t.Errorf("stateless %s: megaphone %d lines <= native %d; expected slightly longer", q, mega[q], native[q])
+		}
+	}
+}
+
+// TestGenBatchPartitions: workers jointly generate one interleaved global
+// stream with no overlaps or gaps.
+func TestGenBatchPartitions(t *testing.T) {
+	g := nexmark.NewGen(nexmark.GenConfig{})
+	const peers, perEpoch = 4, 100
+	seen := make(map[nexmark.Event]int)
+	for w := 0; w < peers; w++ {
+		batch := g.Batch(w, peers, 3, perEpoch, perEpoch/peers)
+		if len(batch) != perEpoch/peers {
+			t.Fatalf("worker %d batch size %d", w, len(batch))
+		}
+		for _, e := range batch {
+			seen[e]++
+		}
+	}
+	if len(seen) != perEpoch {
+		t.Fatalf("distinct events %d, want %d (overlap between workers)", len(seen), perEpoch)
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("event %+v generated %d times", e, c)
+		}
+	}
+}

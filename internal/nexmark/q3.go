@@ -1,0 +1,92 @@
+package nexmark
+
+import (
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+// Q3 — LOCAL ITEM SUGGESTION. Incremental join of people in Oregon, Idaho
+// or California with auctions in a category, keyed by person id = seller.
+// The join state (both relations) grows without bound as the computation
+// runs (Figure 7).
+
+// Q3Out is one join result.
+type Q3Out struct {
+	Name    string
+	City    string
+	State   string
+	Auction uint64
+}
+
+// q3State is the per-key join state: the person (if seen) and the auctions
+// awaiting them.
+type q3State struct {
+	Persons  map[uint64]Person
+	Auctions map[uint64][]Auction
+}
+
+func q3Wanted(state string) bool { return state == "OR" || state == "ID" || state == "CA" }
+
+func newQ3State() *q3State {
+	return &q3State{Persons: make(map[uint64]Person), Auctions: make(map[uint64][]Auction)}
+}
+
+// q3Apply is the shared join logic over one Either record.
+func q3Apply(e core.Either[Person, Auction], s *q3State, emit func(Q3Out)) {
+	if !e.IsRight {
+		p := e.Left
+		if _, dup := s.Persons[p.ID]; dup {
+			return
+		}
+		s.Persons[p.ID] = p
+		for _, a := range s.Auctions[p.ID] {
+			emit(Q3Out{Name: p.Name, City: p.City, State: p.State, Auction: a.ID})
+		}
+	} else {
+		a := e.Right
+		if p, ok := s.Persons[a.Seller]; ok {
+			emit(Q3Out{Name: p.Name, City: p.City, State: p.State, Auction: a.ID})
+		}
+		s.Auctions[a.Seller] = append(s.Auctions[a.Seller], a)
+	}
+}
+
+// BuildQ3 builds query 3 under the chosen implementation.
+func BuildQ3(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], events dataflow.Stream[Event]) dataflow.Stream[Q3Out] {
+	p.defaults()
+	people := operators.Filter(w, "q3-people", Persons(w, "q3-persons", events),
+		func(pe Person) bool { return q3Wanted(pe.State) })
+	auctions := operators.Filter(w, "q3-auctions", Auctions(w, "q3-auction-src", events),
+		func(a Auction) bool { return a.Category == p.Category })
+
+	if p.Impl == Native {
+		// BEGIN Q3 NATIVE
+		merged := mergeNative(w, "q3-merge", people, auctions)
+		return operators.UnaryNotify(w, "q3-join", merged,
+			dataflow.Exchange[core.Either[Person, Auction]]{Hash: func(e core.Either[Person, Auction]) uint64 {
+				if e.IsRight {
+					return core.Mix64(e.Right.Seller)
+				}
+				return core.Mix64(e.Left.ID)
+			}},
+			newQ3State,
+			func(t Time, data []core.Either[Person, Auction], s *q3State, emit func(Q3Out)) {
+				for _, e := range data {
+					q3Apply(e, s, emit)
+				}
+			})
+		// END Q3 NATIVE
+	}
+	// BEGIN Q3 MEGAPHONE
+	return core.Binary(w,
+		core.Config{Name: "q3", LogBins: p.LogBins, Transfer: p.Transfer},
+		ctl, people, auctions,
+		func(pe Person) uint64 { return core.Mix64(pe.ID) },
+		func(a Auction) uint64 { return core.Mix64(a.Seller) },
+		newQ3State,
+		func(t Time, e core.Either[Person, Auction], s *q3State, _ *core.Notificator[core.Either[Person, Auction], q3State, Q3Out], emit func(Q3Out)) {
+			q3Apply(e, s, emit)
+		}, nil)
+	// END Q3 MEGAPHONE
+}

@@ -1,0 +1,67 @@
+package nexmark
+
+import (
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+// Q6 — AVERAGE SELLING PRICE BY SELLER. Report the average closing price of
+// the last ten auctions of each seller. Shares the closed-auctions stage
+// with Q4; the per-seller ring of prices grows with the set of sellers
+// (Figure 10).
+
+// Q6Out is one seller's updated average.
+type Q6Out struct {
+	Seller  uint64
+	Average uint64
+}
+
+// q6Ring is the last-ten price ring of one seller.
+type q6Ring struct {
+	Prices [10]uint64
+	Len    int
+	Next   int
+}
+
+func (r *q6Ring) push(p uint64) uint64 {
+	r.Prices[r.Next] = p
+	r.Next = (r.Next + 1) % len(r.Prices)
+	if r.Len < len(r.Prices) {
+		r.Len++
+	}
+	var sum uint64
+	for i := 0; i < r.Len; i++ {
+		sum += r.Prices[i]
+	}
+	return sum / uint64(r.Len)
+}
+
+// BuildQ6 builds query 6 under the chosen implementation.
+func BuildQ6(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], events dataflow.Stream[Event]) dataflow.Stream[Q6Out] {
+	p.defaults()
+	if p.Impl == Native {
+		// BEGIN Q6 NATIVE
+		closed := closedAuctionsNative(w, "q6-closed", events)
+		pairs := operators.Map(w, "q6-kv", closed, func(ca ClosedAuction) operators.KV[uint64, uint64] {
+			return operators.KV[uint64, uint64]{Key: ca.Seller, Val: ca.Price}
+		})
+		return operators.StateMachine(w, "q6-avg", pairs, core.Mix64,
+			func(k uint64, price uint64, r *q6Ring, emit func(Q6Out)) {
+				emit(Q6Out{Seller: k, Average: r.push(price)})
+			})
+		// END Q6 NATIVE
+	}
+	// BEGIN Q6 MEGAPHONE
+	closed := closedAuctionsMegaphone(w, "q6-closed", p, ctl, events)
+	pairs := operators.Map(w, "q6-kv", closed, func(ca ClosedAuction) core.KV[uint64, uint64] {
+		return core.KV[uint64, uint64]{Key: ca.Seller, Val: ca.Price}
+	})
+	return core.StateMachine(w,
+		core.Config{Name: "q6-avg", LogBins: p.LogBins, Transfer: p.Transfer},
+		ctl, pairs, core.Mix64,
+		func(k uint64, price uint64, r *q6Ring, emit func(Q6Out)) {
+			emit(Q6Out{Seller: k, Average: r.push(price)})
+		}, nil)
+	// END Q6 MEGAPHONE
+}

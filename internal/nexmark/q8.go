@@ -1,0 +1,98 @@
+package nexmark
+
+import (
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/operators"
+)
+
+// Q8 — MONITOR NEW USERS. A windowed join between people who registered
+// within the last window and auctions they opened as sellers. With the
+// paper's twelve-hour windows this query can accumulate a massive amount of
+// state; once reached, the peak size is maintained as old entries expire
+// (Figure 12).
+
+// Q8Out is one new seller detected.
+type Q8Out struct {
+	Person  uint64
+	Name    string
+	Auction uint64
+}
+
+// q8State maps recently registered person ids to their registration.
+type q8State struct {
+	Since map[uint64]Person
+}
+
+func newQ8State() *q8State { return &q8State{Since: make(map[uint64]Person)} }
+
+// BuildQ8 builds query 8 under the chosen implementation.
+func BuildQ8(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], events dataflow.Stream[Event]) dataflow.Stream[Q8Out] {
+	p.defaults()
+	people := Persons(w, "q8-people", events)
+	auctions := Auctions(w, "q8-auctions", events)
+	window := p.WindowEpochs
+
+	if p.Impl == Native {
+		// BEGIN Q8 NATIVE
+		type wheel struct {
+			q8State
+			expiring map[Time][]uint64
+		}
+		merged := mergeNative(w, "q8-merge", people, auctions)
+		return operators.UnaryScheduled(w, "q8-join", merged,
+			dataflow.Exchange[core.Either[Person, Auction]]{Hash: func(e core.Either[Person, Auction]) uint64 {
+				if e.IsRight {
+					return core.Mix64(e.Right.Seller)
+				}
+				return core.Mix64(e.Left.ID)
+			}},
+			func() *wheel {
+				return &wheel{q8State: *newQ8State(), expiring: make(map[Time][]uint64)}
+			},
+			func(t Time, data []core.Either[Person, Auction], s *wheel, schedule func(Time), emit func(Q8Out)) {
+				for _, e := range data {
+					if !e.IsRight {
+						pe := e.Left
+						s.Since[pe.ID] = pe
+						s.expiring[t+window] = append(s.expiring[t+window], pe.ID)
+						schedule(t + window)
+					} else if pe, ok := s.Since[e.Right.Seller]; ok {
+						emit(Q8Out{Person: pe.ID, Name: pe.Name, Auction: e.Right.ID})
+					}
+				}
+				for _, id := range s.expiring[t] {
+					if pe, ok := s.Since[id]; ok && pe.DateTime+window <= t {
+						delete(s.Since, id)
+					}
+				}
+				delete(s.expiring, t)
+			})
+		// END Q8 NATIVE
+	}
+	// BEGIN Q8 MEGAPHONE
+	return core.Binary(w,
+		core.Config{Name: "q8", LogBins: p.LogBins, Transfer: p.Transfer},
+		ctl, people, auctions,
+		func(pe Person) uint64 { return core.Mix64(pe.ID) },
+		func(a Auction) uint64 { return core.Mix64(a.Seller) },
+		newQ8State,
+		func(t Time, e core.Either[Person, Auction], s *q8State,
+			n *core.Notificator[core.Either[Person, Auction], q8State, Q8Out], emit func(Q8Out)) {
+			if !e.IsRight {
+				pe := e.Left
+				if pe.Name == "" {
+					// Expiry marker: drop the registration if not renewed.
+					if old, ok := s.Since[pe.ID]; ok && old.DateTime+window <= t {
+						delete(s.Since, pe.ID)
+					}
+					return
+				}
+				s.Since[pe.ID] = pe
+				n.NotifyAt(t+window, core.Left[Person, Auction](Person{ID: pe.ID}))
+			} else if pe, ok := s.Since[e.Right.Seller]; ok {
+				emit(Q8Out{Person: pe.ID, Name: pe.Name, Auction: e.Right.ID})
+			}
+		}, nil)
+	// END Q8 MEGAPHONE
+}

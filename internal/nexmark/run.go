@@ -1,0 +1,92 @@
+package nexmark
+
+import (
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/harness"
+	"megaphone/internal/plan"
+)
+
+// RunConfig configures a complete open-loop NEXMark run.
+type RunConfig struct {
+	Query       string
+	Params      Params
+	Gen         GenConfig
+	Workers     int
+	Rate        int
+	Duration    time.Duration
+	EpochEvery  time.Duration
+	ReportEvery time.Duration
+	// Strategy/Batch/MigrateAt schedule the paper's two migrations: first
+	// to an imbalanced assignment, then back (Section 5: "we initially
+	// migrate half of the keys on half of the workers to the other half
+	// ... then perform and report a second migration back").
+	Strategy  plan.Strategy
+	Batch     int
+	MigrateAt time.Duration
+	Memory    bool
+}
+
+// Run executes the query open-loop and returns its measurements.
+func Run(cfg RunConfig) harness.Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.EpochEvery <= 0 {
+		cfg.EpochEvery = time.Millisecond
+	}
+	cfg.Params.defaults()
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
+	var dataIns []*dataflow.InputHandle[Event]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, events := dataflow.NewInput[Event](w, "events")
+		dataIns = append(dataIns, in)
+		p := BuildQuery(w, cfg.Query, cfg.Params, ctlStream, events)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+
+	ctl := plan.NewController(ctlIns, probe)
+
+	var migrations []harness.Migration
+	if cfg.MigrateAt > 0 {
+		bins := 1 << uint(cfg.Params.LogBins)
+		initial := plan.Initial(bins, cfg.Workers)
+		var firstHalf []int
+		for i := 0; i < (cfg.Workers+1)/2; i++ {
+			firstHalf = append(firstHalf, i)
+		}
+		imbalanced := plan.Rebalance(bins, firstHalf)
+		epoch := int64(cfg.MigrateAt / cfg.EpochEvery)
+		total := int64(cfg.Duration / cfg.EpochEvery)
+		migrations = append(migrations,
+			harness.Migration{AtEpoch: epoch, Plan: plan.Build(cfg.Strategy, initial, imbalanced, cfg.Batch)},
+			harness.Migration{AtEpoch: epoch + (total-epoch)/2, Plan: plan.Build(cfg.Strategy, imbalanced, initial, cfg.Batch)},
+		)
+	}
+
+	gen := NewGen(cfg.Gen)
+	perEpoch := int(float64(cfg.Rate) * cfg.EpochEvery.Seconds())
+	peers := cfg.Workers
+	genFn := func(w int, epoch int64, n int) []Event {
+		return gen.Batch(w, peers, Time(epoch), perEpoch, n)
+	}
+
+	return harness.Run(exec, dataIns, ctl, probe, genFn, harness.Options{
+		Rate:         cfg.Rate,
+		EpochEvery:   cfg.EpochEvery,
+		Duration:     cfg.Duration,
+		ReportEvery:  cfg.ReportEvery,
+		SampleMemory: cfg.Memory,
+		Migrations:   migrations,
+	})
+}

@@ -1,0 +1,183 @@
+// Package plan builds and drives migration plans: the all-at-once, fluid,
+// and batched strategies of Section 3.3 of the Megaphone paper, plus the
+// Section 4.4 optimizations (bipartite-matching step grouping and inter-step
+// gaps). A Controller feeds the resulting command sequence into a
+// megaphone control stream, pacing each step on the completion of the
+// previous one as observed through a probe.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"megaphone/internal/core"
+)
+
+// Strategy selects how a reconfiguration is revealed to the dataflow.
+type Strategy int
+
+const (
+	// AllAtOnce supplies every changed bin at one common timestamp — the
+	// partial pause-and-resume behaviour of existing systems.
+	AllAtOnce Strategy = iota
+	// Fluid migrates one bin at a time, awaiting completion in between.
+	Fluid
+	// Batched migrates fixed-size groups of bins, awaiting completion
+	// between groups: the latency/duration compromise.
+	Batched
+	// Optimized is Batched plus bipartite matching (steps whose moves have
+	// pairwise distinct source and destination workers, so no worker
+	// serializes two transfers in one step) and an idle gap after each step
+	// to drain enqueued records before the next one begins.
+	Optimized
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case AllAtOnce:
+		return "all-at-once"
+	case Fluid:
+		return "fluid"
+	case Batched:
+		return "batched"
+	case Optimized:
+		return "optimized"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Assignment maps every bin to its worker.
+type Assignment []int
+
+// Initial returns the default round-robin assignment of bins to peers.
+func Initial(bins, peers int) Assignment {
+	a := make(Assignment, bins)
+	for b := range a {
+		a[b] = core.InitialWorker(b, peers)
+	}
+	return a
+}
+
+// Rebalance returns the assignment that round-robins bins across the given
+// worker subset (e.g. half the workers, for the paper's imbalance step).
+func Rebalance(bins int, workers []int) Assignment {
+	a := make(Assignment, bins)
+	for b := range a {
+		a[b] = workers[b%len(workers)]
+	}
+	return a
+}
+
+// Diff returns the moves that turn assignment from into to.
+func Diff(from, to Assignment) []core.Move {
+	var moves []core.Move
+	for b := range from {
+		if from[b] != to[b] {
+			moves = append(moves, core.Move{Bin: b, Worker: to[b]})
+		}
+	}
+	return moves
+}
+
+// Step is one pacing unit of a plan: a set of moves issued at a common
+// timestamp, optionally followed by an idle gap awaited before the next
+// step.
+type Step struct {
+	Moves []core.Move
+	Gap   bool // await one extra completed epoch after this step
+}
+
+// Plan is an ordered sequence of steps. Steps are issued one at a time; each
+// waits for the previous one's timestamp to clear the output frontier.
+type Plan struct {
+	Strategy Strategy
+	Steps    []Step
+}
+
+// Build renders the moves from one assignment to another into a plan under
+// the given strategy. batch is the step size for Batched/Optimized (ignored
+// otherwise; Fluid uses 1, AllAtOnce uses everything).
+func Build(strategy Strategy, from, to Assignment, batch int) Plan {
+	moves := Diff(from, to)
+	p := Plan{Strategy: strategy}
+	switch strategy {
+	case AllAtOnce:
+		if len(moves) > 0 {
+			p.Steps = []Step{{Moves: moves}}
+		}
+	case Fluid:
+		for _, m := range moves {
+			p.Steps = append(p.Steps, Step{Moves: []core.Move{m}})
+		}
+	case Batched:
+		if batch <= 0 {
+			batch = 16
+		}
+		for len(moves) > 0 {
+			n := batch
+			if n > len(moves) {
+				n = len(moves)
+			}
+			p.Steps = append(p.Steps, Step{Moves: moves[:n]})
+			moves = moves[n:]
+		}
+	case Optimized:
+		if batch <= 0 {
+			batch = 16
+		}
+		for _, group := range matchSteps(from, moves, batch) {
+			p.Steps = append(p.Steps, Step{Moves: group, Gap: true})
+		}
+	default:
+		panic("plan: unknown strategy")
+	}
+	return p
+}
+
+// matchSteps greedily edge-colours the bipartite multigraph whose edges are
+// moves from source worker to destination worker: each resulting group uses
+// every worker at most once as a source and at most once as a destination,
+// so no worker serializes two transfers within a step. Groups are then
+// capped at the batch size.
+func matchSteps(from Assignment, moves []core.Move, batch int) [][]core.Move {
+	remaining := make([]core.Move, len(moves))
+	copy(remaining, moves)
+	// Deterministic order: heaviest-contention sources first.
+	sort.SliceStable(remaining, func(i, j int) bool {
+		if from[remaining[i].Bin] != from[remaining[j].Bin] {
+			return from[remaining[i].Bin] < from[remaining[j].Bin]
+		}
+		return remaining[i].Bin < remaining[j].Bin
+	})
+	var groups [][]core.Move
+	for len(remaining) > 0 {
+		usedSrc := make(map[int]bool)
+		usedDst := make(map[int]bool)
+		var group []core.Move
+		var rest []core.Move
+		for _, m := range remaining {
+			src := from[m.Bin]
+			if len(group) < batch && !usedSrc[src] && !usedDst[m.Worker] {
+				usedSrc[src] = true
+				usedDst[m.Worker] = true
+				group = append(group, m)
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		groups = append(groups, group)
+		remaining = rest
+	}
+	return groups
+}
+
+// NumMoves returns the total number of moves in the plan.
+func (p Plan) NumMoves() int {
+	n := 0
+	for _, s := range p.Steps {
+		n += len(s.Moves)
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"fmt"
+
+	"megaphone/internal/core"
+)
+
+// PrefixTable is the Section 4.4 alternative to flat binning: a
+// longest-prefix-match routing table over the key-hash space, as in Internet
+// routing tables. Instead of a fixed power-of-two array of bins, routes are
+// (prefix, length) pairs; a key follows the longest matching prefix of its
+// hash. Prefixes can be split into two children (refining migration
+// granularity where state is hot) and sibling routes merged back, which is
+// exactly the run-time re-binning the paper's binning cannot do.
+//
+// PrefixTable is a planning-side structure: it compiles to per-bin
+// assignments at a chosen granularity, so plans built from it drive the
+// unmodified core operators.
+type PrefixTable struct {
+	routes map[prefix]int // prefix -> worker
+}
+
+// prefix is the top Len bits of a hash, stored left-aligned in Bits.
+type prefix struct {
+	Bits uint64
+	Len  int
+}
+
+// NewPrefixTable returns a table with a single default route (the empty
+// prefix) to worker 0.
+func NewPrefixTable() *PrefixTable {
+	return &PrefixTable{routes: map[prefix]int{{0, 0}: 0}}
+}
+
+// Lookup returns the worker owning hash under longest-prefix match.
+func (t *PrefixTable) Lookup(hash uint64) int {
+	for l := 64; l >= 0; l-- {
+		p := prefix{Bits: topBits(hash, l), Len: l}
+		if w, ok := t.routes[p]; ok {
+			return w
+		}
+	}
+	panic("plan: prefix table has no default route")
+}
+
+func topBits(hash uint64, l int) uint64 {
+	if l == 0 {
+		return 0
+	}
+	return hash >> (64 - uint(l)) << (64 - uint(l))
+}
+
+// Insert installs a route for the top `length` bits of hash.
+func (t *PrefixTable) Insert(hash uint64, length, worker int) {
+	if length < 0 || length > 64 {
+		panic(fmt.Sprintf("plan: prefix length %d out of range", length))
+	}
+	t.routes[prefix{Bits: topBits(hash, length), Len: length}] = worker
+}
+
+// Split refines the route at (hash, length) into its two children, assigning
+// the given workers to the 0- and 1-extension respectively. It reports
+// whether a route existed to split.
+func (t *PrefixTable) Split(hash uint64, length, worker0, worker1 int) bool {
+	p := prefix{Bits: topBits(hash, length), Len: length}
+	if _, ok := t.routes[p]; !ok {
+		return false
+	}
+	if length >= 64 {
+		return false
+	}
+	delete(t.routes, p)
+	child0 := prefix{Bits: p.Bits, Len: length + 1}
+	child1 := prefix{Bits: p.Bits | 1<<(63-uint(length)), Len: length + 1}
+	t.routes[child0] = worker0
+	t.routes[child1] = worker1
+	return true
+}
+
+// Merge collapses the two children of (hash, length) back into one route to
+// worker. It reports whether both children existed.
+func (t *PrefixTable) Merge(hash uint64, length, worker int) bool {
+	if length >= 64 {
+		return false
+	}
+	bits := topBits(hash, length)
+	child0 := prefix{Bits: bits, Len: length + 1}
+	child1 := prefix{Bits: bits | 1<<(63-uint(length)), Len: length + 1}
+	_, ok0 := t.routes[child0]
+	_, ok1 := t.routes[child1]
+	if !ok0 || !ok1 {
+		return false
+	}
+	delete(t.routes, child0)
+	delete(t.routes, child1)
+	t.routes[prefix{Bits: bits, Len: length}] = worker
+	return true
+}
+
+// Len returns the number of installed routes.
+func (t *PrefixTable) Len() int { return len(t.routes) }
+
+// Compile renders the table as a per-bin assignment at 2^logBins
+// granularity, so that plans built from prefix routes can drive the core
+// operators' flat bins.
+func (t *PrefixTable) Compile(logBins int) Assignment {
+	bins := 1 << uint(logBins)
+	a := make(Assignment, bins)
+	for b := 0; b < bins; b++ {
+		hash := uint64(b) << (64 - uint(logBins))
+		a[b] = t.Lookup(hash)
+	}
+	return a
+}
+
+// MovesTo returns the moves that reconfigure a compiled assignment `from`
+// into this table's routing at the same granularity.
+func (t *PrefixTable) MovesTo(from Assignment, logBins int) []core.Move {
+	return Diff(from, t.Compile(logBins))
+}

@@ -1,0 +1,173 @@
+// Package progress implements timely-dataflow progress tracking: it counts
+// outstanding pointstamps (logical timestamps on messages in flight and on
+// capabilities held by operators) at every location of a dataflow graph and
+// derives, for every operator input port, a frontier — a lower bound on the
+// timestamps that may still arrive there (Definition 1 of the Megaphone
+// paper).
+//
+// The paper's setting runs Naiad's distributed progress protocol across
+// processes. This reproduction executes all workers in one process, so the
+// tracker is a single shared structure updated atomically under a mutex:
+// each worker applies the counts for the messages it consumed together with
+// the counts for the messages and capability changes that consumption
+// produced. Atomic batches preserve the protocol's safety property (a
+// frontier never advances past a live pointstamp) and liveness property
+// (frontiers advance once counts drain), which are the only properties the
+// layers above rely on. See DESIGN.md, "Substitutions".
+package progress
+
+import "fmt"
+
+// Node identifies an operator in the dataflow graph summary.
+type Node int
+
+// Edge identifies a channel between an operator output port and an operator
+// input port.
+type Edge int
+
+// Port pairs a node with one of its port indexes.
+type Port struct {
+	Node Node
+	Port int
+}
+
+// Location is a place where pointstamps accumulate: either an edge (messages
+// queued or in flight) or an operator output port (capabilities held by the
+// operator to produce future output).
+type Location int
+
+type edgeInfo struct {
+	src Port // output port of the producing node
+	dst Port // input port of the consuming node
+}
+
+type nodeInfo struct {
+	inputs  int
+	outputs int
+	name    string
+}
+
+// GraphBuilder assembles the static summary of a dataflow graph: its nodes,
+// their port counts, and the edges between ports. Build freezes the graph
+// and returns a Tracker.
+type GraphBuilder struct {
+	nodes []nodeInfo
+	edges []edgeInfo
+}
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{}
+}
+
+// AddNode declares an operator with the given number of input and output
+// ports and returns its identifier.
+func (b *GraphBuilder) AddNode(name string, inputs, outputs int) Node {
+	b.nodes = append(b.nodes, nodeInfo{inputs: inputs, outputs: outputs, name: name})
+	return Node(len(b.nodes) - 1)
+}
+
+// AddEdge declares a channel from src to dst and returns its identifier.
+func (b *GraphBuilder) AddEdge(src, dst Port) Edge {
+	b.validatePort(src, false)
+	b.validatePort(dst, true)
+	b.edges = append(b.edges, edgeInfo{src: src, dst: dst})
+	return Edge(len(b.edges) - 1)
+}
+
+func (b *GraphBuilder) validatePort(p Port, input bool) {
+	if int(p.Node) < 0 || int(p.Node) >= len(b.nodes) {
+		panic(fmt.Sprintf("progress: node %d out of range", p.Node))
+	}
+	n := b.nodes[p.Node]
+	limit := n.outputs
+	if input {
+		limit = n.inputs
+	}
+	if p.Port < 0 || p.Port >= limit {
+		panic(fmt.Sprintf("progress: port %d out of range for node %q", p.Port, n.name))
+	}
+}
+
+// locations lays out the location index space: first all edges, then all
+// (node, output-port) capability locations.
+func (b *GraphBuilder) locations() (edgeLoc func(Edge) Location, capLoc func(Port) Location, total int) {
+	capBase := len(b.edges)
+	capOffset := make([]int, len(b.nodes))
+	off := 0
+	for i, n := range b.nodes {
+		capOffset[i] = off
+		off += n.outputs
+	}
+	total = capBase + off
+	edgeLoc = func(e Edge) Location { return Location(e) }
+	capLoc = func(p Port) Location { return Location(capBase + capOffset[p.Node] + p.Port) }
+	return edgeLoc, capLoc, total
+}
+
+// reachability computes, for every node input port, the set of locations
+// whose pointstamps could still result in a message arriving at that port.
+// An operator is summarized conservatively: every input port can produce
+// output on every output port without advancing the timestamp, which is
+// exact for all operators in this repository (the dataflows are acyclic and
+// no operator advances timestamps).
+func (b *GraphBuilder) reachability() map[Port][]Location {
+	edgeLoc, capLoc, _ := b.locations()
+
+	// outEdges[src] lists edges leaving an output port.
+	outEdges := make(map[Port][]Edge)
+	for i, e := range b.edges {
+		outEdges[e.src] = append(outEdges[e.src], Edge(i))
+	}
+
+	result := make(map[Port][]Location)
+	for ni, n := range b.nodes {
+		for ip := 0; ip < n.inputs; ip++ {
+			target := Port{Node: Node(ni), Port: ip}
+			result[target] = b.upstream(target, outEdges, edgeLoc, capLoc)
+		}
+	}
+	return result
+}
+
+// upstream performs a reverse traversal from the target input port,
+// collecting every edge and capability location that can reach it.
+func (b *GraphBuilder) upstream(target Port, outEdges map[Port][]Edge, edgeLoc func(Edge) Location, capLoc func(Port) Location) []Location {
+	var locs []Location
+	seenLoc := make(map[Location]bool)
+	addLoc := func(l Location) {
+		if !seenLoc[l] {
+			seenLoc[l] = true
+			locs = append(locs, l)
+		}
+	}
+	seenEdge := make(map[Edge]bool)
+	seenInput := make(map[Port]bool)
+
+	// Worklist of input ports whose incoming edges must be explored.
+	work := []Port{target}
+	seenInput[target] = true
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for i, e := range b.edges {
+			if e.dst != in || seenEdge[Edge(i)] {
+				continue
+			}
+			seenEdge[Edge(i)] = true
+			addLoc(edgeLoc(Edge(i)))
+			// The producing output port's capability can reach us.
+			addLoc(capLoc(e.src))
+			// Every input of the producing node can reach its outputs.
+			srcNode := b.nodes[e.src.Node]
+			for ip := 0; ip < srcNode.inputs; ip++ {
+				p := Port{Node: e.src.Node, Port: ip}
+				if !seenInput[p] {
+					seenInput[p] = true
+					work = append(work, p)
+				}
+			}
+		}
+	}
+	return locs
+}

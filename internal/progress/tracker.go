@@ -1,0 +1,211 @@
+package progress
+
+import (
+	"fmt"
+	"sync"
+
+	"megaphone/internal/timestamp"
+)
+
+// Time is the logical timestamp used on the runtime's hot path. The runtime
+// is specialized to totally ordered Scalar times (all Megaphone evaluation
+// workloads use integer event times); the general partially ordered frontier
+// machinery lives in internal/timestamp.
+type Time = timestamp.Scalar
+
+// None is the frontier value of a completed port: no timestamps can arrive.
+const None = timestamp.MaxScalar
+
+// CountDelta records a change to the pointstamp count at a location.
+type CountDelta struct {
+	Loc   Location
+	Time  Time
+	Delta int
+}
+
+// Batch is a set of count changes applied atomically. A worker step bundles
+// the -1s for messages it consumed with the +1s for the messages and
+// capability changes that consumption produced, so no observer can see the
+// consumption without its consequences.
+type Batch struct {
+	Deltas []CountDelta
+}
+
+// Add appends a delta to the batch.
+func (b *Batch) Add(loc Location, t Time, delta int) {
+	b.Deltas = append(b.Deltas, CountDelta{Loc: loc, Time: t, Delta: delta})
+}
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.Deltas = b.Deltas[:0] }
+
+// multiset tracks occurrence counts of totally ordered times with a cached
+// minimum.
+type multiset struct {
+	counts map[Time]int
+	min    Time // cached minimum; None when empty
+}
+
+func (m *multiset) update(t Time, delta int) {
+	c := m.counts[t] + delta
+	switch {
+	case c < 0:
+		panic(fmt.Sprintf("progress: count for time %v went negative", t))
+	case c == 0:
+		delete(m.counts, t)
+		if t == m.min {
+			m.rescan()
+		}
+	default:
+		m.counts[t] = c
+		if t < m.min {
+			m.min = t
+		}
+	}
+}
+
+func (m *multiset) rescan() {
+	m.min = None
+	for t := range m.counts {
+		if t < m.min {
+			m.min = t
+		}
+	}
+}
+
+// Tracker holds the live pointstamp counts for a frozen dataflow graph and
+// answers frontier queries per input port. All methods are safe for
+// concurrent use by multiple workers.
+type Tracker struct {
+	mu        sync.Mutex
+	locs      []multiset
+	upstream  map[Port][]Location
+	edgeLoc   func(Edge) Location
+	capLoc    func(Port) Location
+	nonEmpty  int    // number of locations with live pointstamps
+	version   uint64 // bumped by every effective Apply
+	waiters   []chan struct{}
+	nodeNames []string
+}
+
+// Build freezes the graph and returns its tracker.
+func (b *GraphBuilder) Build() *Tracker {
+	edgeLoc, capLoc, total := b.locations()
+	t := &Tracker{
+		locs:     make([]multiset, total),
+		upstream: b.reachability(),
+		edgeLoc:  edgeLoc,
+		capLoc:   capLoc,
+	}
+	for i := range t.locs {
+		t.locs[i] = multiset{counts: make(map[Time]int), min: None}
+	}
+	for _, n := range b.nodes {
+		t.nodeNames = append(t.nodeNames, n.name)
+	}
+	return t
+}
+
+// EdgeLocation returns the location of an edge.
+func (t *Tracker) EdgeLocation(e Edge) Location { return t.edgeLoc(e) }
+
+// CapLocation returns the capability location of a node output port.
+func (t *Tracker) CapLocation(p Port) Location { return t.capLoc(p) }
+
+// Apply atomically applies a batch of count changes and wakes any frontier
+// waiters.
+func (t *Tracker) Apply(b *Batch) {
+	if len(b.Deltas) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, d := range b.Deltas {
+		ms := &t.locs[d.Loc]
+		wasEmpty := len(ms.counts) == 0
+		ms.update(d.Time, d.Delta)
+		isEmpty := len(ms.counts) == 0
+		if wasEmpty && !isEmpty {
+			t.nonEmpty++
+		} else if !wasEmpty && isEmpty {
+			t.nonEmpty--
+		}
+	}
+	t.version++
+	waiters := t.waiters
+	t.waiters = nil
+	t.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// Frontier returns the least timestamp that may still arrive at the given
+// node input port, or None if no more messages can arrive there.
+func (t *Tracker) Frontier(p Port) Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.frontierLocked(p)
+}
+
+func (t *Tracker) frontierLocked(p Port) Time {
+	min := None
+	for _, loc := range t.upstream[p] {
+		if m := t.locs[loc].min; m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Frontiers returns the frontier of every input port of node n, for a node
+// with the given number of inputs.
+func (t *Tracker) Frontiers(n Node, inputs int, out []Time) []Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out = out[:0]
+	for i := 0; i < inputs; i++ {
+		out = append(out, t.frontierLocked(Port{Node: n, Port: i}))
+	}
+	return out
+}
+
+// Idle reports whether no pointstamps remain anywhere in the graph, i.e. the
+// computation has completed.
+func (t *Tracker) Idle() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nonEmpty == 0
+}
+
+// Version returns a counter bumped on every effective Apply. Workers use it
+// to detect progress changes that raced with their scheduling pass.
+func (t *Tracker) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Dump renders the live pointstamps for debugging: every location with
+// counts, labelled edge/cap with its index.
+func (t *Tracker) Dump() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := ""
+	for i, m := range t.locs {
+		if len(m.counts) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("loc %d: %v\n", i, m.counts)
+	}
+	return s
+}
+
+// WaitChan returns a channel closed at the next count change; callers use it
+// to park until progress is possible.
+func (t *Tracker) WaitChan() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := make(chan struct{})
+	t.waiters = append(t.waiters, w)
+	return w
+}

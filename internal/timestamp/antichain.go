@@ -1,0 +1,160 @@
+package timestamp
+
+// Antichain is a set of mutually incomparable timestamps, used to represent
+// a frontier (Definition 1): no element is strictly greater than another,
+// and all future message timestamps are in advance of some element.
+//
+// The zero value is an empty antichain, which represents the frontier of a
+// completed computation (no timestamps can arrive).
+type Antichain[T Timestamp[T]] struct {
+	elements []T
+}
+
+// NewAntichain returns an antichain containing the minimal elements of ts.
+func NewAntichain[T Timestamp[T]](ts ...T) *Antichain[T] {
+	a := &Antichain[T]{}
+	for _, t := range ts {
+		a.Insert(t)
+	}
+	return a
+}
+
+// Insert adds t to the antichain if no existing element is less than or
+// equal to t, removing any elements that t is strictly less than. It
+// reports whether t was inserted.
+func (a *Antichain[T]) Insert(t T) bool {
+	for _, e := range a.elements {
+		if e.LessEqual(t) {
+			return false
+		}
+	}
+	keep := a.elements[:0]
+	for _, e := range a.elements {
+		if !t.LessEqual(e) {
+			keep = append(keep, e)
+		}
+	}
+	a.elements = append(keep, t)
+	return true
+}
+
+// LessEqual reports whether some element of the antichain is less than or
+// equal to t; that is, whether t is in advance of the frontier.
+func (a *Antichain[T]) LessEqual(t T) bool {
+	for _, e := range a.elements {
+		if e.LessEqual(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LessThan reports whether some element of the antichain is strictly less
+// than t.
+func (a *Antichain[T]) LessThan(t T) bool {
+	for _, e := range a.elements {
+		if e.LessEqual(t) && e != t {
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns the antichain's elements. The returned slice aliases the
+// antichain's storage and must not be modified.
+func (a *Antichain[T]) Elements() []T { return a.elements }
+
+// Len returns the number of elements in the antichain.
+func (a *Antichain[T]) Len() int { return len(a.elements) }
+
+// Empty reports whether the antichain has no elements.
+func (a *Antichain[T]) Empty() bool { return len(a.elements) == 0 }
+
+// Clear removes all elements.
+func (a *Antichain[T]) Clear() { a.elements = a.elements[:0] }
+
+// Equal reports whether a and b contain the same elements (as sets).
+func (a *Antichain[T]) Equal(b *Antichain[T]) bool {
+	if len(a.elements) != len(b.elements) {
+		return false
+	}
+	for _, e := range a.elements {
+		found := false
+		for _, f := range b.elements {
+			if e == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the antichain.
+func (a *Antichain[T]) Clone() *Antichain[T] {
+	c := &Antichain[T]{elements: make([]T, len(a.elements))}
+	copy(c.elements, a.elements)
+	return c
+}
+
+// MutableAntichain tracks a multiset of timestamps under count updates and
+// maintains the antichain of minimal elements with positive accumulated
+// count. This is the data structure behind frontier computation: pointstamp
+// occurrence counts change as messages are produced and consumed, and the
+// frontier is the set of minimal still-occupied timestamps.
+type MutableAntichain[T Timestamp[T]] struct {
+	counts   map[T]int
+	frontier Antichain[T]
+	dirty    bool
+}
+
+// NewMutableAntichain returns an empty mutable antichain.
+func NewMutableAntichain[T Timestamp[T]]() *MutableAntichain[T] {
+	return &MutableAntichain[T]{counts: make(map[T]int)}
+}
+
+// Update adds delta to the occurrence count of t and reports whether the
+// frontier may have changed. Counts may transiently accumulate to zero;
+// entries at zero are dropped.
+func (m *MutableAntichain[T]) Update(t T, delta int) bool {
+	if delta == 0 {
+		return false
+	}
+	c := m.counts[t] + delta
+	if c < 0 {
+		panic("timestamp: occurrence count went negative")
+	}
+	if c == 0 {
+		delete(m.counts, t)
+	} else {
+		m.counts[t] = c
+	}
+	m.dirty = true
+	return true
+}
+
+// Frontier returns the antichain of minimal timestamps with positive count.
+func (m *MutableAntichain[T]) Frontier() *Antichain[T] {
+	if m.dirty {
+		m.frontier.Clear()
+		for t := range m.counts {
+			m.frontier.Insert(t)
+		}
+		m.dirty = false
+	}
+	return &m.frontier
+}
+
+// LessThan reports whether some still-occupied timestamp is strictly less
+// than t.
+func (m *MutableAntichain[T]) LessThan(t T) bool { return m.Frontier().LessThan(t) }
+
+// LessEqual reports whether some still-occupied timestamp is less than or
+// equal to t.
+func (m *MutableAntichain[T]) LessEqual(t T) bool { return m.Frontier().LessEqual(t) }
+
+// Empty reports whether no timestamps are occupied.
+func (m *MutableAntichain[T]) Empty() bool { return len(m.counts) == 0 }

@@ -1,0 +1,180 @@
+package timestamp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestScalarOrderLaws checks the total-order laws with testing/quick.
+func TestScalarOrderLaws(t *testing.T) {
+	reflexive := func(a uint64) bool { return Scalar(a).LessEqual(Scalar(a)) }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+	antisymmetric := func(a, b uint64) bool {
+		x, y := Scalar(a), Scalar(b)
+		if x.LessEqual(y) && y.LessEqual(x) {
+			return x == y
+		}
+		return true
+	}
+	if err := quick.Check(antisymmetric, nil); err != nil {
+		t.Error(err)
+	}
+	total := func(a, b uint64) bool {
+		x, y := Scalar(a), Scalar(b)
+		return x.LessEqual(y) || y.LessEqual(x)
+	}
+	if err := quick.Check(total, nil); err != nil {
+		t.Error(err)
+	}
+	joinIsMax := func(a, b uint64) bool {
+		x, y := Scalar(a), Scalar(b)
+		j := x.Join(y)
+		return x.LessEqual(j) && y.LessEqual(j) && (j == x || j == y)
+	}
+	if err := quick.Check(joinIsMax, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProductLatticeLaws checks the partial-order and lattice laws of
+// Product with testing/quick.
+func TestProductLatticeLaws(t *testing.T) {
+	mk := func(a, b uint16) Product { return Product{Scalar(a), Scalar(b)} }
+	bound := func(a, b, c, d uint16) bool {
+		x, y := mk(a, b), mk(c, d)
+		j, m := x.Join(y), x.Meet(y)
+		return x.LessEqual(j) && y.LessEqual(j) && m.LessEqual(x) && m.LessEqual(y)
+	}
+	if err := quick.Check(bound, nil); err != nil {
+		t.Error(err)
+	}
+	transitive := func(a, b, c, d, e, f uint16) bool {
+		x, y, z := mk(a, b), mk(c, d), mk(e, f)
+		if x.LessEqual(y) && y.LessEqual(z) {
+			return x.LessEqual(z)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Error(err)
+	}
+	// Incomparability exists: (1,0) and (0,1).
+	if mk(1, 0).LessEqual(mk(0, 1)) || mk(0, 1).LessEqual(mk(1, 0)) {
+		t.Error("products (1,0) and (0,1) should be incomparable")
+	}
+}
+
+// TestAntichainInvariant checks that after arbitrary insertions no element
+// of the antichain is less-or-equal another.
+func TestAntichainInvariant(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		a := NewAntichain[Product]()
+		for i := 0; i+1 < len(raw); i += 2 {
+			a.Insert(Product{Scalar(raw[i] % 16), Scalar(raw[i+1] % 16)})
+		}
+		el := a.Elements()
+		for i := range el {
+			for j := range el {
+				if i != j && el[i].LessEqual(el[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAntichainDominates: after inserting a set, every inserted element is
+// in advance of the antichain.
+func TestAntichainDominates(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		a := NewAntichain[Product]()
+		var all []Product
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := Product{Scalar(raw[i] % 16), Scalar(raw[i+1] % 16)}
+			all = append(all, p)
+			a.Insert(p)
+		}
+		for _, p := range all {
+			if !a.LessEqual(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAntichainInsertSemantics covers insert/replace cases explicitly.
+func TestAntichainInsertSemantics(t *testing.T) {
+	a := NewAntichain[Product]()
+	if !a.Insert(Product{2, 2}) {
+		t.Fatal("insert into empty failed")
+	}
+	if a.Insert(Product{3, 3}) {
+		t.Fatal("dominated element inserted")
+	}
+	if !a.Insert(Product{1, 3}) {
+		t.Fatal("incomparable element rejected")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d, want 2", a.Len())
+	}
+	if !a.Insert(Product{0, 0}) {
+		t.Fatal("dominating element rejected")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("after dominating insert len = %d, want 1", a.Len())
+	}
+}
+
+// TestMutableAntichainFrontier compares the incremental frontier against a
+// from-scratch recomputation under random count updates.
+func TestMutableAntichainFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMutableAntichain[Scalar]()
+	counts := make(map[Scalar]int)
+	for step := 0; step < 5000; step++ {
+		tm := Scalar(rng.Intn(32))
+		delta := 1
+		if counts[tm] > 0 && rng.Intn(2) == 0 {
+			delta = -1
+		}
+		counts[tm] += delta
+		if counts[tm] == 0 {
+			delete(counts, tm)
+		}
+		m.Update(tm, delta)
+
+		want := NewAntichain[Scalar]()
+		for tt := range counts {
+			want.Insert(tt)
+		}
+		if !m.Frontier().Equal(want) {
+			t.Fatalf("step %d: frontier %v, want %v", step, m.Frontier().Elements(), want.Elements())
+		}
+	}
+}
+
+// TestInAdvanceOf checks Definition 2 against examples from the paper.
+func TestInAdvanceOf(t *testing.T) {
+	// "a time 6 is in advance of 5"
+	if !InAdvanceOf(Scalar(6), []Scalar{5}) {
+		t.Error("6 should be in advance of frontier {5}")
+	}
+	if InAdvanceOf(Scalar(4), []Scalar{5}) {
+		t.Error("4 should not be in advance of frontier {5}")
+	}
+	// Empty frontier: nothing is in advance of it.
+	if InAdvanceOf(Scalar(4), nil) {
+		t.Error("nothing is in advance of the empty frontier")
+	}
+}
