@@ -285,14 +285,16 @@ func BenchmarkFigure20(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationCodec — gob serialization vs direct pointer handoff for
-// migrated bins (DESIGN.md ablation: the cost Megaphone pays to model
-// cross-process state movement).
-func BenchmarkAblationCodec(b *testing.B) {
+// BenchmarkMigrationAblationCodec — end-to-end migration latency per
+// transfer codec: gob (reflective baseline) vs the hand-rolled binary
+// codec vs direct pointer handoff (the in-process lower bound — the cost
+// Megaphone pays to model cross-process state movement). The per-bin
+// encode+decode micro-benchmark is keycount.BenchmarkMigrationCodec.
+func BenchmarkMigrationAblationCodec(b *testing.B) {
 	for _, tr := range []struct {
 		name string
-		t    core.Transfer
-	}{{"gob", core.TransferGob}, {"direct", core.TransferDirect}} {
+		t    core.Codec
+	}{{"gob", core.TransferGob}, {"binary", core.TransferBinary}, {"direct", core.TransferDirect}} {
 		b.Run(tr.name, func(b *testing.B) {
 			runKeycount(b, keycount.RunConfig{
 				Params: keycount.Params{

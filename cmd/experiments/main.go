@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"megaphone/internal/core"
 	"megaphone/internal/harness"
 	"megaphone/internal/keycount"
 	"megaphone/internal/nexmark"
@@ -24,22 +25,31 @@ import (
 )
 
 type config struct {
-	workers int
-	quick   bool
+	workers  int
+	quick    bool
+	transfer core.Codec
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig1, fig5..fig20, or all")
-		workers = flag.Int("workers", 4, "number of workers")
-		quick   = flag.Bool("quick", false, "shrink durations for a fast pass")
+		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig5..fig20, codec, or all")
+		workers  = flag.Int("workers", 4, "number of workers")
+		quick    = flag.Bool("quick", false, "shrink durations for a fast pass")
+		transfer = flag.String("transfer", "gob",
+			fmt.Sprintf("migration codec for every experiment: %s", strings.Join(core.CodecNames(), ", ")))
 	)
 	flag.Parse()
-	c := config{workers: *workers, quick: *quick}
+	codec, err := core.CodecByName(*transfer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := config{workers: *workers, quick: *quick, transfer: codec}
 
 	all := map[string]func(config){
 		"table1": table1,
 		"fig1":   fig1,
+		"codec":  codecExp,
 		"fig5":   func(c config) { statelessFig(c, "fig5", "q1") },
 		"fig6":   func(c config) { statelessFig(c, "fig6", "q2") },
 		"fig7":   func(c config) { queryFig(c, "fig7", "q3", true) },
@@ -82,9 +92,49 @@ func orderKey(n string) int {
 	if n == "table1" {
 		return 0
 	}
+	if n == "codec" {
+		return 999 // the codec ablation runs after the paper's figures
+	}
 	var x int
 	fmt.Sscanf(n, "fig%d", &x)
 	return x
+}
+
+// codecExp — migration latency per transfer codec: the cost model of
+// Section 3.4 made visible. Direct pointer handoff bounds what any codec
+// could achieve; gob is the reflective baseline; binary is the hand-rolled
+// fast path. Runs all registered codecs regardless of -transfer.
+func codecExp(c config) {
+	header("codec", "migration latency per state-transfer codec (all-at-once, key-count)")
+	fmt.Printf("%-10s %12s %14s %12s\n", "codec", "duration[s]", "max-latency[ms]", "p99[ms]")
+	for _, name := range core.CodecNames() {
+		codec, err := core.CodecByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant:  keycount.HashCount,
+				LogBins:  8,
+				Domain:   1 << 21,
+				Transfer: codec,
+				Preload:  true,
+			},
+			Workers:   c.workers,
+			Rate:      200_000,
+			Duration:  c.dur(8 * time.Second),
+			Strategy:  plan.AllAtOnce,
+			MigrateAt: c.dur(4 * time.Second),
+		})
+		if len(res.MigrationSpans) > 0 {
+			sp := res.MigrationSpans[0]
+			fmt.Printf("%-10s %12.3f %14.2f %12.2f\n", name,
+				sp.Duration, sp.MaxLatency, float64(res.Hist.Quantile(0.99))/1e6)
+		} else {
+			fmt.Printf("%-10s %12s %14s %12s\n", name, "-", "-", "-")
+		}
+	}
 }
 
 func header(name, what string) {
@@ -130,10 +180,11 @@ func fig1(c config) {
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Optimized} {
 		res := keycount.Run(keycount.RunConfig{
 			Params: keycount.Params{
-				Variant: keycount.HashCount,
-				LogBins: 8,
-				Domain:  1 << 21,
-				Preload: true,
+				Variant:  keycount.HashCount,
+				LogBins:  8,
+				Domain:   1 << 21,
+				Transfer: c.transfer,
+				Preload:  true,
 			},
 			Workers:   c.workers,
 			Rate:      200_000,
@@ -153,7 +204,7 @@ func statelessFig(c config, name, q string) {
 	header(name, "NEXMark "+q+" (stateless): reconfigurations cause no spike")
 	res := nexmark.Run(nexmark.RunConfig{
 		Query:     q,
-		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8},
+		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8, Transfer: c.transfer},
 		Workers:   c.workers,
 		Rate:      200_000,
 		Duration:  c.dur(9 * time.Second),
@@ -171,7 +222,7 @@ func queryFig(c config, name, q string, withNative bool) {
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Batched} {
 		res := nexmark.Run(nexmark.RunConfig{
 			Query:     q,
-			Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8},
+			Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8, Transfer: c.transfer},
 			Workers:   c.workers,
 			Rate:      200_000,
 			Duration:  c.dur(12 * time.Second),
@@ -207,10 +258,11 @@ func overheadFig(c config, name string, v keycount.Variant, domain int64) {
 	run := func(label string, variant keycount.Variant, bins int) {
 		res := keycount.Run(keycount.RunConfig{
 			Params: keycount.Params{
-				Variant: variant,
-				LogBins: bins,
-				Domain:  domain,
-				Preload: true,
+				Variant:  variant,
+				LogBins:  bins,
+				Domain:   domain,
+				Transfer: c.transfer,
+				Preload:  true,
 			},
 			Workers:  c.workers,
 			Rate:     200_000,
@@ -236,10 +288,11 @@ func overheadFig(c config, name string, v keycount.Variant, domain int64) {
 func sweepRow(c config, st plan.Strategy, logBins int, domain int64, rate int, label string) {
 	res := keycount.Run(keycount.RunConfig{
 		Params: keycount.Params{
-			Variant: keycount.HashCount,
-			LogBins: logBins,
-			Domain:  domain,
-			Preload: true,
+			Variant:  keycount.HashCount,
+			LogBins:  logBins,
+			Domain:   domain,
+			Transfer: c.transfer,
+			Preload:  true,
 		},
 		Workers:   c.workers,
 		Rate:      rate,
@@ -326,10 +379,11 @@ func fig19(c config) {
 		for _, r := range rates {
 			cfg := keycount.RunConfig{
 				Params: keycount.Params{
-					Variant: keycount.HashCount,
-					LogBins: 8,
-					Domain:  1 << 21,
-					Preload: true,
+					Variant:  keycount.HashCount,
+					LogBins:  8,
+					Domain:   1 << 21,
+					Transfer: c.transfer,
+					Preload:  true,
 				},
 				Workers:  c.workers,
 				Rate:     r,
@@ -353,10 +407,11 @@ func fig20(c config) {
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
 		res := keycount.Run(keycount.RunConfig{
 			Params: keycount.Params{
-				Variant: keycount.HashCount,
-				LogBins: 8,
-				Domain:  1 << 22,
-				Preload: true,
+				Variant:  keycount.HashCount,
+				LogBins:  8,
+				Domain:   1 << 22,
+				Transfer: c.transfer,
+				Preload:  true,
 			},
 			Workers:    c.workers,
 			Rate:       200_000,

@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"megaphone/internal/core"
 	"megaphone/internal/keycount"
 	"megaphone/internal/plan"
 )
@@ -29,8 +31,15 @@ func main() {
 		ccdf      = flag.Bool("ccdf", false, "print per-record latency CCDF")
 		memory    = flag.Bool("memory", false, "print heap series")
 		preload   = flag.Bool("preload", true, "pre-create per-bin state")
+		transfer  = flag.String("transfer", "gob",
+			"migration codec: "+strings.Join(core.CodecNames(), ", "))
 	)
 	flag.Parse()
+	codec, err := core.CodecByName(*transfer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var v keycount.Variant
 	switch *variant {
@@ -54,10 +63,11 @@ func main() {
 
 	res := keycount.Run(keycount.RunConfig{
 		Params: keycount.Params{
-			Variant: v,
-			LogBins: *bins,
-			Domain:  *domain,
-			Preload: *preload,
+			Variant:  v,
+			LogBins:  *bins,
+			Domain:   *domain,
+			Transfer: codec,
+			Preload:  *preload,
 		},
 		Workers:    *workers,
 		Rate:       *rate,

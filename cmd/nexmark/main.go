@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"megaphone/internal/core"
 	"megaphone/internal/nexmark"
 	"megaphone/internal/plan"
 )
@@ -30,10 +32,17 @@ func main() {
 		batch     = flag.Int("batch", 16, "bins per step for batched/optimized")
 		migrateAt = flag.Duration("migrate-at", 4*time.Second, "when to start the first migration (0 disables)")
 		window    = flag.Uint64("window", 60, "window epochs for q5/q7/q8 (time dilation)")
+		transfer  = flag.String("transfer", "gob",
+			"migration codec: "+strings.Join(core.CodecNames(), ", "))
 	)
 	flag.Parse()
 
 	st, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	codec, err := core.CodecByName(*transfer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -48,6 +57,7 @@ func main() {
 		Params: nexmark.Params{
 			Impl:         im,
 			LogBins:      *bins,
+			Transfer:     codec,
 			WindowEpochs: nexmark.Time(*window),
 		},
 		Workers:  *workers,

@@ -1,0 +1,3 @@
+module megaphone
+
+go 1.24

@@ -34,7 +34,10 @@ type BinState[R, S any] struct {
 	Pending []TimedRec[R] // heap-ordered by Time
 }
 
-func (b *BinState[R, S]) pushPending(t Time, r R) {
+// PushPending schedules r at time t in the bin's pending heap. Operator
+// logic schedules through the Notificator; this is exposed for tests and
+// benchmarks that build bins directly.
+func (b *BinState[R, S]) PushPending(t Time, r R) {
 	h := recHeap[R](b.Pending)
 	heap.Push(&h, TimedRec[R]{Time: t, Rec: r})
 	b.Pending = h

@@ -4,53 +4,447 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
+	"sync"
+
+	"megaphone/internal/binenc"
 )
 
-// StateMsg is a migration message: the state of one bin in flight from its
-// old owner to its new owner, timestamped with the configuration command's
-// logical time.
+// StateMsg is a migration message: one chunk of a bin's state in flight
+// from its old owner to its new owner, timestamped with the configuration
+// command's logical time. Oversized bins are split into bounded-size chunks
+// (Config.ChunkBytes) so a single large bin never produces one giant
+// message; the receiver reassembles chunks in (Seq, Last) order, which the
+// exchange channel preserves.
 type StateMsg struct {
 	Bin   int
 	To    int    // destination worker (drives the exchange)
-	Bytes []byte // serialized BinState (nil in direct mode)
+	Seq   int    // chunk index within the bin's payload
+	Last  bool   // final chunk of this bin
+	Bytes []byte // chunk of the codec-serialized BinState (nil in direct mode)
 	Dir   any    // *BinState[R,S] transferred by pointer in direct mode
 }
 
-// Transfer selects how bin state crosses workers during migration.
-type Transfer int
+// DefaultChunkBytes bounds the payload of one StateMsg unless overridden by
+// Config.ChunkBytes: large enough to amortize per-message overhead, small
+// enough that migrating one huge bin does not materialize it as a single
+// allocation in the channel.
+const DefaultChunkBytes = 256 << 10
 
-const (
-	// TransferGob serializes bins with encoding/gob, paying a marshalling
-	// and copy cost proportional to state size — this models the paper's
-	// cross-process migrations and is the default.
-	TransferGob Transfer = iota
-	// TransferDirect hands the bin over by pointer. It is only sound inside
-	// one process and exists as the ablation baseline for the codec cost.
-	TransferDirect
-)
+// Codec serializes bins for migration. A codec is installed per operator
+// via Config.Transfer; every worker of an execution shares the same codec
+// value, so implementations must be safe for concurrent use.
+//
+// Codecs see bins through the type-erased Migratable view rather than the
+// generic *BinState[R, S], which lets them live behind a plain interface
+// value in Config. The built-in codecs are TransferGob (encoding/gob,
+// universal), TransferBinary (hand-rolled varint/fixed-width encoding via
+// the BinaryState/BinaryRec contracts, with gob fallback per bin), and
+// TransferDirect (pointer handoff, in-process only).
+type Codec interface {
+	// Name identifies the codec in flags, benchmarks, and experiment output.
+	Name() string
+	// EncodeBin appends bin's serialized form to buf and returns the
+	// extended slice (buf may be nil).
+	EncodeBin(bin Migratable, buf []byte) ([]byte, error)
+	// DecodeBin reconstructs bin from a payload produced by EncodeBin. The
+	// bin is freshly allocated by the receiving operator (state from
+	// NewState, no pending records); DecodeBin replaces its contents.
+	DecodeBin(bin Migratable, data []byte) error
+}
 
-// encodeBin serializes a bin for migration.
-func encodeBin[R, S any](b *BinState[R, S]) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
+// Transfer is the former name of Codec, kept for existing call sites.
+type Transfer = Codec
+
+// DirectTransfer is implemented by codecs that move bins by pointer instead
+// of serializing them. Only sound inside one process; exists as the
+// ablation baseline for the codec cost.
+type DirectTransfer interface {
+	Codec
+	// Direct reports that bins are handed over without serialization.
+	Direct() bool
+}
+
+// Migratable is the codec-facing, type-erased view of one bin
+// (*BinState[R, S] implements it). Gob methods always work; the binary
+// methods report ok=false when the state or pending-record types do not
+// satisfy the BinaryState/BinaryRec contracts, letting codecs fall back.
+type Migratable interface {
+	// AppendGob appends the encoding/gob serialization (state, then
+	// pending records) to buf.
+	AppendGob(buf []byte) ([]byte, error)
+	// DecodeGob replaces the bin's contents from an AppendGob payload.
+	DecodeGob(data []byte) error
+	// AppendBinary appends the hand-rolled binary serialization to buf, or
+	// returns (buf, false) when the types do not support it.
+	AppendBinary(buf []byte) ([]byte, bool)
+	// DecodeBinary replaces the bin's contents from an AppendBinary
+	// payload, or returns (false, nil) when the types do not support it.
+	DecodeBinary(data []byte) (bool, error)
+}
+
+// BinaryState is the contract a workload's per-bin state type implements
+// (on its pointer receiver) to opt into the TransferBinary fast path.
+// Implementations encode with the internal/binenc helpers; see
+// keycount.HashState or nexmark's query states for worked examples.
+type BinaryState interface {
+	// AppendBinaryState appends the state's encoding to buf.
+	AppendBinaryState(buf []byte) []byte
+	// DecodeBinaryState replaces the receiver's contents from the front of
+	// data and returns the unread remainder.
+	DecodeBinaryState(data []byte) ([]byte, error)
+}
+
+// BinaryRec is the same contract for a workload's record type R, required
+// only when bins can carry pending post-dated records at migration time
+// (operators that use the Notificator). Implement it on the pointer
+// receiver so DecodeBinaryRec can fill the record in place.
+type BinaryRec interface {
+	// AppendBinaryRec appends the record's encoding to buf.
+	AppendBinaryRec(buf []byte) []byte
+	// DecodeBinaryRec replaces the receiver's contents from the front of
+	// data and returns the unread remainder.
+	DecodeBinaryRec(data []byte) ([]byte, error)
+}
+
+// binaryCapable is an optional refinement of BinaryState/BinaryRec for
+// generic types (MapState, Either) whose support depends on their type
+// parameters: the interface methods exist at every instantiation, but only
+// some instantiations can actually encode.
+type binaryCapable interface{ BinaryCapable() bool }
+
+// capable reports whether v (a BinaryState or BinaryRec value) can really
+// encode, consulting BinaryCapable when present.
+func capable(v any) bool {
+	if c, ok := v.(binaryCapable); ok {
+		return c.BinaryCapable()
+	}
+	return true
+}
+
+// recBinaryCapable reports whether *R satisfies BinaryRec and is capable.
+func recBinaryCapable[R any]() bool {
+	var r R
+	br, ok := any(&r).(BinaryRec)
+	return ok && capable(br)
+}
+
+// --- Migratable implementation on BinState ---
+
+// AppendGob appends the gob serialization of the bin: state, then pending.
+func (b *BinState[R, S]) AppendGob(buf []byte) ([]byte, error) {
+	w := bytes.NewBuffer(buf)
+	enc := gob.NewEncoder(w)
 	if err := enc.Encode(b.State); err != nil {
 		return nil, fmt.Errorf("megaphone: encoding bin state: %w", err)
 	}
 	if err := enc.Encode(b.Pending); err != nil {
 		return nil, fmt.Errorf("megaphone: encoding pending records: %w", err)
 	}
-	return buf.Bytes(), nil
+	return w.Bytes(), nil
 }
 
-// decodeBin reconstructs a bin from its migration payload.
-func decodeBin[R, S any](data []byte) (*BinState[R, S], error) {
+// DecodeGob replaces the bin's contents from an AppendGob payload.
+func (b *BinState[R, S]) DecodeGob(data []byte) error {
 	dec := gob.NewDecoder(bytes.NewReader(data))
-	b := &BinState[R, S]{State: new(S)}
+	if b.State == nil {
+		b.State = new(S)
+	}
 	if err := dec.Decode(b.State); err != nil {
-		return nil, fmt.Errorf("megaphone: decoding bin state: %w", err)
+		return fmt.Errorf("megaphone: decoding bin state: %w", err)
 	}
+	b.Pending = nil
 	if err := dec.Decode(&b.Pending); err != nil {
-		return nil, fmt.Errorf("megaphone: decoding pending records: %w", err)
+		return fmt.Errorf("megaphone: decoding pending records: %w", err)
 	}
-	return b, nil
+	return nil
+}
+
+// AppendBinary appends the hand-rolled serialization of the bin: the
+// state's BinaryState encoding, then the pending records (count, then
+// time/record pairs in heap order). ok is false when S does not implement
+// BinaryState, or when pending records exist and R does not implement
+// BinaryRec.
+func (b *BinState[R, S]) AppendBinary(buf []byte) ([]byte, bool) {
+	bs, ok := any(b.State).(BinaryState)
+	if !ok || !capable(bs) {
+		return buf, false
+	}
+	if len(b.Pending) > 0 && !recBinaryCapable[R]() {
+		return buf, false
+	}
+	buf = bs.AppendBinaryState(buf)
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Pending)))
+	for i := range b.Pending {
+		buf = binenc.AppendUvarint(buf, uint64(b.Pending[i].Time))
+		buf = any(&b.Pending[i].Rec).(BinaryRec).AppendBinaryRec(buf)
+	}
+	return buf, true
+}
+
+// DecodeBinary replaces the bin's contents from an AppendBinary payload.
+// The pending records are appended in the order they were encoded, which is
+// the sender's heap order — a valid heap layout, so heap operations resume
+// without re-heapifying.
+func (b *BinState[R, S]) DecodeBinary(data []byte) (bool, error) {
+	if b.State == nil {
+		b.State = new(S)
+	}
+	bs, ok := any(b.State).(BinaryState)
+	if !ok || !capable(bs) {
+		return false, nil
+	}
+	data, err := bs.DecodeBinaryState(data)
+	if err != nil {
+		return true, fmt.Errorf("megaphone: decoding bin state: %w", err)
+	}
+	n, data, err := binenc.Count(data, 2) // every pending record is >= 2 bytes
+	if err != nil {
+		return true, fmt.Errorf("megaphone: decoding pending count: %w", err)
+	}
+	if n == 0 {
+		b.Pending = nil
+		return true, nil
+	}
+	if !recBinaryCapable[R]() {
+		return false, nil
+	}
+	pending := make([]TimedRec[R], n)
+	for i := range pending {
+		var t uint64
+		t, data, err = binenc.Uvarint(data)
+		if err != nil {
+			return true, fmt.Errorf("megaphone: decoding pending time: %w", err)
+		}
+		pending[i].Time = Time(t)
+		data, err = any(&pending[i].Rec).(BinaryRec).DecodeBinaryRec(data)
+		if err != nil {
+			return true, fmt.Errorf("megaphone: decoding pending record: %w", err)
+		}
+	}
+	b.Pending = pending
+	return true, nil
+}
+
+// --- Built-in codecs ---
+
+// GobCodec serializes bins with encoding/gob, paying a marshalling and
+// reflection cost proportional to state size — this models the paper's
+// cross-process migrations and is the default.
+type GobCodec struct{}
+
+// Name implements Codec.
+func (GobCodec) Name() string { return "gob" }
+
+// EncodeBin implements Codec.
+func (GobCodec) EncodeBin(bin Migratable, buf []byte) ([]byte, error) {
+	return bin.AppendGob(buf)
+}
+
+// DecodeBin implements Codec.
+func (GobCodec) DecodeBin(bin Migratable, data []byte) error {
+	return bin.DecodeGob(data)
+}
+
+// Payload format tags of BinaryCodec: the first byte of every payload
+// records which encoding produced the rest, so bins whose types lack
+// BinaryState support can fall back to gob per bin without ambiguity.
+const (
+	binFormatGob    = 0x00
+	binFormatBinary = 0x01
+)
+
+// BinaryCodec serializes bins with the hand-rolled varint/fixed-width
+// encoding defined by the BinaryState and BinaryRec contracts, avoiding
+// gob's reflection and type-description overhead on the migration hot path.
+// Bins whose state type does not implement BinaryState (or whose pending
+// records cannot be encoded) fall back to gob, recorded in a one-byte
+// format tag at the head of the payload.
+type BinaryCodec struct{}
+
+// Name implements Codec.
+func (BinaryCodec) Name() string { return "binary" }
+
+// EncodeBin implements Codec.
+func (BinaryCodec) EncodeBin(bin Migratable, buf []byte) ([]byte, error) {
+	if out, ok := bin.AppendBinary(append(buf, binFormatBinary)); ok {
+		return out, nil
+	}
+	return bin.AppendGob(append(buf, binFormatGob))
+}
+
+// DecodeBin implements Codec.
+func (BinaryCodec) DecodeBin(bin Migratable, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("megaphone: empty binary-codec payload")
+	}
+	switch data[0] {
+	case binFormatBinary:
+		ok, err := bin.DecodeBinary(data[1:])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("megaphone: binary payload for a bin type without BinaryState support")
+		}
+		return nil
+	case binFormatGob:
+		return bin.DecodeGob(data[1:])
+	default:
+		return fmt.Errorf("megaphone: unknown binary-codec format tag %#x", data[0])
+	}
+}
+
+// DirectCodec hands the bin over by pointer. It is only sound inside one
+// process and exists as the ablation baseline for the codec cost.
+type DirectCodec struct{}
+
+// Name implements Codec.
+func (DirectCodec) Name() string { return "direct" }
+
+// Direct implements DirectTransfer.
+func (DirectCodec) Direct() bool { return true }
+
+// EncodeBin implements Codec; direct transfer never serializes.
+func (DirectCodec) EncodeBin(Migratable, []byte) ([]byte, error) {
+	return nil, fmt.Errorf("megaphone: direct transfer does not serialize")
+}
+
+// DecodeBin implements Codec; direct transfer never serializes.
+func (DirectCodec) DecodeBin(Migratable, []byte) error {
+	return fmt.Errorf("megaphone: direct transfer does not serialize")
+}
+
+// The built-in transfer codecs, usable directly in Config.Transfer.
+var (
+	TransferGob    Codec = GobCodec{}
+	TransferDirect Codec = DirectCodec{}
+	TransferBinary Codec = BinaryCodec{}
+)
+
+// isDirect reports whether codec moves bins by pointer.
+func isDirect(codec Codec) bool {
+	d, ok := codec.(DirectTransfer)
+	return ok && d.Direct()
+}
+
+// --- Codec registry ---
+
+var (
+	codecMu  sync.RWMutex
+	codecReg = map[string]Codec{
+		TransferGob.Name():    TransferGob,
+		TransferDirect.Name(): TransferDirect,
+		TransferBinary.Name(): TransferBinary,
+	}
+)
+
+// RegisterCodec makes a codec selectable by name (e.g. from the
+// experiments driver's -transfer flag). Registering a name twice panics.
+func RegisterCodec(c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecReg[c.Name()]; dup {
+		panic(fmt.Sprintf("megaphone: codec %q already registered", c.Name()))
+	}
+	codecReg[c.Name()] = c
+}
+
+// CodecByName resolves a registered codec.
+func CodecByName(name string) (Codec, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecReg[name]
+	if !ok {
+		return nil, fmt.Errorf("megaphone: unknown transfer codec %q (have %v)", name, codecNamesLocked())
+	}
+	return c, nil
+}
+
+// CodecNames lists the registered codec names, sorted.
+func CodecNames() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	return codecNamesLocked()
+}
+
+func codecNamesLocked() []string {
+	names := make([]string, 0, len(codecReg))
+	for n := range codecReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- Chunking ---
+
+// appendChunks splits payload into at most chunk-sized StateMsgs for bin,
+// sharing payload's backing array (no copies). chunk <= 0 disables
+// splitting. An empty payload still produces one (Last) message so the
+// receiver installs the bin.
+func appendChunks(msgs []StateMsg, bin, to int, payload []byte, chunk int) []StateMsg {
+	if chunk <= 0 || len(payload) <= chunk {
+		return append(msgs, StateMsg{Bin: bin, To: to, Bytes: payload, Last: true})
+	}
+	for off, seq := 0, 0; off < len(payload); off, seq = off+chunk, seq+1 {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		msgs = append(msgs, StateMsg{
+			Bin:   bin,
+			To:    to,
+			Seq:   seq,
+			Last:  end == len(payload),
+			Bytes: payload[off:end],
+		})
+	}
+	return msgs
+}
+
+// chunkAssembler reassembles chunked bin payloads on the receiving worker.
+// Chunks of one bin arrive in order on the exchange channel; a payload is
+// complete when its Last chunk arrives. Each chunk's Seq is checked
+// against the expected next index, so a violation of the channel's
+// ordering guarantee fails loudly instead of silently reassembling a
+// corrupt payload.
+type chunkAssembler struct {
+	partial map[int]*partialBin // bin -> accumulation in progress
+}
+
+type partialBin struct {
+	buf  []byte
+	next int // expected Seq of the next chunk
+}
+
+// add folds one StateMsg into the assembler and returns the complete
+// payload when m finishes its bin, or (nil, false) while chunks remain.
+// It panics on out-of-order or duplicate chunks (an engine invariant, not
+// a payload property).
+func (a *chunkAssembler) add(m StateMsg) ([]byte, bool) {
+	if m.Seq == 0 && m.Last {
+		if _, open := a.partial[m.Bin]; open {
+			panic(fmt.Sprintf("megaphone: unchunked StateMsg for bin %d amid its chunk stream", m.Bin))
+		}
+		return m.Bytes, true
+	}
+	if a.partial == nil {
+		a.partial = make(map[int]*partialBin)
+	}
+	p := a.partial[m.Bin]
+	if p == nil {
+		p = &partialBin{}
+		a.partial[m.Bin] = p
+	}
+	if m.Seq != p.next {
+		panic(fmt.Sprintf("megaphone: bin %d chunk out of order: got Seq %d, want %d", m.Bin, m.Seq, p.next))
+	}
+	p.next++
+	p.buf = append(p.buf, m.Bytes...)
+	if !m.Last {
+		return nil, false
+	}
+	delete(a.partial, m.Bin)
+	return p.buf, true
 }

@@ -1,0 +1,265 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"megaphone/internal/binenc"
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+)
+
+// roundTrip encodes bin under codec and decodes into a fresh bin whose
+// state was produced by newState, returning the reconstruction.
+func roundTrip[R, S any](t *testing.T, codec core.Codec, bin *core.BinState[R, S], newState func() *S) *core.BinState[R, S] {
+	t.Helper()
+	payload, err := codec.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", codec.Name(), err)
+	}
+	got := &core.BinState[R, S]{State: newState()}
+	if err := codec.DecodeBin(got, payload); err != nil {
+		t.Fatalf("%s: decode: %v", codec.Name(), err)
+	}
+	return got
+}
+
+// TestMapStateCodecEquivalence: for random MapState bins, the gob and
+// binary codecs reconstruct identical state, including empty and large
+// maps.
+func TestMapStateCodecEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{0, 1, 17, 5000}
+	for _, size := range sizes {
+		bin := &core.BinState[core.KV[uint64, int64], core.MapState[uint64, int64]]{
+			State: &core.MapState[uint64, int64]{M: make(map[uint64]int64)},
+		}
+		for i := 0; i < size; i++ {
+			bin.State.M[rng.Uint64()] = rng.Int63() - rng.Int63()
+		}
+		newState := func() *core.MapState[uint64, int64] {
+			return &core.MapState[uint64, int64]{M: make(map[uint64]int64)}
+		}
+		fromGob := roundTrip(t, core.TransferGob, bin, newState)
+		fromBin := roundTrip(t, core.TransferBinary, bin, newState)
+		if !reflect.DeepEqual(fromGob.State, bin.State) {
+			t.Fatalf("size=%d: gob state mismatch", size)
+		}
+		if !reflect.DeepEqual(fromBin.State, bin.State) {
+			t.Fatalf("size=%d: binary state mismatch", size)
+		}
+	}
+}
+
+// TestBinaryCodecUsesBinaryFormat: a capable MapState bin must take the
+// hand-rolled path (payload much smaller than gob's type-described stream),
+// and an incapable state must still round-trip via the per-bin gob
+// fallback.
+func TestBinaryCodecUsesBinaryFormat(t *testing.T) {
+	bin := &core.BinState[core.KV[uint64, int64], core.MapState[uint64, int64]]{
+		State: &core.MapState[uint64, int64]{M: map[uint64]int64{1: 2, 3: 4}},
+	}
+	binPayload, err := core.TransferBinary.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobPayload, err := core.TransferGob.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binPayload) >= len(gobPayload) {
+		t.Fatalf("binary payload (%d bytes) not smaller than gob (%d bytes): fallback suspected",
+			len(binPayload), len(gobPayload))
+	}
+
+	// A state type with no BinaryState implementation: chan-free struct the
+	// binary path cannot see. It must fall back to gob, transparently.
+	type opaque struct{ X, Y int }
+	ob := &core.BinState[uint64, opaque]{State: &opaque{X: 7, Y: -9}}
+	got := roundTrip(t, core.TransferBinary, ob, func() *opaque { return new(opaque) })
+	if *got.State != (opaque{X: 7, Y: -9}) {
+		t.Fatalf("fallback round-trip: %+v", got.State)
+	}
+}
+
+// TestPendingHeapOrderPreserved: pending post-dated records keep their
+// heap order through both codecs, so notifications fire in time order on
+// the new owner.
+func TestPendingHeapOrderPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, codec := range []core.Codec{core.TransferGob, core.TransferBinary} {
+		bin := &core.BinState[core.KV[uint64, int64], core.MapState[uint64, int64]]{
+			State: &core.MapState[uint64, int64]{M: map[uint64]int64{}},
+		}
+		for i := 0; i < 300; i++ {
+			tm := core.Time(rng.Intn(40))
+			bin.PushPending(tm, core.KV[uint64, int64]{Key: uint64(i), Val: int64(i)})
+		}
+		got := roundTrip(t, codec, bin, func() *core.MapState[uint64, int64] {
+			return &core.MapState[uint64, int64]{M: map[uint64]int64{}}
+		})
+		if !reflect.DeepEqual(got.Pending, bin.Pending) {
+			t.Fatalf("%s: pending layout changed", codec.Name())
+		}
+	}
+}
+
+// testRec is a record type with a hand-rolled binary encoding, standing in
+// for a workload event type.
+type testRec struct {
+	A uint64
+	S string
+}
+
+func (r *testRec) AppendBinaryRec(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, r.A)
+	return binenc.AppendString(buf, r.S)
+}
+
+func (r *testRec) DecodeBinaryRec(data []byte) ([]byte, error) {
+	var err error
+	if r.A, data, err = binenc.Uvarint(data); err != nil {
+		return nil, err
+	}
+	r.S, data, err = binenc.String(data)
+	return data, err
+}
+
+// TestEitherBinaryRec: Either pending records round-trip through the
+// binary codec when both sides implement BinaryRec, and Either over
+// non-implementing sides reports incapable (forcing the gob fallback).
+func TestEitherBinaryRec(t *testing.T) {
+	var incapable core.Either[uint64, uint64]
+	if incapable.BinaryCapable() {
+		t.Fatal("Either over non-BinaryRec sides claims capability")
+	}
+
+	bin := &core.BinState[core.Either[testRec, testRec], core.MapState[uint64, int64]]{
+		State: &core.MapState[uint64, int64]{M: map[uint64]int64{5: -1}},
+	}
+	bin.PushPending(4, core.Left[testRec, testRec](testRec{A: 1, S: "left"}))
+	bin.PushPending(2, core.Right[testRec, testRec](testRec{A: 2, S: "right"}))
+	payload, err := core.TransferBinary.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != 0x01 {
+		t.Fatalf("capable Either bin fell back to gob (tag %#x)", payload[0])
+	}
+	got := &core.BinState[core.Either[testRec, testRec], core.MapState[uint64, int64]]{
+		State: &core.MapState[uint64, int64]{M: map[uint64]int64{}},
+	}
+	if err := core.TransferBinary.DecodeBin(got, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Pending, bin.Pending) || !reflect.DeepEqual(got.State, bin.State) {
+		t.Fatalf("Either round-trip mismatch:\n got %+v\nwant %+v", got, bin)
+	}
+}
+
+// TestCodecRegistry: the built-ins resolve by name, unknown names error,
+// and the listing is stable.
+func TestCodecRegistry(t *testing.T) {
+	for _, name := range []string{"gob", "binary", "direct"} {
+		c, err := core.CodecByName(name)
+		if err != nil {
+			t.Fatalf("CodecByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("CodecByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := core.CodecByName("zstd"); err == nil {
+		t.Fatal("unknown codec resolved")
+	}
+	names := core.CodecNames()
+	if len(names) < 3 {
+		t.Fatalf("CodecNames() = %v", names)
+	}
+}
+
+// TestChunkedMigrationEndToEnd: with a tiny ChunkBytes every migrated bin
+// crosses as many StateMsgs, and the migrated totals still match a
+// reference run (Property 1 under chunking).
+func TestChunkedMigrationEndToEnd(t *testing.T) {
+	const workers, logBins = 3, 3
+	rng := rand.New(rand.NewSource(77))
+	inputs := make([][]kvAt, workers)
+	expect := make(map[uint64]int64)
+	for i := 0; i < 1500; i++ {
+		k := uint64(rng.Intn(64))
+		inputs[i%workers] = append(inputs[i%workers], kvAt{t: core.Time(rng.Intn(90)), key: k, val: 1})
+		expect[k]++
+	}
+	plan := map[core.Time][]core.Move{}
+	for _, tm := range []core.Time{25, 55} {
+		var moves []core.Move
+		for b := 0; b < 1<<logBins; b++ {
+			moves = append(moves, core.Move{Bin: b, Worker: rng.Intn(workers)})
+		}
+		plan[tm] = moves
+	}
+	for _, codec := range []core.Codec{core.TransferGob, core.TransferBinary} {
+		res := runWordCountChunked(t, workers, logBins, inputs, plan, codec, 8 /* bytes: forces chunking */)
+		for k, want := range expect {
+			if got := res.finals[k]; got != want {
+				t.Errorf("%s: count[%d] = %d, want %d", codec.Name(), k, got, want)
+			}
+		}
+	}
+}
+
+// runWordCountChunked is runWordCount with an explicit codec and chunk
+// size.
+func runWordCountChunked(t *testing.T, workers, logBins int, inputs [][]kvAt, plan map[core.Time][]core.Move, codec core.Codec, chunkBytes int) wcResult {
+	t.Helper()
+	return runWordCountCfg(t, workers, inputs, plan, core.Config{
+		Name:       "count",
+		LogBins:    logBins,
+		Transfer:   codec,
+		ChunkBytes: chunkBytes,
+	})
+}
+
+// runWordCountCfg runs the migrating word count under an arbitrary core
+// config.
+func runWordCountCfg(t *testing.T, workers int, inputs [][]kvAt, plan map[core.Time][]core.Move, cfg core.Config) wcResult {
+	t.Helper()
+	var mu sync.Mutex
+	res := wcResult{finals: make(map[uint64]int64)}
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var dataIns []*dataflow.InputHandle[core.KV[uint64, int64]]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, data := dataflow.NewInput[core.KV[uint64, int64]](w, "input")
+		dataIns = append(dataIns, in)
+		counts := core.StateMachine(w, cfg, ctlStream, data,
+			func(k uint64) uint64 { return core.Mix64(k) },
+			func(k uint64, v int64, st *int64, emit func(core.KV[uint64, int64])) {
+				*st += v
+				emit(core.KV[uint64, int64]{Key: k, Val: *st})
+			}, nil)
+		sink := w.NewOp("sink", 0)
+		dataflow.Connect(sink, counts, dataflow.Pipeline[core.KV[uint64, int64]]{})
+		sink.Build(func(c *dataflow.OpCtx) {
+			dataflow.ForEachBatch(c, 0, func(_ core.Time, out []core.KV[uint64, int64]) {
+				mu.Lock()
+				for _, kv := range out {
+					if kv.Val > res.finals[kv.Key] {
+						res.finals[kv.Key] = kv.Val
+					}
+				}
+				mu.Unlock()
+			})
+		})
+	})
+	exec.Start()
+	driveWordCount(inputs, plan, dataIns, ctlIns)
+	exec.Wait()
+	return res
+}

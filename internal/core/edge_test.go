@@ -164,44 +164,7 @@ func runWordCountWithHandle(t *testing.T, workers, logBins int, inputs [][]kvAt,
 		})
 	})
 	exec.Start()
-
-	maxTime := core.Time(0)
-	for _, in := range inputs {
-		for _, kv := range in {
-			if kv.t > maxTime {
-				maxTime = kv.t
-			}
-		}
-	}
-	for tm := range plan {
-		if tm > maxTime {
-			maxTime = tm
-		}
-	}
-	for now := core.Time(0); now <= maxTime; now++ {
-		if moves, ok := plan[now]; ok {
-			ctlIns[0].SendAt(now, moves...)
-		}
-		for wi, in := range inputs {
-			for _, kv := range in {
-				if kv.t == now {
-					dataIns[wi].SendAt(now, core.KV[uint64, int64]{Key: kv.key, Val: kv.val})
-				}
-			}
-		}
-		for _, h := range ctlIns {
-			h.AdvanceTo(now + 1)
-		}
-		for _, h := range dataIns {
-			h.AdvanceTo(now + 1)
-		}
-	}
-	for _, h := range ctlIns {
-		h.Close()
-	}
-	for _, h := range dataIns {
-		h.Close()
-	}
+	driveWordCount(inputs, plan, dataIns, ctlIns)
 	exec.Wait()
 	return res
 }

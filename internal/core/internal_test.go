@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"megaphone/internal/binenc"
 )
 
 // TestBinOf checks the top-bits binning of Section 4.2.
@@ -54,7 +57,7 @@ func TestBinStatePendingHeap(t *testing.T) {
 	byTime := map[Time][]int{}
 	for i := 0; i < 500; i++ {
 		tm := Time(rng.Intn(50))
-		b.pushPending(tm, i)
+		b.PushPending(tm, i)
 		byTime[tm] = append(byTime[tm], i)
 	}
 	prev := Time(0)
@@ -85,15 +88,15 @@ func TestCodecRoundTrip(t *testing.T) {
 		M map[uint64]int64
 	}
 	b := &BinState[rec, state]{State: &state{M: map[uint64]int64{1: 10, 2: -5}}}
-	b.pushPending(7, rec{Key: 1, Val: 2})
-	b.pushPending(3, rec{Key: 9, Val: 4})
+	b.PushPending(7, rec{Key: 1, Val: 2})
+	b.PushPending(3, rec{Key: 9, Val: 4})
 
-	enc, err := encodeBin(b)
+	enc, err := TransferGob.EncodeBin(b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeBin[rec, state](enc)
-	if err != nil {
+	got := &BinState[rec, state]{State: new(state)}
+	if err := TransferGob.DecodeBin(got, enc); err != nil {
 		t.Fatal(err)
 	}
 	if len(got.State.M) != 2 || got.State.M[1] != 10 || got.State.M[2] != -5 {
@@ -107,19 +110,125 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCodecEmpty: empty bins round-trip.
+// TestCodecEmpty: empty bins round-trip under every serializing codec.
 func TestCodecEmpty(t *testing.T) {
-	b := &BinState[uint64, int]{State: new(int)}
-	enc, err := encodeBin(b)
-	if err != nil {
-		t.Fatal(err)
+	for _, codec := range []Codec{TransferGob, TransferBinary} {
+		b := &BinState[uint64, int]{State: new(int)}
+		enc, err := codec.EncodeBin(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &BinState[uint64, int]{State: new(int)}
+		if err := codec.DecodeBin(got, enc); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Pending) != 0 || *got.State != 0 {
+			t.Errorf("%s: empty bin round-trip: %+v", codec.Name(), got)
+		}
 	}
-	got, err := decodeBin[uint64, int](enc)
-	if err != nil {
-		t.Fatal(err)
+}
+
+// TestAppendChunks: payload splitting respects the chunk bound, covers the
+// payload exactly, and degenerates to one message when small or disabled.
+func TestAppendChunks(t *testing.T) {
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
 	}
-	if len(got.Pending) != 0 || *got.State != 0 {
-		t.Errorf("empty bin round-trip: %+v", got)
+	cases := []struct {
+		chunk int
+		want  int // expected message count
+	}{{-1, 1}, {1000, 1}, {2000, 1}, {999, 2}, {300, 4}, {1, 1000}}
+	for _, c := range cases {
+		msgs := appendChunks(nil, 7, 3, payload, c.chunk)
+		if len(msgs) != c.want {
+			t.Fatalf("chunk=%d: %d msgs, want %d", c.chunk, len(msgs), c.want)
+		}
+		var rejoined []byte
+		for i, m := range msgs {
+			if m.Bin != 7 || m.To != 3 {
+				t.Fatalf("chunk=%d: msg %d misaddressed: %+v", c.chunk, i, m)
+			}
+			if m.Seq != i {
+				t.Fatalf("chunk=%d: msg %d has Seq %d", c.chunk, i, m.Seq)
+			}
+			if got := m.Last; got != (i == len(msgs)-1) {
+				t.Fatalf("chunk=%d: msg %d Last=%v", c.chunk, i, got)
+			}
+			if c.chunk > 0 && len(m.Bytes) > c.chunk {
+				t.Fatalf("chunk=%d: msg %d carries %d bytes", c.chunk, i, len(m.Bytes))
+			}
+			rejoined = append(rejoined, m.Bytes...)
+		}
+		if !bytes.Equal(rejoined, payload) {
+			t.Fatalf("chunk=%d: rejoined payload differs", c.chunk)
+		}
+	}
+}
+
+// TestChunkAssembler: chunked payloads reassemble bin-by-bin, interleaved
+// bins do not collide, and single-chunk payloads pass through unbuffered.
+func TestChunkAssembler(t *testing.T) {
+	var a chunkAssembler
+	p1 := []byte("the first payload")
+	p2 := []byte("another payload entirely")
+	msgs1 := appendChunks(nil, 1, 0, p1, 5)
+	msgs2 := appendChunks(nil, 2, 0, p2, 7)
+	// Interleave the two bins' chunks; each bin's chunks stay in order.
+	var interleaved []StateMsg
+	for i := 0; i < len(msgs1) || i < len(msgs2); i++ {
+		if i < len(msgs1) {
+			interleaved = append(interleaved, msgs1[i])
+		}
+		if i < len(msgs2) {
+			interleaved = append(interleaved, msgs2[i])
+		}
+	}
+	got := map[int][]byte{}
+	for _, m := range interleaved {
+		if payload, done := a.add(m); done {
+			got[m.Bin] = payload
+		}
+	}
+	if !bytes.Equal(got[1], p1) || !bytes.Equal(got[2], p2) {
+		t.Fatalf("reassembly mismatch: %q %q", got[1], got[2])
+	}
+	if len(a.partial) != 0 {
+		t.Fatalf("assembler retained %d partial payloads", len(a.partial))
+	}
+	// Single-chunk payload returns the original slice without copying.
+	single := StateMsg{Bin: 9, Bytes: p1, Last: true}
+	if payload, done := a.add(single); !done || &payload[0] != &p1[0] {
+		t.Fatal("single-chunk payload was copied or buffered")
+	}
+	// Out-of-order chunks violate an engine invariant and must fail loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-order chunk did not panic")
+			}
+		}()
+		var b chunkAssembler
+		b.add(StateMsg{Bin: 1, Seq: 1, Bytes: []byte("x")})
+	}()
+}
+
+// TestDecodeMalformedCounts: a corrupt payload whose length prefix claims
+// far more entries than the payload holds must error, not allocate.
+func TestDecodeMalformedCounts(t *testing.T) {
+	// Binary format tag + absurd map count, nothing else.
+	payload := append([]byte{binFormatBinary}, binenc.AppendUvarint(nil, 1<<60)...)
+	bin := &BinState[KV[uint64, int64], MapState[uint64, int64]]{
+		State: &MapState[uint64, int64]{M: map[uint64]int64{}},
+	}
+	if err := TransferBinary.DecodeBin(bin, payload); err == nil {
+		t.Fatal("absurd map count decoded without error")
+	}
+	// Valid empty state followed by an absurd pending count.
+	good := binenc.AppendUvarint([]byte{binFormatBinary}, 0) // empty map
+	good = binenc.AppendUvarint(good, 1<<60)                 // pending count
+	if err := TransferBinary.DecodeBin(bin, good); err == nil {
+		t.Fatal("absurd pending count decoded without error")
 	}
 }
 

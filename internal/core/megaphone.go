@@ -14,8 +14,13 @@ type Config struct {
 	// LogBins is the log2 of the number of bins keys are grouped into
 	// (Section 4.2). Fixed at construction; defaults to 8 (256 bins).
 	LogBins int
-	// Transfer selects the state movement mechanism (gob by default).
-	Transfer Transfer
+	// Transfer selects the codec that serializes migrating bins
+	// (TransferGob by default; see Codec).
+	Transfer Codec
+	// ChunkBytes bounds the payload of one StateMsg: a bin whose encoding
+	// exceeds it is shipped as multiple chunks instead of one oversized
+	// message. 0 means DefaultChunkBytes; negative disables chunking.
+	ChunkBytes int
 }
 
 func (c *Config) defaults() {
@@ -24,6 +29,12 @@ func (c *Config) defaults() {
 	}
 	if c.LogBins == 0 {
 		c.LogBins = 8
+	}
+	if c.Transfer == nil {
+		c.Transfer = TransferGob
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = DefaultChunkBytes
 	}
 }
 
@@ -43,7 +54,7 @@ func (n *Notificator[R, S, O]) NotifyAt(t Time, rec R) {
 		panic(fmt.Sprintf("megaphone: NotifyAt(%v) not after current time %v", t, n.now))
 	}
 	b := n.s.bins.data[n.bin]
-	b.pushPending(t, rec)
+	b.PushPending(t, rec)
 	heap.Push(&n.s.notify, binTime{time: t, bin: n.bin})
 }
 
@@ -68,7 +79,8 @@ type Handle[R, S, O any] struct {
 	OnApply  func(t Time, bin, worker int)
 	bins     []*binsHolder[R, S]
 	newState func() *S
-	// Migrated counts state messages sent, per worker.
+	// Migrated counts bins shipped away, per worker (a chunked bin counts
+	// once regardless of how many StateMsgs carry it).
 	migrated []int
 }
 
@@ -84,7 +96,7 @@ func (h *Handle[R, S, O]) Preload(worker, bin int, init func(state *S)) {
 	init(b.State)
 }
 
-// Migrated returns the number of state messages worker w has sent.
+// Migrated returns the number of bins worker w has shipped away.
 func (h *Handle[R, S, O]) Migrated(w int) int { return h.migrated[w] }
 
 // routed is a record annotated with its destination worker by F.
@@ -346,18 +358,15 @@ func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
 		if old == f.index {
 			b := f.bins.take(m.Bin)
 			if b != nil {
-				msg := StateMsg{Bin: m.Bin, To: m.Worker}
-				switch f.cfg.Transfer {
-				case TransferDirect:
-					msg.Dir = b
-				default:
-					enc, err := encodeBin(b)
+				if isDirect(f.cfg.Transfer) {
+					msgs = append(msgs, StateMsg{Bin: m.Bin, To: m.Worker, Last: true, Dir: b})
+				} else {
+					payload, err := f.cfg.Transfer.EncodeBin(b, nil)
 					if err != nil {
 						panic(err)
 					}
-					msg.Bytes = enc
+					msgs = appendChunks(msgs, m.Bin, m.Worker, payload, f.cfg.ChunkBytes)
 				}
-				msgs = append(msgs, msg)
 				f.h.migrated[f.index]++
 			}
 		}
@@ -404,9 +413,10 @@ type sOp[R, S, O any] struct {
 	index int
 	h     *Handle[R, S, O]
 
-	pending   map[Time][]R // data deferred until its time completes
-	dataTimes binTimeHeap  // heap of deferred times (bin unused)
-	notify    binTimeHeap  // (time, bin) index into per-bin pending heaps
+	pending   map[Time][]R   // data deferred until its time completes
+	dataTimes binTimeHeap    // heap of deferred times (bin unused)
+	notify    binTimeHeap    // (time, bin) index into per-bin pending heaps
+	chunks    chunkAssembler // reassembles chunked migration payloads
 }
 
 const (
@@ -415,16 +425,19 @@ const (
 )
 
 func (s *sOp[R, S, O]) schedule(c *dataflow.OpCtx) {
-	// 1. Install migrated state immediately.
+	// 1. Install migrated state immediately, reassembling chunked bins.
 	dataflow.ForEachBatch(c, sState, func(t Time, msgs []StateMsg) {
 		for _, m := range msgs {
 			var b *BinState[R, S]
 			if m.Dir != nil {
 				b = m.Dir.(*BinState[R, S])
 			} else {
-				var err error
-				b, err = decodeBin[R, S](m.Bytes)
-				if err != nil {
+				payload, done := s.chunks.add(m)
+				if !done {
+					continue
+				}
+				b = &BinState[R, S]{State: s.ops.NewState()}
+				if err := s.cfg.Transfer.DecodeBin(b, payload); err != nil {
 					panic(err)
 				}
 			}

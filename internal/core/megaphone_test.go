@@ -71,8 +71,15 @@ func runWordCount(t *testing.T, workers, logBins int, inputs [][]kvAt, plan map[
 	})
 	exec.Start()
 
-	// Drive data and control in lockstep epochs. Control moves at time tm
-	// are sent on worker 0's control handle before advancing all handles.
+	driveWordCount(inputs, plan, dataIns, ctlIns)
+	exec.Wait()
+	return res
+}
+
+// driveWordCount feeds data and control in lockstep epochs and closes the
+// handles. Control moves at time tm are sent on worker 0's control handle
+// before advancing all handles.
+func driveWordCount(inputs [][]kvAt, plan map[core.Time][]core.Move, dataIns []*dataflow.InputHandle[core.KV[uint64, int64]], ctlIns []*dataflow.InputHandle[core.Move]) {
 	maxTime := core.Time(0)
 	for _, in := range inputs {
 		for _, kv := range in {
@@ -110,8 +117,6 @@ func runWordCount(t *testing.T, workers, logBins int, inputs [][]kvAt, plan map[
 	for _, h := range dataIns {
 		h.Close()
 	}
-	exec.Wait()
-	return res
 }
 
 type kvAt struct {
@@ -149,14 +154,14 @@ func TestCorrectnessUnderMigration(t *testing.T) {
 		plan[tm] = moves
 	}
 
-	for _, transfer := range []core.Transfer{core.TransferGob, core.TransferDirect} {
+	for _, transfer := range []core.Codec{core.TransferGob, core.TransferBinary, core.TransferDirect} {
 		res := runWordCount(t, workers, logBins, inputs, plan, transfer)
 		if len(res.finals) != len(expect) {
-			t.Fatalf("transfer=%v: got %d keys, want %d", transfer, len(res.finals), len(expect))
+			t.Fatalf("transfer=%s: got %d keys, want %d", transfer.Name(), len(res.finals), len(expect))
 		}
 		for k, want := range expect {
 			if got := res.finals[k]; got != want {
-				t.Errorf("transfer=%v: count[%d] = %d, want %d", transfer, k, got, want)
+				t.Errorf("transfer=%s: count[%d] = %d, want %d", transfer.Name(), k, got, want)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"megaphone/internal/dataflow"
 	"megaphone/internal/operators"
@@ -204,18 +205,16 @@ func hashString(s string) uint64 {
 	return h
 }
 
+// waitUntil polls cond until it holds or a deadline passes. It must yield
+// between polls: the condition is advanced by the worker goroutines, and a
+// busy spin can exhaust its iterations before the scheduler ever runs them.
 func waitUntil(t *testing.T, cond func() bool) {
 	t.Helper()
-	for i := 0; i < 100000; i++ {
-		if cond() {
-			return
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached")
 		}
+		time.Sleep(100 * time.Microsecond)
 	}
-	// One generous final attempt with scheduling yields.
-	for i := 0; i < 1000; i++ {
-		if cond() {
-			return
-		}
-	}
-	t.Fatalf("condition not reached")
 }

@@ -1,0 +1,63 @@
+package keycount
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"megaphone/internal/core"
+)
+
+// BenchmarkMigrationCodec measures encode+decode throughput of one
+// migrating key-count bin per codec — the per-bin cost at the heart of the
+// paper's migration-latency model. Run with:
+//
+//	go test -bench Migration -run xxx ./internal/keycount/
+//
+// TransferBinary must beat TransferGob here; the end-to-end effect on
+// migration latency is measured by cmd/experiments -exp codec.
+func BenchmarkMigrationCodec(b *testing.B) {
+	// 8192 keys per bin matches the paper's headline setup (domain 2^21,
+	// 2^8 bins); 64 keys models many small bins.
+	for _, keys := range []int{64, 8192} {
+		rng := rand.New(rand.NewSource(3))
+		hash := &HashState{M: make(map[uint64]uint64, keys)}
+		arr := &ArrayState{Counts: make([]uint64, keys)}
+		for i := 0; i < keys; i++ {
+			hash.M[rng.Uint64()] = rng.Uint64() % 1000
+			arr.Counts[i] = rng.Uint64() % 1000
+		}
+		hashBin := &core.BinState[uint64, HashState]{State: hash}
+		arrBin := &core.BinState[uint64, ArrayState]{State: arr}
+		for _, codec := range []core.Codec{core.TransferGob, core.TransferBinary} {
+			b.Run(fmt.Sprintf("hash/keys=%d/%s", keys, codec.Name()), func(b *testing.B) {
+				benchCodec(b, codec, hashBin, func() *HashState { return &HashState{M: make(map[uint64]uint64)} })
+			})
+			b.Run(fmt.Sprintf("array/keys=%d/%s", keys, codec.Name()), func(b *testing.B) {
+				benchCodec(b, codec, arrBin, func() *ArrayState { return &ArrayState{} })
+			})
+		}
+	}
+}
+
+// benchCodec runs the encode+decode loop for one bin shape, reporting
+// payload size and per-operation throughput.
+func benchCodec[S any](b *testing.B, codec core.Codec, bin *core.BinState[uint64, S], newState func() *S) {
+	payload, err := codec.EncodeBin(bin, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(payload)), "payload-bytes")
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := codec.EncodeBin(bin, payload[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := &core.BinState[uint64, S]{State: newState()}
+		if err := codec.DecodeBin(got, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,10 +47,10 @@ func (v Variant) String() string {
 // Params configures the benchmark dataflow.
 type Params struct {
 	Variant  Variant
-	LogBins  int   // megaphone bin count (power of two)
-	Domain   int64 // number of distinct keys; must be a power of two
-	Transfer core.Transfer
-	Preload  bool // pre-create one entry per key before starting
+	LogBins  int        // megaphone bin count (power of two)
+	Domain   int64      // number of distinct keys; must be a power of two
+	Transfer core.Codec // migration codec (gob when nil)
+	Preload  bool       // pre-create one entry per key before starting
 }
 
 // Out is the query's output: the key and its updated cumulative count.

@@ -1,0 +1,217 @@
+package nexmark
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"megaphone/internal/core"
+)
+
+// codecPair runs one bin through gob and binary and checks both reconstruct
+// the original exactly (state and pending layout).
+func codecPair[R, S any](t *testing.T, label string, bin *core.BinState[R, S], newState func() *S) {
+	t.Helper()
+	for _, codec := range []core.Codec{core.TransferGob, core.TransferBinary} {
+		payload, err := codec.EncodeBin(bin, nil)
+		if err != nil {
+			t.Fatalf("%s/%s: encode: %v", label, codec.Name(), err)
+		}
+		got := &core.BinState[R, S]{State: newState()}
+		if err := codec.DecodeBin(got, payload); err != nil {
+			t.Fatalf("%s/%s: decode: %v", label, codec.Name(), err)
+		}
+		if !reflect.DeepEqual(got.State, bin.State) {
+			t.Fatalf("%s/%s: state mismatch\n got %+v\nwant %+v", label, codec.Name(), got.State, bin.State)
+		}
+		if !reflect.DeepEqual(got.Pending, bin.Pending) {
+			t.Fatalf("%s/%s: pending mismatch\n got %+v\nwant %+v", label, codec.Name(), got.Pending, bin.Pending)
+		}
+	}
+}
+
+// requireBinaryFormat asserts the binary codec used its hand-rolled path
+// (format tag 0x01) for this bin rather than falling back to gob.
+func requireBinaryFormat[R, S any](t *testing.T, label string, bin *core.BinState[R, S]) {
+	t.Helper()
+	payload, err := core.TransferBinary.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", label, err)
+	}
+	if payload[0] != 0x01 {
+		t.Fatalf("%s: fell back to gob (tag %#x) — BinaryState contract broken", label, payload[0])
+	}
+}
+
+func randAuction(rng *rand.Rand) Auction {
+	return Auction{
+		ID:         rng.Uint64(),
+		Seller:     rng.Uint64() % 1000,
+		Category:   rng.Uint64() % 20,
+		InitialBid: rng.Uint64() % 10000,
+		Expires:    Time(rng.Intn(5000)),
+		ItemName:   "item-" + string(rune('a'+rng.Intn(26))),
+		DateTime:   Time(rng.Intn(5000)),
+	}
+}
+
+func randBid(rng *rand.Rand) Bid {
+	return Bid{
+		Auction:  rng.Uint64() % 500,
+		Bidder:   rng.Uint64() % 2000,
+		Price:    rng.Uint64() % 100000,
+		DateTime: Time(rng.Intn(5000)),
+	}
+}
+
+func randPerson(rng *rand.Rand, id uint64) Person {
+	return Person{
+		ID:       id,
+		Name:     "person",
+		City:     "city",
+		State:    "st",
+		Email:    "a@example.com",
+		DateTime: Time(rng.Intn(5000)),
+	}
+}
+
+// TestQ4StateCodec: open auctions, best bids, stashed bids, and pending
+// Either records (bids and expiry markers) round-trip identically.
+func TestQ4StateCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, size := range []int{0, 3, 500} {
+		s := newQ4State()
+		for i := 0; i < size; i++ {
+			a := randAuction(rng)
+			s.Open[a.ID] = a
+			if i%2 == 0 {
+				s.Best[a.ID] = rng.Uint64() % 5000
+			}
+			if i%3 == 0 {
+				s.Stashed[a.ID] = []Bid{randBid(rng), randBid(rng)}
+			}
+		}
+		bin := &core.BinState[core.Either[Bid, Auction], q4State]{State: s}
+		for i := 0; i < size/2; i++ {
+			bin.PushPending(Time(rng.Intn(100)), core.Left[Bid, Auction](randBid(rng)))
+			bin.PushPending(Time(rng.Intn(100)), core.Right[Bid, Auction](Auction{ID: uint64(i), Closed: true}))
+		}
+		codecPair(t, "q4", bin, newQ4State)
+		requireBinaryFormat(t, "q4", bin)
+	}
+}
+
+// TestQ5StateCodec: slide counts and last-report markers round-trip, with
+// pending slide-marker bids.
+func TestQ5StateCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := newQ5State()
+	for i := 0; i < 200; i++ {
+		s.Slides[Time(rng.Intn(1000))] = rng.Uint64() % 100
+	}
+	s.LastReport = 940
+	bin := &core.BinState[Bid, q5State]{State: s}
+	for i := 0; i < 40; i++ {
+		bin.PushPending(Time(rng.Intn(100)), Bid{Auction: uint64(i)})
+	}
+	codecPair(t, "q5-count", bin, newQ5State)
+	requireBinaryFormat(t, "q5-count", bin)
+
+	w := newQ5WinnerState()
+	for i := 0; i < 100; i++ {
+		w.Best[Time(rng.Intn(1000))] = q5Best{Auction: rng.Uint64(), Count: rng.Uint64() % 500}
+	}
+	wbin := &core.BinState[Q5Count, q5WinnerState]{State: w}
+	for i := 0; i < 20; i++ {
+		wbin.PushPending(Time(rng.Intn(100)), Q5Count{Window: Time(i)})
+	}
+	codecPair(t, "q5-winner", wbin, newQ5WinnerState)
+	requireBinaryFormat(t, "q5-winner", wbin)
+}
+
+// TestQ6RingCodec: the per-seller price ring round-trips inside MapState,
+// the q6-avg operator's actual bin shape.
+func TestQ6RingCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	newState := func() *core.MapState[uint64, q6Ring] {
+		return &core.MapState[uint64, q6Ring]{M: make(map[uint64]q6Ring)}
+	}
+	s := newState()
+	for i := 0; i < 300; i++ {
+		var r q6Ring
+		n := rng.Intn(15)
+		for j := 0; j < n; j++ {
+			r.push(rng.Uint64() % 10000)
+		}
+		s.M[rng.Uint64()%1000] = r
+	}
+	bin := &core.BinState[core.KV[uint64, uint64], core.MapState[uint64, q6Ring]]{State: s}
+	codecPair(t, "q6-avg", bin, newState)
+	requireBinaryFormat(t, "q6-avg", bin)
+}
+
+// TestQ7StateCodec: per-window maxima round-trip with pending window-close
+// markers.
+func TestQ7StateCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := newQ7State()
+	for i := 0; i < 150; i++ {
+		s.Windows[Time(rng.Intn(2000))] = Q7Out{
+			Window: Time(rng.Intn(2000)),
+			Price:  rng.Uint64() % 100000,
+			Bidder: rng.Uint64() % 3000,
+		}
+	}
+	bin := &core.BinState[Q7Out, q7State]{State: s}
+	for i := 0; i < 25; i++ {
+		bin.PushPending(Time(rng.Intn(100)), Q7Out{Window: Time(i * 60)})
+	}
+	codecPair(t, "q7", bin, newQ7State)
+	requireBinaryFormat(t, "q7", bin)
+}
+
+// TestQ8StateCodec: recent registrations round-trip with pending expiry
+// markers and auction-side records.
+func TestQ8StateCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, size := range []int{0, 1000} {
+		s := newQ8State()
+		for i := 0; i < size; i++ {
+			id := rng.Uint64() % 5000
+			s.Since[id] = randPerson(rng, id)
+		}
+		bin := &core.BinState[core.Either[Person, Auction], q8State]{State: s}
+		for i := 0; i < size/10; i++ {
+			bin.PushPending(Time(rng.Intn(100)), core.Left[Person, Auction](Person{ID: uint64(i)}))
+			bin.PushPending(Time(rng.Intn(100)), core.Right[Person, Auction](randAuction(rng)))
+		}
+		codecPair(t, "q8", bin, newQ8State)
+		requireBinaryFormat(t, "q8", bin)
+	}
+}
+
+// TestBinaryPayloadSmaller: on a large q8 bin (the paper's biggest state),
+// the hand-rolled encoding must be materially smaller than gob's
+// type-described stream.
+func TestBinaryPayloadSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := newQ8State()
+	for i := 0; i < 2000; i++ {
+		id := rng.Uint64()
+		s.Since[id] = randPerson(rng, id)
+	}
+	bin := &core.BinState[core.Either[Person, Auction], q8State]{State: s}
+	gobP, err := core.TransferGob.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binP, err := core.TransferBinary.EncodeBin(bin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binP) >= len(gobP) {
+		t.Fatalf("binary payload %d >= gob payload %d", len(binP), len(gobP))
+	}
+	t.Logf("q8 2000-person bin: gob=%d bytes, binary=%d bytes (%.1f%%)",
+		len(gobP), len(binP), 100*float64(len(binP))/float64(len(gobP)))
+}

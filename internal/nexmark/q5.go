@@ -82,35 +82,44 @@ func q5CounterMegaphone(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.M
 	// END Q5 MEGAPHONE COUNTER
 }
 
+// q5Best is the current leader of one open window.
+type q5Best struct {
+	Auction uint64
+	Count   uint64
+}
+
+// q5WinnerState maps open windows to their current leading auction.
+type q5WinnerState struct {
+	Best map[Time]q5Best
+}
+
+func newQ5WinnerState() *q5WinnerState { return &q5WinnerState{Best: make(map[Time]q5Best)} }
+
 // q5Winner reduces per-auction counts to the hottest auction per window.
 func q5WinnerMegaphone(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], counts dataflow.Stream[Q5Count]) dataflow.Stream[Q5Out] {
 	// BEGIN Q5 MEGAPHONE WINNER
-	type best struct {
-		Auction uint64
-		Count   uint64
-	}
 	return core.Unary(w,
 		core.Config{Name: "q5-winner", LogBins: p.LogBins, Transfer: p.Transfer},
 		ctl, counts,
 		func(c Q5Count) uint64 { return core.Mix64(uint64(c.Window)) },
-		func() *map[Time]best { m := make(map[Time]best); return &m },
-		func(t Time, c Q5Count, s *map[Time]best, n *core.Notificator[Q5Count, map[Time]best, Q5Out], emit func(Q5Out)) {
+		newQ5WinnerState,
+		func(t Time, c Q5Count, s *q5WinnerState, n *core.Notificator[Q5Count, q5WinnerState, Q5Out], emit func(Q5Out)) {
 			if c.Auction == 0 && c.Count == 0 {
 				// Window-close marker.
-				if b, ok := (*s)[c.Window]; ok {
+				if b, ok := s.Best[c.Window]; ok {
 					emit(Q5Out{Window: c.Window, Auction: b.Auction, Count: b.Count})
-					delete(*s, c.Window)
+					delete(s.Best, c.Window)
 				}
 				return
 			}
-			b, seen := (*s)[c.Window]
+			b, seen := s.Best[c.Window]
 			if !seen {
 				n.NotifyAt(c.Window+1, Q5Count{Window: c.Window})
 			}
 			if c.Count > b.Count {
-				b = best{Auction: c.Auction, Count: c.Count}
+				b = q5Best{Auction: c.Auction, Count: c.Count}
 			}
-			(*s)[c.Window] = b
+			s.Best[c.Window] = b
 		}, nil)
 	// END Q5 MEGAPHONE WINNER
 }

@@ -18,6 +18,13 @@ type Q7Out struct {
 	Bidder uint64
 }
 
+// q7State maps open windows to their highest bid so far.
+type q7State struct {
+	Windows map[Time]Q7Out
+}
+
+func newQ7State() *q7State { return &q7State{Windows: make(map[Time]Q7Out)} }
+
 // q7Pre pre-aggregates the per-worker maximum of each window — this is the
 // hand-tuned optimization the paper's native implementations include.
 func q7Pre(w *dataflow.Worker, windowEpochs Time, bids dataflow.Stream[Bid]) dataflow.Stream[Q7Out] {
@@ -72,21 +79,21 @@ func BuildQ7(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 		core.Config{Name: "q7-max", LogBins: p.LogBins, Transfer: p.Transfer},
 		ctl, pre,
 		func(o Q7Out) uint64 { return core.Mix64(uint64(o.Window)) },
-		func() *map[Time]Q7Out { m := make(map[Time]Q7Out); return &m },
-		func(t Time, o Q7Out, s *map[Time]Q7Out, n *core.Notificator[Q7Out, map[Time]Q7Out, Q7Out], emit func(Q7Out)) {
+		newQ7State,
+		func(t Time, o Q7Out, s *q7State, n *core.Notificator[Q7Out, q7State, Q7Out], emit func(Q7Out)) {
 			if o.Price == 0 && o.Bidder == 0 {
 				// Window-close marker.
-				if best, ok := (*s)[o.Window]; ok {
+				if best, ok := s.Windows[o.Window]; ok {
 					emit(best)
-					delete(*s, o.Window)
+					delete(s.Windows, o.Window)
 				}
 				return
 			}
-			if _, seen := (*s)[o.Window]; !seen {
+			if _, seen := s.Windows[o.Window]; !seen {
 				n.NotifyAt(t+1, Q7Out{Window: o.Window})
 			}
-			if cur := (*s)[o.Window]; o.Price > cur.Price {
-				(*s)[o.Window] = o
+			if cur := s.Windows[o.Window]; o.Price > cur.Price {
+				s.Windows[o.Window] = o
 			}
 		}, nil)
 	// END Q7 MEGAPHONE

@@ -27,9 +27,14 @@ func (i Impl) String() string {
 
 // Params configures a query instance.
 type Params struct {
-	Impl     Impl
-	LogBins  int
-	Transfer core.Transfer
+	Impl    Impl
+	LogBins int
+	// Transfer is the migration codec of the Megaphone variants (gob when
+	// nil). The stateful q4–q8 state types and the MapState-backed
+	// aggregation stages implement core.BinaryState, so core.TransferBinary
+	// uses the fast binary encoding for them; bins of other state types
+	// (e.g. q3's join state) transparently fall back to gob per bin.
+	Transfer core.Codec
 	// AuctionMod is Q2's filter modulus.
 	AuctionMod uint64
 	// WindowEpochs is the window length for Q5/Q7/Q8 (time-dilated as in
