@@ -44,10 +44,11 @@ func (b *BinState[R, S]) PushPending(t Time, r R) {
 }
 
 // popPendingAt removes and returns all pending records with exactly time t
-// from the head of the heap.
-func (b *BinState[R, S]) popPendingAt(t Time) []TimedRec[R] {
+// from the head of the heap, appending them to buf (pass a zero-length
+// scratch slice to reuse its capacity).
+func (b *BinState[R, S]) popPendingAt(t Time, buf []TimedRec[R]) []TimedRec[R] {
 	h := recHeap[R](b.Pending)
-	var out []TimedRec[R]
+	out := buf
 	for len(h) > 0 && h[0].Time == t {
 		out = append(out, heap.Pop(&h).(TimedRec[R]))
 	}

@@ -67,7 +67,7 @@ func TestBinStatePendingHeap(t *testing.T) {
 			t.Fatalf("heap order violated: %v after %v", head, prev)
 		}
 		prev = head
-		recs := b.popPendingAt(head)
+		recs := b.popPendingAt(head, nil)
 		if len(recs) != len(byTime[head]) {
 			t.Fatalf("time %v: popped %d, want %d", head, len(recs), len(byTime[head]))
 		}

@@ -48,7 +48,8 @@ type Notificator[R, S, O any] struct {
 }
 
 // NotifyAt schedules rec for redelivery at time t, which must be strictly
-// greater than the timestamp currently being processed.
+// greater than the timestamp currently being processed. The Notificator is
+// only valid for the duration of the Fold call it was passed to.
 func (n *Notificator[R, S, O]) NotifyAt(t Time, rec R) {
 	if t <= n.now {
 		panic(fmt.Sprintf("megaphone: NotifyAt(%v) not after current time %v", t, n.now))
@@ -99,9 +100,11 @@ func (h *Handle[R, S, O]) Preload(worker, bin int, init func(state *S)) {
 // Migrated returns the number of bins worker w has shipped away.
 func (h *Handle[R, S, O]) Migrated(w int) int { return h.migrated[w] }
 
-// routed is a record annotated with its destination worker by F.
+// routed is a record annotated by F with its bin and destination worker, so
+// S applies it without re-hashing.
 type routed[R any] struct {
-	To  int
+	To  int32
+	Bin int32
 	Rec R
 }
 
@@ -177,16 +180,20 @@ func Operator[R, S, O any](
 		ops:     ops,
 		bins:    bins,
 		index:   w.Index(),
-		pending: make(map[Time][]R),
+		pending: make(map[Time][]routed[R]),
 		h:       handle,
 	}
 	sb := w.NewOp(cfg.Name+"-S", 1)
-	dataflow.Connect(sb, routedData, dataflow.ExchangeTo[routed[R]]{To: func(r routed[R]) int { return r.To }})
+	dataflow.Connect(sb, routedData, dataflow.ExchangeTo[routed[R]]{To: func(r routed[R]) int { return int(r.To) }})
 	dataflow.Connect(sb, stateOut, dataflow.ExchangeTo[StateMsg]{To: func(m StateMsg) int { return m.To }})
 	souts := sb.Build(s.schedule)
 	out := dataflow.Typed[O](souts[0])
 
 	probe = dataflow.NewProbe(w, out)
+	// F consults the probed frontier out-of-band (step 4 of its schedule);
+	// the dirty-set scheduler must re-run it when that frontier moves while
+	// a migration is staged.
+	w.WatchFrontier(fouts[0], probe)
 	return out
 }
 
@@ -235,6 +242,8 @@ type fOp[R, S, O any] struct {
 
 	buffered map[Time][]R // data records whose routing is not yet determined
 	bufTimes binTimeHeap  // heap of buffered times (bin unused)
+
+	routedBuf []routed[R] // reusable envelope buffer (see route)
 }
 
 const (
@@ -333,12 +342,26 @@ func (f *fOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 	}
 }
 
-// route sends records at a routable time to their configured workers.
+// route sends records at a routable time to their configured workers. The
+// envelope buffer is reused across calls: the data output's only edge
+// carries an ExchangeTo pact, whose partitions never alias their input.
+// Bins that were never migrated — every bin at steady state before the
+// first migration — resolve through the initial-assignment table without
+// touching the history.
 func (f *fOp[R, S, O]) route(c *dataflow.OpCtx, t Time, data []R) {
-	all := make([]routed[R], len(data))
+	if cap(f.routedBuf) < len(data) {
+		f.routedBuf = make([]routed[R], len(data))
+	}
+	all := f.routedBuf[:len(data)]
+	logBins := f.cfg.LogBins
+	peers := f.peers
 	for i, r := range data {
-		bin := BinOf(f.ops.Hash(r), f.cfg.LogBins)
-		all[i] = routed[R]{To: f.ownerAt(bin, t), Rec: r}
+		bin := BinOf(f.ops.Hash(r), logBins)
+		to := bin % peers // InitialWorker, inlined
+		if len(f.hist[bin]) > 0 {
+			to = f.ownerAt(bin, t)
+		}
+		all[i] = routed[R]{To: int32(to), Bin: int32(bin), Rec: r}
 	}
 	dataflow.SendBatch(c, fOutData, t, all)
 }
@@ -413,10 +436,13 @@ type sOp[R, S, O any] struct {
 	index int
 	h     *Handle[R, S, O]
 
-	pending   map[Time][]R   // data deferred until its time completes
-	dataTimes binTimeHeap    // heap of deferred times (bin unused)
-	notify    binTimeHeap    // (time, bin) index into per-bin pending heaps
-	chunks    chunkAssembler // reassembles chunked migration payloads
+	pending   map[Time][]routed[R] // data deferred until its time completes
+	dataTimes binTimeHeap          // heap of deferred times (bin unused)
+	notify    binTimeHeap          // (time, bin) index into per-bin pending heaps
+	chunks    chunkAssembler       // reassembles chunked migration payloads
+
+	free      [][]routed[R] // drained per-time buffers, recycled by ingestion
+	replayBuf []TimedRec[R] // reusable scratch for popPendingAt
 }
 
 const (
@@ -453,11 +479,12 @@ func (s *sOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 		recs, ok := s.pending[t]
 		if !ok {
 			heap.Push(&s.dataTimes, binTime{time: t})
+			if n := len(s.free); n > 0 {
+				recs = s.free[n-1]
+				s.free = s.free[:n-1]
+			}
 		}
-		for _, r := range data {
-			recs = append(recs, r.Rec)
-		}
-		s.pending[t] = recs
+		s.pending[t] = append(recs, data...)
 	})
 
 	bound := c.Frontier(sData)
@@ -513,10 +540,19 @@ func (s *sOp[R, S, O]) notifyHead() (Time, bool) {
 }
 
 // processTime applies all work at time t: replayed pending records of every
-// bin notified at t, then deferred data records at t.
+// bin notified at t, then deferred data records at t. One Notificator is
+// reused across the whole time (it is only valid during each Fold call),
+// and the output buffer is sized once for the expected emission volume.
 func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 	var out []O
-	emit := func(o O) { out = append(out, o) }
+	hint := len(s.pending[t])
+	emit := func(o O) {
+		if out == nil {
+			out = make([]O, 0, hint+1)
+		}
+		out = append(out, o)
+	}
+	n := &Notificator[R, S, O]{s: s, now: t}
 
 	for {
 		nt, ok := s.notifyHead()
@@ -525,8 +561,9 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 		}
 		bt := heap.Pop(&s.notify).(binTime)
 		b := s.bins.data[bt.bin]
-		recs := b.popPendingAt(t)
-		n := &Notificator[R, S, O]{s: s, bin: bt.bin, now: t}
+		recs := b.popPendingAt(t, s.replayBuf[:0])
+		s.replayBuf = recs
+		n.bin = bt.bin
 		if s.h.OnApply != nil {
 			s.h.OnApply(t, bt.bin, s.index)
 		}
@@ -542,15 +579,17 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 		heap.Pop(&s.dataTimes)
 		recs := s.pending[t]
 		delete(s.pending, t)
-		for _, r := range recs {
-			bin := BinOf(s.ops.Hash(r), s.cfg.LogBins)
+		for _, rr := range recs {
+			bin := int(rr.Bin)
 			b := s.bins.getOrCreate(bin, s.ops.NewState)
-			n := &Notificator[R, S, O]{s: s, bin: bin, now: t}
+			n.bin = bin
 			if s.h.OnApply != nil {
 				s.h.OnApply(t, bin, s.index)
 			}
-			s.ops.Fold(t, r, b.State, n, emit)
+			s.ops.Fold(t, rr.Rec, b.State, n, emit)
 		}
+		clear(recs)
+		s.free = append(s.free, recs[:0])
 	}
 
 	if len(out) > 0 {

@@ -91,6 +91,7 @@ func NewExecution(cfg Config) *Execution {
 			inbox: make(chan message, cfg.InboxSize),
 			wake:  make(chan struct{}, 1),
 		}
+		w.ctx.w = w
 		e.workers = append(e.workers, w)
 	}
 	return e
@@ -151,19 +152,47 @@ func (e *Execution) Run(build func(w *Worker)) {
 	e.Wait()
 }
 
+// poller reports pending out-of-band work (e.g. staged input) for one
+// operator, so the worker can activate exactly that operator.
+type poller struct {
+	op      *opInstance
+	pending func() bool
+}
+
+// pendingWatch defers an out-of-band frontier watch until the tracker
+// exists (WatchFrontier is called during graph construction).
+type pendingWatch struct {
+	node progress.Node
+	port progress.Port
+}
+
 // Worker is one data-parallel worker: it owns an instance of every operator
 // in the dataflow and an inbox for batches sent to it by peers.
+//
+// Scheduling is dirty-set driven: an operator runs only when it was
+// activated — it has queued input, the frontier of one of its input ports
+// changed since it last computed frontiers (detected by comparing the
+// tracker's per-port epochs, without locking), an out-of-band poller (staged
+// input) reports work, or a watched port's frontier moved while the operator
+// holds a capability. The sweep that detects activations still visits every
+// operator (a few atomic loads each), but the expensive part of a wakeup —
+// running logic, recomputing frontiers under the lock, applying deltas — is
+// proportional to what actually changed rather than to the graph size.
 type Worker struct {
 	exec  *Execution
 	index int
 
-	ops      []*opInstance // indexed by node id
-	inbox    chan message
-	wake     chan struct{}
-	pollers  []func() bool // report pending out-of-band work (e.g. staged input)
-	nodeSeq  int           // build-time counter for canonical verification
-	edgeSeq  int
-	frontier []Time // scratch
+	ops     []*opInstance // indexed by node id
+	inbox   chan message
+	wake    chan struct{}
+	pollers []poller
+	nodeSeq int // build-time counter for canonical verification
+	edgeSeq int
+
+	activeQ []*opInstance // FIFO of activated operators
+	ctx     OpCtx         // reusable scheduling context (batch/remote/local scratch)
+
+	pendingWatches []pendingWatch
 }
 
 // Index returns this worker's index in [0, Peers).
@@ -180,19 +209,55 @@ func (w *Worker) poke() {
 	}
 }
 
-// finalize wires each operator's outgoing edges after the whole graph is
-// known.
+// finalize resolves scheduling state that needs the frozen graph: dense
+// port ids for epoch comparisons and deferred frontier watches.
 func (w *Worker) finalize() {
+	tr := w.exec.tracker
 	for _, op := range w.ops {
 		op.finalize(w)
+		op.portIDs = op.portIDs[:0]
+		for i := 0; i < op.numIn; i++ {
+			op.portIDs = append(op.portIDs, tr.PortID(progress.Port{Node: op.node, Port: i}))
+		}
+		op.seenEpoch = make([]uint64, op.numIn)
+		op.fdirty = true
+	}
+	for _, pw := range w.pendingWatches {
+		op := w.ops[pw.node]
+		op.watchIDs = append(op.watchIDs, tr.PortID(pw.port))
+		op.watchSeen = append(op.watchSeen, 0)
+	}
+	w.pendingWatches = nil
+}
+
+// WatchFrontier registers an out-of-band frontier dependency: the operator
+// that produces s is re-activated whenever the frontier at probe p's port
+// may have moved, for as long as the operator holds a capability. Operators
+// whose logic consults a probe (Megaphone's F waits for the S output
+// frontier before shipping state) need this; dirty-set scheduling would
+// otherwise never re-run them when only the probed frontier changed.
+func (w *Worker) WatchFrontier(s StreamCore, p *Probe) {
+	if s.w != w {
+		panic("dataflow: WatchFrontier with a stream from a different worker")
+	}
+	w.pendingWatches = append(w.pendingWatches, pendingWatch{node: s.src.Node, port: p.port})
+}
+
+// activate queues op for scheduling if it is not already queued.
+func (w *Worker) activate(op *opInstance) {
+	if !op.active {
+		op.active = true
+		w.activeQ = append(w.activeQ, op)
 	}
 }
 
-// route places an inbound message on the owning operator's input queue.
+// route places an inbound message on the owning operator's input queue and
+// activates the operator.
 func (w *Worker) route(m message) {
 	dst := w.exec.canonEdges[m.edge].dst
 	op := w.ops[dst.Node]
 	op.queues[dst.Port] = append(op.queues[dst.Port], batchIn{time: m.time, data: m.data})
+	w.activate(op)
 }
 
 // drainInbox moves all currently queued inbound messages to operator queues.
@@ -209,51 +274,83 @@ func (w *Worker) drainInbox() bool {
 	}
 }
 
-// hasLocalWork reports whether any operator has queued input or staged
-// out-of-band work.
-func (w *Worker) hasLocalWork() bool {
+// sweep activates operators with out-of-band or frontier-driven work: input
+// operators whose poller reports staged records, operators whose input-port
+// epochs moved since their frontiers were last computed, and
+// capability-holding operators whose watched ports moved. It reads only the
+// tracker's atomics — no locks. Reports whether anything was activated.
+func (w *Worker) sweep() bool {
+	tr := w.exec.tracker
+	any := false
+	for i := range w.pollers {
+		if w.pollers[i].pending() && !w.pollers[i].op.active {
+			w.activate(w.pollers[i].op)
+			any = true
+		}
+	}
 	for _, op := range w.ops {
-		for _, q := range op.queues {
-			if len(q) > 0 {
-				return true
+		if !op.fdirty {
+			for j, id := range op.portIDs {
+				if tr.PortEpoch(id) != op.seenEpoch[j] {
+					op.fdirty = true
+					break
+				}
+			}
+		}
+		if op.fdirty && !op.active {
+			w.activate(op)
+			any = true
+		}
+		if op.holdCount > 0 {
+			for j, id := range op.watchIDs {
+				if e := tr.PortEpoch(id); e != op.watchSeen[j] {
+					op.watchSeen[j] = e
+					if !op.active {
+						w.activate(op)
+						any = true
+					}
+				}
 			}
 		}
 	}
-	for _, p := range w.pollers {
-		if p() {
-			return true
-		}
-	}
-	return false
+	return any
 }
 
-// run is the worker event loop: drain inbound batches, schedule every
-// operator, and park until new work can exist. The loop exits when the
-// tracker reports no live pointstamps anywhere.
+// run is the worker event loop: drain inbound batches, run the activated
+// operators (running one may activate others), and park until new work can
+// exist. The loop exits when the tracker reports no live pointstamps
+// anywhere.
 func (w *Worker) run() {
 	tr := w.exec.tracker
 	for {
-		v := tr.Version()
 		w.drainInbox()
-		for _, op := range w.ops {
+		w.sweep()
+		for i := 0; i < len(w.activeQ); i++ {
+			op := w.activeQ[i]
+			op.active = false
 			w.schedule(op)
 		}
-		if tr.Idle() {
+		w.activeQ = w.activeQ[:0]
+		v, idle := tr.Snapshot()
+		if idle {
 			return
 		}
-		// Park. Take the wait channel before the re-checks so a progress
-		// change between a check and the select is not lost. If anything
-		// changed anywhere since this iteration began, some operator may
-		// have been scheduled against a stale frontier — loop again.
-		wc := tr.WaitChan()
-		if w.drainInbox() || w.hasLocalWork() || tr.Version() != v {
+		// Park. Register the wake latch before the re-checks so a progress
+		// change between a check and the select is not lost: any effective
+		// Apply after registration pokes it. A stale latched token only
+		// causes one harmless extra loop.
+		tr.Notify(w.wake)
+		moved := w.drainInbox()
+		if w.sweep() {
+			moved = true
+		}
+		if v2, _ := tr.Snapshot(); moved || v2 != v {
 			continue
 		}
 		select {
 		case m := <-w.inbox:
 			w.route(m)
 		case <-w.wake:
-		case <-wc:
 		}
 	}
 }
@@ -261,27 +358,49 @@ func (w *Worker) run() {
 // schedule runs one operator's logic with a context exposing its queued
 // input, input frontiers, and output ports, then atomically applies the
 // progress consequences and releases any cross-worker sends.
+//
+// Frontiers are recomputed (one tracker lock) only when an input port's
+// epoch moved since the last computation; otherwise the cached values are
+// exact. The context's delta batch and send buffers are reused across
+// schedulings, so a steady-state scheduling performs one lock acquisition
+// (the Apply) and no allocations.
 func (w *Worker) schedule(op *opInstance) {
-	c := OpCtx{w: w, op: op}
-	w.frontier = w.exec.tracker.Frontiers(op.node, op.numIn, w.frontier)
-	c.frontiers = w.frontier
-	c.minFrontier = None
-	for _, f := range c.frontiers {
-		if f < c.minFrontier {
-			c.minFrontier = f
+	tr := w.exec.tracker
+	if op.fdirty {
+		// Record epochs before reading frontiers: a concurrent change lands
+		// either in the values read (harmless) or in a later epoch bump that
+		// re-dirties the operator.
+		for j, id := range op.portIDs {
+			op.seenEpoch[j] = tr.PortEpoch(id)
 		}
+		op.fcache = tr.Frontiers(op.node, op.numIn, op.fcache)
+		op.minF = None
+		for _, f := range op.fcache {
+			if f < op.minF {
+				op.minF = f
+			}
+		}
+		op.fdirty = false
 	}
-	op.logic(&c)
+	c := &w.ctx
+	c.op = op
+	c.frontiers = op.fcache
+	c.minFrontier = op.minF
+	c.batch.Reset()
+	c.remote = c.remote[:0]
+	c.local = c.local[:0]
+	op.logic(c)
 	// First make all produced pointstamps and hold changes visible, then
 	// release the messages themselves: a receiver can never observe a
 	// message whose pointstamp is unaccounted.
-	w.exec.tracker.Apply(&c.batch)
-	for _, m := range c.remote {
-		w.send(m)
+	tr.Apply(&c.batch)
+	for i := range c.remote {
+		w.send(c.remote[i])
 	}
-	for _, m := range c.local {
-		w.route(m)
+	for i := range c.local {
+		w.route(c.local[i])
 	}
+	c.op = nil
 }
 
 // send delivers a message to a peer worker, draining our own inbox while the

@@ -17,6 +17,7 @@ import (
 type InputHandle[T any] struct {
 	mu     sync.Mutex
 	staged []stagedBatch[T]
+	spare  []stagedBatch[T] // recycled staging buffer (see schedule)
 	epoch  Time
 	closed bool
 	dirty  bool // unflushed staging, epoch change, or close
@@ -38,7 +39,7 @@ func NewInput[T any](w *Worker, name string) (*InputHandle[T], Stream[T]) {
 	outs := b.Build(func(c *OpCtx) {
 		h.schedule(c)
 	})
-	w.pollers = append(w.pollers, h.pending)
+	w.pollers = append(w.pollers, poller{op: w.ops[len(w.ops)-1], pending: h.pending})
 	return h, Typed[T](outs[0])
 }
 
@@ -128,19 +129,29 @@ func (h *InputHandle[T]) pending() bool {
 }
 
 // schedule runs on the worker thread: flush staged batches, then move the
-// capability to the current epoch (or drop it when closed).
+// capability to the current epoch (or drop it when closed). The staging
+// buffer is swapped with a spare and recycled so steady-state flushing does
+// not allocate.
 func (h *InputHandle[T]) schedule(c *OpCtx) {
 	h.mu.Lock()
 	staged := h.staged
-	h.staged = nil
+	h.staged = h.spare[:0]
+	h.spare = nil
 	epoch := h.epoch
 	closed := h.closed
 	h.dirty = false
 	h.mu.Unlock()
 
 	for _, b := range staged {
-		c.Send(0, b.time, b.data)
+		if len(b.data) > 0 {
+			c.Send(0, b.time, b.data)
+		}
 	}
+	clear(staged) // drop record references before recycling
+	h.mu.Lock()
+	h.spare = staged[:0]
+	h.mu.Unlock()
+
 	if closed {
 		c.DropHold(0)
 		return

@@ -31,6 +31,17 @@ type opInstance struct {
 	inEdges  []progress.Edge // canonical edge id feeding each input port
 	outEdges [][]outEdgeInst
 	logic    func(*OpCtx)
+
+	// Scheduling state, owned by the worker goroutine (see Worker.sweep).
+	active    bool     // queued in the worker's activation set
+	holdCount int      // output ports with a live hold
+	portIDs   []int    // dense tracker ids of the input ports
+	seenEpoch []uint64 // port epochs when fcache was computed
+	watchIDs  []int    // out-of-band watched ports (WatchFrontier)
+	watchSeen []uint64
+	fcache    []Time // cached input frontiers, exact while !fdirty
+	minF      Time   // min of fcache (None when no inputs)
+	fdirty    bool
 }
 
 func (op *opInstance) finalize(w *Worker) {
@@ -43,6 +54,12 @@ func (op *opInstance) finalize(w *Worker) {
 // The result is indexed by worker; nil entries mean "nothing for that
 // worker". A nil Partitioner is the pipeline contract: the batch stays on
 // the sending worker.
+//
+// The returned slice is only read until the next call on the same worker, so
+// implementations reuse it across calls; empty partitions must be nil (the
+// runtime does not re-check lengths). A partitioner may return the input
+// batch itself as a partition (Broadcast does; Exchange does for a single
+// peer), in which case the input is owned by the receivers afterwards.
 type Partitioner func(data any) []any
 
 // StreamCore identifies a stream of timestamped batches: the output port of
@@ -163,6 +180,9 @@ func (b *OpBuilder) Build(logic func(*OpCtx)) []StreamCore {
 	// (node, port) location. Locations cannot be computed until the graph
 	// freezes, so stash the port coordinates; Execution.Build resolves them.
 	for _, h := range b.holdsAt {
+		if op.holds[h.port] == None {
+			op.holdCount++
+		}
 		op.holds[h.port] = h.time
 		e.pendingHolds = append(e.pendingHolds, pendingHold{
 			port: progress.Port{Node: b.node, Port: h.port},
@@ -223,18 +243,24 @@ func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
 	if len(q) == 0 {
 		return
 	}
-	c.op.queues[i] = nil
+	// Reuse the queue's backing array: nothing appends to it while the
+	// operator's logic runs (inbound routing happens between schedulings,
+	// and this operator's own sends are released after its logic returns).
+	c.op.queues[i] = q[:0]
 	loc := c.w.exec.tracker.EdgeLocation(c.op.inEdges[i])
 	for _, b := range q {
 		c.batch.Add(loc, b.time, -1)
 		f(b.time, b.data)
 	}
+	clear(q) // drop batch references before the backing array is reused
 }
 
 // Send emits a batch (a []T boxed as any) at time t on output port o. The
 // batch is routed along every edge attached to the port according to each
-// edge's partitioner. Send panics if t is not covered by a held capability
-// or by the operator's input frontier.
+// edge's partitioner; empty partitions are filtered by the partitioners
+// themselves (typed code can check emptiness, the runtime cannot). Send
+// panics if t is not covered by a held capability or by the operator's
+// input frontier.
 func (c *OpCtx) Send(o int, t Time, data any) {
 	c.assertCanSendAt(o, t)
 	if o >= len(c.op.outEdges) {
@@ -249,7 +275,7 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 		}
 		parts := oe.part(data)
 		for peer, pd := range parts {
-			if pd == nil || emptyBatch(pd) {
+			if pd == nil {
 				continue
 			}
 			c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
@@ -261,14 +287,6 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 			}
 		}
 	}
-}
-
-func emptyBatch(data any) bool {
-	type lener interface{ Len() int }
-	if l, ok := data.(lener); ok {
-		return l.Len() == 0
-	}
-	return false
 }
 
 func (c *OpCtx) assertCanSendAt(o int, t Time) {
@@ -304,6 +322,8 @@ func (c *OpCtx) Hold(o int, t Time) {
 	loc := c.w.exec.tracker.CapLocation(progress.Port{Node: c.op.node, Port: o})
 	if prev != None {
 		c.batch.Add(loc, prev, -1)
+	} else if t != None {
+		c.op.holdCount++
 	}
 	c.batch.Add(loc, t, 1)
 	c.op.holds[o] = t
@@ -318,6 +338,7 @@ func (c *OpCtx) DropHold(o int) {
 	loc := c.w.exec.tracker.CapLocation(progress.Port{Node: c.op.node, Port: o})
 	c.batch.Add(loc, prev, -1)
 	c.op.holds[o] = None
+	c.op.holdCount--
 }
 
 // HeldAt returns the current hold of output port o (None if none).

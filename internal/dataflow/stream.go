@@ -36,45 +36,77 @@ type Exchange[T any] struct {
 func (e Exchange[T]) partitioner(peers int) Partitioner {
 	hash := e.Hash
 	if peers == 1 {
-		return func(data any) []any { return []any{data} }
-	}
-	return func(data any) []any {
-		in := data.([]T)
-		out := make([]any, peers)
-		parts := make([][]T, peers)
-		for _, r := range in {
-			p := int(hash(r) % uint64(peers))
-			parts[p] = append(parts[p], r)
-		}
-		for i, p := range parts {
-			if len(p) > 0 {
-				out[i] = p
+		// Identity: ship the (already boxed) input batch itself.
+		out := make([]any, 1)
+		return func(data any) []any {
+			if len(data.([]T)) == 0 {
+				return nil
 			}
+			out[0] = data
+			return out
 		}
-		return out
 	}
+	return partitionBy[T](peers, func(r T) int { return int(hash(r) % uint64(peers)) })
 }
 
 // ExchangeTo routes each record to the worker index returned by To. This is
 // the indirection Megaphone introduces: the routing decision is made by the
 // sender against its routing table rather than by a static hash.
+//
+// The produced partitions never alias the input batch (they are copied into
+// a fresh buffer), so a sender may reuse its input buffer across sends on
+// ports whose edges all carry ExchangeTo.
 type ExchangeTo[T any] struct {
 	To func(T) int
 }
 
 func (e ExchangeTo[T]) partitioner(peers int) Partitioner {
-	to := e.To
+	return partitionBy[T](peers, e.To)
+}
+
+// partitionBy builds a partitioner that splits each batch by a per-record
+// destination. Records for all peers are copied into one contiguous buffer
+// (the only allocation that outlives the call; it is owned by the
+// receivers), and the result slice, destination table, and offset tables
+// are scratch reused across calls — partitioners are per-worker and only
+// invoked from their worker's scheduling loop.
+func partitionBy[T any](peers int, to func(T) int) Partitioner {
+	out := make([]any, peers)
+	offs := make([]int32, peers+1)
+	cur := make([]int32, peers)
+	var dest []int32
 	return func(data any) []any {
 		in := data.([]T)
-		out := make([]any, peers)
-		parts := make([][]T, peers)
-		for _, r := range in {
-			p := to(r)
-			parts[p] = append(parts[p], r)
+		if len(in) == 0 {
+			return nil
 		}
-		for i, p := range parts {
-			if len(p) > 0 {
-				out[i] = p
+		if cap(dest) < len(in) {
+			dest = make([]int32, len(in))
+		}
+		dest = dest[:len(in)]
+		for i := range offs {
+			offs[i] = 0
+		}
+		for i, r := range in {
+			p := to(r)
+			dest[i] = int32(p)
+			offs[p+1]++
+		}
+		for p := 0; p < peers; p++ {
+			offs[p+1] += offs[p]
+			cur[p] = offs[p]
+		}
+		buf := make([]T, len(in))
+		for i, r := range in {
+			p := dest[i]
+			buf[cur[p]] = r
+			cur[p]++
+		}
+		for p := 0; p < peers; p++ {
+			if a, b := offs[p], offs[p+1]; a < b {
+				out[p] = buf[a:b:b]
+			} else {
+				out[p] = nil
 			}
 		}
 		return out
@@ -85,12 +117,14 @@ func (e ExchangeTo[T]) partitioner(peers int) Partitioner {
 type Broadcast[T any] struct{}
 
 func (Broadcast[T]) partitioner(peers int) Partitioner {
+	out := make([]any, peers)
 	return func(data any) []any {
-		in := data.([]T)
-		out := make([]any, peers)
+		if len(data.([]T)) == 0 {
+			return nil
+		}
 		for i := range out {
-			// Share the slice: batches are immutable after send.
-			out[i] = in
+			// Share the boxed batch: batches are immutable after send.
+			out[i] = data
 		}
 		return out
 	}

@@ -58,6 +58,11 @@ type Result struct {
 	Epochs int64
 	// Records is the number of records injected.
 	Records int64
+	// Elapsed is the wall-clock seconds from injection start until the
+	// dataflow fully drained. When the system keeps up with the offered
+	// rate this is ~Duration; when it falls behind, Records/Elapsed is the
+	// system's actual sustained throughput.
+	Elapsed float64
 }
 
 // Span is one migration's execution window.
@@ -222,6 +227,7 @@ func Run[T any](
 		in.Close()
 	}
 	exec.Wait()
+	res.Elapsed = time.Since(start).Seconds()
 	close(stopProbe)
 	probeWG.Wait()
 	mu.Lock()

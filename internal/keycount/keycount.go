@@ -85,6 +85,14 @@ func DenseHash(key uint64, domain int64) uint64 {
 	return key << uint(64-logDomain(domain))
 }
 
+// denseHasher returns DenseHash with the domain's shift hoisted out: the
+// hash runs once per record on the routing hot path, where recomputing (and
+// re-validating) log2(domain) per call is measurable.
+func denseHasher(domain int64) func(uint64) uint64 {
+	shift := uint(64 - logDomain(domain))
+	return func(key uint64) uint64 { return key << shift }
+}
+
 // Build wires the counting query on worker w, fed by data (keys) and, for
 // migrateable variants, steered by control. It returns the output stream.
 // handle is optional instrumentation shared across workers (allocate one
@@ -117,7 +125,7 @@ func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], dat
 		return core.Unary(w,
 			core.Config{Name: "key-count", LogBins: p.LogBins, Transfer: p.Transfer},
 			control, data,
-			func(k uint64) uint64 { return DenseHash(k, domain) },
+			denseHasher(domain),
 			func() *ArrayState { return &ArrayState{Counts: make([]uint64, binSpan)} },
 			func(t core.Time, k uint64, s *ArrayState, _ *core.Notificator[uint64, ArrayState, Out], emit func(Out)) {
 				slot := k & uint64(binSpan-1)

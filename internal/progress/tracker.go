@@ -2,7 +2,11 @@ package progress
 
 import (
 	"fmt"
+	"slices"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"megaphone/internal/timestamp"
 )
@@ -39,52 +43,155 @@ func (b *Batch) Add(loc Location, t Time, delta int) {
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.Deltas = b.Deltas[:0] }
 
-// multiset tracks occurrence counts of totally ordered times with a cached
-// minimum.
+func deltaBefore(a, b CountDelta) bool {
+	return a.Loc < b.Loc || (a.Loc == b.Loc && a.Time < b.Time)
+}
+
+// coalesce merges deltas with the same (location, time) and drops the ones
+// that cancel, in place. A scheduling's batch routinely contains such pairs
+// (a hold moved and moved back, one +1 per peer on the same edge and time),
+// and merging them before the lock shrinks the critical section. Operators
+// emit deltas grouped by location in ascending time order, so the batch is
+// usually already sorted and the sort is skipped.
+func (b *Batch) coalesce() {
+	d := b.Deltas
+	if len(d) < 2 {
+		return
+	}
+	for i := 1; i < len(d); i++ {
+		if deltaBefore(d[i], d[i-1]) {
+			slices.SortFunc(d, func(a, b CountDelta) int {
+				switch {
+				case deltaBefore(a, b):
+					return -1
+				case deltaBefore(b, a):
+					return 1
+				}
+				return 0
+			})
+			break
+		}
+	}
+	out := d[:0]
+	for _, dd := range d {
+		if n := len(out); n > 0 && out[n-1].Loc == dd.Loc && out[n-1].Time == dd.Time {
+			out[n-1].Delta += dd.Delta
+			if out[n-1].Delta == 0 {
+				out = out[:n-1]
+			}
+			continue
+		}
+		out = append(out, dd)
+	}
+	b.Deltas = out
+}
+
+// timeCount is one entry of a multiset: a live time and its occurrence count.
+type timeCount struct {
+	t Time
+	n int
+}
+
+// multiset tracks occurrence counts of totally ordered times as a slice
+// sorted ascending by time, with a dead prefix of length head: the live
+// entries are entries[head:] and the minimum is entries[head]. Hot-path
+// updates touch the ends — consumption retires the head in O(1), production
+// appends just past the tail — so a deep backlog of live times (a saturated
+// input staging thousands of epochs) costs O(1) amortized per update,
+// unlike the map-based variant this replaces, whose minimum removal
+// rescanned every live time.
 type multiset struct {
-	counts map[Time]int
-	min    Time // cached minimum; None when empty
+	entries []timeCount
+	head    int
 }
 
-func (m *multiset) update(t Time, delta int) {
-	c := m.counts[t] + delta
+func (m *multiset) min() Time {
+	if m.head == len(m.entries) {
+		return None
+	}
+	return m.entries[m.head].t
+}
+
+func (m *multiset) empty() bool { return m.head == len(m.entries) }
+
+// update applies a count delta for time t and reports whether the multiset's
+// minimum changed.
+func (m *multiset) update(t Time, delta int) (minChanged bool) {
+	e := m.entries
+	// Fast paths: the head (consuming at the frontier) and the tail
+	// (producing just past it) cover nearly all hot-path updates.
+	i := m.head
 	switch {
-	case c < 0:
-		panic(fmt.Sprintf("progress: count for time %v went negative", t))
-	case c == 0:
-		delete(m.counts, t)
-		if t == m.min {
-			m.rescan()
-		}
+	case len(e) > m.head && e[m.head].t == t:
+	case len(e) == m.head || e[len(e)-1].t < t:
+		i = len(e)
 	default:
-		m.counts[t] = c
-		if t < m.min {
-			m.min = t
-		}
+		i = m.head + sort.Search(len(e)-m.head, func(k int) bool { return e[m.head+k].t >= t })
 	}
-}
-
-func (m *multiset) rescan() {
-	m.min = None
-	for t := range m.counts {
-		if t < m.min {
-			m.min = t
+	if i < len(e) && e[i].t == t {
+		e[i].n += delta
+		switch {
+		case e[i].n < 0:
+			panic(fmt.Sprintf("progress: count for time %v went negative", t))
+		case e[i].n == 0:
+			if i == m.head {
+				m.head++
+				// Reclaim the dead prefix once it dominates the slice.
+				if m.head > 32 && m.head > len(e)/2 {
+					m.entries = e[:copy(e, e[m.head:])]
+					m.head = 0
+				}
+				return true
+			}
+			copy(e[i:], e[i+1:])
+			m.entries = e[:len(e)-1]
+			return false
 		}
+		return false
 	}
+	if delta < 0 {
+		panic(fmt.Sprintf("progress: count for time %v went negative", t))
+	}
+	if delta == 0 {
+		return false
+	}
+	if m.head > 0 && i == m.head {
+		// Insert just before the live head: reuse a dead slot.
+		m.head--
+		e[m.head] = timeCount{t: t, n: delta}
+		return true
+	}
+	m.entries = append(e, timeCount{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = timeCount{t: t, n: delta}
+	return i == m.head
 }
 
 // Tracker holds the live pointstamp counts for a frozen dataflow graph and
 // answers frontier queries per input port. All methods are safe for
 // concurrent use by multiple workers.
+//
+// Workers observe progress without the lock: version counts effective
+// applies, live counts locations with pointstamps (zero means the
+// computation is done), and portEpochs[i] is bumped whenever the frontier of
+// input port i may have moved. All three are written under mu and read
+// atomically, so the scheduler's idle checks and dirty-set sweeps cost no
+// lock acquisitions.
 type Tracker struct {
-	mu        sync.Mutex
-	locs      []multiset
-	upstream  map[Port][]Location
-	edgeLoc   func(Edge) Location
-	capLoc    func(Port) Location
-	nonEmpty  int    // number of locations with live pointstamps
-	version   uint64 // bumped by every effective Apply
-	waiters   []chan struct{}
+	mu       sync.Mutex
+	locs     []multiset
+	upstream map[Port][]Location
+	edgeLoc  func(Edge) Location
+	capLoc   func(Port) Location
+	waiters  []chan<- struct{}
+
+	version atomic.Uint64 // bumped by every effective Apply
+	live    atomic.Int64  // number of locations with live pointstamps
+
+	portIDs    map[Port]int // dense input-port index
+	portEpochs []atomic.Uint64
+	deps       [][]int32 // location -> dense ports whose frontier it feeds
+
 	nodeNames []string
 }
 
@@ -96,9 +203,29 @@ func (b *GraphBuilder) Build() *Tracker {
 		upstream: b.reachability(),
 		edgeLoc:  edgeLoc,
 		capLoc:   capLoc,
+		portIDs:  make(map[Port]int),
+		deps:     make([][]int32, total),
 	}
-	for i := range t.locs {
-		t.locs[i] = multiset{counts: make(map[Time]int), min: None}
+	for p := range t.upstream {
+		t.portIDs[p] = 0
+	}
+	// Dense ids in a deterministic order (node, then port).
+	ports := make([]Port, 0, len(t.portIDs))
+	for p := range t.portIDs {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		if ports[i].Node != ports[j].Node {
+			return ports[i].Node < ports[j].Node
+		}
+		return ports[i].Port < ports[j].Port
+	})
+	t.portEpochs = make([]atomic.Uint64, len(ports))
+	for i, p := range ports {
+		t.portIDs[p] = i
+		for _, loc := range t.upstream[p] {
+			t.deps[loc] = append(t.deps[loc], int32(i))
+		}
 	}
 	for _, n := range b.nodes {
 		t.nodeNames = append(t.nodeNames, n.name)
@@ -112,31 +239,64 @@ func (t *Tracker) EdgeLocation(e Edge) Location { return t.edgeLoc(e) }
 // CapLocation returns the capability location of a node output port.
 func (t *Tracker) CapLocation(p Port) Location { return t.capLoc(p) }
 
+// PortID returns the dense index of a node input port, for use with
+// PortEpoch. It panics if p is not an input port of the graph.
+func (t *Tracker) PortID(p Port) int {
+	id, ok := t.portIDs[p]
+	if !ok {
+		panic(fmt.Sprintf("progress: no input port %v", p))
+	}
+	return id
+}
+
+// PortEpoch returns a counter bumped whenever the frontier at the port may
+// have changed. Workers compare epochs against remembered values to detect
+// "frontier moved for this port" without locking or recomputing frontiers.
+func (t *Tracker) PortEpoch(id int) uint64 { return t.portEpochs[id].Load() }
+
 // Apply atomically applies a batch of count changes and wakes any frontier
-// waiters.
+// waiters. Deltas that cancel within the batch are dropped first; an empty
+// or fully cancelling batch costs no lock acquisition.
 func (t *Tracker) Apply(b *Batch) {
+	b.coalesce()
 	if len(b.Deltas) == 0 {
 		return
 	}
 	t.mu.Lock()
+	liveDelta := int64(0)
 	for _, d := range b.Deltas {
 		ms := &t.locs[d.Loc]
-		wasEmpty := len(ms.counts) == 0
-		ms.update(d.Time, d.Delta)
-		isEmpty := len(ms.counts) == 0
-		if wasEmpty && !isEmpty {
-			t.nonEmpty++
-		} else if !wasEmpty && isEmpty {
-			t.nonEmpty--
+		wasEmpty := ms.empty()
+		minChanged := ms.update(d.Time, d.Delta)
+		if minChanged {
+			for _, pid := range t.deps[d.Loc] {
+				t.portEpochs[pid].Add(1)
+			}
+		}
+		if isEmpty := ms.empty(); wasEmpty != isEmpty {
+			if wasEmpty {
+				liveDelta++
+			} else {
+				liveDelta--
+			}
 		}
 	}
-	t.version++
-	waiters := t.waiters
-	t.waiters = nil
-	t.mu.Unlock()
-	for _, w := range waiters {
-		close(w)
+	if liveDelta != 0 {
+		t.live.Add(liveDelta)
 	}
+	t.version.Add(1)
+	// Poke registered waiters under the lock (non-blocking sends into
+	// latched channels, so this cannot stall) and keep the list's backing
+	// array for reuse. Waiters exist only while workers are parking, so
+	// steady-state applies skip this entirely.
+	for _, w := range t.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	t.waiters = t.waiters[:0]
+	t.mu.Unlock()
 }
 
 // Frontier returns the least timestamp that may still arrive at the given
@@ -150,7 +310,7 @@ func (t *Tracker) Frontier(p Port) Time {
 func (t *Tracker) frontierLocked(p Port) Time {
 	min := None
 	for _, loc := range t.upstream[p] {
-		if m := t.locs[loc].min; m < min {
+		if m := t.locs[loc].min(); m < min {
 			min = m
 		}
 	}
@@ -170,42 +330,47 @@ func (t *Tracker) Frontiers(n Node, inputs int, out []Time) []Time {
 }
 
 // Idle reports whether no pointstamps remain anywhere in the graph, i.e. the
-// computation has completed.
-func (t *Tracker) Idle() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.nonEmpty == 0
-}
+// computation has completed. Lock-free.
+func (t *Tracker) Idle() bool { return t.live.Load() == 0 }
 
 // Version returns a counter bumped on every effective Apply. Workers use it
 // to detect progress changes that raced with their scheduling pass.
-func (t *Tracker) Version() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.version
+// Lock-free.
+func (t *Tracker) Version() uint64 { return t.version.Load() }
+
+// Snapshot returns the version and idleness in one lock-free read, for the
+// worker run loop's park/exit decision.
+func (t *Tracker) Snapshot() (version uint64, idle bool) {
+	return t.version.Load(), t.live.Load() == 0
 }
 
 // Dump renders the live pointstamps for debugging: every location with
-// counts, labelled edge/cap with its index.
+// counts, labelled with its index, in deterministic (location, time) order.
 func (t *Tracker) Dump() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := ""
+	var sb strings.Builder
 	for i, m := range t.locs {
-		if len(m.counts) == 0 {
+		if m.empty() {
 			continue
 		}
-		s += fmt.Sprintf("loc %d: %v\n", i, m.counts)
+		fmt.Fprintf(&sb, "loc %d:", i)
+		for _, e := range m.entries[m.head:] {
+			fmt.Fprintf(&sb, " %v:%d", e.t, e.n)
+		}
+		sb.WriteByte('\n')
 	}
-	return s
+	return sb.String()
 }
 
-// WaitChan returns a channel closed at the next count change; callers use it
-// to park until progress is possible.
-func (t *Tracker) WaitChan() <-chan struct{} {
+// Notify registers ch to receive one non-blocking signal at the next
+// effective Apply; callers park on ch until progress is possible. The
+// channel must be buffered (it acts as a latch: a signal arriving before
+// the caller blocks is retained) and is owned by the caller, so parking
+// allocates nothing. Registration is consumed by the next effective Apply;
+// re-register before every park.
+func (t *Tracker) Notify(ch chan<- struct{}) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := make(chan struct{})
-	t.waiters = append(t.waiters, w)
-	return w
+	t.waiters = append(t.waiters, ch)
+	t.mu.Unlock()
 }

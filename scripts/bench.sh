@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the runtime hot-path benchmarks and emit BENCH_runtime.json,
+# the perf trajectory record for the engine's inner loop: sustained records/s
+# and p99 latency of the saturating steady-state ablation, plus allocs/op of
+# the route->exchange->apply micro-benchmark and the tracker apply path.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_runtime.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "running steady-state ablation (saturating, ~5s)..." >&2
+go test -run xxx -bench 'BenchmarkAblationBinsSteadyState' -benchtime 1x -benchmem . | tee -a "$TMP" >&2
+echo "running runtime micro-benchmarks..." >&2
+go test -run xxx -bench 'BenchmarkExchangeHotPath' -benchmem ./internal/dataflow/ | tee -a "$TMP" >&2
+go test -run xxx -bench 'BenchmarkApplySteady' -benchmem ./internal/progress/ | tee -a "$TMP" >&2
+
+awk '
+BEGIN { print "{"; print "  \"generated_by\": \"scripts/bench.sh\","; print "  \"benchmarks\": {"; n = 0 }
+/^Benchmark/ {
+    name = $1
+    if (n++) printf ",\n"
+    printf "    \"%s\": {", name
+    first = 1
+    # fields after the iteration count come in value/unit pairs
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        if (!first) printf ", "
+        printf "\"%s\": %s", unit, $i
+        first = 0
+    }
+    printf "}"
+}
+END { print "\n  }"; print "}" }
+' "$TMP" > "$OUT"
+echo "wrote $OUT" >&2
