@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -28,44 +29,56 @@ type config struct {
 	workers  int
 	quick    bool
 	transfer core.Codec
+	out      io.Writer
 }
 
 func main() {
-	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1, fig5..fig20, codec, or all")
-		workers  = flag.Int("workers", 4, "number of workers")
-		quick    = flag.Bool("quick", false, "shrink durations for a fast pass")
-		transfer = flag.String("transfer", "gob",
-			fmt.Sprintf("migration codec for every experiment: %s", strings.Join(core.CodecNames(), ", ")))
-	)
-	flag.Parse()
-	codec, err := core.CodecByName(*transfer)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	c := config{workers: *workers, quick: *quick, transfer: codec}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1, fig1, fig5..fig20, skew, autoscale, codec, or all")
+		workers  = fs.Int("workers", 4, "number of workers")
+		quick    = fs.Bool("quick", false, "shrink durations for a fast pass")
+		transfer = fs.String("transfer", "gob",
+			fmt.Sprintf("migration codec for every experiment: %s", strings.Join(core.CodecNames(), ", ")))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := core.CodecByName(*transfer)
+	if err != nil {
+		return err
+	}
+	c := config{workers: *workers, quick: *quick, transfer: codec, out: out}
 
 	all := map[string]func(config){
-		"table1": table1,
-		"fig1":   fig1,
-		"codec":  codecExp,
-		"fig5":   func(c config) { statelessFig(c, "fig5", "q1") },
-		"fig6":   func(c config) { statelessFig(c, "fig6", "q2") },
-		"fig7":   func(c config) { queryFig(c, "fig7", "q3", true) },
-		"fig8":   func(c config) { queryFig(c, "fig8", "q4", false) },
-		"fig9":   func(c config) { queryFig(c, "fig9", "q5", false) },
-		"fig10":  func(c config) { queryFig(c, "fig10", "q6", false) },
-		"fig11":  func(c config) { queryFig(c, "fig11", "q7", false) },
-		"fig12":  func(c config) { queryFig(c, "fig12", "q8", false) },
-		"fig13":  func(c config) { overheadFig(c, "fig13", keycount.HashCount, 1<<20) },
-		"fig14":  func(c config) { overheadFig(c, "fig14", keycount.KeyCount, 1<<20) },
-		"fig15":  func(c config) { overheadFig(c, "fig15", keycount.KeyCount, 1<<23) },
-		"fig16":  fig16,
-		"fig17":  fig17,
-		"fig18":  fig18,
-		"fig19":  fig19,
-		"fig20":  fig20,
+		"table1":    table1,
+		"fig1":      fig1,
+		"codec":     codecExp,
+		"skew":      skewExp,
+		"autoscale": autoscaleExp,
+		"fig5":      func(c config) { statelessFig(c, "fig5", "q1") },
+		"fig6":      func(c config) { statelessFig(c, "fig6", "q2") },
+		"fig7":      func(c config) { queryFig(c, "fig7", "q3", true) },
+		"fig8":      func(c config) { queryFig(c, "fig8", "q4", false) },
+		"fig9":      func(c config) { queryFig(c, "fig9", "q5", false) },
+		"fig10":     func(c config) { queryFig(c, "fig10", "q6", false) },
+		"fig11":     func(c config) { queryFig(c, "fig11", "q7", false) },
+		"fig12":     func(c config) { queryFig(c, "fig12", "q8", false) },
+		"fig13":     func(c config) { overheadFig(c, "fig13", keycount.HashCount, 1<<20) },
+		"fig14":     func(c config) { overheadFig(c, "fig14", keycount.KeyCount, 1<<20) },
+		"fig15":     func(c config) { overheadFig(c, "fig15", keycount.KeyCount, 1<<23) },
+		"fig16":     fig16,
+		"fig17":     fig17,
+		"fig18":     fig18,
+		"fig19":     fig19,
+		"fig20":     fig20,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(all))
@@ -78,22 +91,26 @@ func main() {
 		for _, n := range names {
 			all[n](c)
 		}
-		return
+		return nil
 	}
 	fn, ok := all[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	fn(c)
+	return nil
 }
 
 func orderKey(n string) int {
-	if n == "table1" {
+	switch n {
+	case "table1":
 		return 0
-	}
-	if n == "codec" {
-		return 999 // the codec ablation runs after the paper's figures
+	case "skew":
+		return 900 // the new ablations run after the paper's figures
+	case "autoscale":
+		return 901
+	case "codec":
+		return 999
 	}
 	var x int
 	fmt.Sscanf(n, "fig%d", &x)
@@ -105,8 +122,8 @@ func orderKey(n string) int {
 // could achieve; gob is the reflective baseline; binary is the hand-rolled
 // fast path. Runs all registered codecs regardless of -transfer.
 func codecExp(c config) {
-	header("codec", "migration latency per state-transfer codec (all-at-once, key-count)")
-	fmt.Printf("%-10s %12s %14s %12s\n", "codec", "duration[s]", "max-latency[ms]", "p99[ms]")
+	header(c, "codec", "migration latency per state-transfer codec (all-at-once, key-count)")
+	fmt.Fprintf(c.out, "%-10s %12s %14s %12s\n", "codec", "duration[s]", "max-latency[ms]", "p99[ms]")
 	for _, name := range core.CodecNames() {
 		codec, err := core.CodecByName(name)
 		if err != nil {
@@ -129,16 +146,16 @@ func codecExp(c config) {
 		})
 		if len(res.MigrationSpans) > 0 {
 			sp := res.MigrationSpans[0]
-			fmt.Printf("%-10s %12.3f %14.2f %12.2f\n", name,
+			fmt.Fprintf(c.out, "%-10s %12.3f %14.2f %12.2f\n", name,
 				sp.Duration, sp.MaxLatency, float64(res.Hist.Quantile(0.99))/1e6)
 		} else {
-			fmt.Printf("%-10s %12s %14s %12s\n", name, "-", "-", "-")
+			fmt.Fprintf(c.out, "%-10s %12s %14s %12s\n", name, "-", "-", "-")
 		}
 	}
 }
 
-func header(name, what string) {
-	fmt.Printf("\n==================== %s: %s ====================\n", strings.ToUpper(name), what)
+func header(c config, name, what string) {
+	fmt.Fprintf(c.out, "\n==================== %s: %s ====================\n", strings.ToUpper(name), what)
 }
 
 // scale shrinks durations under -quick.
@@ -151,32 +168,32 @@ func (c config) dur(d time.Duration) time.Duration {
 
 // table1 — lines of code of the NEXMark query implementations.
 func table1(c config) {
-	header("table1", "NEXMark query implementations, lines of code")
+	header(c, "table1", "NEXMark query implementations, lines of code")
 	native, mega, err := nexmark.LoC()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return
 	}
-	fmt.Printf("%-12s", "")
+	fmt.Fprintf(c.out, "%-12s", "")
 	for i := 1; i <= 8; i++ {
-		fmt.Printf("%6s", fmt.Sprintf("Q%d", i))
+		fmt.Fprintf(c.out, "%6s", fmt.Sprintf("Q%d", i))
 	}
-	fmt.Println()
-	fmt.Printf("%-12s", "Native")
+	fmt.Fprintln(c.out)
+	fmt.Fprintf(c.out, "%-12s", "Native")
 	for i := 1; i <= 8; i++ {
-		fmt.Printf("%6d", native[fmt.Sprintf("q%d", i)])
+		fmt.Fprintf(c.out, "%6d", native[fmt.Sprintf("q%d", i)])
 	}
-	fmt.Println()
-	fmt.Printf("%-12s", "Megaphone")
+	fmt.Fprintln(c.out)
+	fmt.Fprintf(c.out, "%-12s", "Megaphone")
 	for i := 1; i <= 8; i++ {
-		fmt.Printf("%6d", mega[fmt.Sprintf("q%d", i)])
+		fmt.Fprintf(c.out, "%6d", mega[fmt.Sprintf("q%d", i)])
 	}
-	fmt.Println()
+	fmt.Fprintln(c.out)
 }
 
 // fig1 — all-at-once vs fluid vs optimized on a large key-count migration.
 func fig1(c config) {
-	header("fig1", "migration strategies on key-count (latency timelines)")
+	header(c, "fig1", "migration strategies on key-count (latency timelines)")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Optimized} {
 		res := keycount.Run(keycount.RunConfig{
 			Params: keycount.Params{
@@ -193,15 +210,15 @@ func fig1(c config) {
 			Batch:     16,
 			MigrateAt: c.dur(6 * time.Second),
 		})
-		fmt.Printf("\n--- %v ---\n", st)
-		res.Timeline.Fprint(os.Stdout)
-		printSpans(res)
+		fmt.Fprintf(c.out, "\n--- %v ---\n", st)
+		res.Timeline.Fprint(c.out)
+		printSpans(c, res)
 	}
 }
 
 // statelessFig — Q1/Q2: no state, migration is a no-op.
 func statelessFig(c config, name, q string) {
-	header(name, "NEXMark "+q+" (stateless): reconfigurations cause no spike")
+	header(c, name, "NEXMark "+q+" (stateless): reconfigurations cause no spike")
 	res := nexmark.Run(nexmark.RunConfig{
 		Query:     q,
 		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8, Transfer: c.transfer},
@@ -212,13 +229,13 @@ func statelessFig(c config, name, q string) {
 		Batch:     16,
 		MigrateAt: c.dur(3 * time.Second),
 	})
-	res.Timeline.Fprint(os.Stdout)
-	printSpans(res)
+	res.Timeline.Fprint(c.out)
+	printSpans(c, res)
 }
 
 // queryFig — stateful NEXMark queries: all-at-once vs batched (vs native).
 func queryFig(c config, name, q string, withNative bool) {
-	header(name, "NEXMark "+q+": all-at-once vs Megaphone batched")
+	header(c, name, "NEXMark "+q+": all-at-once vs Megaphone batched")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Batched} {
 		res := nexmark.Run(nexmark.RunConfig{
 			Query:     q,
@@ -230,9 +247,9 @@ func queryFig(c config, name, q string, withNative bool) {
 			Batch:     16,
 			MigrateAt: c.dur(4 * time.Second),
 		})
-		fmt.Printf("\n--- %s %v ---\n", q, st)
-		res.Timeline.Fprint(os.Stdout)
-		printSpans(res)
+		fmt.Fprintf(c.out, "\n--- %s %v ---\n", q, st)
+		res.Timeline.Fprint(c.out)
+		printSpans(c, res)
 	}
 	if withNative {
 		res := nexmark.Run(nexmark.RunConfig{
@@ -242,15 +259,15 @@ func queryFig(c config, name, q string, withNative bool) {
 			Rate:     200_000,
 			Duration: c.dur(12 * time.Second),
 		})
-		fmt.Printf("\n--- %s native ---\n", q)
-		res.Timeline.Fprint(os.Stdout)
+		fmt.Fprintf(c.out, "\n--- %s native ---\n", q)
+		res.Timeline.Fprint(c.out)
 	}
 }
 
 // overheadFig — steady-state CCDF/percentiles vs bin count (Figures 13-15).
 func overheadFig(c config, name string, v keycount.Variant, domain int64) {
-	header(name, fmt.Sprintf("%v overhead, domain=%d: percentiles by bin count", v, domain))
-	fmt.Printf("%-12s %10s %10s %10s %10s\n", "experiment", "90%[ms]", "99%[ms]", "99.99%[ms]", "max[ms]")
+	header(c, name, fmt.Sprintf("%v overhead, domain=%d: percentiles by bin count", v, domain))
+	fmt.Fprintf(c.out, "%-12s %10s %10s %10s %10s\n", "experiment", "90%[ms]", "99%[ms]", "99.99%[ms]", "max[ms]")
 	logBins := []int{4, 8, 12, 16}
 	if c.quick {
 		logBins = []int{4, 12}
@@ -270,7 +287,7 @@ func overheadFig(c config, name string, v keycount.Variant, domain int64) {
 		})
 		h := res.Hist
 		ms := func(v int64) float64 { return float64(v) / 1e6 }
-		fmt.Printf("%-12s %10.2f %10.2f %10.2f %10.2f\n", label,
+		fmt.Fprintf(c.out, "%-12s %10.2f %10.2f %10.2f %10.2f\n", label,
 			ms(h.Quantile(0.90)), ms(h.Quantile(0.99)), ms(h.Quantile(0.9999)), ms(h.Max()))
 	}
 	for _, lb := range logBins {
@@ -303,16 +320,16 @@ func sweepRow(c config, st plan.Strategy, logBins int, domain int64, rate int, l
 	})
 	if len(res.MigrationSpans) > 0 {
 		sp := res.MigrationSpans[0]
-		fmt.Printf("%-12v %-12s %12.3f %14.2f\n", st, label, sp.Duration, sp.MaxLatency)
+		fmt.Fprintf(c.out, "%-12v %-12s %12.3f %14.2f\n", st, label, sp.Duration, sp.MaxLatency)
 	} else {
-		fmt.Printf("%-12v %-12s %12s %14s\n", st, label, "-", "-")
+		fmt.Fprintf(c.out, "%-12v %-12s %12s %14s\n", st, label, "-", "-")
 	}
 }
 
 // fig16 — latency vs duration while the bin count varies.
 func fig16(c config) {
-	header("fig16", "migration latency vs duration, varying bin count (fixed domain)")
-	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
+	header(c, "fig16", "migration latency vs duration, varying bin count (fixed domain)")
+	fmt.Fprintf(c.out, "%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
 	logBins := []int{4, 6, 8, 10}
 	if c.quick {
 		logBins = []int{4, 8}
@@ -326,8 +343,8 @@ func fig16(c config) {
 
 // fig17 — latency vs duration while the domain varies.
 func fig17(c config) {
-	header("fig17", "migration latency vs duration, varying domain (fixed bins)")
-	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "domain", "duration[s]", "max-latency[ms]")
+	header(c, "fig17", "migration latency vs duration, varying domain (fixed bins)")
+	fmt.Fprintf(c.out, "%-12s %-12s %12s %14s\n", "strategy", "domain", "duration[s]", "max-latency[ms]")
 	domains := []int64{1 << 19, 1 << 20, 1 << 21, 1 << 22}
 	if c.quick {
 		domains = []int64{1 << 19, 1 << 21}
@@ -341,8 +358,8 @@ func fig17(c config) {
 
 // fig18 — domain and bins grow proportionally: keys-per-bin fixed.
 func fig18(c config) {
-	header("fig18", "migration latency vs duration, fixed state per bin")
-	fmt.Printf("%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
+	header(c, "fig18", "migration latency vs duration, fixed state per bin")
+	fmt.Fprintf(c.out, "%-12s %-12s %12s %14s\n", "strategy", "bins", "duration[s]", "max-latency[ms]")
 	cfgs := []struct {
 		logBins int
 		domain  int64
@@ -359,8 +376,8 @@ func fig18(c config) {
 
 // fig19 — offered load vs max latency per strategy.
 func fig19(c config) {
-	header("fig19", "offered load vs max latency")
-	fmt.Printf("%-14s %12s %14s %14s\n", "strategy", "rate[/s]", "max[ms]", "p99[ms]")
+	header(c, "fig19", "offered load vs max latency")
+	fmt.Fprintf(c.out, "%-14s %12s %14s %14s\n", "strategy", "rate[/s]", "max[ms]", "p99[ms]")
 	rates := []int{50_000, 100_000, 200_000, 400_000, 800_000}
 	if c.quick {
 		rates = []int{100_000, 400_000}
@@ -395,7 +412,7 @@ func fig19(c config) {
 				cfg.MigrateAt = c.dur(4 * time.Second)
 			}
 			res := keycount.Run(cfg)
-			fmt.Printf("%-14s %12d %14.2f %14.2f\n", v.name, r,
+			fmt.Fprintf(c.out, "%-14s %12d %14.2f %14.2f\n", v.name, r,
 				float64(res.Hist.Max())/1e6, float64(res.Hist.Quantile(0.99))/1e6)
 		}
 	}
@@ -403,7 +420,7 @@ func fig19(c config) {
 
 // fig20 — memory over time per strategy.
 func fig20(c config) {
-	header("fig20", "heap bytes over time per migration strategy")
+	header(c, "fig20", "heap bytes over time per migration strategy")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
 		res := keycount.Run(keycount.RunConfig{
 			Params: keycount.Params{
@@ -422,15 +439,148 @@ func fig20(c config) {
 			MigrateTwo: true,
 			Memory:     true,
 		})
-		fmt.Printf("\n--- %v ---  steady p50=%.1f MiB, peak=%.1f MiB\n",
+		fmt.Fprintf(c.out, "\n--- %v ---  steady p50=%.1f MiB, peak=%.1f MiB\n",
 			st, res.Memory.Quantile(0.5)/(1<<20), res.Memory.Max()/(1<<20))
-		res.Memory.Fprint(os.Stdout)
+		res.Memory.Fprint(c.out)
 	}
 }
 
-func printSpans(res harness.Result) {
+func printSpans(c config, res harness.Result) {
 	for i, sp := range res.MigrationSpans {
-		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+		fmt.Fprintf(c.out, "# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
 			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
 	}
+}
+
+// skewExp — a Zipf-skewed key stream under the static assignment vs the
+// LoadBalance policy: the policy sheds hot bins from whichever workers drew
+// them, without any hand-written plan.
+func skewExp(c config) {
+	header(c, "skew", "zipf-skewed key-count: static assignment vs load-balance policy")
+	wl := harness.Workload{Kind: harness.Zipf, ZipfS: 1.2}
+	for _, policy := range []plan.Policy{plan.Static{}, plan.LoadBalance{Hysteresis: 0.1}} {
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant:  keycount.HashCount,
+				LogBins:  8,
+				Domain:   1 << 20,
+				Transfer: c.transfer,
+				Preload:  true,
+			},
+			Workers:  c.workers,
+			Rate:     200_000,
+			Duration: c.dur(8 * time.Second),
+			Workload: wl,
+			Auto: &plan.AutoOptions{
+				Policy:   policy,
+				Strategy: plan.Optimized,
+				Batch:    8,
+			},
+		})
+		fmt.Fprintf(c.out, "\n--- policy=%s workload=%s ---\n", policy.Name(), wl)
+		res.Timeline.Fprint(c.out)
+		res.FprintAdaptive(c.out)
+	}
+}
+
+// autoscaleExp — the adaptive loop end to end: a hot key set carrying most
+// of the traffic jumps between workers mid-run (every shift lands all hot
+// bins on one worker's residue class), and the AutoController detects each
+// shift from the metered load and restores the latency timeline with an
+// Optimized plan — no scripted migrations anywhere.
+func autoscaleExp(c config) {
+	header(c, "autoscale", "hot-key shift vs AutoController (load-balance, optimized plans)")
+	const (
+		logBins = 8
+		domain  = 1 << 20
+	)
+	duration := c.dur(12 * time.Second)
+	shiftEvery := int64(c.dur(4*time.Second) / time.Millisecond)
+	// Simulated per-record service time, tuned so the worker drawing the
+	// whole hot set runs ~20% past its serial capacity while a balanced
+	// spread keeps every worker near a third of it: the hotspot visibly
+	// wedges the static assignment, and a prompt rebalance genuinely fixes
+	// it — on any machine, since the cost is slept, not burned.
+	const serviceNanos = 4500
+	binSpan := uint64(domain >> logBins)
+	// The strided hot set only stays in one worker's residue class when the
+	// stride divides the domain, i.e. the worker count is a power of two;
+	// round down so odd -workers values still concentrate the hotspot.
+	strideWorkers := uint64(1)
+	for strideWorkers*2 <= uint64(c.workers) {
+		strideWorkers *= 2
+	}
+	if int(strideWorkers) != c.workers {
+		fmt.Fprintf(c.out, "(hot stride uses %d of %d workers: power-of-two required for an exact residue class)\n",
+			strideWorkers, c.workers)
+	}
+	wl := harness.Workload{
+		Kind:        harness.HotShift,
+		HotFraction: 0.85,
+		HotKeys:     16,
+		// One worker's residue class: under the dense key-count hash every
+		// hot key lands in a bin owned by the same worker.
+		HotStride:  binSpan * strideWorkers,
+		ShiftEvery: shiftEvery,
+	}
+	for _, policy := range []plan.Policy{plan.Static{}, plan.LoadBalance{Hysteresis: 0.25}} {
+		res := keycount.Run(keycount.RunConfig{
+			Params: keycount.Params{
+				Variant:      keycount.KeyCount,
+				LogBins:      logBins,
+				Domain:       domain,
+				Transfer:     c.transfer,
+				Preload:      true,
+				ServiceNanos: serviceNanos,
+			},
+			Workers:  c.workers,
+			Rate:     300_000,
+			Duration: duration,
+			Workload: wl,
+			Auto: &plan.AutoOptions{
+				Policy:   policy,
+				Strategy: plan.Optimized,
+				Batch:    4,
+				// Sample fast and cool down briefly: the sooner a shift is
+				// detected, the smaller the backlog the migration must pace
+				// its steps through.
+				SampleEvery: 125,
+				Cooldown:    250,
+			},
+		})
+		fmt.Fprintf(c.out, "\n--- policy=%s workload=%s ---\n", policy.Name(), wl)
+		res.Timeline.Fprint(c.out)
+		res.FprintAdaptive(c.out)
+		// Per-phase p99: the peak right after each hot-set shift vs where the
+		// controller settled it by the end of the phase.
+		phase := float64(shiftEvery) / 1000
+		for p := 0; p*int(phase*1000) < int(duration/time.Millisecond); p++ {
+			from, to := float64(p)*phase, float64(p+1)*phase
+			peak, settled := phaseP99(res, from, to)
+			fmt.Fprintf(c.out, "# phase %d [%.0fs-%.0fs): peak p99=%.2fms settled p99=%.2fms\n",
+				p+1, from, to, peak, settled)
+		}
+	}
+}
+
+// phaseP99 returns the peak p99 over the window [from, to) and the median
+// p99 of its last quarter (where the controller should have settled).
+func phaseP99(res harness.Result, from, to float64) (peak, settled float64) {
+	var tail []float64
+	for _, s := range res.Timeline.Samples() {
+		if s.At < from || s.At >= to {
+			continue
+		}
+		if s.P99 > peak {
+			peak = s.P99
+		}
+		if s.At >= to-(to-from)/4 {
+			tail = append(tail, s.P99)
+		}
+	}
+	sort.Float64s(tail)
+	if len(tail) > 0 {
+		settled = tail[len(tail)/2]
+	}
+	return peak, settled
 }

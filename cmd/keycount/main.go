@@ -1,44 +1,64 @@
 // Command keycount runs the counting micro-benchmark of Sections 5.2-5.3:
-// a uniform stream of identifiers whose per-key counts are the operator
-// state, with configurable bins, domain, rate and migration strategy. It
-// prints the latency timeline, overall percentiles and (optionally) CCDF
+// a stream of identifiers whose per-key counts are the operator state, with
+// configurable bins, domain, rate, key distribution and migration strategy.
+// It prints the latency timeline, overall percentiles and (optionally) CCDF
 // rows and the memory series.
+//
+// Migrations come either from the scripted schedule (-migrate-at) or, with
+// -auto, from a policy-driven AutoController that meters per-bin load and
+// issues plans itself (try -workload zipf or -workload hotshift:0.85,16,2000
+// to give it something to react to).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"megaphone/internal/core"
+	"megaphone/internal/harness"
 	"megaphone/internal/keycount"
 	"megaphone/internal/plan"
 )
 
 func main() {
-	var (
-		variant   = flag.String("variant", "hash", "hash, key, native-hash or native-key")
-		workers   = flag.Int("workers", 4, "number of workers")
-		rate      = flag.Int("rate", 200000, "records per second")
-		duration  = flag.Duration("duration", 10*time.Second, "run length")
-		bins      = flag.Int("bins", 8, "log2 bin count")
-		domain    = flag.Int64("domain", 1<<20, "number of distinct keys (power of two)")
-		strategy  = flag.String("strategy", "batched", "all-at-once, fluid, batched, optimized")
-		batch     = flag.Int("batch", 16, "bins per step")
-		migrateAt = flag.Duration("migrate-at", 4*time.Second, "first migration time (0 disables)")
-		ccdf      = flag.Bool("ccdf", false, "print per-record latency CCDF")
-		memory    = flag.Bool("memory", false, "print heap series")
-		preload   = flag.Bool("preload", true, "pre-create per-bin state")
-		transfer  = flag.String("transfer", "gob",
-			"migration codec: "+strings.Join(core.CodecNames(), ", "))
-	)
-	flag.Parse()
-	codec, err := core.CodecByName(*transfer)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("keycount", flag.ContinueOnError)
+	var (
+		variant   = fs.String("variant", "hash", "hash, key, native-hash or native-key")
+		workers   = fs.Int("workers", 4, "number of workers")
+		rate      = fs.Int("rate", 200000, "records per second")
+		duration  = fs.Duration("duration", 10*time.Second, "run length")
+		bins      = fs.Int("bins", 8, "log2 bin count")
+		domain    = fs.Int64("domain", 1<<20, "number of distinct keys (power of two)")
+		strategy  = fs.String("strategy", "batched", "all-at-once, fluid, batched, optimized")
+		batch     = fs.Int("batch", 16, "bins per step")
+		migrateAt = fs.Duration("migrate-at", 4*time.Second, "first migration time (0 disables)")
+		workload  = fs.String("workload", "uniform", "key distribution: uniform, zipf[:S], hotshift[:FRAC,KEYS,EVERY[,STRIDE]]")
+		auto      = fs.String("auto", "", "auto-controller policy (load-balance or static); replaces -migrate-at plans")
+		hyst      = fs.Float64("hysteresis", 0.25, "auto-controller rebalance trigger above mean load")
+		service   = fs.Duration("service", 0, "simulated per-record service time (0 disables)")
+		ccdf      = fs.Bool("ccdf", false, "print per-record latency CCDF")
+		memory    = fs.Bool("memory", false, "print heap series")
+		preload   = fs.Bool("preload", true, "pre-create per-bin state")
+		transfer  = fs.String("transfer", "gob",
+			"migration codec: "+strings.Join(core.CodecNames(), ", "))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := core.CodecByName(*transfer)
+	if err != nil {
+		return err
 	}
 
 	var v keycount.Variant
@@ -52,22 +72,35 @@ func main() {
 	case "native-key":
 		v = keycount.NativeKey
 	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(2)
+		return fmt.Errorf("unknown variant %q", *variant)
 	}
 	st, err := parseStrategy(*strategy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
+	}
+	wl, err := harness.ParseWorkload(*workload)
+	if err != nil {
+		return err
+	}
+	if v == keycount.NativeHash || v == keycount.NativeKey {
+		// The native variants have no megaphone operator behind them: no
+		// meter for -auto to read and no fold for -service to throttle.
+		if *auto != "" {
+			return fmt.Errorf("-auto requires a migrateable variant (hash or key), not %v", v)
+		}
+		if *service != 0 {
+			return fmt.Errorf("-service requires a migrateable variant (hash or key), not %v", v)
+		}
 	}
 
-	res := keycount.Run(keycount.RunConfig{
+	cfg := keycount.RunConfig{
 		Params: keycount.Params{
-			Variant:  v,
-			LogBins:  *bins,
-			Domain:   *domain,
-			Transfer: codec,
-			Preload:  *preload,
+			Variant:      v,
+			LogBins:      *bins,
+			Domain:       *domain,
+			Transfer:     codec,
+			Preload:      *preload,
+			ServiceNanos: service.Nanoseconds(),
 		},
 		Workers:    *workers,
 		Rate:       *rate,
@@ -77,25 +110,37 @@ func main() {
 		MigrateAt:  *migrateAt,
 		MigrateTwo: true,
 		Memory:     *memory,
-	})
+		Workload:   wl,
+	}
+	if *auto != "" {
+		pol, err := plan.PolicyByName(*auto, *hyst)
+		if err != nil {
+			return err
+		}
+		cfg.Auto = &plan.AutoOptions{Policy: pol, Strategy: st, Batch: *batch}
+	}
 
-	fmt.Printf("# keycount %v, %d workers, rate=%d, domain=%d, bins=2^%d, strategy=%v\n",
-		v, *workers, *rate, *domain, *bins, st)
-	res.Timeline.Fprint(os.Stdout)
+	res := keycount.Run(cfg)
+
+	fmt.Fprintf(out, "# keycount %v, %d workers, rate=%d, domain=%d, bins=2^%d, strategy=%v, workload=%v\n",
+		v, *workers, *rate, *domain, *bins, st, wl)
+	res.Timeline.Fprint(out)
 	for i, sp := range res.MigrationSpans {
-		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+		fmt.Fprintf(out, "# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
 			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
 	}
-	fmt.Printf("# records=%d overall: %s\n", res.Records, res.Hist.Summary())
+	res.FprintAdaptive(out)
+	fmt.Fprintf(out, "# records=%d overall: %s\n", res.Records, res.Hist.Summary())
 	if *ccdf {
-		fmt.Println("# CCDF: latency[ms] fraction-greater")
+		fmt.Fprintln(out, "# CCDF: latency[ms] fraction-greater")
 		for _, p := range res.Hist.CCDF() {
-			fmt.Printf("%12.3f %12.6g\n", float64(p.Value)/1e6, p.Fraction)
+			fmt.Fprintf(out, "%12.3f %12.6g\n", float64(p.Value)/1e6, p.Fraction)
 		}
 	}
 	if *memory {
-		res.Memory.Fprint(os.Stdout)
+		res.Memory.Fprint(out)
 	}
+	return nil
 }
 
 func parseStrategy(s string) (plan.Strategy, error) {

@@ -6,11 +6,16 @@
 //
 //	nexmark -query q4 -impl megaphone -workers 4 -rate 200000 \
 //	        -duration 20s -migrate-at 8s -strategy batched -bins 8
+//
+// With -auto load-balance the migrations come from a metering
+// AutoController instead of the scripted schedule; combine with -hot-ratio
+// and -hot-shift-every to inject a moving auction hotspot for it to chase.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,31 +26,43 @@ import (
 )
 
 func main() {
-	var (
-		query     = flag.String("query", "q3", "query to run (q1..q8)")
-		impl      = flag.String("impl", "megaphone", "implementation: native or megaphone")
-		workers   = flag.Int("workers", 4, "number of workers")
-		rate      = flag.Int("rate", 100000, "events per second")
-		duration  = flag.Duration("duration", 10*time.Second, "run length")
-		bins      = flag.Int("bins", 8, "log2 bin count")
-		strategy  = flag.String("strategy", "batched", "migration strategy: all-at-once, fluid, batched, optimized")
-		batch     = flag.Int("batch", 16, "bins per step for batched/optimized")
-		migrateAt = flag.Duration("migrate-at", 4*time.Second, "when to start the first migration (0 disables)")
-		window    = flag.Uint64("window", 60, "window epochs for q5/q7/q8 (time dilation)")
-		transfer  = flag.String("transfer", "gob",
-			"migration codec: "+strings.Join(core.CodecNames(), ", "))
-	)
-	flag.Parse()
-
-	st, err := parseStrategy(*strategy)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nexmark", flag.ContinueOnError)
+	var (
+		query     = fs.String("query", "q3", "query to run (q1..q8)")
+		impl      = fs.String("impl", "megaphone", "implementation: native or megaphone")
+		workers   = fs.Int("workers", 4, "number of workers")
+		rate      = fs.Int("rate", 100000, "events per second")
+		duration  = fs.Duration("duration", 10*time.Second, "run length")
+		bins      = fs.Int("bins", 8, "log2 bin count")
+		strategy  = fs.String("strategy", "batched", "migration strategy: all-at-once, fluid, batched, optimized")
+		batch     = fs.Int("batch", 16, "bins per step for batched/optimized")
+		migrateAt = fs.Duration("migrate-at", 4*time.Second, "when to start the first migration (0 disables)")
+		window    = fs.Uint64("window", 60, "window epochs for q5/q7/q8 (time dilation)")
+		hotRatio  = fs.Uint64("hot-ratio", 0, "1/N of bids hit the hot auction (0 disables skew)")
+		hotShift  = fs.Uint64("hot-shift-every", 0, "epochs between hot-auction jumps (0 pins it to the newest)")
+		auto      = fs.String("auto", "", "auto-controller policy (load-balance or static); replaces -migrate-at plans")
+		hyst      = fs.Float64("hysteresis", 0.25, "auto-controller rebalance trigger above mean load")
+		transfer  = fs.String("transfer", "gob",
+			"migration codec: "+strings.Join(core.CodecNames(), ", "))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
 	codec, err := core.CodecByName(*transfer)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	im := nexmark.Megaphone
 	if *impl == "native" {
@@ -60,25 +77,41 @@ func main() {
 			Transfer:     codec,
 			WindowEpochs: nexmark.Time(*window),
 		},
+		Gen: nexmark.GenConfig{
+			HotRatio:      *hotRatio,
+			HotShiftEvery: nexmark.Time(*hotShift),
+		},
 		Workers:  *workers,
 		Rate:     *rate,
 		Duration: *duration,
 		Strategy: st,
 		Batch:    *batch,
 	}
+	if *auto != "" {
+		pol, err := plan.PolicyByName(*auto, *hyst)
+		if err != nil {
+			return err
+		}
+		cfg.Auto = &plan.AutoOptions{Policy: pol, Strategy: st, Batch: *batch}
+	}
 	if im == nexmark.Megaphone {
 		cfg.MigrateAt = *migrateAt
+	} else if cfg.Auto != nil {
+		// Native queries have no megaphone operators to meter or migrate.
+		return fmt.Errorf("-auto requires -impl megaphone")
 	}
 
-	fmt.Printf("# nexmark %s (%s), %d workers, %d ev/s, %v, strategy=%v\n",
+	fmt.Fprintf(out, "# nexmark %s (%s), %d workers, %d ev/s, %v, strategy=%v\n",
 		*query, im, *workers, *rate, *duration, st)
 	res := nexmark.Run(cfg)
-	res.Timeline.Fprint(os.Stdout)
+	res.Timeline.Fprint(out)
 	for i, sp := range res.MigrationSpans {
-		fmt.Printf("# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
+		fmt.Fprintf(out, "# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",
 			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
 	}
-	fmt.Printf("# records=%d epochs=%d overall: %s\n", res.Records, res.Epochs, res.Hist.Summary())
+	res.FprintAdaptive(out)
+	fmt.Fprintf(out, "# records=%d epochs=%d overall: %s\n", res.Records, res.Epochs, res.Hist.Summary())
+	return nil
 }
 
 func parseStrategy(s string) (plan.Strategy, error) {

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestControllerExampleRuns executes the whole example — a skewed stream
+// whose load-watching controller rebalances mid-run — and fails if it
+// doesn't finish.
+func TestControllerExampleRuns(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		main()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("controller example did not finish")
+	}
+}

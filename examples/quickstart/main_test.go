@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuickstartRuns executes the whole example — a migrating word-count
+// with a mid-stream batched migration — and fails if it doesn't finish.
+func TestQuickstartRuns(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		main()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("quickstart example did not finish")
+	}
+}

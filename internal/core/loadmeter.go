@@ -1,0 +1,171 @@
+package core
+
+import "sync/atomic"
+
+// LoadMeter counts, per (worker, bin), the records applied by the S operator
+// and the cumulative service time spent applying them. It is the measurement
+// half of the control loop the paper delegates to an external controller
+// (Section 4.4): a policy samples the meter, decides which bins are hot, and
+// feeds a migration plan back into the control stream.
+//
+// The meter is lock-free on both sides. Each worker's S instance owns one row
+// of cells and updates it with uncontended atomic adds (a single writer per
+// row at steady state; during a migration handover two workers may briefly
+// write the same bin's column in different rows, which is still correct —
+// rows attribute work to the worker that performed it). Samplers read the
+// cells with atomic loads at any time, without pausing the dataflow.
+//
+// Counters are cumulative; controllers compute per-window loads by
+// subtracting consecutive snapshots (see LoadSnapshot.Delta).
+type LoadMeter struct {
+	workers int
+	bins    int
+	cells   []meterCell // row-major: [worker*bins + bin]
+}
+
+// meterCell is one (worker, bin) pair's counters.
+type meterCell struct {
+	recs  atomic.Uint64
+	nanos atomic.Uint64
+}
+
+// NewLoadMeter returns a meter for the given worker count and log2 bin
+// count. Pass it to every worker's Config.Meter (one meter per execution;
+// operators sharing a meter aggregate into the same cells).
+func NewLoadMeter(workers, logBins int) *LoadMeter {
+	if workers <= 0 {
+		panic("megaphone: LoadMeter needs at least one worker")
+	}
+	bins := 1 << uint(logBins)
+	return &LoadMeter{workers: workers, bins: bins, cells: make([]meterCell, workers*bins)}
+}
+
+// Workers returns the meter's worker count.
+func (m *LoadMeter) Workers() int { return m.workers }
+
+// Bins returns the meter's bin count.
+func (m *LoadMeter) Bins() int { return m.bins }
+
+// add records n applications taking nanos of service time against (worker,
+// bin). Called from the owning worker's goroutine (hot path: two uncontended
+// atomic adds, no allocation).
+func (m *LoadMeter) add(worker, bin int, n, nanos uint64) {
+	c := &m.cells[worker*m.bins+bin]
+	c.recs.Add(n)
+	c.nanos.Add(nanos)
+}
+
+// row returns worker w's cells (for the S operator to cache).
+func (m *LoadMeter) row(worker int) []meterCell {
+	return m.cells[worker*m.bins : (worker+1)*m.bins]
+}
+
+// LoadSnapshot is one observation of a LoadMeter: cumulative record counts
+// and service nanoseconds per bin (summed over workers) and per worker
+// (attributed to the worker that did the work). Policies usually consume a
+// window delta rather than the cumulative values; see Delta.
+type LoadSnapshot struct {
+	Workers int
+	Bins    int
+	// BinRecs and BinNanos are indexed by bin.
+	BinRecs  []uint64
+	BinNanos []uint64
+	// WorkerRecs and WorkerNanos are indexed by worker.
+	WorkerRecs  []uint64
+	WorkerNanos []uint64
+}
+
+// Snapshot reads the meter into a LoadSnapshot. Pass a previous snapshot to
+// reuse its slices (the sampler's steady state allocates nothing); pass nil
+// to allocate a fresh one.
+func (m *LoadMeter) Snapshot(into *LoadSnapshot) *LoadSnapshot {
+	if into == nil {
+		into = &LoadSnapshot{}
+	}
+	into.Workers = m.workers
+	into.Bins = m.bins
+	into.BinRecs = resize(into.BinRecs, m.bins)
+	into.BinNanos = resize(into.BinNanos, m.bins)
+	into.WorkerRecs = resize(into.WorkerRecs, m.workers)
+	into.WorkerNanos = resize(into.WorkerNanos, m.workers)
+	for w := 0; w < m.workers; w++ {
+		row := m.row(w)
+		var recs, nanos uint64
+		for b := range row {
+			r := row[b].recs.Load()
+			n := row[b].nanos.Load()
+			into.BinRecs[b] += r
+			into.BinNanos[b] += n
+			recs += r
+			nanos += n
+		}
+		into.WorkerRecs[w] = recs
+		into.WorkerNanos[w] = nanos
+	}
+	return into
+}
+
+// resize returns s zeroed and sized to n, reusing its capacity.
+func resize(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Delta fills into with s - prev, the load observed in the window between
+// the two snapshots, and returns into (allocated when nil). prev may be nil
+// or empty, in which case the delta is s itself.
+func (s *LoadSnapshot) Delta(prev, into *LoadSnapshot) *LoadSnapshot {
+	if into == nil {
+		into = &LoadSnapshot{}
+	}
+	into.Workers = s.Workers
+	into.Bins = s.Bins
+	into.BinRecs = resize(into.BinRecs, s.Bins)
+	into.BinNanos = resize(into.BinNanos, s.Bins)
+	into.WorkerRecs = resize(into.WorkerRecs, s.Workers)
+	into.WorkerNanos = resize(into.WorkerNanos, s.Workers)
+	sub := func(dst, cur, old []uint64) {
+		for i := range dst {
+			dst[i] = cur[i]
+			if old != nil && i < len(old) && old[i] <= cur[i] {
+				dst[i] = cur[i] - old[i]
+			}
+		}
+	}
+	var pb, pn, pwr, pwn []uint64
+	if prev != nil {
+		pb, pn, pwr, pwn = prev.BinRecs, prev.BinNanos, prev.WorkerRecs, prev.WorkerNanos
+	}
+	sub(into.BinRecs, s.BinRecs, pb)
+	sub(into.BinNanos, s.BinNanos, pn)
+	sub(into.WorkerRecs, s.WorkerRecs, pwr)
+	sub(into.WorkerNanos, s.WorkerNanos, pwn)
+	return into
+}
+
+// TotalRecs returns the total record count across bins.
+func (s *LoadSnapshot) TotalRecs() uint64 {
+	var t uint64
+	for _, r := range s.BinRecs {
+		t += r
+	}
+	return t
+}
+
+// RecsUnder sums the per-bin record counts grouped by the given bin-to-worker
+// assignment (len(assign) must equal Bins): the load each worker would carry
+// if the snapshot's traffic repeated under that assignment. into is reused
+// when large enough.
+func (s *LoadSnapshot) RecsUnder(assign []int, into []uint64) []uint64 {
+	into = resize(into, s.Workers)
+	for b, r := range s.BinRecs {
+		into[assign[b]] += r
+	}
+	return into
+}

@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"testing"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+)
+
+// meteredWorkload drives epochs*perEpoch*workers records through a megaphone
+// counting operator, optionally metered, and returns the meter.
+func meteredWorkload(epochs, perEpoch int, withMeter bool) *core.LoadMeter {
+	const workers, logBins = 2, 4
+	var meter *core.LoadMeter
+	if withMeter {
+		meter = core.NewLoadMeter(workers, logBins)
+	}
+	exec := dataflow.NewExecution(dataflow.Config{Workers: workers})
+	var inputs []*dataflow.InputHandle[uint64]
+	var ctls []*dataflow.InputHandle[core.Move]
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctls = append(ctls, ctl)
+		in, data := dataflow.NewInput[uint64](w, "data")
+		inputs = append(inputs, in)
+		out := core.Unary(w,
+			core.Config{Name: "metered-count", LogBins: logBins, Meter: meter},
+			ctlStream, data,
+			func(k uint64) uint64 { return core.Mix64(k) },
+			func() *uint64 { return new(uint64) },
+			func(t core.Time, k uint64, s *uint64, _ *core.Notificator[uint64, uint64, uint64], emit func(uint64)) {
+				*s++
+			}, nil)
+		dataflow.NewProbe(w, out)
+	})
+	exec.Start()
+	for e := 1; e <= epochs; e++ {
+		t := core.Time(e)
+		for wi, in := range inputs {
+			batch := make([]uint64, perEpoch)
+			for i := range batch {
+				batch[i] = uint64(wi*perEpoch + i)
+			}
+			in.SendBatchAt(t, batch)
+		}
+		for _, h := range ctls {
+			h.AdvanceTo(t + 1)
+		}
+		for _, in := range inputs {
+			in.AdvanceTo(t + 1)
+		}
+	}
+	for _, h := range ctls {
+		h.Close()
+	}
+	for _, in := range inputs {
+		in.Close()
+	}
+	exec.Wait()
+	return meter
+}
+
+// TestLoadMeterObservesApplications: every applied record lands in the
+// meter, bins match the routing hash, and worker attribution follows the
+// initial round-robin assignment (no migration in this run).
+func TestLoadMeterObservesApplications(t *testing.T) {
+	const epochs, perEpoch, workers, logBins = 20, 64, 2, 4
+	meter := meteredWorkload(epochs, perEpoch, true)
+	s := meter.Snapshot(nil)
+
+	wantTotal := uint64(epochs * perEpoch * workers)
+	if got := s.TotalRecs(); got != wantTotal {
+		t.Fatalf("metered %d records, want %d", got, wantTotal)
+	}
+	// Expected per-bin counts from the routing hash (keys repeat per epoch).
+	wantBin := make([]uint64, 1<<logBins)
+	for wi := 0; wi < workers; wi++ {
+		for i := 0; i < perEpoch; i++ {
+			k := uint64(wi*perEpoch + i)
+			wantBin[core.BinOf(core.Mix64(k), logBins)] += epochs
+		}
+	}
+	for b, want := range wantBin {
+		if s.BinRecs[b] != want {
+			t.Errorf("bin %d: metered %d, want %d", b, s.BinRecs[b], want)
+		}
+	}
+	// With no migration, bin b's work runs on worker InitialWorker(b).
+	wantWorker := make([]uint64, workers)
+	for b, want := range wantBin {
+		wantWorker[core.InitialWorker(b, workers)] += want
+	}
+	for w, want := range wantWorker {
+		if s.WorkerRecs[w] != want {
+			t.Errorf("worker %d: metered %d, want %d", w, s.WorkerRecs[w], want)
+		}
+	}
+	var nanos uint64
+	for _, n := range s.BinNanos {
+		nanos += n
+	}
+	if nanos == 0 {
+		t.Error("no service time metered")
+	}
+}
+
+// TestMeteredApplyAllocsPerRecord pins the allocation cost of the metered
+// apply path, the metering analogue of TestExchangePathAllocsPerRecord: the
+// meter's scratch (mCount/mTouched) and cells are sized at construction, so
+// enabling it must add a fixed per-run overhead, not a per-record one.
+func TestMeteredApplyAllocsPerRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin is not meaningful under -short")
+	}
+	const epochs, perEpoch = 200, 256
+	records := float64(epochs * perEpoch * 2)
+	// Warm up both variants (lazy growth of queues, scratch, heaps).
+	meteredWorkload(epochs, perEpoch, false)
+	meteredWorkload(epochs, perEpoch, true)
+	without := testing.AllocsPerRun(3, func() { meteredWorkload(epochs, perEpoch, false) })
+	with := testing.AllocsPerRun(3, func() { meteredWorkload(epochs, perEpoch, true) })
+
+	if perRecord := with / records; perRecord > 0.2 {
+		t.Errorf("metered apply path allocates %.3f allocs/record (budget 0.2)", perRecord)
+	}
+	// The meter itself may only add a per-run constant (its cells and the
+	// per-worker scratch), generously bounded here against measurement noise.
+	if delta := with - without; delta > 0.01*records {
+		t.Errorf("metering added %.0f allocs/run over the unmetered path (budget %.0f)",
+			delta, 0.01*records)
+	}
+}

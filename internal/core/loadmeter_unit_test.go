@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// TestLoadMeterSnapshot: adds land in the right cells, snapshots aggregate
+// per bin and per worker, and snapshot buffers are reused.
+func TestLoadMeterSnapshot(t *testing.T) {
+	m := NewLoadMeter(2, 2) // 2 workers, 4 bins
+	m.add(0, 0, 10, 100)
+	m.add(0, 3, 5, 50)
+	m.add(1, 3, 7, 70)
+
+	s := m.Snapshot(nil)
+	if s.Workers != 2 || s.Bins != 4 {
+		t.Fatalf("snapshot dims = %d workers, %d bins", s.Workers, s.Bins)
+	}
+	if s.BinRecs[0] != 10 || s.BinRecs[3] != 12 || s.BinRecs[1] != 0 {
+		t.Errorf("BinRecs = %v", s.BinRecs)
+	}
+	if s.BinNanos[3] != 120 {
+		t.Errorf("BinNanos[3] = %d, want 120", s.BinNanos[3])
+	}
+	if s.WorkerRecs[0] != 15 || s.WorkerRecs[1] != 7 {
+		t.Errorf("WorkerRecs = %v", s.WorkerRecs)
+	}
+	if s.WorkerNanos[0] != 150 || s.WorkerNanos[1] != 70 {
+		t.Errorf("WorkerNanos = %v", s.WorkerNanos)
+	}
+
+	// Reuse: the same backing arrays must be refreshed, not accumulated.
+	m.add(1, 1, 1, 1)
+	prevBinRecs := &s.BinRecs[0]
+	s = m.Snapshot(s)
+	if &s.BinRecs[0] != prevBinRecs {
+		t.Error("snapshot reallocated a reusable slice")
+	}
+	if s.BinRecs[0] != 10 || s.BinRecs[1] != 1 {
+		t.Errorf("refreshed BinRecs = %v", s.BinRecs)
+	}
+}
+
+// TestLoadSnapshotDelta: windows are cumulative differences; a nil previous
+// snapshot yields the cumulative values.
+func TestLoadSnapshotDelta(t *testing.T) {
+	m := NewLoadMeter(2, 1)
+	m.add(0, 0, 10, 100)
+	first := m.Snapshot(nil)
+
+	m.add(0, 0, 4, 40)
+	m.add(1, 1, 6, 60)
+	second := m.Snapshot(nil)
+
+	win := second.Delta(first, nil)
+	if win.BinRecs[0] != 4 || win.BinRecs[1] != 6 {
+		t.Errorf("window BinRecs = %v", win.BinRecs)
+	}
+	if win.WorkerRecs[0] != 4 || win.WorkerRecs[1] != 6 {
+		t.Errorf("window WorkerRecs = %v", win.WorkerRecs)
+	}
+	if win.TotalRecs() != 10 {
+		t.Errorf("TotalRecs = %d, want 10", win.TotalRecs())
+	}
+	whole := second.Delta(nil, nil)
+	if whole.BinRecs[0] != 14 {
+		t.Errorf("nil-prev delta BinRecs[0] = %d, want 14", whole.BinRecs[0])
+	}
+}
+
+// TestLoadSnapshotRecsUnder groups bin loads by an assignment.
+func TestLoadSnapshotRecsUnder(t *testing.T) {
+	s := &LoadSnapshot{Workers: 3, Bins: 4, BinRecs: []uint64{5, 1, 2, 8}}
+	loads := s.RecsUnder([]int{0, 1, 0, 2}, nil)
+	if loads[0] != 7 || loads[1] != 1 || loads[2] != 8 {
+		t.Errorf("RecsUnder = %v", loads)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
 	"megaphone/internal/dataflow"
 )
@@ -21,6 +22,10 @@ type Config struct {
 	// exceeds it is shipped as multiple chunks instead of one oversized
 	// message. 0 means DefaultChunkBytes; negative disables chunking.
 	ChunkBytes int
+	// Meter, when set, receives per-bin record counts and service time from
+	// the S operator (see LoadMeter). It must be sized for this execution:
+	// NewLoadMeter(peers, LogBins). nil disables metering.
+	Meter *LoadMeter
 }
 
 func (c *Config) defaults() {
@@ -182,6 +187,19 @@ func Operator[R, S, O any](
 		index:   w.Index(),
 		pending: make(map[Time][]routed[R]),
 		h:       handle,
+	}
+	if cfg.Meter != nil {
+		if cfg.Meter.Bins() != 1<<uint(cfg.LogBins) {
+			panic(fmt.Sprintf("megaphone: meter has %d bins, operator %q has %d",
+				cfg.Meter.Bins(), cfg.Name, 1<<uint(cfg.LogBins)))
+		}
+		if cfg.Meter.Workers() != w.Peers() {
+			panic(fmt.Sprintf("megaphone: meter has %d workers, execution has %d",
+				cfg.Meter.Workers(), w.Peers()))
+		}
+		s.meter = cfg.Meter
+		s.mCount = make([]uint32, 1<<uint(cfg.LogBins))
+		s.mTouched = make([]int32, 0, 1<<uint(cfg.LogBins))
 	}
 	sb := w.NewOp(cfg.Name+"-S", 1)
 	dataflow.Connect(sb, routedData, dataflow.ExchangeTo[routed[R]]{To: func(r routed[R]) int { return int(r.To) }})
@@ -443,6 +461,14 @@ type sOp[R, S, O any] struct {
 
 	free      [][]routed[R] // drained per-time buffers, recycled by ingestion
 	replayBuf []TimedRec[R] // reusable scratch for popPendingAt
+
+	// Load metering (nil meter disables it). mCount accumulates this
+	// processTime call's per-bin application counts; mTouched lists the bins
+	// with a non-zero count so flushing visits only them. Both are sized
+	// once at construction — the metered apply path allocates nothing.
+	meter    *LoadMeter
+	mCount   []uint32
+	mTouched []int32
 }
 
 const (
@@ -554,6 +580,11 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 	}
 	n := &Notificator[R, S, O]{s: s, now: t}
 
+	var meterStart time.Time
+	if s.meter != nil {
+		meterStart = time.Now()
+	}
+
 	for {
 		nt, ok := s.notifyHead()
 		if !ok || nt != t {
@@ -564,6 +595,9 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 		recs := b.popPendingAt(t, s.replayBuf[:0])
 		s.replayBuf = recs
 		n.bin = bt.bin
+		if s.meter != nil {
+			s.noteApply(bt.bin, len(recs))
+		}
 		if s.h.OnApply != nil {
 			s.h.OnApply(t, bt.bin, s.index)
 		}
@@ -583,6 +617,9 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 			bin := int(rr.Bin)
 			b := s.bins.getOrCreate(bin, s.ops.NewState)
 			n.bin = bin
+			if s.meter != nil {
+				s.noteApply(bin, 1)
+			}
 			if s.h.OnApply != nil {
 				s.h.OnApply(t, bin, s.index)
 			}
@@ -595,4 +632,41 @@ func (s *sOp[R, S, O]) processTime(c *dataflow.OpCtx, t Time) {
 	if len(out) > 0 {
 		dataflow.SendBatch(c, 0, t, out)
 	}
+	if s.meter != nil {
+		s.flushMeter(time.Since(meterStart).Nanoseconds())
+	}
+}
+
+// noteApply accumulates n applications against bin for the current
+// processTime call (zero allocation: both scratch buffers are pre-sized).
+func (s *sOp[R, S, O]) noteApply(bin, n int) {
+	if s.mCount[bin] == 0 {
+		s.mTouched = append(s.mTouched, int32(bin))
+	}
+	s.mCount[bin] += uint32(n)
+}
+
+// flushMeter publishes the accumulated counts into the meter, apportioning
+// the elapsed service time of the whole processTime call to bins by their
+// record counts. Timing whole times instead of individual records keeps the
+// clock off the per-record path; at one logical time per epoch the two clock
+// reads amortize to nothing.
+func (s *sOp[R, S, O]) flushMeter(elapsed int64) {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	var total uint64
+	for _, b := range s.mTouched {
+		total += uint64(s.mCount[b])
+	}
+	if total == 0 {
+		s.mTouched = s.mTouched[:0]
+		return
+	}
+	for _, b := range s.mTouched {
+		n := uint64(s.mCount[b])
+		s.mCount[b] = 0
+		s.meter.add(s.index, int(b), n, uint64(elapsed)*n/total)
+	}
+	s.mTouched = s.mTouched[:0]
 }

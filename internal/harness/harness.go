@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -42,6 +44,18 @@ type Migration struct {
 	Plan    plan.Plan
 }
 
+// Driver paces migrations and advances the control epochs: the harness
+// calls Tick once per epoch and consults Idle/Start/Span for scheduled
+// migrations. Both plan.Controller (scripted plans) and plan.AutoController
+// (policy-driven plans) satisfy it.
+type Driver interface {
+	Tick(now core.Time)
+	Idle() bool
+	Start(p plan.Plan)
+	Span() (start, end core.Time, ok bool)
+	Close()
+}
+
 // Result carries a run's measurements.
 type Result struct {
 	// Timeline is the per-window latency series (max/p99/p50/p25).
@@ -63,6 +77,58 @@ type Result struct {
 	// rate this is ~Duration; when it falls behind, Records/Elapsed is the
 	// system's actual sustained throughput.
 	Elapsed float64
+	// Decisions lists the reconfigurations an AutoController issued during
+	// the run (filled in by workload runners that install one; empty for
+	// scripted migrations).
+	Decisions []plan.Decision
+	// Load is the final cumulative load snapshot when the run was metered
+	// (nil otherwise).
+	Load *core.LoadSnapshot
+}
+
+// NewDriver wires a run's migration driver: a plain plan.Controller for
+// scripted plans, or — when auto is non-nil — an AutoController over the
+// initial round-robin assignment. The AutoController is also returned
+// directly so the runner can collect its decisions (nil otherwise);
+// auto.Meter must already be set.
+func NewDriver(auto *plan.AutoOptions, handles []*dataflow.InputHandle[core.Move], probe *dataflow.Probe, bins, workers int) (Driver, *plan.AutoController) {
+	if auto == nil {
+		return plan.NewController(handles, probe), nil
+	}
+	a := plan.NewAutoController(handles, probe, plan.Initial(bins, workers), *auto)
+	return a, a
+}
+
+// FinishAdaptive backfills an auto-controlled run's Decisions and final
+// Load into the result; a no-op when auto is nil.
+func (r *Result) FinishAdaptive(auto *plan.AutoController, meter *core.LoadMeter) {
+	if auto == nil {
+		return
+	}
+	r.Decisions = auto.Decisions()
+	r.Load = meter.Snapshot(nil)
+}
+
+// FprintAdaptive writes the decision log and per-worker load report of an
+// auto-controlled run — the `# decision` / `# applied records per worker`
+// lines shared by every binary. It is a no-op for unmetered runs.
+func (r *Result) FprintAdaptive(w io.Writer) {
+	for i, d := range r.Decisions {
+		fmt.Fprintf(w, "# decision %d: epoch=%d policy=%s moves=%d steps=%d window-records=%d\n",
+			i+1, int64(d.Epoch), d.Policy, d.Moves, d.Steps, d.WindowRecs)
+	}
+	if r.Load != nil {
+		total := r.Load.TotalRecs()
+		fmt.Fprintf(w, "# applied records per worker:")
+		for wi, recs := range r.Load.WorkerRecs {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(recs) / float64(total)
+			}
+			fmt.Fprintf(w, " w%d=%d (%.1f%%)", wi, recs, share)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // Span is one migration's execution window.
@@ -84,7 +150,7 @@ type Gen[T any] func(w int, epoch int64, n int) []T
 func Run[T any](
 	exec *dataflow.Execution,
 	inputs []*dataflow.InputHandle[T],
-	ctl *plan.Controller,
+	ctl Driver,
 	probe *dataflow.Probe,
 	gen Gen[T],
 	opts Options,

@@ -8,6 +8,7 @@ package keycount
 
 import (
 	"math/bits"
+	"time"
 
 	"megaphone/internal/core"
 	"megaphone/internal/dataflow"
@@ -47,10 +48,37 @@ func (v Variant) String() string {
 // Params configures the benchmark dataflow.
 type Params struct {
 	Variant  Variant
-	LogBins  int        // megaphone bin count (power of two)
-	Domain   int64      // number of distinct keys; must be a power of two
-	Transfer core.Codec // migration codec (gob when nil)
-	Preload  bool       // pre-create one entry per key before starting
+	LogBins  int             // megaphone bin count (power of two)
+	Domain   int64           // number of distinct keys; must be a power of two
+	Transfer core.Codec      // migration codec (gob when nil)
+	Preload  bool            // pre-create one entry per key before starting
+	Meter    *core.LoadMeter // per-bin load metering (nil disables)
+	// ServiceNanos simulates per-record service time: each worker's fold
+	// accumulates the owed nanoseconds and sleeps them off in coarse
+	// chunks, capping that worker's serial throughput at 1e9/ServiceNanos
+	// records/s. Because the cost is slept rather than burned, the cap is
+	// machine-independent — skew scenarios saturate a single worker at
+	// laptop rates without needing real cores behind every worker. 0
+	// disables.
+	ServiceNanos int64
+}
+
+// serviceSleeper levies simulated service time. Fine-grained sleeps drown
+// in timer granularity, so it accumulates owed time and sleeps millisecond
+// chunks, crediting the overshoot back. One per worker instance.
+type serviceSleeper struct {
+	perRecord int64
+	owed      int64
+}
+
+func (s *serviceSleeper) apply() {
+	s.owed += s.perRecord
+	if s.owed >= int64(time.Millisecond) {
+		d := time.Duration(s.owed)
+		start := time.Now()
+		time.Sleep(d)
+		s.owed -= int64(time.Since(start))
+	}
 }
 
 // Out is the query's output: the key and its updated cumulative count.
@@ -104,14 +132,21 @@ type Handles struct {
 
 // Build constructs the benchmark dataflow for one worker.
 func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], data dataflow.Stream[uint64], h *Handles) dataflow.Stream[Out] {
+	var svc *serviceSleeper
+	if p.ServiceNanos > 0 {
+		svc = &serviceSleeper{perRecord: p.ServiceNanos}
+	}
 	switch p.Variant {
 	case HashCount:
 		return core.Unary(w,
-			core.Config{Name: "hash-count", LogBins: p.LogBins, Transfer: p.Transfer},
+			core.Config{Name: "hash-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter},
 			control, data,
 			func(k uint64) uint64 { return core.Mix64(k) },
 			func() *HashState { return &HashState{M: make(map[uint64]uint64)} },
 			func(t core.Time, k uint64, s *HashState, _ *core.Notificator[uint64, HashState, Out], emit func(Out)) {
+				if svc != nil {
+					svc.apply()
+				}
 				s.M[k]++
 				emit(Out{Key: k, Count: s.M[k]})
 			},
@@ -123,11 +158,14 @@ func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], dat
 		}
 		domain := p.Domain
 		return core.Unary(w,
-			core.Config{Name: "key-count", LogBins: p.LogBins, Transfer: p.Transfer},
+			core.Config{Name: "key-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter},
 			control, data,
 			denseHasher(domain),
 			func() *ArrayState { return &ArrayState{Counts: make([]uint64, binSpan)} },
 			func(t core.Time, k uint64, s *ArrayState, _ *core.Notificator[uint64, ArrayState, Out], emit func(Out)) {
+				if svc != nil {
+					svc.apply()
+				}
 				slot := k & uint64(binSpan-1)
 				s.Counts[slot]++
 				emit(Out{Key: k, Count: s.Counts[slot]})

@@ -26,6 +26,13 @@ type RunConfig struct {
 	MigrateAt  time.Duration
 	MigrateTwo bool // also run the re-balancing second migration
 	Memory     bool
+	// Workload selects the key distribution (zero value = the paper's
+	// uniform draw).
+	Workload harness.Workload
+	// Auto, when non-nil, installs a metering AutoController that issues
+	// plans from measured load instead of the scheduled MigrateAt
+	// migrations (which are then ignored). Auto.Meter is filled in by Run.
+	Auto *plan.AutoOptions
 }
 
 // Run executes the benchmark and returns its measurements.
@@ -35,6 +42,13 @@ func Run(cfg RunConfig) harness.Result {
 	}
 	if cfg.EpochEvery <= 0 {
 		cfg.EpochEvery = time.Millisecond
+	}
+
+	var meter *core.LoadMeter
+	if cfg.Auto != nil {
+		meter = core.NewLoadMeter(cfg.Workers, cfg.LogBins)
+		cfg.Params.Meter = meter
+		cfg.Auto.Meter = meter
 	}
 
 	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
@@ -61,11 +75,11 @@ func Run(cfg RunConfig) harness.Result {
 	}
 	exec.Start()
 
-	ctl := plan.NewController(ctlIns, probe)
+	bins := 1 << uint(cfg.LogBins)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, cfg.Workers)
 
 	var migrations []harness.Migration
-	if cfg.MigrateAt > 0 {
-		bins := 1 << uint(cfg.LogBins)
+	if cfg.Auto == nil && cfg.MigrateAt > 0 {
 		initial := plan.Initial(bins, cfg.Workers)
 		// First migration: move the keys of half the workers to the other
 		// half (25% of total state), producing an imbalanced assignment.
@@ -88,17 +102,14 @@ func Run(cfg RunConfig) harness.Result {
 	}
 
 	domain := uint64(cfg.Domain)
+	workload := cfg.Workload
 	gen := func(w int, epoch int64, n int) []uint64 {
 		out := make([]uint64, n)
-		seed := core.Mix64(uint64(epoch)*31 + uint64(w))
-		for i := range out {
-			seed = core.Mix64(seed + uint64(i) + 1)
-			out[i] = seed % domain
-		}
+		workload.Fill(out, domain, w, epoch)
 		return out
 	}
 
-	return harness.Run(exec, dataIns, ctl, probe, gen, harness.Options{
+	res := harness.Run(exec, dataIns, ctl, probe, gen, harness.Options{
 		Rate:         cfg.Rate,
 		EpochEvery:   cfg.EpochEvery,
 		Duration:     cfg.Duration,
@@ -106,4 +117,6 @@ func Run(cfg RunConfig) harness.Result {
 		SampleMemory: cfg.Memory,
 		Migrations:   migrations,
 	})
+	res.FinishAdaptive(auto, meter)
+	return res
 }

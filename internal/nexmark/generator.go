@@ -25,6 +25,11 @@ type GenConfig struct {
 	// HotRatio is the proportion (1/HotRatio of draws) of bids that go to
 	// the hottest auction, modelling skew; 0 disables.
 	HotRatio uint64
+	// HotShiftEvery moves the hot auction every HotShiftEvery epochs: the
+	// hot draws go to a pseudorandom live auction that jumps each period
+	// instead of the newest one, so the hot bins wander the way an adaptive
+	// controller must chase. 0 keeps the hot auction pinned to the newest.
+	HotShiftEvery Time
 }
 
 func (c *GenConfig) defaults() {
@@ -98,7 +103,7 @@ func (g *Gen) At(n uint64, epoch Time) Event {
 		}}
 	default:
 		return Event{Kind: BidKind, Bid: Bid{
-			Auction:  g.recentAuction(group, rng),
+			Auction:  g.recentAuction(group, rng, epoch),
 			Bidder:   g.recentPerson(group, rng>>13),
 			Price:    100 + (rng>>24)%10000,
 			DateTime: epoch,
@@ -107,10 +112,19 @@ func (g *Gen) At(n uint64, epoch Time) Event {
 }
 
 // recentAuction picks an auction id among the most recent ActiveAuctions
-// listings, optionally skewed to the newest one.
-func (g *Gen) recentAuction(group, rng uint64) uint64 {
+// listings, optionally skewed to the newest one (or, with HotShiftEvery, to
+// a per-period pseudorandom one).
+func (g *Gen) recentAuction(group, rng uint64, epoch Time) uint64 {
 	maxSeq := group*auctionProportion + auctionProportion - 1
 	if g.cfg.HotRatio > 0 && rng%g.cfg.HotRatio == 0 {
+		if g.cfg.HotShiftEvery > 0 {
+			phase := uint64(epoch/g.cfg.HotShiftEvery) + 1
+			span := g.cfg.ActiveAuctions
+			if maxSeq+1 < span {
+				span = maxSeq + 1
+			}
+			return maxSeq - core.Mix64(phase*0x9e3779b97f4a7c15)%span
+		}
 		return maxSeq
 	}
 	span := g.cfg.ActiveAuctions

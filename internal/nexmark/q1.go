@@ -23,7 +23,7 @@ func BuildQ1(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 	}
 	// BEGIN Q1 MEGAPHONE
 	return core.Unary(w,
-		core.Config{Name: "q1", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q1"),
 		ctl, bids,
 		func(b Bid) uint64 { return core.Mix64(b.Auction) },
 		func() *struct{} { return &struct{}{} },

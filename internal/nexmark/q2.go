@@ -32,7 +32,7 @@ func BuildQ2(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 	}
 	// BEGIN Q2 MEGAPHONE
 	return core.Unary(w,
-		core.Config{Name: "q2", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q2"),
 		ctl, bids,
 		func(b Bid) uint64 { return core.Mix64(b.Auction) },
 		func() *struct{} { return &struct{}{} },

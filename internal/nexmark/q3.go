@@ -80,7 +80,7 @@ func BuildQ3(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 	}
 	// BEGIN Q3 MEGAPHONE
 	return core.Binary(w,
-		core.Config{Name: "q3", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q3"),
 		ctl, people, auctions,
 		func(pe Person) uint64 { return core.Mix64(pe.ID) },
 		func(a Auction) uint64 { return core.Mix64(a.Seller) },

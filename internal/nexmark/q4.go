@@ -88,7 +88,7 @@ func closedAuctionsMegaphone(w *dataflow.Worker, name string, p Params, ctl data
 	auctions := Auctions(w, name+"-auctions", events)
 	// BEGIN CLOSED MEGAPHONE
 	return core.Binary(w,
-		core.Config{Name: name, LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config(name),
 		ctl, bids, auctions,
 		func(b Bid) uint64 { return core.Mix64(b.Auction) },
 		func(a Auction) uint64 { return core.Mix64(a.ID) },
@@ -178,7 +178,7 @@ func BuildQ4(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 		return core.KV[uint64, uint64]{Key: ca.Category, Val: ca.Price}
 	})
 	return core.StateMachine(w,
-		core.Config{Name: "q4-avg", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q4-avg"),
 		ctl, pairs,
 		core.Mix64,
 		func(k uint64, price uint64, st *[2]uint64, emit func(Q4Out)) {

@@ -54,7 +54,7 @@ func q5CounterMegaphone(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.M
 	slide, window := p.SlideEpochs, p.WindowEpochs
 	// BEGIN Q5 MEGAPHONE COUNTER
 	return core.Unary(w,
-		core.Config{Name: "q5-count", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q5-count"),
 		ctl, bids,
 		func(b Bid) uint64 { return core.Mix64(b.Auction) },
 		newQ5State,
@@ -99,7 +99,7 @@ func newQ5WinnerState() *q5WinnerState { return &q5WinnerState{Best: make(map[Ti
 func q5WinnerMegaphone(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], counts dataflow.Stream[Q5Count]) dataflow.Stream[Q5Out] {
 	// BEGIN Q5 MEGAPHONE WINNER
 	return core.Unary(w,
-		core.Config{Name: "q5-winner", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q5-winner"),
 		ctl, counts,
 		func(c Q5Count) uint64 { return core.Mix64(uint64(c.Window)) },
 		newQ5WinnerState,

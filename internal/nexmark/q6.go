@@ -58,7 +58,7 @@ func BuildQ6(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 		return core.KV[uint64, uint64]{Key: ca.Seller, Val: ca.Price}
 	})
 	return core.StateMachine(w,
-		core.Config{Name: "q6-avg", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q6-avg"),
 		ctl, pairs, core.Mix64,
 		func(k uint64, price uint64, r *q6Ring, emit func(Q6Out)) {
 			emit(Q6Out{Seller: k, Average: r.push(price)})

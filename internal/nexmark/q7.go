@@ -76,7 +76,7 @@ func BuildQ7(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 	}
 	// BEGIN Q7 MEGAPHONE
 	return core.Unary(w,
-		core.Config{Name: "q7-max", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q7-max"),
 		ctl, pre,
 		func(o Q7Out) uint64 { return core.Mix64(uint64(o.Window)) },
 		newQ7State,

@@ -72,7 +72,7 @@ func BuildQ8(w *dataflow.Worker, p Params, ctl dataflow.Stream[core.Move], event
 	}
 	// BEGIN Q8 MEGAPHONE
 	return core.Binary(w,
-		core.Config{Name: "q8", LogBins: p.LogBins, Transfer: p.Transfer},
+		p.config("q8"),
 		ctl, people, auctions,
 		func(pe Person) uint64 { return core.Mix64(pe.ID) },
 		func(a Auction) uint64 { return core.Mix64(a.Seller) },

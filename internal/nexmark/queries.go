@@ -43,6 +43,16 @@ type Params struct {
 	SlideEpochs  Time
 	// Category is Q3's auction category filter.
 	Category uint64
+	// Meter receives per-bin load from every megaphone stage of the query
+	// (nil disables metering). Stages share the meter, so it aggregates the
+	// whole query's service load.
+	Meter *core.LoadMeter
+}
+
+// config renders the megaphone operator Config for one of the query's
+// stages.
+func (p Params) config(name string) core.Config {
+	return core.Config{Name: name, LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter}
 }
 
 func (p *Params) defaults() {

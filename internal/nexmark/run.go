@@ -27,6 +27,10 @@ type RunConfig struct {
 	Batch     int
 	MigrateAt time.Duration
 	Memory    bool
+	// Auto, when non-nil, installs a metering AutoController that issues
+	// plans from measured load; the scheduled MigrateAt migrations are then
+	// ignored. Auto.Meter is filled in by Run.
+	Auto *plan.AutoOptions
 }
 
 // Run executes the query open-loop and returns its measurements.
@@ -38,6 +42,13 @@ func Run(cfg RunConfig) harness.Result {
 		cfg.EpochEvery = time.Millisecond
 	}
 	cfg.Params.defaults()
+
+	var meter *core.LoadMeter
+	if cfg.Auto != nil {
+		meter = core.NewLoadMeter(cfg.Workers, cfg.Params.LogBins)
+		cfg.Params.Meter = meter
+		cfg.Auto.Meter = meter
+	}
 
 	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
 	var dataIns []*dataflow.InputHandle[Event]
@@ -55,11 +66,11 @@ func Run(cfg RunConfig) harness.Result {
 	})
 	exec.Start()
 
-	ctl := plan.NewController(ctlIns, probe)
+	bins := 1 << uint(cfg.Params.LogBins)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, cfg.Workers)
 
 	var migrations []harness.Migration
-	if cfg.MigrateAt > 0 {
-		bins := 1 << uint(cfg.Params.LogBins)
+	if cfg.Auto == nil && cfg.MigrateAt > 0 {
 		initial := plan.Initial(bins, cfg.Workers)
 		var firstHalf []int
 		for i := 0; i < (cfg.Workers+1)/2; i++ {
@@ -81,7 +92,7 @@ func Run(cfg RunConfig) harness.Result {
 		return gen.Batch(w, peers, Time(epoch), perEpoch, n)
 	}
 
-	return harness.Run(exec, dataIns, ctl, probe, genFn, harness.Options{
+	res := harness.Run(exec, dataIns, ctl, probe, genFn, harness.Options{
 		Rate:         cfg.Rate,
 		EpochEvery:   cfg.EpochEvery,
 		Duration:     cfg.Duration,
@@ -89,4 +100,6 @@ func Run(cfg RunConfig) harness.Result {
 		SampleMemory: cfg.Memory,
 		Migrations:   migrations,
 	})
+	res.FinishAdaptive(auto, meter)
+	return res
 }

@@ -1,0 +1,168 @@
+package plan
+
+import (
+	"sync"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+)
+
+// AutoOptions configures an AutoController.
+type AutoOptions struct {
+	// Meter is the load source (required). Its bin count fixes the
+	// assignment size.
+	Meter *core.LoadMeter
+	// Policy turns sampled load windows into target assignments (required).
+	Policy Policy
+	// Strategy and Batch render each decision into a plan (Batch as in
+	// Build).
+	Strategy Strategy
+	Batch    int
+	// SampleEvery is the number of ticks between load samples and policy
+	// evaluations; with the harness's default 1 ms epochs the default of 250
+	// matches the paper's 250 ms reporting interval.
+	SampleEvery int
+	// Cooldown is the number of idle ticks owed after a plan completes
+	// before the next decision may be taken, so consecutive reconfigurations
+	// never chain back-to-back (default 2*SampleEvery).
+	Cooldown int
+	// OnDecision observes each issued reconfiguration (instrumentation).
+	OnDecision func(d Decision)
+}
+
+func (o *AutoOptions) defaults() {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 250
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * o.SampleEvery
+	}
+}
+
+// Decision records one autonomous reconfiguration.
+type Decision struct {
+	// Epoch is the tick at which the plan was issued.
+	Epoch core.Time
+	// Policy is the deciding policy's name.
+	Policy string
+	// Moves and Steps size the issued plan.
+	Moves, Steps int
+	// WindowRecs is the record count of the load window that triggered the
+	// decision.
+	WindowRecs uint64
+}
+
+// AutoController closes the control loop the paper leaves to an external
+// controller: it samples a LoadMeter every SampleEvery ticks, asks its
+// Policy for a target assignment over the sampled window, and when the
+// policy acts, renders the diff into a plan under the configured Strategy
+// and feeds it to the embedded Controller — which paces the steps exactly
+// as it does for hand-written plans. A cooldown between reconfigurations
+// keeps the loop stable while a migration's own disturbance drains.
+//
+// Tick it once per epoch in place of a plain Controller (it satisfies the
+// harness Driver contract).
+type AutoController struct {
+	*Controller
+	opts    AutoOptions
+	current Assignment
+
+	ticks    int
+	cooldown int // idle ticks still owed before the next decision
+
+	prev, cur, window *core.LoadSnapshot
+
+	// dmu guards decisions and current: both are written on the ticking
+	// goroutine and may be read from any other.
+	dmu       sync.Mutex
+	decisions []Decision
+}
+
+// NewAutoController returns an auto controller over the given control
+// handles and probe, starting from the initial assignment (len(initial)
+// must equal the meter's bin count).
+func NewAutoController(handles []*dataflow.InputHandle[core.Move], probe *dataflow.Probe, initial Assignment, opts AutoOptions) *AutoController {
+	if opts.Meter == nil {
+		panic("plan: AutoController needs a LoadMeter")
+	}
+	if opts.Policy == nil {
+		panic("plan: AutoController needs a Policy")
+	}
+	if len(initial) != opts.Meter.Bins() {
+		panic("plan: initial assignment size does not match the meter's bins")
+	}
+	opts.defaults()
+	a := &AutoController{
+		Controller: NewController(handles, probe),
+		opts:       opts,
+		current:    append(Assignment(nil), initial...),
+	}
+	// Seed the previous snapshot so the first window is a true delta.
+	a.prev = opts.Meter.Snapshot(nil)
+	return a
+}
+
+// Tick samples and decides on the sampling grid, then delegates epoch
+// advancement (and plan pacing) to the embedded Controller. Call exactly
+// once per epoch from the driving goroutine.
+func (a *AutoController) Tick(now core.Time) {
+	if a.Idle() && a.cooldown > 0 {
+		a.cooldown--
+	}
+	a.ticks++
+	if a.ticks%a.opts.SampleEvery == 0 {
+		a.cur = a.opts.Meter.Snapshot(a.cur)
+		a.window = a.cur.Delta(a.prev, a.window)
+		a.prev, a.cur = a.cur, a.prev
+		if a.Idle() && a.cooldown == 0 {
+			a.decide(now)
+		}
+	}
+	a.Controller.Tick(now)
+}
+
+// decide asks the policy for a target over the current window and issues
+// the resulting plan, if any.
+func (a *AutoController) decide(now core.Time) {
+	target, ok := a.opts.Policy.Target(a.current, a.window)
+	if !ok {
+		return
+	}
+	p := Build(a.opts.Strategy, a.current, target, a.opts.Batch)
+	if len(p.Steps) == 0 {
+		return
+	}
+	a.Controller.Start(p)
+	a.dmu.Lock()
+	a.current = target
+	a.dmu.Unlock()
+	a.cooldown = a.opts.Cooldown
+	d := Decision{
+		Epoch:      now,
+		Policy:     a.opts.Policy.Name(),
+		Moves:      p.NumMoves(),
+		Steps:      len(p.Steps),
+		WindowRecs: a.window.TotalRecs(),
+	}
+	a.dmu.Lock()
+	a.decisions = append(a.decisions, d)
+	a.dmu.Unlock()
+	if a.opts.OnDecision != nil {
+		a.opts.OnDecision(d)
+	}
+}
+
+// Decisions returns the reconfigurations issued so far.
+func (a *AutoController) Decisions() []Decision {
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	return append([]Decision(nil), a.decisions...)
+}
+
+// Current returns the assignment the controller believes is in effect (or
+// being installed, while a plan executes).
+func (a *AutoController) Current() Assignment {
+	a.dmu.Lock()
+	defer a.dmu.Unlock()
+	return append(Assignment(nil), a.current...)
+}

@@ -1,0 +1,216 @@
+package plan_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/plan"
+)
+
+// fuzzMigN controls the iteration count of the migration-equivalence fuzz
+// test: the default keeps `go test` fast; raise it for soak runs, e.g.
+//
+//	go test ./internal/plan/ -run FuzzlikeMigrationEquivalence -fuzzmig.n=100
+var fuzzMigN = flag.Int("fuzzmig.n", 4, "iterations of the migration-equivalence fuzz test")
+
+// outTuple is one observed output: a (time, key, value) triple. The
+// multiset of tuples is deterministic for a counting dataflow regardless of
+// intra-epoch apply order, so runs compare bit-exactly after sorting.
+type outTuple struct {
+	t   core.Time
+	key uint64
+	val uint64
+}
+
+// fuzzInput is the generated workload of one fuzz iteration.
+type fuzzInput struct {
+	workers int
+	logBins int
+	// recs[w] lists (time, key) records injected at worker w.
+	recs [][]outTuple // val unused on input
+	maxT core.Time
+}
+
+// fuzzPlans is a sequence of reconfigurations: each starts once the
+// previous completed and startAt has passed.
+type fuzzPlans struct {
+	startAt []core.Time
+	plans   []plan.Plan
+}
+
+// runCounting executes a counting dataflow over in, driving the plans
+// through a Controller, and returns every emitted (time, key, count) tuple
+// sorted.
+func runCounting(t *testing.T, in fuzzInput, plans fuzzPlans) []outTuple {
+	t.Helper()
+	var mu sync.Mutex
+	var got []outTuple
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: in.workers})
+	var dataIns []*dataflow.InputHandle[core.KV[uint64, int64]]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		dIn, data := dataflow.NewInput[core.KV[uint64, int64]](w, "data")
+		dataIns = append(dataIns, dIn)
+		counts := core.StateMachine(w,
+			core.Config{Name: "count", LogBins: in.logBins},
+			ctlStream, data,
+			func(k uint64) uint64 { return core.Mix64(k) },
+			func(k uint64, v int64, st *uint64, emit func(core.KV[uint64, uint64])) {
+				*st += uint64(v)
+				emit(core.KV[uint64, uint64]{Key: k, Val: *st})
+			}, nil)
+		sink := w.NewOp("sink", 0)
+		dataflow.Connect(sink, counts, dataflow.Pipeline[core.KV[uint64, uint64]]{})
+		sink.Build(func(c *dataflow.OpCtx) {
+			dataflow.ForEachBatch(c, 0, func(tm core.Time, kvs []core.KV[uint64, uint64]) {
+				mu.Lock()
+				for _, kv := range kvs {
+					got = append(got, outTuple{t: tm, key: kv.Key, val: kv.Val})
+				}
+				mu.Unlock()
+			})
+		})
+		p := dataflow.NewProbe(w, counts)
+		if w.Index() == 0 {
+			probe = p
+		}
+	})
+	exec.Start()
+
+	ctl := plan.NewController(ctlIns, probe)
+	// Per-worker records grouped by time for epoch-ordered injection.
+	byTime := make([]map[core.Time][]uint64, in.workers)
+	for w, recs := range in.recs {
+		byTime[w] = make(map[core.Time][]uint64)
+		for _, r := range recs {
+			byTime[w][r.t] = append(byTime[w][r.t], r.key)
+		}
+	}
+
+	next := 0
+	for epoch := core.Time(1); epoch < 100000; epoch++ {
+		for w := range byTime {
+			for _, k := range byTime[w][epoch] {
+				dataIns[w].SendAt(epoch, core.KV[uint64, int64]{Key: k, Val: 1})
+			}
+		}
+		if next < len(plans.plans) && epoch >= plans.startAt[next] && ctl.Idle() {
+			ctl.Start(plans.plans[next])
+			next++
+		}
+		ctl.Tick(epoch)
+		for _, h := range dataIns {
+			h.AdvanceTo(epoch + 1)
+		}
+		// Pace the driver so step completions are observed.
+		for probe.Frontier()+8 < epoch {
+			runtime.Gosched()
+		}
+		if epoch > in.maxT && next == len(plans.plans) && ctl.Idle() {
+			break
+		}
+	}
+	if next != len(plans.plans) || !ctl.Idle() {
+		t.Fatalf("plans did not complete: %d/%d started, idle=%v", next, len(plans.plans), ctl.Idle())
+	}
+	ctl.Close()
+	for _, h := range dataIns {
+		h.Close()
+	}
+	exec.Wait()
+
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].t != got[j].t {
+			return got[i].t < got[j].t
+		}
+		if got[i].key != got[j].key {
+			return got[i].key < got[j].key
+		}
+		return got[i].val < got[j].val
+	})
+	return got
+}
+
+// genFuzzInput draws a random workload.
+func genFuzzInput(rng *rand.Rand) fuzzInput {
+	in := fuzzInput{
+		workers: 1 + rng.Intn(4),
+		logBins: 2 + rng.Intn(3),
+	}
+	in.maxT = core.Time(40 + rng.Intn(60))
+	in.recs = make([][]outTuple, in.workers)
+	n := 200 + rng.Intn(400)
+	keys := 8 + rng.Intn(56)
+	for i := 0; i < n; i++ {
+		w := rng.Intn(in.workers)
+		in.recs[w] = append(in.recs[w], outTuple{
+			t:   core.Time(1 + rng.Intn(int(in.maxT))),
+			key: uint64(rng.Intn(keys)),
+		})
+	}
+	return in
+}
+
+// genFuzzPlans draws a random sequence of reconfigurations rendered under
+// the given strategy.
+func genFuzzPlans(rng *rand.Rand, in fuzzInput, st plan.Strategy) fuzzPlans {
+	bins := 1 << uint(in.logBins)
+	cur := plan.Initial(bins, in.workers)
+	var out fuzzPlans
+	steps := 1 + rng.Intn(3)
+	for s := 0; s < steps; s++ {
+		target := append(plan.Assignment(nil), cur...)
+		for b := range target {
+			if rng.Intn(2) == 0 {
+				target[b] = rng.Intn(in.workers) // may be a self-move
+			}
+		}
+		batch := 1 + rng.Intn(5)
+		out.startAt = append(out.startAt, core.Time(1+rng.Intn(int(in.maxT))))
+		out.plans = append(out.plans, plan.Build(st, cur, target, batch))
+		cur = target
+	}
+	return out
+}
+
+// TestFuzzlikeMigrationEquivalence drives random assignment sequences
+// through all four strategies and asserts bit-exact output equivalence
+// against a no-migration run of the same input (Property 1 of the paper,
+// under Controller pacing rather than hand-fed moves). Seeded: failures
+// reproduce by iteration index.
+func TestFuzzlikeMigrationEquivalence(t *testing.T) {
+	for iter := 0; iter < *fuzzMigN; iter++ {
+		iter := iter
+		t.Run(fmt.Sprintf("iter%d", iter), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + iter)))
+			in := genFuzzInput(rng)
+			want := runCounting(t, in, fuzzPlans{})
+			if len(want) == 0 {
+				t.Fatal("reference run produced no output")
+			}
+			for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched, plan.Optimized} {
+				plans := genFuzzPlans(rand.New(rand.NewSource(int64(5000+iter*10+int(st)))), in, st)
+				got := runCounting(t, in, plans)
+				if len(got) != len(want) {
+					t.Fatalf("%v: %d outputs, want %d", st, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v: output %d = %+v, want %+v", st, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

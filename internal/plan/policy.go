@@ -1,0 +1,291 @@
+package plan
+
+import (
+	"fmt"
+
+	"megaphone/internal/core"
+)
+
+// Policy decides reconfigurations from measured load: the role the paper
+// assigns to an external controller such as DS2, Dhalion or Chi (Section
+// 4.4). A policy inspects the load observed over the last sampling window
+// and either proposes a new bin-to-worker assignment or declines to act.
+//
+// Policies must be deterministic: the same (current, load) inputs yield the
+// same target, so experiment runs reproduce.
+type Policy interface {
+	// Name identifies the policy in flags and experiment output.
+	Name() string
+	// Target returns the desired assignment given the current one and the
+	// load of the last window; ok is false when no reconfiguration is
+	// warranted. Implementations must not mutate current and must return a
+	// fresh Assignment when ok is true.
+	Target(current Assignment, load *core.LoadSnapshot) (Assignment, bool)
+}
+
+// Default policy tuning: a rebalance triggers only when the hottest worker
+// exceeds the mean load by DefaultHysteresis, and windows with fewer than
+// DefaultMinRecords records are ignored entirely (an idle system has nothing
+// worth moving, and tiny samples are noise).
+const (
+	DefaultHysteresis = 0.25
+	DefaultMinRecords = 1024
+)
+
+// PolicyByName resolves the policies reachable from command-line flags.
+func PolicyByName(name string, hysteresis float64) (Policy, error) {
+	switch name {
+	case "load-balance":
+		return LoadBalance{Hysteresis: hysteresis}, nil
+	case "static":
+		return Static{}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown policy %q (want load-balance or static)", name)
+	}
+}
+
+// Static never reconfigures: the do-nothing baseline that still meters, so
+// ablations can report per-worker load without acting on it.
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// Target implements Policy.
+func (Static) Target(Assignment, *core.LoadSnapshot) (Assignment, bool) { return nil, false }
+
+// LoadBalance greedily drains overloaded workers: while some worker exceeds
+// the mean window load by the hysteresis fraction, its heaviest bin whose
+// move strictly reduces the pairwise imbalance is reassigned to the
+// currently least-loaded worker. The result is a small diff — bins on
+// balanced workers never move — rather than a full repack.
+type LoadBalance struct {
+	// Hysteresis is the tolerated overload fraction above the mean before
+	// any bin moves (DefaultHysteresis when 0). Small imbalances inside the
+	// band never trigger a plan, so the system cannot thrash.
+	Hysteresis float64
+	// MinRecords ignores windows with fewer records (DefaultMinRecords when
+	// 0; negative values disable the floor).
+	MinRecords int
+	// MaxMoves caps the moves of one decision (0 = bounded only by the bin
+	// count).
+	MaxMoves int
+}
+
+// Name implements Policy.
+func (p LoadBalance) Name() string { return "load-balance" }
+
+// Target implements Policy.
+func (p LoadBalance) Target(current Assignment, load *core.LoadSnapshot) (Assignment, bool) {
+	if belowFloor(load, p.MinRecords) {
+		return nil, false
+	}
+	workers := allWorkers(load.Workers)
+	target := append(Assignment(nil), current...)
+	moves := greedyBalance(target, load.BinRecs, workers, hyst(p.Hysteresis), p.MaxMoves)
+	return target, moves > 0
+}
+
+// ScaleOut spreads load over an enlarged worker set: bins assigned outside
+// the set are pulled in, and the greedy balancer then drains whichever
+// members exceed the mean by the hysteresis band — newly added (empty)
+// workers are the least loaded, so bins flow onto them first.
+type ScaleOut struct {
+	// Workers is the target worker set (must be non-empty; indices must be
+	// valid for the execution).
+	Workers []int
+	// Hysteresis and MinRecords as in LoadBalance.
+	Hysteresis float64
+	MinRecords int
+	// MaxMoves caps the moves of one decision (0 = bounded only by the bin
+	// count).
+	MaxMoves int
+}
+
+// Name implements Policy.
+func (p ScaleOut) Name() string { return fmt.Sprintf("scale-out(%d)", len(p.Workers)) }
+
+// Target implements Policy.
+func (p ScaleOut) Target(current Assignment, load *core.LoadSnapshot) (Assignment, bool) {
+	if len(p.Workers) == 0 {
+		return nil, false
+	}
+	if belowFloor(load, p.MinRecords) {
+		return nil, false
+	}
+	target := append(Assignment(nil), current...)
+	moves := drainExcluded(target, load.BinRecs, p.Workers)
+	moves += greedyBalance(target, load.BinRecs, p.Workers, hyst(p.Hysteresis), p.MaxMoves)
+	return target, moves > 0
+}
+
+// ScaleIn drains every worker outside the retained set: their bins move
+// (heaviest first) onto the least-loaded retained worker. It fires whenever
+// any bin lives outside the set, regardless of load volume, and leaves bins
+// already on retained workers untouched.
+type ScaleIn struct {
+	// Workers is the retained worker set (must be non-empty).
+	Workers []int
+}
+
+// Name implements Policy.
+func (p ScaleIn) Name() string { return fmt.Sprintf("scale-in(%d)", len(p.Workers)) }
+
+// Target implements Policy.
+func (p ScaleIn) Target(current Assignment, load *core.LoadSnapshot) (Assignment, bool) {
+	if len(p.Workers) == 0 {
+		return nil, false
+	}
+	target := append(Assignment(nil), current...)
+	moves := drainExcluded(target, load.BinRecs, p.Workers)
+	return target, moves > 0
+}
+
+func hyst(h float64) float64 {
+	if h <= 0 {
+		return DefaultHysteresis
+	}
+	return h
+}
+
+func belowFloor(load *core.LoadSnapshot, minRecords int) bool {
+	floor := uint64(DefaultMinRecords)
+	switch {
+	case minRecords > 0:
+		floor = uint64(minRecords)
+	case minRecords < 0:
+		floor = 0
+	}
+	return load.TotalRecs() < floor
+}
+
+func allWorkers(n int) []int {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = i
+	}
+	return ws
+}
+
+// drainExcluded reassigns every bin not owned by a member of the set to the
+// least-loaded member, heaviest bins first, mutating target in place and
+// returning the number of moves.
+func drainExcluded(target Assignment, binLoad []uint64, set []int) int {
+	member := make(map[int]bool, len(set))
+	for _, w := range set {
+		member[w] = true
+	}
+	loads := make(map[int]uint64, len(set))
+	for _, w := range set {
+		loads[w] = 0
+	}
+	var outside []int
+	for b, w := range target {
+		if member[w] {
+			loads[w] += binLoad[b]
+		} else {
+			outside = append(outside, b)
+		}
+	}
+	// Heaviest first: LPT packing onto the running least-loaded member.
+	// Ties break on the lower bin index for determinism.
+	sortBinsByLoadDesc(outside, binLoad)
+	for _, b := range outside {
+		dst := set[0]
+		for _, w := range set[1:] {
+			if loads[w] < loads[dst] {
+				dst = w
+			}
+		}
+		target[b] = dst
+		loads[dst] += binLoad[b]
+	}
+	return len(outside)
+}
+
+// greedyBalance repeatedly moves the heaviest eligible bin from the most
+// loaded to the least loaded worker of the set while the most loaded worker
+// exceeds the mean by the hysteresis fraction. A bin is eligible when its
+// load is non-zero and strictly smaller than the pairwise load gap, so every
+// move strictly shrinks the gap and the loop terminates. Mutates target in
+// place and returns the number of moves.
+func greedyBalance(target Assignment, binLoad []uint64, set []int, hysteresis float64, maxMoves int) int {
+	if len(set) < 2 {
+		return 0
+	}
+	loads := make([]uint64, 0, len(set))
+	index := make(map[int]int, len(set)) // worker -> position in set
+	var total uint64
+	for i, w := range set {
+		index[w] = i
+		loads = append(loads, 0)
+	}
+	for b, w := range target {
+		i, ok := index[w]
+		if !ok {
+			// Bins outside the set are invisible to the balancer; callers
+			// drain them first when that matters.
+			continue
+		}
+		loads[i] += binLoad[b]
+		total += binLoad[b]
+	}
+	trigger := float64(total) / float64(len(set)) * (1 + hysteresis)
+	if maxMoves <= 0 {
+		maxMoves = len(target)
+	}
+	moves := 0
+	for iter := 0; iter < len(target) && moves < maxMoves; iter++ {
+		src, dst := 0, 0
+		for i := range loads {
+			if loads[i] > loads[src] {
+				src = i
+			}
+			if loads[i] < loads[dst] {
+				dst = i
+			}
+		}
+		if float64(loads[src]) <= trigger || src == dst {
+			break
+		}
+		gap := loads[src] - loads[dst]
+		// Heaviest bin on src that strictly improves; lower bin index wins
+		// ties for determinism.
+		best, bestLoad := -1, uint64(0)
+		for b, w := range target {
+			if w != set[src] {
+				continue
+			}
+			l := binLoad[b]
+			if l == 0 || l >= gap {
+				continue
+			}
+			if l > bestLoad {
+				best, bestLoad = b, l
+			}
+		}
+		if best < 0 {
+			break // src's load is a single indivisible bin (or all-zero)
+		}
+		target[best] = set[dst]
+		loads[src] -= bestLoad
+		loads[dst] += bestLoad
+		moves++
+	}
+	return moves
+}
+
+// sortBinsByLoadDesc orders bins by descending load, breaking ties on the
+// lower bin index (insertion sort: the slices involved are small).
+func sortBinsByLoadDesc(bins []int, binLoad []uint64) {
+	for i := 1; i < len(bins); i++ {
+		b := bins[i]
+		j := i - 1
+		for j >= 0 && (binLoad[bins[j]] < binLoad[b] ||
+			(binLoad[bins[j]] == binLoad[b] && bins[j] > b)) {
+			bins[j+1] = bins[j]
+			j--
+		}
+		bins[j+1] = b
+	}
+}
