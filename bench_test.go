@@ -34,7 +34,10 @@ const (
 func runKeycount(b *testing.B, cfg keycount.RunConfig) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res := keycount.Run(cfg)
+		res, err := keycount.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.MigrationSpans) > 0 {
 			sp := res.MigrationSpans[0]
 			b.ReportMetric(sp.MaxLatency, "mig-max-ms")
@@ -95,7 +98,7 @@ func benchQuery(b *testing.B, q string) {
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Batched} {
 		b.Run(st.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := nexmark.Run(nexmark.RunConfig{
+				res, err := nexmark.Run(nexmark.RunConfig{
 					Query:     q,
 					Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8},
 					Workers:   benchWorkers,
@@ -105,6 +108,9 @@ func benchQuery(b *testing.B, q string) {
 					Batch:     16,
 					MigrateAt: benchMigrateAt,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if n := len(res.MigrationSpans); n > 0 {
 					sp := res.MigrationSpans[n-1]
 					b.ReportMetric(sp.MaxLatency, "mig-max-ms")
@@ -263,7 +269,7 @@ func BenchmarkFigure20(b *testing.B) {
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
 		b.Run(st.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := keycount.Run(keycount.RunConfig{
+				res, err := keycount.Run(keycount.RunConfig{
 					Params: keycount.Params{
 						Variant: keycount.HashCount,
 						LogBins: 8,
@@ -278,6 +284,9 @@ func BenchmarkFigure20(b *testing.B) {
 					MigrateAt: benchMigrateAt,
 					Memory:    true,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(res.Memory.Max()/(1<<20), "peak-heap-MiB")
 				b.ReportMetric(res.Memory.Quantile(0.5)/(1<<20), "p50-heap-MiB")
 			}

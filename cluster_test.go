@@ -1,0 +1,279 @@
+// Cluster equivalence: the acceptance test of the multi-process runtime. A
+// 3-process local cluster (three meshes over loopback TCP, each running its
+// own Execution with its own progress tracker, exactly what three OS
+// processes would run) executes keycount and NEXMark q4 under an active
+// migration plan, and the output record multiset must equal that of the
+// single-process run with the same total worker count. scripts/cluster.sh
+// performs the same check against the real binaries in real processes.
+package megaphone_test
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/keycount"
+	"megaphone/internal/nexmark"
+	"megaphone/internal/plan"
+)
+
+// localClusterSpecs pre-binds n loopback listeners and returns one
+// ClusterSpec per process.
+func localClusterSpecs(t *testing.T, n int) []dataflow.ClusterSpec {
+	t.Helper()
+	hosts := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range hosts {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		hosts[i] = ln.Addr().String()
+	}
+	specs := make([]dataflow.ClusterSpec, n)
+	for i := range specs {
+		specs[i] = dataflow.ClusterSpec{
+			Hosts:       hosts,
+			Process:     i,
+			Listener:    lns[i],
+			DialTimeout: 15 * time.Second,
+		}
+	}
+	return specs
+}
+
+// collector is a concurrency-safe line multiset.
+type collector struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (c *collector) add(line string) {
+	c.mu.Lock()
+	c.lines = append(c.lines, line)
+	c.mu.Unlock()
+}
+
+func (c *collector) canonical() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Strings(c.lines)
+	return strings.Join(c.lines, "\n")
+}
+
+func TestClusterKeycountEquivalence(t *testing.T) {
+	const procs, wpp = 3, 1
+	base := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: keycount.HashCount,
+			LogBins: 4,
+			Domain:  1 << 12,
+			Preload: true,
+		},
+		Workers:    0, // set per run
+		Rate:       20000,
+		Duration:   1200 * time.Millisecond,
+		EpochEvery: time.Millisecond,
+		Strategy:   plan.Batched,
+		Batch:      4,
+		MigrateAt:  400 * time.Millisecond,
+		MigrateTwo: true,
+	}
+
+	// Single-process reference with the same total worker count.
+	var ref collector
+	refCfg := base
+	refCfg.Workers = procs * wpp
+	refCfg.Sink = ref.add
+	refRes, err := keycount.Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Records == 0 || len(refRes.MigrationSpans) == 0 {
+		t.Fatalf("reference run degenerate: %d records, %d migrations", refRes.Records, len(refRes.MigrationSpans))
+	}
+
+	// 3-process cluster run.
+	specs := localClusterSpecs(t, procs)
+	var clu collector
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var clusterRecords int64
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Workers = wpp
+			cfg.Cluster = &specs[p]
+			cfg.Sink = clu.add
+			res, err := keycount.Run(cfg)
+			errs[p] = err
+			mu.Lock()
+			clusterRecords += res.Records
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+	if clusterRecords != refRes.Records {
+		t.Fatalf("cluster injected %d records, single-process %d", clusterRecords, refRes.Records)
+	}
+	if got, want := clu.canonical(), ref.canonical(); got != want {
+		t.Fatalf("cluster output multiset differs from single-process run (cluster %d lines, single %d lines)",
+			len(clu.lines), len(ref.lines))
+	}
+}
+
+// epochCollector canonicalizes running-aggregate outputs: q4 emits one
+// running average per closed auction, and the order of same-epoch closings
+// within one category is inherently nondeterministic (it is already
+// unstable across two identical single-process runs). The deterministic
+// unit is the *last* value per (epoch, key) — the end-of-epoch aggregate
+// state, which frontier-ordered application fixes exactly — so the
+// collector keeps, per output batch, only each line's final occurrence
+// keyed by (epoch, first space-separated field). Each key belongs to
+// exactly one batch per epoch (one bin owner per time), so keep-last per
+// batch composes into a deterministic cluster-wide multiset.
+type epochCollector struct {
+	mu   sync.Mutex
+	last map[string]string // "epoch key" -> final line
+	n    int               // total records observed
+}
+
+func (c *epochCollector) add(t nexmark.Time, lines []string) {
+	c.mu.Lock()
+	if c.last == nil {
+		c.last = map[string]string{}
+	}
+	c.n += len(lines)
+	for _, line := range lines {
+		key := line
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			key = line[:i]
+		}
+		c.last[fmt.Sprintf("%d %s", uint64(t), key)] = line
+	}
+	c.mu.Unlock()
+}
+
+func (c *epochCollector) canonical() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.last))
+	for k, v := range c.last {
+		out = append(out, k+" -> "+v)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+func TestClusterNexmarkQ4Equivalence(t *testing.T) {
+	const procs, wpp = 3, 1
+	base := nexmark.RunConfig{
+		Query: "q4",
+		Params: nexmark.Params{
+			Impl:    nexmark.Megaphone,
+			LogBins: 4,
+		},
+		Gen:        nexmark.GenConfig{ActiveAuctions: 100, ActivePeople: 100, AuctionEpochs: 30},
+		Rate:       20000,
+		Duration:   1200 * time.Millisecond,
+		EpochEvery: time.Millisecond,
+		Strategy:   plan.Batched,
+		Batch:      4,
+		MigrateAt:  400 * time.Millisecond,
+	}
+
+	var ref epochCollector
+	refCfg := base
+	refCfg.Workers = procs * wpp
+	refCfg.Params.Sink = ref.add
+	refRes, err := nexmark.Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Records == 0 {
+		t.Fatal("reference run injected no events")
+	}
+	if ref.n == 0 {
+		t.Fatal("reference run produced no outputs (q4 should close auctions)")
+	}
+
+	specs := localClusterSpecs(t, procs)
+	var clu epochCollector
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Workers = wpp
+			cfg.Cluster = &specs[p]
+			cfg.Params.Sink = clu.add
+			_, errs[p] = nexmark.Run(cfg)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+	if clu.n != ref.n {
+		t.Fatalf("cluster emitted %d q4 records, single-process %d", clu.n, ref.n)
+	}
+	if got, want := clu.canonical(), ref.canonical(); got != want {
+		t.Fatalf("cluster q4 end-of-epoch aggregates differ from single-process run (cluster %d keys, single %d keys)",
+			len(clu.last), len(ref.last))
+	}
+}
+
+// TestClusterRejectsDirectCodec pins the configuration guard: pointer
+// handoff cannot cross process boundaries.
+func TestClusterRejectsDirectCodec(t *testing.T) {
+	cfg := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant:  keycount.HashCount,
+			LogBins:  4,
+			Domain:   1 << 10,
+			Transfer: core.TransferDirect,
+		},
+		Cluster: &dataflow.ClusterSpec{
+			Hosts:   []string{"127.0.0.1:1", "127.0.0.1:2"},
+			Process: 0,
+		},
+	}
+	if _, err := keycount.Run(cfg); err == nil || !strings.Contains(err.Error(), "direct") {
+		t.Fatalf("expected direct-codec rejection, got %v", err)
+	}
+}
+
+// TestClusterRejectsAutoController pins the other configuration guard:
+// per-process AutoControllers would plan from partial load views.
+func TestClusterRejectsAutoController(t *testing.T) {
+	cfg := keycount.RunConfig{
+		Params: keycount.Params{Variant: keycount.HashCount, LogBins: 4, Domain: 1 << 10},
+		Auto:   &plan.AutoOptions{Policy: plan.LoadBalance{}, Strategy: plan.Batched, Batch: 4},
+		Cluster: &dataflow.ClusterSpec{
+			Hosts:   []string{"127.0.0.1:1", "127.0.0.1:2"},
+			Process: 0,
+		},
+	}
+	if _, err := keycount.Run(cfg); err == nil || !strings.Contains(err.Error(), "auto-controller") {
+		t.Fatalf("expected auto-controller rejection, got %v", err)
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
 	"megaphone/internal/harness"
 	"megaphone/internal/keycount"
 	"megaphone/internal/nexmark"
@@ -30,6 +32,59 @@ type config struct {
 	quick    bool
 	transfer core.Codec
 	out      io.Writer
+	// cluster, when non-nil, runs every experiment's dataflows across OS
+	// processes: each run joins a fresh mesh, so all processes must execute
+	// the same experiment sequence (same flags apart from -process).
+	cluster *dataflow.ClusterSpec
+	// runSeq numbers the cluster runs; it advances identically on every
+	// process (same experiment sequence) and salts each mesh's handshake
+	// so overlapping generations on the same ports reject cleanly.
+	runSeq *atomic.Uint64
+}
+
+// clusterSpec returns this run's cluster spec (with its generation stamped)
+// or nil in single-process mode.
+func (c config) clusterSpec() *dataflow.ClusterSpec {
+	if c.cluster == nil {
+		return nil
+	}
+	spec := *c.cluster
+	spec.Generation = c.runSeq.Add(1)
+	return &spec
+}
+
+// runKeycount executes one keycount run with the driver's cluster spec
+// applied. Experiment runs are scripted, so configuration errors are bugs
+// and cluster join failures are fatal.
+func (c config) runKeycount(cfg keycount.RunConfig) harness.Result {
+	cfg.Cluster = c.clusterSpec()
+	res, err := keycount.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// skipAutoInCluster reports (and announces) that an AutoController-driven
+// experiment cannot run in cluster mode: per-process controllers only see
+// their own workers' load. Every process skips identically, keeping the
+// cluster's run sequences in lockstep.
+func (c config) skipAutoInCluster() bool {
+	if c.cluster == nil {
+		return false
+	}
+	fmt.Fprintln(c.out, "# skipped in cluster mode: the auto-controller needs a single-process load view")
+	return true
+}
+
+// runNexmark is runKeycount for NEXMark queries.
+func (c config) runNexmark(cfg nexmark.RunConfig) harness.Result {
+	cfg.Cluster = c.clusterSpec()
+	res, err := nexmark.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func main() {
@@ -47,6 +102,8 @@ func run(args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "shrink durations for a fast pass")
 		transfer = fs.String("transfer", "gob",
 			fmt.Sprintf("migration codec for every experiment: %s", strings.Join(core.CodecNames(), ", ")))
+		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; runs every experiment across processes (start all processes with identical flags apart from -process)")
+		proc  = fs.Int("process", 0, "this process's index into -hosts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +113,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	c := config{workers: *workers, quick: *quick, transfer: codec, out: out}
+	if *hosts != "" {
+		// Validate the cluster-incompatible knobs up front, before any
+		// experiment output, so misconfiguration is a clean error rather
+		// than a panic mid-sequence. (codecExp, which iterates all codecs
+		// by design, skips the direct row itself.)
+		if core.IsDirectCodec(codec) {
+			return fmt.Errorf("-transfer direct cannot cross process boundaries; use gob or binary with -hosts")
+		}
+		c.cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
+		c.runSeq = new(atomic.Uint64)
+	}
 
 	all := map[string]func(config){
 		"table1":    table1,
@@ -130,7 +198,14 @@ func codecExp(c config) {
 			fmt.Fprintln(os.Stderr, err)
 			continue
 		}
-		res := keycount.Run(keycount.RunConfig{
+		if c.cluster != nil && core.IsDirectCodec(codec) {
+			// Pointer handoff cannot cross process boundaries; every
+			// process skips this row identically, keeping the cluster's
+			// run sequences in lockstep.
+			fmt.Fprintf(c.out, "%-10s %12s\n", name, "(skipped in cluster mode)")
+			continue
+		}
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:  keycount.HashCount,
 				LogBins:  8,
@@ -195,7 +270,7 @@ func table1(c config) {
 func fig1(c config) {
 	header(c, "fig1", "migration strategies on key-count (latency timelines)")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Optimized} {
-		res := keycount.Run(keycount.RunConfig{
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:  keycount.HashCount,
 				LogBins:  8,
@@ -219,7 +294,7 @@ func fig1(c config) {
 // statelessFig — Q1/Q2: no state, migration is a no-op.
 func statelessFig(c config, name, q string) {
 	header(c, name, "NEXMark "+q+" (stateless): reconfigurations cause no spike")
-	res := nexmark.Run(nexmark.RunConfig{
+	res := c.runNexmark(nexmark.RunConfig{
 		Query:     q,
 		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8, Transfer: c.transfer},
 		Workers:   c.workers,
@@ -237,7 +312,7 @@ func statelessFig(c config, name, q string) {
 func queryFig(c config, name, q string, withNative bool) {
 	header(c, name, "NEXMark "+q+": all-at-once vs Megaphone batched")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Batched} {
-		res := nexmark.Run(nexmark.RunConfig{
+		res := c.runNexmark(nexmark.RunConfig{
 			Query:     q,
 			Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 8, Transfer: c.transfer},
 			Workers:   c.workers,
@@ -252,7 +327,7 @@ func queryFig(c config, name, q string, withNative bool) {
 		printSpans(c, res)
 	}
 	if withNative {
-		res := nexmark.Run(nexmark.RunConfig{
+		res := c.runNexmark(nexmark.RunConfig{
 			Query:    q,
 			Params:   nexmark.Params{Impl: nexmark.Native},
 			Workers:  c.workers,
@@ -273,7 +348,7 @@ func overheadFig(c config, name string, v keycount.Variant, domain int64) {
 		logBins = []int{4, 12}
 	}
 	run := func(label string, variant keycount.Variant, bins int) {
-		res := keycount.Run(keycount.RunConfig{
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:  variant,
 				LogBins:  bins,
@@ -303,7 +378,7 @@ func overheadFig(c config, name string, v keycount.Variant, domain int64) {
 // sweepRow runs one migration configuration and prints its latency/duration
 // point (the coordinates of Figures 16-18).
 func sweepRow(c config, st plan.Strategy, logBins int, domain int64, rate int, label string) {
-	res := keycount.Run(keycount.RunConfig{
+	res := c.runKeycount(keycount.RunConfig{
 		Params: keycount.Params{
 			Variant:  keycount.HashCount,
 			LogBins:  logBins,
@@ -411,7 +486,7 @@ func fig19(c config) {
 			if v.mig {
 				cfg.MigrateAt = c.dur(4 * time.Second)
 			}
-			res := keycount.Run(cfg)
+			res := c.runKeycount(cfg)
 			fmt.Fprintf(c.out, "%-14s %12d %14.2f %14.2f\n", v.name, r,
 				float64(res.Hist.Max())/1e6, float64(res.Hist.Quantile(0.99))/1e6)
 		}
@@ -422,7 +497,7 @@ func fig19(c config) {
 func fig20(c config) {
 	header(c, "fig20", "heap bytes over time per migration strategy")
 	for _, st := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched} {
-		res := keycount.Run(keycount.RunConfig{
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:  keycount.HashCount,
 				LogBins:  8,
@@ -457,9 +532,12 @@ func printSpans(c config, res harness.Result) {
 // them, without any hand-written plan.
 func skewExp(c config) {
 	header(c, "skew", "zipf-skewed key-count: static assignment vs load-balance policy")
+	if c.skipAutoInCluster() {
+		return
+	}
 	wl := harness.Workload{Kind: harness.Zipf, ZipfS: 1.2}
 	for _, policy := range []plan.Policy{plan.Static{}, plan.LoadBalance{Hysteresis: 0.1}} {
-		res := keycount.Run(keycount.RunConfig{
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:  keycount.HashCount,
 				LogBins:  8,
@@ -490,6 +568,9 @@ func skewExp(c config) {
 // Optimized plan — no scripted migrations anywhere.
 func autoscaleExp(c config) {
 	header(c, "autoscale", "hot-key shift vs AutoController (load-balance, optimized plans)")
+	if c.skipAutoInCluster() {
+		return
+	}
 	const (
 		logBins = 8
 		domain  = 1 << 20
@@ -524,7 +605,7 @@ func autoscaleExp(c config) {
 		ShiftEvery: shiftEvery,
 	}
 	for _, policy := range []plan.Policy{plan.Static{}, plan.LoadBalance{Hysteresis: 0.25}} {
-		res := keycount.Run(keycount.RunConfig{
+		res := c.runKeycount(keycount.RunConfig{
 			Params: keycount.Params{
 				Variant:      keycount.KeyCount,
 				LogBins:      logBins,

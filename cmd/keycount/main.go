@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
 	"megaphone/internal/harness"
 	"megaphone/internal/keycount"
 	"megaphone/internal/plan"
@@ -52,6 +53,9 @@ func run(args []string, out io.Writer) error {
 		preload   = fs.Bool("preload", true, "pre-create per-bin state")
 		transfer  = fs.String("transfer", "gob",
 			"migration codec: "+strings.Join(core.CodecNames(), ", "))
+		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
+		proc  = fs.Int("process", 0, "this process's index into -hosts")
+		dump  = fs.String("dump", "", "write one line per output record to this file (for cross-run output-equivalence checks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,8 +123,28 @@ func run(args []string, out io.Writer) error {
 		}
 		cfg.Auto = &plan.AutoOptions{Policy: pol, Strategy: st, Batch: *batch}
 	}
+	if *hosts != "" {
+		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
+	}
+	var finishDump func() error
+	if *dump != "" {
+		sink, finish, err := harness.LineSink(*dump)
+		if err != nil {
+			return err
+		}
+		cfg.Sink = sink
+		finishDump = finish
+	}
 
-	res := keycount.Run(cfg)
+	res, err := keycount.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if finishDump != nil {
+		if err := finishDump(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(out, "# keycount %v, %d workers, rate=%d, domain=%d, bins=2^%d, strategy=%v, workload=%v\n",
 		v, *workers, *rate, *domain, *bins, st, wl)

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/harness"
 	"megaphone/internal/nexmark"
 	"megaphone/internal/plan"
 )
@@ -51,6 +53,9 @@ func run(args []string, out io.Writer) error {
 		hyst      = fs.Float64("hysteresis", 0.25, "auto-controller rebalance trigger above mean load")
 		transfer  = fs.String("transfer", "gob",
 			"migration codec: "+strings.Join(core.CodecNames(), ", "))
+		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
+		proc  = fs.Int("process", 0, "this process's index into -hosts")
+		dump  = fs.String("dump", "", "write one line per output record to this file (for cross-run output-equivalence checks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,10 +105,39 @@ func run(args []string, out io.Writer) error {
 		// Native queries have no megaphone operators to meter or migrate.
 		return fmt.Errorf("-auto requires -impl megaphone")
 	}
+	if *hosts != "" {
+		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
+	}
+	var finishDump func() error
+	if *dump != "" {
+		write, finish, err := harness.LineSink(*dump)
+		if err != nil {
+			return err
+		}
+		// One "<epoch> <record>" line per output record. Line-granular
+		// interleaving across workers is fine: each (epoch, key) of a
+		// running aggregate is produced by exactly one worker's batch, so
+		// "the last line per (epoch, key)" — the deterministic unit of
+		// cross-run comparison (see scripts/cluster.sh) — is preserved.
+		cfg.Params.Sink = func(t nexmark.Time, lines []string) {
+			for _, line := range lines {
+				write(fmt.Sprintf("%d %s", uint64(t), line))
+			}
+		}
+		finishDump = finish
+	}
 
 	fmt.Fprintf(out, "# nexmark %s (%s), %d workers, %d ev/s, %v, strategy=%v\n",
 		*query, im, *workers, *rate, *duration, st)
-	res := nexmark.Run(cfg)
+	res, err := nexmark.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if finishDump != nil {
+		if err := finishDump(); err != nil {
+			return err
+		}
+	}
 	res.Timeline.Fprint(out)
 	for i, sp := range res.MigrationSpans {
 		fmt.Fprintf(out, "# migration %d: start=%.2fs end=%.2fs duration=%.2fs max-latency=%.2fms\n",

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	res := nexmark.Run(nexmark.RunConfig{
+	res, err := nexmark.Run(nexmark.RunConfig{
 		Query:     "q3",
 		Params:    nexmark.Params{Impl: nexmark.Megaphone, LogBins: 6},
 		Workers:   4,
@@ -22,6 +22,9 @@ func main() {
 		Strategy:  plan.Fluid,
 		MigrateAt: 2 * time.Second,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("NEXMark Q3 with a fluid rescaling migration at 2s and back at 4s")
 	res.Timeline.Fprint(os.Stdout)

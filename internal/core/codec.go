@@ -328,6 +328,11 @@ func isDirect(codec Codec) bool {
 	return ok && d.Direct()
 }
 
+// IsDirectCodec reports whether codec moves bins by pointer instead of
+// serializing them. Direct codecs are only sound inside one process;
+// cluster drivers use this to reject them up front.
+func IsDirectCodec(codec Codec) bool { return isDirect(codec) }
+
 // --- Codec registry ---
 
 var (

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"megaphone/internal/dataflow"
@@ -215,6 +216,28 @@ func Operator[R, S, O any](
 	return out
 }
 
+// canonMoves sorts moves by (bin, worker) and keeps one move per bin (the
+// highest-numbered worker wins a conflict), in place. Any deterministic
+// rule works; what matters is that every F instance cluster-wide reduces
+// the same move set to the same assignment.
+func canonMoves(moves []Move) []Move {
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].Bin != moves[j].Bin {
+			return moves[i].Bin < moves[j].Bin
+		}
+		return moves[i].Worker < moves[j].Worker
+	})
+	out := moves[:0]
+	for _, m := range moves {
+		if n := len(out); n > 0 && out[n-1].Bin == m.Bin {
+			out[n-1] = m
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // assign is one entry of a bin's assignment history: Worker owns the bin for
 // times in [From, next entry's From).
 type assign struct {
@@ -293,14 +316,23 @@ func (f *fOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 	ctl := c.Frontier(fCtl)
 
 	// 2. Install configurations that are final: no command at a time less
-	// than the control frontier can still arrive.
+	// than the control frontier can still arrive. Same-time batches are
+	// merged and then canonicalized — sorted by (bin, worker) and reduced
+	// to one move per bin — because the merge order is arrival order,
+	// which differs between processes of a cluster (each process's control
+	// broadcasts travel on different connections). Canonicalization makes
+	// the installed history, and hence bin ownership, a pure function of
+	// the move *set*, which the control frontier guarantees is complete
+	// and identical on every worker of every process. In a single process
+	// duplicate same-time moves for a bin always carry the same target, so
+	// this is behaviour-preserving there.
 	for len(f.pendingCfg) > 0 && f.pendingCfg[0].time < ctl {
 		pc := heap.Pop(&f.pendingCfg).(pendingConfig)
-		// Merge same-time batches.
 		for len(f.pendingCfg) > 0 && f.pendingCfg[0].time == pc.time {
 			more := heap.Pop(&f.pendingCfg).(pendingConfig)
 			pc.moves = append(pc.moves, more.moves...)
 		}
+		pc.moves = canonMoves(pc.moves)
 		for _, m := range pc.moves {
 			f.hist[m.Bin] = append(f.hist[m.Bin], assign{From: pc.time, Worker: m.Worker})
 		}

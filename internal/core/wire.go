@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"megaphone/internal/binenc"
+)
+
+// This file implements the BinaryRec contract for the record types that
+// cross worker boundaries inside a megaphone operator — the control Move,
+// the routed data envelope, and the StateMsg migration chunk — so that in a
+// multi-process execution their exchange edges ride the hand-rolled wire
+// encoding instead of gob (see dataflow's wire codecs, which discover these
+// methods structurally).
+
+// AppendBinaryRec implements BinaryRec.
+func (m *Move) AppendBinaryRec(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(m.Bin))
+	return binenc.AppendUvarint(buf, uint64(m.Worker))
+}
+
+// DecodeBinaryRec implements BinaryRec.
+func (m *Move) DecodeBinaryRec(data []byte) ([]byte, error) {
+	bin, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding Move.Bin: %w", err)
+	}
+	w, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding Move.Worker: %w", err)
+	}
+	m.Bin, m.Worker = int(bin), int(w)
+	return data, nil
+}
+
+// AppendBinaryRec implements BinaryRec. Direct-mode messages (Dir set) move
+// bins by pointer and are only sound inside one process; configure a
+// serializing codec (gob or binary) for cluster runs.
+func (m *StateMsg) AppendBinaryRec(buf []byte) []byte {
+	if m.Dir != nil {
+		panic("megaphone: direct-transfer StateMsg cannot cross a process boundary; use -transfer gob or binary in cluster runs")
+	}
+	buf = binenc.AppendUvarint(buf, uint64(m.Bin))
+	buf = binenc.AppendUvarint(buf, uint64(m.To))
+	buf = binenc.AppendUvarint(buf, uint64(m.Seq))
+	buf = binenc.AppendBool(buf, m.Last)
+	buf = binenc.AppendUvarint(buf, uint64(len(m.Bytes)))
+	return append(buf, m.Bytes...)
+}
+
+// DecodeBinaryRec implements BinaryRec. The payload bytes are copied out:
+// the bin is typically installed on a later scheduling than the decode, and
+// the wire buffer is transient.
+func (m *StateMsg) DecodeBinaryRec(data []byte) ([]byte, error) {
+	bin, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding StateMsg.Bin: %w", err)
+	}
+	to, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding StateMsg.To: %w", err)
+	}
+	seq, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding StateMsg.Seq: %w", err)
+	}
+	last, data, err := binenc.Bool(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding StateMsg.Last: %w", err)
+	}
+	n, data, err := binenc.Count(data, 1)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding StateMsg payload length: %w", err)
+	}
+	m.Bin, m.To, m.Seq, m.Last, m.Dir = int(bin), int(to), int(seq), last, nil
+	m.Bytes = append([]byte(nil), data[:n]...)
+	return data[n:], nil
+}
+
+// wireRecCapable reports whether records of type R can cross a process
+// boundary on the binary path: either *R implements a capable BinaryRec, or
+// R is one of the supported scalars.
+func wireRecCapable[R any]() bool {
+	var z R
+	if br, ok := any(&z).(BinaryRec); ok {
+		return capable(br)
+	}
+	return scalarCapable(z)
+}
+
+// appendWireRec appends one record through its BinaryRec implementation or
+// the scalar fast path (ptr is *R; converting a pointer to an interface
+// does not allocate, which keeps the exchange encode path clean).
+func appendWireRec(ptr any, buf []byte) []byte {
+	switch p := ptr.(type) {
+	case BinaryRec:
+		return p.AppendBinaryRec(buf)
+	case *uint64:
+		return binenc.AppendUvarint(buf, *p)
+	case *int64:
+		return binenc.AppendVarint(buf, *p)
+	case *int:
+		return binenc.AppendVarint(buf, int64(*p))
+	case *uint32:
+		return binenc.AppendUvarint(buf, uint64(*p))
+	case *int32:
+		return binenc.AppendVarint(buf, int64(*p))
+	case *uint:
+		return binenc.AppendUvarint(buf, uint64(*p))
+	case *string:
+		return binenc.AppendString(buf, *p)
+	case *bool:
+		return binenc.AppendBool(buf, *p)
+	case *Time:
+		return binenc.AppendUvarint(buf, uint64(*p))
+	case *[2]uint64:
+		buf = binenc.AppendU64(buf, p[0])
+		return binenc.AppendU64(buf, p[1])
+	}
+	panic(fmt.Sprintf("megaphone: record type %T cannot cross a process boundary", ptr))
+}
+
+// decodeWireRec fills *ptr from the front of data, mirroring appendWireRec.
+func decodeWireRec(ptr any, data []byte) ([]byte, error) {
+	if br, ok := ptr.(BinaryRec); ok {
+		return br.DecodeBinaryRec(data)
+	}
+	return decodeScalar(ptr, data)
+}
+
+// BinaryCapable reports whether this routed instantiation can use the
+// binary wire encoding (the record type must be binary-capable or scalar).
+func (r *routed[R]) BinaryCapable() bool { return wireRecCapable[R]() }
+
+// AppendBinaryRec implements BinaryRec for the routed envelope: the
+// destination worker, the bin, then the record.
+func (r *routed[R]) AppendBinaryRec(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(r.To))
+	buf = binenc.AppendUvarint(buf, uint64(r.Bin))
+	return appendWireRec(&r.Rec, buf)
+}
+
+// DecodeBinaryRec implements BinaryRec.
+func (r *routed[R]) DecodeBinaryRec(data []byte) ([]byte, error) {
+	to, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding routed.To: %w", err)
+	}
+	bin, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding routed.Bin: %w", err)
+	}
+	r.To, r.Bin = int32(to), int32(bin)
+	data, err = decodeWireRec(&r.Rec, data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding routed record: %w", err)
+	}
+	return data, nil
+}

@@ -11,9 +11,12 @@
 // observation. Dataflows are acyclic and operators never advance message
 // timestamps, which keeps the progress summary exact.
 //
-// Workers are goroutines within one process; cross-worker channels are Go
-// channels. See DESIGN.md for why this substitution preserves the paper's
-// behaviour.
+// Workers are goroutines; cross-worker channels within a process are Go
+// channels. With a Mesh (Config.Mesh) one dataflow spans several OS
+// processes: remote edges serialize through per-edge wire codecs onto a
+// framed TCP transport and progress deltas are broadcast so every process's
+// tracker converges. See DESIGN.md for why the in-process substitution
+// preserves the paper's behaviour and for the mesh's ordering guarantees.
 package dataflow
 
 import (
@@ -33,11 +36,19 @@ const None = timestamp.MaxScalar
 
 // Config configures an execution.
 type Config struct {
-	// Workers is the number of worker goroutines. Defaults to 1.
+	// Workers is the number of worker goroutines in this process. Defaults
+	// to 1. With a Mesh, every process contributes Workers workers and the
+	// execution spans Workers * Mesh.Procs() data-parallel workers.
 	Workers int
 	// InboxSize is the per-worker channel buffer, in batches. Defaults to
 	// 4096.
 	InboxSize int
+	// Mesh, when non-nil, spreads the execution across OS processes: this
+	// process runs workers [Process*Workers, (Process+1)*Workers) of the
+	// global index space, cross-process edges serialize through the
+	// transport, and progress deltas are broadcast so every process's
+	// tracker converges. nil keeps today's single-process execution.
+	Mesh *Mesh
 }
 
 func (c *Config) defaults() {
@@ -68,7 +79,14 @@ type Execution struct {
 	cfg     Config
 	gb      *progress.GraphBuilder
 	tracker *progress.Tracker
-	workers []*Worker
+	workers []*Worker // this process's workers, indexed by local position
+
+	// Multi-process state: nil mesh means totalWorkers == cfg.Workers and
+	// firstGlobal == 0, i.e. exactly the single-process execution.
+	mesh         *Mesh
+	totalWorkers int
+	firstGlobal  int         // global index of workers[0]
+	edgeCodecs   []wireCodec // per canonical edge, registered by Connect
 
 	// canonical structure, registered by worker 0 and verified by others
 	canonNodes []struct{ in, out int }
@@ -84,10 +102,18 @@ type Execution struct {
 func NewExecution(cfg Config) *Execution {
 	cfg.defaults()
 	e := &Execution{cfg: cfg, gb: progress.NewGraphBuilder()}
+	e.totalWorkers = cfg.Workers
+	if cfg.Mesh != nil {
+		cfg.Mesh.attach(e)
+		e.mesh = cfg.Mesh
+		e.totalWorkers = cfg.Workers * cfg.Mesh.procs
+		e.firstGlobal = cfg.Mesh.proc * cfg.Workers
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
 			exec:  e,
-			index: i,
+			index: e.firstGlobal + i,
+			local: i,
 			inbox: make(chan message, cfg.InboxSize),
 			wake:  make(chan struct{}, 1),
 		}
@@ -110,10 +136,19 @@ func (e *Execution) Build(build func(w *Worker)) {
 	}
 	e.tracker = e.gb.Build()
 	// Initial holds were recorded against port coordinates before the
-	// tracker existed; resolve them to locations and apply.
+	// tracker existed; resolve them to locations and apply. In a mesh,
+	// every process's tracker must account the initial holds of all
+	// processes' worker instances; the graph build is deterministic and
+	// identical everywhere, so each process scales its own holds by the
+	// process count instead of exchanging them.
+	procs := 1
+	if e.mesh != nil {
+		procs = e.mesh.procs
+		e.tracker.TolerateNegativeCounts()
+	}
 	var b progress.Batch
 	for _, h := range e.pendingHolds {
-		b.Add(e.tracker.CapLocation(h.port), h.time, 1)
+		b.Add(e.tracker.CapLocation(h.port), h.time, procs)
 	}
 	e.tracker.Apply(&b)
 	for _, w := range e.workers {
@@ -130,6 +165,9 @@ func (e *Execution) Start() {
 		panic("dataflow: Start before Build")
 	}
 	e.started = true
+	if e.mesh != nil {
+		e.mesh.start()
+	}
 	for _, w := range e.workers {
 		e.wg.Add(1)
 		go func(w *Worker) {
@@ -140,8 +178,16 @@ func (e *Execution) Start() {
 }
 
 // Wait blocks until the computation completes: all inputs closed, all
-// messages drained, and all capability holds dropped.
-func (e *Execution) Wait() { e.wg.Wait() }
+// messages drained, and all capability holds dropped. In a mesh this spans
+// the whole cluster — the local tracker only drains once every process's
+// deltas cancelled — and Wait additionally runs the cross-process shutdown
+// barrier before returning, so the transport is closed afterwards.
+func (e *Execution) Wait() {
+	e.wg.Wait()
+	if e.mesh != nil {
+		e.mesh.finish()
+	}
+}
 
 // Run is a convenience for Build + Start + Wait with no external input
 // driving (inputs must be driven from within operator logic or closed during
@@ -180,7 +226,8 @@ type pendingWatch struct {
 // proportional to what actually changed rather than to the graph size.
 type Worker struct {
 	exec  *Execution
-	index int
+	index int // global worker index (equal to local in single-process runs)
+	local int // position within this process's workers
 
 	ops     []*opInstance // indexed by node id
 	inbox   chan message
@@ -192,14 +239,17 @@ type Worker struct {
 	activeQ []*opInstance // FIFO of activated operators
 	ctx     OpCtx         // reusable scheduling context (batch/remote/local scratch)
 
+	wireBuf []byte // reusable cross-process data frame scratch
+	progBuf []byte // reusable cross-process progress frame scratch
+
 	pendingWatches []pendingWatch
 }
 
-// Index returns this worker's index in [0, Peers).
+// Index returns this worker's global index in [0, Peers).
 func (w *Worker) Index() int { return w.index }
 
-// Peers returns the number of workers.
-func (w *Worker) Peers() int { return w.exec.cfg.Workers }
+// Peers returns the number of workers across all processes.
+func (w *Worker) Peers() int { return w.exec.totalWorkers }
 
 // poke wakes the worker if it is parked.
 func (w *Worker) poke() {
@@ -392,8 +442,14 @@ func (w *Worker) schedule(op *opInstance) {
 	op.logic(c)
 	// First make all produced pointstamps and hold changes visible, then
 	// release the messages themselves: a receiver can never observe a
-	// message whose pointstamp is unaccounted.
+	// message whose pointstamp is unaccounted. Across processes the same
+	// invariant holds per connection: the progress broadcast is enqueued
+	// before this scheduling's data frames, and the transport preserves
+	// per-peer FIFO order.
 	tr.Apply(&c.batch)
+	if w.exec.mesh != nil && len(c.batch.Deltas) > 0 {
+		w.broadcastProgress(&c.batch)
+	}
 	for i := range c.remote {
 		w.send(c.remote[i])
 	}
@@ -403,10 +459,17 @@ func (w *Worker) schedule(op *opInstance) {
 	c.op = nil
 }
 
-// send delivers a message to a peer worker, draining our own inbox while the
-// peer's inbox is full to avoid send-send deadlocks.
+// send delivers a message to a peer worker: remote peers go through the
+// mesh (whose per-peer queues never block, so no cross-process send
+// deadlock exists), local peers through their inbox channel, draining our
+// own inbox while the peer's inbox is full to avoid send-send deadlocks.
 func (w *Worker) send(m outMsg) {
-	target := w.exec.workers[m.peer]
+	li := m.peer - w.exec.firstGlobal
+	if li < 0 || li >= len(w.exec.workers) {
+		w.sendRemote(m)
+		return
+	}
+	target := w.exec.workers[li]
 	for {
 		select {
 		case target.inbox <- m.msg:

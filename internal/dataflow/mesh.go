@@ -1,0 +1,276 @@
+package dataflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"time"
+
+	"megaphone/internal/binenc"
+	"megaphone/internal/progress"
+	"megaphone/internal/transport"
+)
+
+// ClusterSpec describes one process's membership in a multi-process
+// execution: the address of every process and this process's index.
+type ClusterSpec struct {
+	// Hosts lists one TCP address per process, identical on every process.
+	Hosts []string
+	// Process is this process's index into Hosts.
+	Process int
+	// MaxFrame bounds one wire frame (transport.DefaultMaxFrame when 0).
+	// One frame carries one exchanged batch, so it must exceed the largest
+	// encoded batch a worker can emit (state migration batches are bounded
+	// by the operator's ChunkBytes).
+	MaxFrame int
+	// DialTimeout bounds connection establishment, covering peers that
+	// start late (default 30s).
+	DialTimeout time.Duration
+	// Generation distinguishes successive executions on the same host list:
+	// it is mixed into the handshake's cluster id, so a process still
+	// draining execution N rejects (and lets retry) a connection from a
+	// peer that already started execution N+1, instead of resuming the old
+	// session's sequence numbers against the new session's retention
+	// (which would lose frames). Drivers that run several executions in
+	// sequence (cmd/experiments) increment it per run, identically on
+	// every process; single-execution runs leave it zero.
+	Generation uint64
+	// Listener optionally pre-binds Hosts[Process] (tests use this to pick
+	// free ports without a bind race).
+	Listener net.Listener
+	// Logf, when non-nil, receives transport lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Frame kinds of the mesh protocol, layered on the transport's opaque user
+// kinds. Per-peer FIFO matters: a scheduling's progress batch is enqueued
+// before its data batches, so a remote process always accounts a message's
+// pointstamp before it can observe the message.
+const (
+	kindProgress = transport.KindUser + 0 // one progress.Batch, applied atomically
+	kindData     = transport.KindUser + 1 // one exchanged batch for one worker
+	kindGraph    = transport.KindUser + 2 // graph digest, first frame per peer
+)
+
+// Mesh is the cross-process fabric of an execution: in-process workers keep
+// the zero-copy channel path, remote workers are reached by serializing
+// batches (via the per-edge wire codecs registered at Connect time) onto
+// the framed TCP transport, and every worker scheduling's progress deltas
+// are broadcast so all processes' trackers converge on the same frontiers.
+//
+// Join a mesh with JoinMesh, hand it to NewExecution via Config.Mesh, and
+// use the execution exactly as in the single-process case. A mesh serves
+// one execution; processes running several executions in sequence join a
+// fresh mesh for each.
+type Mesh struct {
+	tr    *transport.Transport
+	procs int
+	proc  int
+	exec  *Execution
+	ready chan struct{} // closed at Execution.Start; gates inbound dispatch
+
+	scratch []*progress.Batch // per-peer decode scratch (recv is per-peer serial)
+}
+
+// JoinMesh connects this process to its cluster: it binds the local
+// listener, handshakes with every peer (retrying while they start), and
+// returns once all sessions are up.
+func JoinMesh(spec ClusterSpec) (*Mesh, error) {
+	if len(spec.Hosts) < 2 {
+		return nil, fmt.Errorf("dataflow: a cluster needs at least 2 hosts, got %d", len(spec.Hosts))
+	}
+	if spec.Process < 0 || spec.Process >= len(spec.Hosts) {
+		return nil, fmt.Errorf("dataflow: process %d out of range for %d hosts", spec.Process, len(spec.Hosts))
+	}
+	m := &Mesh{
+		procs: len(spec.Hosts),
+		proc:  spec.Process,
+		ready: make(chan struct{}),
+	}
+	m.scratch = make([]*progress.Batch, len(spec.Hosts))
+	for i := range m.scratch {
+		m.scratch[i] = &progress.Batch{}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(spec.Hosts, ",")))
+	clusterID := (h.Sum64() | 1) + spec.Generation*0x9e3779b97f4a7c15
+	if clusterID == 0 {
+		clusterID = 1 // 0 would make the transport re-derive it unsalted
+	}
+	tr, err := transport.Dial(transport.Config{
+		Addrs:       spec.Hosts,
+		Index:       spec.Process,
+		ClusterID:   clusterID,
+		MaxFrame:    spec.MaxFrame,
+		DialTimeout: spec.DialTimeout,
+		Listener:    spec.Listener,
+		Logf:        spec.Logf,
+	}, m.onFrame)
+	if err != nil {
+		return nil, err
+	}
+	m.tr = tr
+	return m, nil
+}
+
+// Procs returns the cluster's process count.
+func (m *Mesh) Procs() int { return m.procs }
+
+// Process returns this process's index.
+func (m *Mesh) Process() int { return m.proc }
+
+// attach binds the mesh to its execution (called by NewExecution).
+func (m *Mesh) attach(e *Execution) {
+	if m.exec != nil {
+		panic("dataflow: mesh already attached to an execution (join a fresh mesh per execution)")
+	}
+	m.exec = e
+}
+
+// start announces this process's graph digest to every peer (the first
+// frame it sends, ahead of any worker traffic) and releases inbound
+// dispatch; the execution's tracker and edge codecs exist by now. The
+// digest turns a cluster whose processes built different dataflows —
+// divergent flags shift every canonical edge id, which would silently
+// misroute or misdecode cross-process batches — into an immediate, clearly
+// attributed failure at the receiver.
+func (m *Mesh) start() {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], m.exec.graphDigest())
+	for p := 0; p < m.procs; p++ {
+		if p != m.proc {
+			m.tr.Send(p, kindGraph, buf[:])
+		}
+	}
+	close(m.ready)
+}
+
+// graphDigest summarizes the canonical dataflow structure and worker
+// topology for the cross-process identity check.
+func (e *Execution) graphDigest() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(e.totalWorkers))
+	put(uint64(e.cfg.Workers))
+	put(uint64(len(e.canonNodes)))
+	for _, n := range e.canonNodes {
+		put(uint64(n.in)<<32 | uint64(n.out))
+	}
+	for _, ed := range e.canonEdges {
+		put(uint64(ed.dst.Node)<<32 | uint64(ed.dst.Port))
+	}
+	return h.Sum64()
+}
+
+// finish runs the cluster-wide shutdown barrier after the local workers
+// drained: announce FIN, wait for every peer's FIN (by which point all
+// their frames have been handled), and close the transport.
+func (m *Mesh) finish() {
+	if err := m.tr.Finish(60 * time.Second); err != nil {
+		panic(err)
+	}
+}
+
+// onFrame dispatches one inbound frame. It runs on the transport's per-peer
+// receive goroutine: frames from one peer are handled in FIFO order, so a
+// peer's progress deltas are always applied before the data they cover, and
+// its delta batches apply in generation order.
+func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
+	<-m.ready
+	e := m.exec
+	switch kind {
+	case kindGraph:
+		theirs := binary.BigEndian.Uint64(payload)
+		if ours := e.graphDigest(); theirs != ours {
+			panic(fmt.Sprintf("dataflow: process %d built a different dataflow graph (digest %016x, ours %016x): every process of a cluster must run with identical configuration apart from its process index",
+				from, theirs, ours))
+		}
+	case kindProgress:
+		b := m.scratch[from]
+		if err := b.DecodeWire(payload); err != nil {
+			panic(fmt.Sprintf("dataflow: corrupt progress frame from process %d: %v", from, err))
+		}
+		e.tracker.Apply(b)
+	case kindData:
+		worker, rest, err := binenc.Uvarint(payload)
+		if err == nil {
+			var edge, tm uint64
+			if edge, rest, err = binenc.Uvarint(rest); err == nil {
+				if tm, rest, err = binenc.Uvarint(rest); err == nil {
+					err = m.deliverData(int(worker), progress.Edge(edge), Time(tm), rest)
+				}
+			}
+		}
+		if err != nil {
+			panic(fmt.Sprintf("dataflow: corrupt data frame from process %d: %v", from, err))
+		}
+	default:
+		panic(fmt.Sprintf("dataflow: unknown mesh frame kind %d from process %d", kind, from))
+	}
+}
+
+// deliverData decodes one exchanged batch and routes it to the owning local
+// worker's inbox. The decoded batch is freshly allocated (the wire payload
+// is transient), so ownership passes to the receiving operator as with the
+// in-process path.
+func (m *Mesh) deliverData(worker int, edge progress.Edge, t Time, payload []byte) error {
+	e := m.exec
+	li := worker - e.firstGlobal
+	if li < 0 || li >= len(e.workers) {
+		return fmt.Errorf("worker %d is not local to process %d", worker, m.proc)
+	}
+	if int(edge) >= len(e.edgeCodecs) || e.edgeCodecs[edge].dec == nil {
+		return fmt.Errorf("edge %d has no wire codec", edge)
+	}
+	data, err := e.edgeCodecs[edge].dec(payload)
+	if err != nil {
+		return fmt.Errorf("edge %d payload: %w", edge, err)
+	}
+	w := e.workers[li]
+	w.inbox <- message{edge: edge, time: t, data: data}
+	w.poke()
+	return nil
+}
+
+// sendRemote ships one outbound message to a remote worker: the batch is
+// serialized with its edge's wire codec into the worker-owned scratch
+// buffer (the transport copies it into pooled frame storage, so the scratch
+// is immediately reusable) and enqueued on the destination process's
+// connection, after this scheduling's progress broadcast.
+func (w *Worker) sendRemote(m outMsg) {
+	e := w.exec
+	edge := m.msg.edge
+	if int(edge) >= len(e.edgeCodecs) || e.edgeCodecs[edge].enc == nil {
+		panic(fmt.Sprintf("dataflow: edge %d crosses processes but has no wire codec (connect it with dataflow.Connect)", edge))
+	}
+	buf := w.wireBuf[:0]
+	buf = binenc.AppendUvarint(buf, uint64(m.peer))
+	buf = binenc.AppendUvarint(buf, uint64(edge))
+	buf = binenc.AppendUvarint(buf, uint64(m.msg.time))
+	buf = e.edgeCodecs[edge].enc(m.msg.data, buf)
+	w.wireBuf = buf
+	e.mesh.tr.Send(m.peer/e.cfg.Workers, kindData, buf)
+}
+
+// broadcastProgress ships one scheduling's (already coalesced) progress
+// batch to every remote process. It must run before the scheduling's remote
+// data sends: per-connection FIFO then guarantees every receiver accounts
+// the produced pointstamps before it can observe the messages.
+func (w *Worker) broadcastProgress(b *progress.Batch) {
+	e := w.exec
+	buf := w.progBuf[:0]
+	buf = b.AppendWire(buf)
+	w.progBuf = buf
+	for p := 0; p < e.mesh.procs; p++ {
+		if p == e.mesh.proc {
+			continue
+		}
+		e.mesh.tr.Send(p, kindProgress, buf)
+	}
+}

@@ -1,0 +1,240 @@
+package dataflow
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// joinLocalMeshes builds an n-process cluster inside this test process:
+// n meshes over loopback TCP with pre-bound listeners.
+func joinLocalMeshes(t *testing.T, n int) []*Mesh {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	hosts := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		hosts[i] = ln.Addr().String()
+	}
+	meshes := make([]*Mesh, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			meshes[i], errs[i] = JoinMesh(ClusterSpec{
+				Hosts:       hosts,
+				Process:     i,
+				Listener:    lns[i],
+				DialTimeout: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+	return meshes
+}
+
+// kcOut is a per-key running count, the output of the test dataflow. It has
+// no BinaryRec implementation on purpose: it only travels Pipeline edges.
+type kcOut struct{ K, C uint64 }
+
+// buildKeyCount wires input -> exchange-by-key -> stateful count -> sink on
+// one worker, returning the input handle. Outputs are reported through
+// collect (called on the worker goroutine).
+func buildKeyCount(w *Worker, collect func(kcOut)) *InputHandle[uint64] {
+	in, s := NewInput[uint64](w, "in")
+	b := w.NewOp("count", 1)
+	Connect(b, s, Exchange[uint64]{Hash: func(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }})
+	counts := map[uint64]uint64{}
+	outs := b.Build(func(c *OpCtx) {
+		ForEachBatch(c, 0, func(t Time, data []uint64) {
+			out := make([]kcOut, 0, len(data))
+			for _, k := range data {
+				counts[k]++
+				out = append(out, kcOut{K: k, C: counts[k]})
+			}
+			SendBatch(c, 0, t, out)
+		})
+	})
+	res := Typed[kcOut](outs[0])
+	sb := w.NewOp("sink", 0)
+	Connect(sb, res, Pipeline[kcOut]{})
+	sb.Build(func(c *OpCtx) {
+		ForEachBatch(c, 0, func(t Time, data []kcOut) {
+			for _, o := range data {
+				collect(o)
+			}
+		})
+	})
+	return in
+}
+
+// genKeys is the deterministic per-(global worker, epoch) input, with heavy
+// key collisions across workers so the exchange really mixes traffic.
+func genKeys(worker int, epoch int) []uint64 {
+	out := make([]uint64, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, uint64((epoch*13+i*7+worker)%23))
+	}
+	return out
+}
+
+// runKeyCountProcess runs one process's share of the clustered key count:
+// wpp workers, epochs of deterministic input, outputs appended to sink.
+func runKeyCountProcess(mesh *Mesh, wpp, epochs int, sink *[]kcOut, mu *sync.Mutex) {
+	exec := NewExecution(Config{Workers: wpp, Mesh: mesh})
+	var handles []*InputHandle[uint64]
+	exec.Build(func(w *Worker) {
+		h := buildKeyCount(w, func(o kcOut) {
+			mu.Lock()
+			*sink = append(*sink, o)
+			mu.Unlock()
+		})
+		handles = append(handles, h)
+	})
+	exec.Start()
+	for e := 1; e <= epochs; e++ {
+		for li, h := range handles {
+			global := mesh.Process()*wpp + li
+			h.SendBatchAt(Time(e), genKeys(global, e))
+		}
+		for _, h := range handles {
+			h.AdvanceTo(Time(e + 1))
+		}
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+	exec.Wait()
+}
+
+// TestMeshKeyCountEquivalence runs the same keyed computation as one
+// process with 6 workers and as a 3-process x 2-worker cluster over
+// loopback TCP, and requires identical output multisets.
+func TestMeshKeyCountEquivalence(t *testing.T) {
+	const procs, wpp, epochs = 3, 2, 40
+
+	// Single-process reference.
+	var refMu sync.Mutex
+	var ref []kcOut
+	exec := NewExecution(Config{Workers: procs * wpp})
+	var handles []*InputHandle[uint64]
+	exec.Build(func(w *Worker) {
+		h := buildKeyCount(w, func(o kcOut) {
+			refMu.Lock()
+			ref = append(ref, o)
+			refMu.Unlock()
+		})
+		handles = append(handles, h)
+	})
+	exec.Start()
+	for e := 1; e <= epochs; e++ {
+		for wi, h := range handles {
+			h.SendBatchAt(Time(e), genKeys(wi, e))
+		}
+		for _, h := range handles {
+			h.AdvanceTo(Time(e + 1))
+		}
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+	exec.Wait()
+
+	// Clustered run.
+	meshes := joinLocalMeshes(t, procs)
+	var cluMu sync.Mutex
+	var clu []kcOut
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			runKeyCountProcess(meshes[p], wpp, epochs, &clu, &cluMu)
+		}(p)
+	}
+	wg.Wait()
+
+	if got, want := canonKC(clu), canonKC(ref); got != want {
+		t.Fatalf("cluster output multiset differs from single-process run:\ncluster (%d recs):\n%.2000s\nsingle (%d recs):\n%.2000s",
+			len(clu), got, len(ref), want)
+	}
+}
+
+func canonKC(recs []kcOut) string {
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = fmt.Sprintf("%d:%d", r.K, r.C)
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestMeshBroadcastAndFrontier checks that broadcast edges reach every
+// worker of every process exactly once per sender, and that cluster-wide
+// completion (Wait) observes remote frontier movement.
+func TestMeshBroadcastAndFrontier(t *testing.T) {
+	const procs, wpp = 2, 2
+	meshes := joinLocalMeshes(t, procs)
+	var mu sync.Mutex
+	got := map[[2]uint64]int{} // (sender worker, value) -> deliveries
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			exec := NewExecution(Config{Workers: wpp, Mesh: meshes[p]})
+			var handles []*InputHandle[uint64]
+			exec.Build(func(w *Worker) {
+				in, s := NewInput[uint64](w, "in")
+				handles = append(handles, in)
+				b := w.NewOp("bcast-sink", 0)
+				Connect(b, s, Broadcast[uint64]{})
+				b.Build(func(c *OpCtx) {
+					ForEachBatch(c, 0, func(tm Time, data []uint64) {
+						mu.Lock()
+						for _, v := range data {
+							got[[2]uint64{v >> 32, v & 0xffffffff}]++
+						}
+						mu.Unlock()
+					})
+				})
+			})
+			exec.Start()
+			for li, h := range handles {
+				global := uint64(p*wpp + li)
+				h.SendAt(1, global<<32|1, global<<32|2)
+				h.Close()
+			}
+			exec.Wait()
+		}(p)
+	}
+	wg.Wait()
+
+	total := procs * wpp
+	if len(got) != total*2 {
+		t.Fatalf("got %d distinct (sender, value) pairs, want %d", len(got), total*2)
+	}
+	for k, n := range got {
+		if n != total {
+			t.Fatalf("value %v delivered %d times, want %d (once per worker)", k, n, total)
+		}
+	}
+}

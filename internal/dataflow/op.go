@@ -80,6 +80,7 @@ type OpBuilder struct {
 	numOut  int
 	inputs  []StreamCore
 	parts   []Partitioner
+	codecs  []wireCodec // per input edge; zero value = cannot cross processes
 	node    progress.Node
 	holdsAt []struct {
 		port int
@@ -102,6 +103,7 @@ func (b *OpBuilder) AddInput(s StreamCore, part Partitioner) int {
 	}
 	b.inputs = append(b.inputs, s)
 	b.parts = append(b.parts, part)
+	b.codecs = append(b.codecs, wireCodec{})
 	return len(b.inputs) - 1
 }
 
@@ -123,14 +125,18 @@ func (b *OpBuilder) Build(logic func(*OpCtx)) []StreamCore {
 	w := b.w
 	e := w.exec
 
-	// Canonical registration (worker 0) or verification (others).
-	if w.index == 0 {
+	// Canonical registration (this process's first worker) or verification
+	// (others). In a mesh every process registers the same canonical
+	// structure independently — the build is deterministic — so edge and
+	// node ids agree cluster-wide.
+	if w.local == 0 {
 		node := e.gb.AddNode(b.name, len(b.inputs), b.numOut)
 		e.canonNodes = append(e.canonNodes, struct{ in, out int }{len(b.inputs), b.numOut})
 		b.node = node
 		for i, in := range b.inputs {
 			edge := e.gb.AddEdge(in.src, progress.Port{Node: node, Port: i})
 			e.canonEdges = append(e.canonEdges, canonEdge{dst: progress.Port{Node: node, Port: i}})
+			e.edgeCodecs = append(e.edgeCodecs, b.codecs[i])
 			_ = edge
 		}
 	} else {

@@ -131,9 +131,16 @@ func (Broadcast[T]) partitioner(peers int) Partitioner {
 }
 
 // Connect attaches stream s to the next input of builder b under pact p,
-// returning the input port index.
+// returning the input port index. In a multi-process execution Connect also
+// registers the edge's wire codec (derived from T), which is what lets the
+// edge's batches cross process boundaries; edges wired through the untyped
+// AddInput cannot.
 func Connect[T any](b *OpBuilder, s Stream[T], p Pact[T]) int {
-	return b.AddInput(s.core, p.partitioner(b.w.Peers()))
+	i := b.AddInput(s.core, p.partitioner(b.w.Peers()))
+	if b.w.exec.mesh != nil {
+		b.codecs[i] = wireCodecFor[T]()
+	}
+	return i
 }
 
 // SendBatch emits a typed batch on output port o at time t.

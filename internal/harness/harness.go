@@ -36,6 +36,15 @@ type Options struct {
 	// Migrations schedules plans to start at given epochs; each waits for
 	// the previous to complete.
 	Migrations []Migration
+	// TotalInputs and FirstInput describe this process's share of a
+	// multi-process run: the cluster has TotalInputs data inputs overall
+	// and this process drives the ones at global indexes [FirstInput,
+	// FirstInput+len(inputs)). Rate is split across TotalInputs and the
+	// generator sees global worker indexes, so the cluster-wide input
+	// stream is identical to a single-process run with TotalInputs
+	// workers. Zero TotalInputs means len(inputs) (single process).
+	TotalInputs int
+	FirstInput  int
 }
 
 // Migration schedules a plan to start at a given epoch.
@@ -164,6 +173,10 @@ func Run[T any](
 	totalEpochs := int64(opts.Duration / opts.EpochEvery)
 	perEpoch := int64(float64(opts.Rate) * opts.EpochEvery.Seconds())
 	workers := len(inputs)
+	totalInputs := opts.TotalInputs
+	if totalInputs <= 0 {
+		totalInputs = workers
+	}
 
 	res := Result{
 		Timeline: metrics.NewTimeline(),
@@ -254,12 +267,13 @@ func Run[T any](
 		}
 		t := core.Time(e)
 		for w := 0; w < workers; w++ {
-			n := int(perEpoch / int64(workers))
-			if int64(w) < perEpoch%int64(workers) {
+			g := opts.FirstInput + w // global worker index
+			n := int(perEpoch / int64(totalInputs))
+			if int64(g) < perEpoch%int64(totalInputs) {
 				n++
 			}
 			if n > 0 {
-				batch := gen(w, e, n)
+				batch := gen(g, e, n)
 				inputs[w].SendBatchAt(t, batch)
 				res.Records += int64(len(batch))
 			}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"bufio"
+	"os"
+	"sync"
+)
+
+// LineSink returns a concurrency-safe buffered line writer into path and a
+// finish function that flushes and closes it. Workload runners hand the
+// writer to their output sinks (which run on worker goroutines) for
+// cross-run output-equivalence checks; see cmd/keycount and cmd/nexmark's
+// -dump flags.
+func LineSink(path string) (write func(line string), finish func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var mu sync.Mutex
+	write = func(line string) {
+		mu.Lock()
+		w.WriteString(line)
+		w.WriteByte('\n')
+		mu.Unlock()
+	}
+	finish = func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return write, finish, nil
+}

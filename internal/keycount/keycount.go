@@ -206,13 +206,25 @@ func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], dat
 // PreloadAll initializes one entry per key across all workers' bins
 // according to the initial assignment.
 func PreloadAll(p Params, peers int, h *Handles) {
+	PreloadLocal(p, peers, h, 0, peers)
+}
+
+// PreloadLocal preloads only the bins initially assigned to workers in
+// [first, first+n): in a cluster run each process holds state for its own
+// workers only, and the initial assignment is computed against the global
+// worker count.
+func PreloadLocal(p Params, peers int, h *Handles, first, n int) {
 	bins := 1 << uint(p.LogBins)
+	local := func(w int) bool { return w >= first && w < first+n }
 	switch p.Variant {
 	case HashCount:
 		// Touch each bin's map with a representative spread of keys. A full
 		// preload of huge domains is prohibitive in tests; pre-size maps.
 		for b := 0; b < bins; b++ {
 			w := core.InitialWorker(b, peers)
+			if !local(w) {
+				continue
+			}
 			h.Hash.Preload(w, b, func(s *HashState) {
 				if s.M == nil {
 					s.M = make(map[uint64]uint64)
@@ -222,6 +234,9 @@ func PreloadAll(p Params, peers int, h *Handles) {
 	case KeyCount:
 		for b := 0; b < bins; b++ {
 			w := core.InitialWorker(b, peers)
+			if !local(w) {
+				continue
+			}
 			h.Key.Preload(w, b, func(s *ArrayState) {})
 		}
 	}

@@ -14,7 +14,7 @@ import (
 func TestRunWithMigration(t *testing.T) {
 	for _, strat := range []plan.Strategy{plan.AllAtOnce, plan.Fluid, plan.Batched, plan.Optimized} {
 		t.Run(strat.String(), func(t *testing.T) {
-			res := keycount.Run(keycount.RunConfig{
+			res, err := keycount.Run(keycount.RunConfig{
 				Params: keycount.Params{
 					Variant: keycount.HashCount,
 					LogBins: 4,
@@ -28,6 +28,9 @@ func TestRunWithMigration(t *testing.T) {
 				Batch:      4,
 				MigrateAt:  500 * time.Millisecond,
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if res.Records == 0 {
 				t.Fatal("no records injected")
 			}
@@ -50,7 +53,7 @@ func TestRunWithMigration(t *testing.T) {
 func TestVariantsComplete(t *testing.T) {
 	for _, v := range []keycount.Variant{keycount.HashCount, keycount.KeyCount, keycount.NativeHash, keycount.NativeKey} {
 		t.Run(v.String(), func(t *testing.T) {
-			res := keycount.Run(keycount.RunConfig{
+			res, err := keycount.Run(keycount.RunConfig{
 				Params: keycount.Params{
 					Variant: v,
 					LogBins: 4,
@@ -61,6 +64,9 @@ func TestVariantsComplete(t *testing.T) {
 				Rate:     10000,
 				Duration: 400 * time.Millisecond,
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if res.Records == 0 || res.Hist.Count() == 0 {
 				t.Fatalf("variant %v produced no measurements", v)
 			}

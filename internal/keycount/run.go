@@ -1,6 +1,7 @@
 package keycount
 
 import (
+	"fmt"
 	"time"
 
 	"megaphone/internal/core"
@@ -12,8 +13,11 @@ import (
 // RunConfig configures a complete open-loop key-count run.
 type RunConfig struct {
 	Params
+	// Workers is the number of workers in this process. In a cluster run
+	// (Cluster non-nil) every process contributes Workers workers and the
+	// execution spans Workers * len(Cluster.Hosts) workers total.
 	Workers     int
-	Rate        int           // records per second
+	Rate        int           // records per second, cluster-wide
 	Duration    time.Duration // total run
 	EpochEvery  time.Duration // epoch granularity (default 1ms)
 	ReportEvery time.Duration
@@ -33,10 +37,22 @@ type RunConfig struct {
 	// plans from measured load instead of the scheduled MigrateAt
 	// migrations (which are then ignored). Auto.Meter is filled in by Run.
 	Auto *plan.AutoOptions
+	// Cluster, when non-nil, runs this process's share of a multi-process
+	// execution: the process joins the mesh, runs Workers of the global
+	// worker space, and injects its workers' share of the (deterministic)
+	// input stream. Every process must be started with the same RunConfig
+	// apart from Cluster.Process.
+	Cluster *dataflow.ClusterSpec
+	// Sink, when non-nil, receives one "key:count" line per output record,
+	// for output-equivalence checks across runs. It is called from worker
+	// goroutines and must be safe for concurrent use.
+	Sink func(line string)
 }
 
-// Run executes the benchmark and returns its measurements.
-func Run(cfg RunConfig) harness.Result {
+// Run executes the benchmark and returns its measurements. In a cluster
+// run the returned measurements are this process's local view (its own
+// injected records and its local probe's latency observations).
+func Run(cfg RunConfig) (harness.Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -44,14 +60,21 @@ func Run(cfg RunConfig) harness.Result {
 		cfg.EpochEvery = time.Millisecond
 	}
 
+	mesh, procs, proc, err := harness.JoinCluster("keycount", cfg.Cluster, cfg.Transfer, cfg.Auto != nil)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	totalWorkers := cfg.Workers * procs
+	firstWorker := proc * cfg.Workers
+
 	var meter *core.LoadMeter
 	if cfg.Auto != nil {
-		meter = core.NewLoadMeter(cfg.Workers, cfg.LogBins)
+		meter = core.NewLoadMeter(totalWorkers, cfg.LogBins)
 		cfg.Params.Meter = meter
 		cfg.Auto.Meter = meter
 	}
 
-	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
+	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})
 	var dataIns []*dataflow.InputHandle[uint64]
 	var ctlIns []*dataflow.InputHandle[core.Move]
 	var probe *dataflow.Probe
@@ -65,26 +88,29 @@ func Run(cfg RunConfig) harness.Result {
 		in, data := dataflow.NewInput[uint64](w, "data")
 		dataIns = append(dataIns, in)
 		out := Build(w, cfg.Params, ctlStream, data, handles)
+		if cfg.Sink != nil {
+			attachSink(w, out, cfg.Sink)
+		}
 		p := dataflow.NewProbe(w, out)
-		if w.Index() == 0 {
+		if w.Index() == firstWorker {
 			probe = p
 		}
 	})
 	if cfg.Preload {
-		PreloadAll(cfg.Params, cfg.Workers, handles)
+		PreloadLocal(cfg.Params, totalWorkers, handles, firstWorker, cfg.Workers)
 	}
 	exec.Start()
 
 	bins := 1 << uint(cfg.LogBins)
-	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, cfg.Workers)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers)
 
 	var migrations []harness.Migration
 	if cfg.Auto == nil && cfg.MigrateAt > 0 {
-		initial := plan.Initial(bins, cfg.Workers)
+		initial := plan.Initial(bins, totalWorkers)
 		// First migration: move the keys of half the workers to the other
 		// half (25% of total state), producing an imbalanced assignment.
 		var firstHalf []int
-		for i := 0; i < (cfg.Workers+1)/2; i++ {
+		for i := 0; i < (totalWorkers+1)/2; i++ {
 			firstHalf = append(firstHalf, i)
 		}
 		imbalanced := plan.Rebalance(bins, firstHalf)
@@ -116,7 +142,24 @@ func Run(cfg RunConfig) harness.Result {
 		ReportEvery:  cfg.ReportEvery,
 		SampleMemory: cfg.Memory,
 		Migrations:   migrations,
+		TotalInputs:  totalWorkers,
+		FirstInput:   firstWorker,
 	})
 	res.FinishAdaptive(auto, meter)
-	return res
+	return res, nil
+}
+
+// attachSink adds a per-worker sink operator that renders every output
+// record as a line. Sinks are only attached when requested, so the default
+// dataflow is unchanged.
+func attachSink(w *dataflow.Worker, out dataflow.Stream[Out], sink func(string)) {
+	b := w.NewOp("out-sink", 0)
+	dataflow.Connect(b, out, dataflow.Pipeline[Out]{})
+	b.Build(func(c *dataflow.OpCtx) {
+		dataflow.ForEachBatch(c, 0, func(t core.Time, data []Out) {
+			for _, o := range data {
+				sink(fmt.Sprintf("%d:%d", o.Key, o.Count))
+			}
+		})
+	})
 }

@@ -96,7 +96,10 @@ func runShort(t *testing.T, q string) {
 				cfg.Batch = 4
 				cfg.MigrateAt = 250 * time.Millisecond
 			}
-			res := nexmark.Run(cfg)
+			res, err := nexmark.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if res.Records == 0 {
 				t.Fatal("no records")
 			}

@@ -47,6 +47,13 @@ type Params struct {
 	// (nil disables metering). Stages share the meter, so it aggregates the
 	// whole query's service load.
 	Meter *core.LoadMeter
+	// Sink, when non-nil, receives every output batch as rendered lines in
+	// application order, together with its timestamp (for output-equivalence
+	// checks across runs, e.g. cluster vs single-process; batch granularity
+	// matters because running aggregates are only comparable at
+	// end-of-epoch positions). Called from worker goroutines; must be safe
+	// for concurrent use.
+	Sink func(t Time, lines []string)
 }
 
 // config renders the megaphone operator Config for one of the query's
@@ -83,27 +90,41 @@ func BuildQuery(w *dataflow.Worker, name string, p Params, ctl dataflow.Stream[c
 	p.defaults()
 	switch name {
 	case "q1":
-		return probeOf(w, BuildQ1(w, p, ctl, events))
+		return probeOf(w, p, BuildQ1(w, p, ctl, events))
 	case "q2":
-		return probeOf(w, BuildQ2(w, p, ctl, events))
+		return probeOf(w, p, BuildQ2(w, p, ctl, events))
 	case "q3":
-		return probeOf(w, BuildQ3(w, p, ctl, events))
+		return probeOf(w, p, BuildQ3(w, p, ctl, events))
 	case "q4":
-		return probeOf(w, BuildQ4(w, p, ctl, events))
+		return probeOf(w, p, BuildQ4(w, p, ctl, events))
 	case "q5":
-		return probeOf(w, BuildQ5(w, p, ctl, events))
+		return probeOf(w, p, BuildQ5(w, p, ctl, events))
 	case "q6":
-		return probeOf(w, BuildQ6(w, p, ctl, events))
+		return probeOf(w, p, BuildQ6(w, p, ctl, events))
 	case "q7":
-		return probeOf(w, BuildQ7(w, p, ctl, events))
+		return probeOf(w, p, BuildQ7(w, p, ctl, events))
 	case "q8":
-		return probeOf(w, BuildQ8(w, p, ctl, events))
+		return probeOf(w, p, BuildQ8(w, p, ctl, events))
 	default:
 		panic(fmt.Sprintf("nexmark: unknown query %q", name))
 	}
 }
 
-func probeOf[T any](w *dataflow.Worker, s dataflow.Stream[T]) *dataflow.Probe {
+func probeOf[T any](w *dataflow.Worker, p Params, s dataflow.Stream[T]) *dataflow.Probe {
+	if p.Sink != nil {
+		sink := p.Sink
+		b := w.NewOp("out-sink", 0)
+		dataflow.Connect(b, s, dataflow.Pipeline[T]{})
+		b.Build(func(c *dataflow.OpCtx) {
+			dataflow.ForEachBatch(c, 0, func(t Time, data []T) {
+				lines := make([]string, len(data))
+				for i := range data {
+					lines[i] = fmt.Sprintf("%v", data[i])
+				}
+				sink(t, lines)
+			})
+		})
+	}
 	return dataflow.NewProbe(w, s)
 }
 

@@ -11,11 +11,13 @@ import (
 
 // RunConfig configures a complete open-loop NEXMark run.
 type RunConfig struct {
-	Query       string
-	Params      Params
-	Gen         GenConfig
+	Query  string
+	Params Params
+	Gen    GenConfig
+	// Workers is the number of workers in this process. In a cluster run
+	// (Cluster non-nil) every process contributes Workers workers.
 	Workers     int
-	Rate        int
+	Rate        int // events per second, cluster-wide
 	Duration    time.Duration
 	EpochEvery  time.Duration
 	ReportEvery time.Duration
@@ -31,10 +33,14 @@ type RunConfig struct {
 	// plans from measured load; the scheduled MigrateAt migrations are then
 	// ignored. Auto.Meter is filled in by Run.
 	Auto *plan.AutoOptions
+	// Cluster, when non-nil, runs this process's share of a multi-process
+	// execution (see keycount.RunConfig.Cluster; the semantics match).
+	Cluster *dataflow.ClusterSpec
 }
 
-// Run executes the query open-loop and returns its measurements.
-func Run(cfg RunConfig) harness.Result {
+// Run executes the query open-loop and returns its measurements. In a
+// cluster run the measurements are this process's local view.
+func Run(cfg RunConfig) (harness.Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -43,14 +49,21 @@ func Run(cfg RunConfig) harness.Result {
 	}
 	cfg.Params.defaults()
 
+	mesh, procs, proc, err := harness.JoinCluster("nexmark", cfg.Cluster, cfg.Params.Transfer, cfg.Auto != nil)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	totalWorkers := cfg.Workers * procs
+	firstWorker := proc * cfg.Workers
+
 	var meter *core.LoadMeter
 	if cfg.Auto != nil {
-		meter = core.NewLoadMeter(cfg.Workers, cfg.Params.LogBins)
+		meter = core.NewLoadMeter(totalWorkers, cfg.Params.LogBins)
 		cfg.Params.Meter = meter
 		cfg.Auto.Meter = meter
 	}
 
-	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers})
+	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})
 	var dataIns []*dataflow.InputHandle[Event]
 	var ctlIns []*dataflow.InputHandle[core.Move]
 	var probe *dataflow.Probe
@@ -60,20 +73,20 @@ func Run(cfg RunConfig) harness.Result {
 		in, events := dataflow.NewInput[Event](w, "events")
 		dataIns = append(dataIns, in)
 		p := BuildQuery(w, cfg.Query, cfg.Params, ctlStream, events)
-		if w.Index() == 0 {
+		if w.Index() == firstWorker {
 			probe = p
 		}
 	})
 	exec.Start()
 
 	bins := 1 << uint(cfg.Params.LogBins)
-	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, cfg.Workers)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers)
 
 	var migrations []harness.Migration
 	if cfg.Auto == nil && cfg.MigrateAt > 0 {
-		initial := plan.Initial(bins, cfg.Workers)
+		initial := plan.Initial(bins, totalWorkers)
 		var firstHalf []int
-		for i := 0; i < (cfg.Workers+1)/2; i++ {
+		for i := 0; i < (totalWorkers+1)/2; i++ {
 			firstHalf = append(firstHalf, i)
 		}
 		imbalanced := plan.Rebalance(bins, firstHalf)
@@ -87,7 +100,7 @@ func Run(cfg RunConfig) harness.Result {
 
 	gen := NewGen(cfg.Gen)
 	perEpoch := int(float64(cfg.Rate) * cfg.EpochEvery.Seconds())
-	peers := cfg.Workers
+	peers := totalWorkers
 	genFn := func(w int, epoch int64, n int) []Event {
 		return gen.Batch(w, peers, Time(epoch), perEpoch, n)
 	}
@@ -99,7 +112,9 @@ func Run(cfg RunConfig) harness.Result {
 		ReportEvery:  cfg.ReportEvery,
 		SampleMemory: cfg.Memory,
 		Migrations:   migrations,
+		TotalInputs:  totalWorkers,
+		FirstInput:   firstWorker,
 	})
 	res.FinishAdaptive(auto, meter)
-	return res
+	return res, nil
 }

@@ -1,0 +1,173 @@
+package progress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twoNodeTracker builds input -> op with one edge, returning the tracker
+// and the interesting locations.
+func twoNodeTracker(t *testing.T) (tr *Tracker, edge Location, srcCap Location, dstPort Port) {
+	t.Helper()
+	b := NewGraphBuilder()
+	src := b.AddNode("src", 0, 1)
+	dst := b.AddNode("dst", 1, 0)
+	e := b.AddEdge(Port{Node: src, Port: 0}, Port{Node: dst, Port: 0})
+	tr = b.Build()
+	return tr, tr.EdgeLocation(e), tr.CapLocation(Port{Node: src, Port: 0}), Port{Node: dst, Port: 0}
+}
+
+// TestNegativeToleranceConservative replays the canonical cross-process
+// reordering: observer C sees B's consumption of a message before A's
+// production of it. The frontier must never advance past the justification
+// A still holds, the location must stay live, and the counts must settle
+// once the missing batch arrives.
+func TestNegativeToleranceConservative(t *testing.T) {
+	tr, edge, cap0, port := twoNodeTracker(t)
+	tr.TolerateNegativeCounts()
+
+	// A holds a capability at time 5 (the justification for the message).
+	var b Batch
+	b.Add(cap0, 5, 1)
+	tr.Apply(&b)
+
+	// B's batch arrives first: consumed the message at 5 (which C has not
+	// seen produced), and is otherwise empty.
+	b.Reset()
+	b.Add(edge, 5, -1)
+	tr.Apply(&b)
+
+	if got := tr.Frontier(port); got != 5 {
+		t.Fatalf("frontier advanced to %v with A's capability at 5 still held", got)
+	}
+	if tr.Idle() {
+		t.Fatal("tracker idle with a negative in-flight count")
+	}
+
+	// A's batch arrives late: produced the message at 5 and dropped the
+	// capability.
+	b.Reset()
+	b.Add(edge, 5, 1)
+	b.Add(cap0, 5, -1)
+	tr.Apply(&b)
+
+	if got := tr.Frontier(port); got != None {
+		t.Fatalf("frontier = %v after all counts cancelled, want None", got)
+	}
+	if !tr.Idle() {
+		t.Fatalf("tracker not idle after all counts cancelled:\n%s", tr.Dump())
+	}
+}
+
+// TestNegativeMinSkipsNonPositive pins the frontier rule: a location whose
+// earliest entry is negative exposes the earliest positive count as its
+// minimum.
+func TestNegativeMinSkipsNonPositive(t *testing.T) {
+	tr, edge, cap0, port := twoNodeTracker(t)
+	tr.TolerateNegativeCounts()
+	var b Batch
+	b.Add(cap0, 9, 1) // keep the computation live independently
+	b.Add(edge, 3, -1)
+	b.Add(edge, 7, 2)
+	tr.Apply(&b)
+	if got := tr.Frontier(port); got != 7 {
+		t.Fatalf("frontier = %v, want 7 (the -1@3 entry is not a real message)", got)
+	}
+}
+
+func TestNegativePanicsWithoutOptIn(t *testing.T) {
+	tr, edge, _, _ := twoNodeTracker(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative count in single-process mode")
+		}
+	}()
+	var b Batch
+	b.Add(edge, 5, -1)
+	tr.Apply(&b)
+}
+
+// TestShuffledBatchesConverge applies a set of per-worker FIFO batch
+// streams in many random interleavings (batches atomic, streams in order —
+// exactly the cross-process delivery model) and checks every interleaving
+// ends drained with frontier None.
+func TestShuffledBatchesConverge(t *testing.T) {
+	type dd struct {
+		loc   Location
+		t     Time
+		delta int
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tr, edge, cap0, port := twoNodeTracker(t)
+		tr.TolerateNegativeCounts()
+
+		// Stream A: hold cap, produce three messages, drop cap.
+		streamA := [][]dd{
+			{{cap0, 1, 1}},
+			{{edge, 1, 1}, {edge, 2, 1}},
+			{{edge, 3, 1}, {cap0, 1, -1}},
+		}
+		// Stream B: consume the three messages.
+		streamB := [][]dd{
+			{{edge, 1, -1}},
+			{{edge, 2, -1}, {edge, 3, -1}},
+		}
+		idx := []int{0, 0}
+		streams := [][][]dd{streamA, streamB}
+		for idx[0] < len(streamA) || idx[1] < len(streamB) {
+			s := rng.Intn(2)
+			if idx[s] >= len(streams[s]) {
+				s = 1 - s
+			}
+			var b Batch
+			for _, d := range streams[s][idx[s]] {
+				b.Add(d.loc, d.t, d.delta)
+			}
+			idx[s]++
+			tr.Apply(&b)
+		}
+		if !tr.Idle() {
+			t.Fatalf("trial %d: not idle after all batches:\n%s", trial, tr.Dump())
+		}
+		if got := tr.Frontier(port); got != None {
+			t.Fatalf("trial %d: frontier %v, want None", trial, got)
+		}
+	}
+}
+
+func TestBatchWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		var b Batch
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			b.Add(Location(rng.Intn(1000)), Time(rng.Uint64()>>rng.Intn(64)), rng.Intn(9)-4)
+		}
+		buf := b.AppendWire(nil)
+		var got Batch
+		got.Deltas = make([]CountDelta, 3) // ensure DecodeWire resets
+		if err := got.DecodeWire(buf); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got.Deltas) != len(b.Deltas) {
+			t.Fatalf("trial %d: %d deltas, want %d", trial, len(got.Deltas), len(b.Deltas))
+		}
+		for i := range b.Deltas {
+			if got.Deltas[i] != b.Deltas[i] {
+				t.Fatalf("trial %d delta %d: %+v != %+v", trial, i, got.Deltas[i], b.Deltas[i])
+			}
+		}
+	}
+}
+
+func TestBatchWireRejectsGarbage(t *testing.T) {
+	var b Batch
+	if err := b.DecodeWire([]byte{0xff}); err == nil {
+		t.Fatal("expected error on truncated varint")
+	}
+	good := (&Batch{Deltas: []CountDelta{{Loc: 1, Time: 2, Delta: 3}}}).AppendWire(nil)
+	if err := b.DecodeWire(append(good, 0)); err == nil {
+		t.Fatal("expected error on trailing bytes")
+	}
+}

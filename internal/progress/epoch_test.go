@@ -107,14 +107,14 @@ func TestMultisetMatchesReference(t *testing.T) {
 	for i := 0; i < 200000; i++ {
 		tm := Time(rng.Intn(64))
 		if c := ref[tm]; c > 0 && rng.Intn(2) == 0 {
-			m.update(tm, -1)
+			m.update(tm, -1, false)
 			if c == 1 {
 				delete(ref, tm)
 			} else {
 				ref[tm] = c - 1
 			}
 		} else {
-			m.update(tm, 1)
+			m.update(tm, 1, false)
 			ref[tm]++
 		}
 		if m.min() != refMin() {

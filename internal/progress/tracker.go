@@ -100,23 +100,55 @@ type timeCount struct {
 // input staging thousands of epochs) costs O(1) amortized per update,
 // unlike the map-based variant this replaces, whose minimum removal
 // rescanned every live time.
+//
+// In a multi-process execution (negOK mode, see
+// Tracker.TolerateNegativeCounts) counts can dip below zero transiently: a
+// third process may apply worker B's "consumed the message" delta before
+// worker A's "produced it" delta, because the two arrive on different
+// connections. Negative entries are retained (they keep the location live,
+// which the termination check needs) but a location's minimum considers
+// only positive counts — the matching production is guaranteed to be
+// counted at some upstream location, so frontiers remain conservative
+// (the Naiad progress-protocol argument; see DESIGN.md).
 type multiset struct {
 	entries []timeCount
 	head    int
 }
 
 func (m *multiset) min() Time {
-	if m.head == len(m.entries) {
-		return None
+	// In single-process mode every live entry is positive and this returns
+	// entries[head].t on the first iteration; negative entries exist only
+	// transiently under cross-process delta reordering.
+	for i := m.head; i < len(m.entries); i++ {
+		if m.entries[i].n > 0 {
+			return m.entries[i].t
+		}
 	}
-	return m.entries[m.head].t
+	return None
 }
 
 func (m *multiset) empty() bool { return m.head == len(m.entries) }
 
 // update applies a count delta for time t and reports whether the multiset's
-// minimum changed.
-func (m *multiset) update(t Time, delta int) (minChanged bool) {
+// minimum changed. negOK tolerates transiently negative counts (required
+// for multi-process executions); without it a negative count panics, as it
+// can only mean an accounting bug. In negOK mode the positional heuristics
+// of applyDelta no longer determine the minimum (nonpositive entries are
+// skipped by min), so the minimum is compared directly around the change.
+func (m *multiset) update(t Time, delta int, negOK bool) (minChanged bool) {
+	if negOK {
+		oldMin := m.min()
+		m.applyDelta(t, delta, true)
+		return m.min() != oldMin
+	}
+	return m.applyDelta(t, delta, false)
+}
+
+// applyDelta mutates the multiset and reports whether the minimum changed
+// under the single-process invariant that all counts stay positive (the
+// return value is positional and meaningless when negOK allowed a negative
+// entry — update recomputes it in that mode).
+func (m *multiset) applyDelta(t Time, delta int, negOK bool) (minChanged bool) {
 	e := m.entries
 	// Fast paths: the head (consuming at the frontier) and the tail
 	// (producing just past it) cover nearly all hot-path updates.
@@ -131,7 +163,7 @@ func (m *multiset) update(t Time, delta int) (minChanged bool) {
 	if i < len(e) && e[i].t == t {
 		e[i].n += delta
 		switch {
-		case e[i].n < 0:
+		case e[i].n < 0 && !negOK:
 			panic(fmt.Sprintf("progress: count for time %v went negative", t))
 		case e[i].n == 0:
 			if i == m.head {
@@ -149,11 +181,11 @@ func (m *multiset) update(t Time, delta int) (minChanged bool) {
 		}
 		return false
 	}
-	if delta < 0 {
-		panic(fmt.Sprintf("progress: count for time %v went negative", t))
-	}
 	if delta == 0 {
 		return false
+	}
+	if delta < 0 && !negOK {
+		panic(fmt.Sprintf("progress: count for time %v went negative", t))
 	}
 	if m.head > 0 && i == m.head {
 		// Insert just before the live head: reuse a dead slot.
@@ -193,6 +225,20 @@ type Tracker struct {
 	deps       [][]int32 // location -> dense ports whose frontier it feeds
 
 	nodeNames []string
+
+	negOK bool // tolerate transiently negative counts (multi-process mode)
+}
+
+// TolerateNegativeCounts switches the tracker into multi-process mode:
+// count deltas from remote workers may be applied in an order where a
+// message's consumption lands before its production, so per-(location,
+// time) counts can dip below zero transiently. Negative entries keep their
+// location live (termination stays exact) and are excluded from frontier
+// minima (frontiers stay conservative). Call before the execution starts.
+func (t *Tracker) TolerateNegativeCounts() {
+	t.mu.Lock()
+	t.negOK = true
+	t.mu.Unlock()
 }
 
 // Build freezes the graph and returns its tracker.
@@ -267,7 +313,7 @@ func (t *Tracker) Apply(b *Batch) {
 	for _, d := range b.Deltas {
 		ms := &t.locs[d.Loc]
 		wasEmpty := ms.empty()
-		minChanged := ms.update(d.Time, d.Delta)
+		minChanged := ms.update(d.Time, d.Delta, t.negOK)
 		if minChanged {
 			for _, pid := range t.deps[d.Loc] {
 				t.portEpochs[pid].Add(1)

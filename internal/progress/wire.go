@@ -1,0 +1,53 @@
+package progress
+
+import (
+	"fmt"
+
+	"megaphone/internal/binenc"
+)
+
+// Wire encoding of a delta batch, used to broadcast one worker scheduling's
+// progress consequences to remote processes. Batches must be applied
+// atomically at every receiver (consumptions together with the productions
+// they caused), so one encoded payload always carries one whole batch.
+
+// AppendWire appends the batch's encoding to buf and returns the extended
+// slice: a delta count followed by (location, time, delta) triples in batch
+// order.
+func (b *Batch) AppendWire(buf []byte) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(len(b.Deltas)))
+	for _, d := range b.Deltas {
+		buf = binenc.AppendUvarint(buf, uint64(d.Loc))
+		buf = binenc.AppendUvarint(buf, uint64(d.Time))
+		buf = binenc.AppendVarint(buf, int64(d.Delta))
+	}
+	return buf
+}
+
+// DecodeWire replaces the batch's contents from an AppendWire payload,
+// reusing the batch's capacity.
+func (b *Batch) DecodeWire(data []byte) error {
+	n, data, err := binenc.Count(data, 3) // every delta is >= 3 bytes
+	if err != nil {
+		return fmt.Errorf("progress: decoding delta count: %w", err)
+	}
+	b.Deltas = b.Deltas[:0]
+	for i := uint64(0); i < n; i++ {
+		var loc, t uint64
+		var delta int64
+		if loc, data, err = binenc.Uvarint(data); err != nil {
+			return fmt.Errorf("progress: decoding delta location: %w", err)
+		}
+		if t, data, err = binenc.Uvarint(data); err != nil {
+			return fmt.Errorf("progress: decoding delta time: %w", err)
+		}
+		if delta, data, err = binenc.Varint(data); err != nil {
+			return fmt.Errorf("progress: decoding delta: %w", err)
+		}
+		b.Deltas = append(b.Deltas, CountDelta{Loc: Location(loc), Time: Time(t), Delta: int(delta)})
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("progress: %d trailing bytes after delta batch", len(data))
+	}
+	return nil
+}

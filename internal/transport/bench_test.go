@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkFrameAppend pins the pure framing cost (zero allocations; see
+// TestAppendFrameZeroAlloc for the hard pin).
+func BenchmarkFrameAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], KindUser, uint64(i), payload)
+	}
+}
+
+// BenchmarkTransportSendRecv measures end-to-end frame throughput between
+// two transports over loopback TCP: enqueue, frame, write, read, dispatch.
+func BenchmarkTransportSendRecv(b *testing.B) {
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var received atomic.Int64
+	var ts [2]*Transport
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var h Handler
+			if i == 0 {
+				h = func(from int, kind byte, payload []byte) { received.Add(1) }
+			}
+			tr, err := Dial(Config{Addrs: addrs, Index: i, Listener: lns[i], DialTimeout: 10 * time.Second}, h)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ts[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	if ts[0] == nil || ts[1] == nil {
+		b.Fatal("cluster did not come up")
+	}
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(payload, uint64(i))
+		ts[1].Send(0, KindUser, payload)
+	}
+	for received.Load() < int64(b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	var fw sync.WaitGroup
+	for _, tr := range ts {
+		fw.Add(1)
+		go func(tr *Transport) { defer fw.Done(); tr.Finish(20 * time.Second) }(tr)
+	}
+	fw.Wait()
+}

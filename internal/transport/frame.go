@@ -1,0 +1,156 @@
+// Package transport is the process-to-process wire of the distributed
+// runtime: a length-prefixed framed protocol over TCP with per-peer send and
+// receive goroutines, a connection handshake (magic, protocol version,
+// cluster identity, process index, peer count), sequence-numbered frames
+// with ack-based retention, and reconnect-with-backoff that replays unacked
+// frames so a dropped connection loses nothing and delivers nothing twice.
+//
+// The package knows nothing about dataflow: frames carry an opaque kind byte
+// (kinds >= KindUser belong to the layer above; see dataflow.Mesh) and a
+// payload. What it guarantees is exactly what the progress protocol needs:
+// per-peer FIFO delivery of every frame exactly once, across reconnects.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. Kinds below KindUser are internal to the transport.
+const (
+	kindHello    byte = 0 // handshake, dialer -> acceptor
+	kindHelloAck byte = 1 // handshake reply, acceptor -> dialer
+	kindAck      byte = 2 // cumulative receive acknowledgement
+	kindFin      byte = 3 // sender has no further frames (shutdown barrier)
+
+	// KindUser is the first frame kind available to the layer above.
+	KindUser byte = 16
+)
+
+// Protocol constants.
+const (
+	// Magic opens every handshake payload.
+	Magic uint32 = 0x4d475048 // "MGPH"
+	// Version is the wire protocol version; a handshake with any other
+	// version is rejected.
+	Version uint16 = 1
+	// DefaultMaxFrame bounds the total encoded size of one frame unless
+	// Config.MaxFrame overrides it. Oversized frames are rejected on both
+	// sides: Send panics (a programming error — the layer above bounds its
+	// batches) and the reader kills the connection.
+	DefaultMaxFrame = 64 << 20
+
+	// frameOverhead is the fixed per-frame framing cost: a u32 length
+	// (covering kind+seq+payload), a kind byte, and a u64 sequence number.
+	frameOverhead = 4 + 1 + 8
+)
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the
+// configured maximum; the connection carrying it is unusable (the stream
+// cannot be resynchronized) and is closed.
+type ErrFrameTooLarge struct {
+	Declared, Max int
+}
+
+func (e ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("transport: frame of %d bytes exceeds max %d", e.Declared, e.Max)
+}
+
+// AppendFrame appends the encoding of one frame to buf and returns the
+// extended slice. Sequence number 0 marks an unnumbered frame (handshake,
+// ack); numbered frames start at 1.
+func AppendFrame(buf []byte, kind byte, seq uint64, payload []byte) []byte {
+	n := 1 + 8 + len(payload)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	return append(buf, payload...)
+}
+
+// FrameReader decodes frames from a byte stream, reusing one internal
+// buffer. The payload returned by Next is valid only until the following
+// call.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	buf []byte
+	hdr [4]byte
+}
+
+// NewFrameReader returns a reader enforcing the given maximum frame size
+// (DefaultMaxFrame when max <= 0).
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// Next reads one frame. A short read anywhere inside a frame (a torn frame)
+// surfaces as io.ErrUnexpectedEOF; a clean EOF between frames as io.EOF.
+func (fr *FrameReader) Next() (kind byte, seq uint64, payload []byte, err error) {
+	if _, err = io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(fr.hdr[:]))
+	if n < 1+8 {
+		return 0, 0, nil, fmt.Errorf("transport: frame length %d below header size", n)
+	}
+	if n+4 > fr.max {
+		return 0, 0, nil, ErrFrameTooLarge{Declared: n + 4, Max: fr.max}
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err = io.ReadFull(fr.r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+}
+
+// hello is the handshake payload exchanged on every new connection. RecvSeq
+// resumes a broken session: it is the highest contiguous frame sequence the
+// sender of the hello has received from its peer, so the peer replays
+// everything after it.
+type hello struct {
+	ClusterID uint64
+	From      int // process index of the hello's sender
+	Procs     int // total process count, verified to match
+	RecvSeq   uint64
+}
+
+// appendHello encodes h at the given protocol version (the version argument
+// exists so tests can forge a mismatching handshake).
+func appendHello(buf []byte, h hello, version uint16) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, Magic)
+	buf = binary.BigEndian.AppendUint16(buf, version)
+	buf = binary.BigEndian.AppendUint64(buf, h.ClusterID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.From))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Procs))
+	buf = binary.BigEndian.AppendUint64(buf, h.RecvSeq)
+	return buf
+}
+
+// parseHello decodes and validates a handshake payload.
+func parseHello(p []byte) (hello, error) {
+	if len(p) != 4+2+8+2+2+8 {
+		return hello{}, fmt.Errorf("transport: handshake payload of %d bytes", len(p))
+	}
+	if m := binary.BigEndian.Uint32(p[0:4]); m != Magic {
+		return hello{}, fmt.Errorf("transport: bad handshake magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint16(p[4:6]); v != Version {
+		return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks %d, this build speaks %d", v, Version)
+	}
+	return hello{
+		ClusterID: binary.BigEndian.Uint64(p[6:14]),
+		From:      int(binary.BigEndian.Uint16(p[14:16])),
+		Procs:     int(binary.BigEndian.Uint16(p[16:18])),
+		RecvSeq:   binary.BigEndian.Uint64(p[18:26]),
+	}, nil
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for i, p := range payloads {
+		buf = AppendFrame(buf, KindUser+byte(i), uint64(i+1), p)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf), 0)
+	for i, p := range payloads {
+		kind, seq, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if kind != KindUser+byte(i) || seq != uint64(i+1) {
+			t.Fatalf("frame %d: got kind=%d seq=%d", i, kind, seq)
+		}
+		if !bytes.Equal(payload, p) {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(payload), len(p))
+		}
+	}
+	if _, _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("expected EOF at end, got %v", err)
+	}
+}
+
+func TestFrameOversizedRejected(t *testing.T) {
+	buf := AppendFrame(nil, KindUser, 1, bytes.Repeat([]byte("z"), 4096))
+	fr := NewFrameReader(bytes.NewReader(buf), 256)
+	_, _, _, err := fr.Next()
+	var tooBig ErrFrameTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+	if tooBig.Max != 256 {
+		t.Fatalf("error carries max %d, want 256", tooBig.Max)
+	}
+}
+
+func TestFrameTornReads(t *testing.T) {
+	full := AppendFrame(nil, KindUser, 7, []byte("hello, torn world"))
+	// A clean cut at the frame boundary is EOF; any cut inside the frame is
+	// an unexpected EOF.
+	for cut := 1; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		_, _, _, err := fr.Next()
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(full), 0)
+	if _, _, _, err := fr.Next(); err != nil {
+		t.Fatalf("full frame: %v", err)
+	}
+	if _, _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after full frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	h := hello{ClusterID: 0xfeedface, From: 3, Procs: 5, RecvSeq: 42}
+	got, err := parseHello(appendHello(nil, h, Version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	h := hello{ClusterID: 1, From: 1, Procs: 2}
+	_, err := parseHello(appendHello(nil, h, Version+1))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("version mismatch")) {
+		t.Fatalf("expected version mismatch error, got %v", err)
+	}
+}
+
+func TestHandshakeBadMagic(t *testing.T) {
+	p := appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2}, Version)
+	p[0] ^= 0xff
+	if _, err := parseHello(p); err == nil {
+		t.Fatal("expected bad magic error")
+	}
+}
+
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	payload := bytes.Repeat([]byte("p"), 512)
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendFrame(buf[:0], KindUser, 9, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFrame allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+func FuzzFrameReader(f *testing.F) {
+	f.Add(AppendFrame(nil, KindUser, 1, []byte("seed")))
+	f.Add([]byte{0, 0, 0, 9, 16, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data), 1<<16)
+		for {
+			_, _, _, err := fr.Next()
+			if err != nil {
+				return // any error is fine; panics and hangs are not
+			}
+		}
+	})
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(16), uint64(1), []byte("payload"))
+	f.Fuzz(func(t *testing.T, kind uint8, seq uint64, payload []byte) {
+		buf := AppendFrame(nil, kind, seq, payload)
+		fr := NewFrameReader(bytes.NewReader(buf), len(buf)+16)
+		k, s, p, err := fr.Next()
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if k != kind || s != seq || !bytes.Equal(p, payload) {
+			t.Fatalf("round trip mismatch: kind %d/%d seq %d/%d", k, kind, s, seq)
+		}
+	})
+}
+
+func FuzzParseHello(f *testing.F) {
+	f.Add(appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, RecvSeq: 3}, Version))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parseHello(data) // must not panic
+	})
+}

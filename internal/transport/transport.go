@@ -1,0 +1,739 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one process's membership in a cluster.
+type Config struct {
+	// Addrs lists one TCP address per process; Addrs[Index] is this
+	// process's listen address. Every process must be given the same list
+	// in the same order.
+	Addrs []string
+	// Index is this process's position in Addrs.
+	Index int
+	// ClusterID identifies the cluster in handshakes so stray processes
+	// from another run are rejected. 0 derives it from Addrs, which every
+	// process shares.
+	ClusterID uint64
+	// MaxFrame bounds the encoded size of one frame (DefaultMaxFrame if 0).
+	MaxFrame int
+	// DialTimeout bounds how long establishing (or re-establishing) any one
+	// connection may take, covering peers that start late. Default 30s.
+	DialTimeout time.Duration
+	// AckEvery is the number of received frames between acknowledgements
+	// (default 64); it bounds how much a sender retains for replay.
+	AckEvery int
+	// Listener, when non-nil, is a pre-bound listener for Addrs[Index]
+	// (tests bind :0 first to pick free ports without a race).
+	Listener net.Listener
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 30 * time.Second
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 64
+	}
+	if c.ClusterID == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(strings.Join(c.Addrs, ",")))
+		c.ClusterID = h.Sum64() | 1 // never 0
+	}
+}
+
+// Handler receives every user frame (kind >= KindUser), in per-peer FIFO
+// order, exactly once. It runs on the receiving connection's goroutine; the
+// payload is only valid for the duration of the call.
+type Handler func(from int, kind byte, payload []byte)
+
+// frame is one queued or retained outbound frame. data is pool-owned and
+// recycled once the frame is acknowledged.
+type frame struct {
+	seq  uint64
+	kind byte
+	data []byte
+}
+
+// connIO pairs a connection with its buffered reader (the reader must
+// survive the handshake-to-recvLoop handoff).
+type connIO struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// peer is the state of one remote process: the outbound queue and retained
+// frames, the live connection, and receive-side bookkeeping.
+type peer struct {
+	t     *Transport
+	index int
+	dials bool // we dial this peer (our index is higher)
+
+	mu       sync.Mutex
+	notify   chan struct{} // latched wake for the sender goroutine
+	q        []frame       // enqueued, not yet written
+	spareQ   []frame       // recycled batch backing array
+	unacked  []frame       // written on some conn, awaiting ack
+	pool     [][]byte      // recycled frame payload buffers
+	sendSeq  uint64        // last assigned outbound sequence number
+	ackedSeq uint64        // highest outbound seq acked by the peer
+	recvSeq  uint64        // highest contiguous inbound seq received
+	lastAck  uint64        // recvSeq when we last enqueued an ack
+	finRecvd bool
+	finSeq   uint64 // our FIN's seq (0 until Finish)
+	inFlight bool   // sender is mid-write on a batch taken from q
+
+	conn    *connIO // adopted by the sender goroutine
+	pending *struct {
+		io       *connIO
+		peerRecv uint64
+	}
+	redialing bool
+
+	upOnce sync.Once
+	up     chan struct{} // closed when the first conn is established
+
+	// dispatch serializes inbound frame processing across connection
+	// generations: after a reconnect, the old connection's receive loop can
+	// still be draining frames buffered in its reader (or be blocked in the
+	// handler) while the new connection's loop starts. Holding dispatch
+	// around the whole receive step (sequence check, cursor update, handler
+	// call) keeps the Handler contract — per-peer FIFO, exactly once — true
+	// even across that overlap: the sequence discipline then deduplicates
+	// and orders whichever loop runs first.
+	dispatch sync.Mutex
+}
+
+// Transport is one process's endpoint of the cluster mesh: N-1 reliable,
+// FIFO, exactly-once frame sessions, one per peer process.
+type Transport struct {
+	cfg     Config
+	handler Handler
+	peers   []*peer
+	ln      net.Listener
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Dial joins the cluster: it binds the local listener, connects to every
+// lower-indexed peer (retrying with backoff while they start), accepts
+// connections from every higher-indexed peer, and returns once all N-1
+// sessions are up. handler receives every inbound user frame.
+func Dial(cfg Config, handler Handler) (*Transport, error) {
+	cfg.defaults()
+	if cfg.Index < 0 || cfg.Index >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("transport: index %d out of range for %d addrs", cfg.Index, len(cfg.Addrs))
+	}
+	t := &Transport{cfg: cfg, handler: handler, closed: make(chan struct{})}
+	for i := range cfg.Addrs {
+		if i == cfg.Index {
+			t.peers = append(t.peers, nil)
+			continue
+		}
+		p := &peer{
+			t:      t,
+			index:  i,
+			dials:  cfg.Index > i,
+			notify: make(chan struct{}, 1),
+			up:     make(chan struct{}),
+		}
+		t.peers = append(t.peers, p)
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Index])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Index], err)
+		}
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go p.sendLoop()
+		if p.dials {
+			p.mu.Lock()
+			p.startRedialLocked()
+			p.mu.Unlock()
+		}
+	}
+
+	deadline := time.After(cfg.DialTimeout)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.up:
+		case <-deadline:
+			t.Close()
+			return nil, fmt.Errorf("transport: process %d: peer %d did not connect within %v",
+				cfg.Index, p.index, cfg.DialTimeout)
+		}
+	}
+	t.logf("transport: process %d/%d connected to %d peers", cfg.Index, len(cfg.Addrs), len(cfg.Addrs)-1)
+	return t, nil
+}
+
+// Index returns this process's index.
+func (t *Transport) Index() int { return t.cfg.Index }
+
+// Procs returns the cluster's process count.
+func (t *Transport) Procs() int { return len(t.cfg.Addrs) }
+
+// MaxFrame returns the configured frame size bound.
+func (t *Transport) MaxFrame() int { return t.cfg.MaxFrame }
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+func (t *Transport) isClosed() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Send enqueues one user frame to a peer process and copies payload, so
+// the caller's buffer is immediately reusable. It never blocks on the
+// network: the per-peer queue is deliberately unbounded, which is what
+// rules out cross-process send deadlocks (a worker blocked sending to a
+// peer whose worker is blocked sending back). The flip side is that
+// memory, not backpressure, absorbs a stalled peer — retention stays small
+// only while the peer drains and acks; if it stops doing either, queued
+// and retained frames grow until the peer recovers or the run is killed.
+// The enqueue itself is allocation-free at steady state: the payload copy
+// lands in a recycled buffer and the queue reuses its backing array.
+func (t *Transport) Send(to int, kind byte, payload []byte) {
+	if kind < KindUser {
+		panic(fmt.Sprintf("transport: Send with reserved kind %d", kind))
+	}
+	if frameOverhead+len(payload) > t.cfg.MaxFrame {
+		panic(ErrFrameTooLarge{Declared: frameOverhead + len(payload), Max: t.cfg.MaxFrame})
+	}
+	p := t.peers[to]
+	if p == nil {
+		panic(fmt.Sprintf("transport: Send to self (process %d)", to))
+	}
+	p.enqueue(kind, payload, true)
+}
+
+// enqueue appends one frame (numbered when numbered is true) to the peer's
+// outbound queue, copying payload into a pooled buffer.
+func (p *peer) enqueue(kind byte, payload []byte, numbered bool) {
+	p.mu.Lock()
+	buf := p.getBufLocked(len(payload))
+	buf = append(buf[:0], payload...)
+	var seq uint64
+	if numbered {
+		p.sendSeq++
+		seq = p.sendSeq
+	}
+	p.q = append(p.q, frame{seq: seq, kind: kind, data: buf})
+	p.mu.Unlock()
+	p.poke()
+}
+
+func (p *peer) poke() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// getBufLocked pops a recycled payload buffer with enough capacity, or
+// allocates one.
+func (p *peer) getBufLocked(n int) []byte {
+	if l := len(p.pool); l > 0 {
+		buf := p.pool[l-1]
+		p.pool = p.pool[:l-1]
+		if cap(buf) >= n {
+			return buf
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+func (p *peer) putBufLocked(buf []byte) {
+	if len(p.pool) < 64 {
+		p.pool = append(p.pool, buf[:0])
+	}
+}
+
+// sendLoop is the peer's single sender goroutine. It alone adopts new
+// connections and moves frames between q and unacked, which keeps replay
+// ordering trivially correct: frames enter unacked only after a write
+// attempt, and a newly adopted connection first drains unacked (minus what
+// the peer already acknowledged) back into the front of q.
+func (p *peer) sendLoop() {
+	defer p.t.wg.Done()
+	var bw *bufio.Writer
+	var conn *connIO
+	var scratch []byte
+	for {
+		p.mu.Lock()
+		for {
+			if p.pending != nil {
+				// Adopt the new connection: requeue retained frames the
+				// peer has not acknowledged, in sequence order, ahead of
+				// everything queued since.
+				nd := p.pending
+				p.pending = nil
+				p.trimUnackedLocked(nd.peerRecv)
+				if len(p.unacked) > 0 {
+					p.q = append(p.unacked, p.q...)
+					p.unacked = nil
+				}
+				conn = nd.io
+				p.conn = conn
+				bw = bufio.NewWriterSize(conn.c, 64<<10)
+			}
+			if len(p.q) > 0 && conn != nil {
+				break
+			}
+			p.mu.Unlock()
+			select {
+			case <-p.notify:
+			case <-p.t.closed:
+				return
+			}
+			p.mu.Lock()
+		}
+		batch := p.q
+		p.q = p.spareQ[:0]
+		p.spareQ = nil
+		p.inFlight = true
+		p.mu.Unlock()
+
+		writeErr := false
+		for _, f := range batch {
+			scratch = AppendFrame(scratch[:0], f.kind, f.seq, f.data)
+			if _, err := bw.Write(scratch); err != nil {
+				writeErr = true
+				break
+			}
+		}
+		if !writeErr {
+			writeErr = bw.Flush() != nil
+		}
+
+		p.mu.Lock()
+		for _, f := range batch {
+			if f.seq == 0 {
+				p.putBufLocked(f.data) // unnumbered frames are never replayed
+				continue
+			}
+			p.unacked = append(p.unacked, f)
+		}
+		p.spareQ = batch[:0]
+		p.inFlight = false
+		p.mu.Unlock()
+		if writeErr {
+			p.connBroken(conn)
+			conn, bw = nil, nil
+		}
+	}
+}
+
+// trimUnackedLocked recycles retained frames up to and including seq.
+func (p *peer) trimUnackedLocked(seq uint64) {
+	if seq > p.ackedSeq {
+		p.ackedSeq = seq
+	}
+	i := 0
+	for ; i < len(p.unacked) && p.unacked[i].seq <= seq; i++ {
+		p.putBufLocked(p.unacked[i].data)
+	}
+	if i > 0 {
+		p.unacked = p.unacked[:copy(p.unacked, p.unacked[i:])]
+	}
+}
+
+// connBroken reacts to a read or write error on io: if io is still the
+// peer's current or pending connection, tear it down and (on the dialing
+// side) start reconnecting. The accepting side waits for the dialer.
+func (p *peer) connBroken(io *connIO) {
+	if io == nil || p.t.isClosed() {
+		return
+	}
+	p.mu.Lock()
+	current := p.conn == io || (p.pending != nil && p.pending.io == io)
+	if current {
+		io.c.Close()
+		if p.conn == io {
+			p.conn = nil
+		}
+		if p.pending != nil && p.pending.io == io {
+			p.pending = nil
+		}
+		if p.dials {
+			p.startRedialLocked()
+		}
+	}
+	p.mu.Unlock()
+	if current {
+		p.poke()
+		p.t.logf("transport: process %d: connection to peer %d broken", p.t.cfg.Index, p.index)
+	}
+}
+
+// startRedialLocked launches the single-flight redial goroutine.
+func (p *peer) startRedialLocked() {
+	if p.redialing {
+		return
+	}
+	p.redialing = true
+	p.t.wg.Add(1)
+	go p.redial()
+}
+
+// redial connects to the peer with exponential backoff, performs the
+// handshake (carrying our receive cursor so the peer replays what we
+// missed), and installs the connection. It gives up — panicking, since the
+// dataflow above cannot make progress without the session — only after
+// DialTimeout of consecutive failures.
+func (p *peer) redial() {
+	defer p.t.wg.Done()
+	t := p.t
+	start := time.Now()
+	backoff := 50 * time.Millisecond
+	for {
+		if t.isClosed() {
+			p.mu.Lock()
+			p.redialing = false
+			p.mu.Unlock()
+			return
+		}
+		c, err := net.DialTimeout("tcp", t.cfg.Addrs[p.index], 2*time.Second)
+		if err == nil {
+			io := &connIO{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+			if err = p.handshakeDial(io); err == nil {
+				p.mu.Lock()
+				p.redialing = false
+				p.mu.Unlock()
+				return
+			}
+			c.Close()
+		}
+		if time.Since(start) > t.cfg.DialTimeout {
+			p.mu.Lock()
+			p.redialing = false
+			p.mu.Unlock()
+			if t.isClosed() {
+				return
+			}
+			panic(fmt.Sprintf("transport: process %d: cannot reach peer %d at %s after %v: %v",
+				t.cfg.Index, p.index, t.cfg.Addrs[p.index], t.cfg.DialTimeout, err))
+		}
+		select {
+		case <-time.After(backoff):
+		case <-t.closed:
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// handshakeDial runs the dialer's half of the handshake on a fresh
+// connection and installs it on success.
+func (p *peer) handshakeDial(io *connIO) error {
+	t := p.t
+	p.mu.Lock()
+	recv := p.recvSeq
+	p.mu.Unlock()
+	h := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs), RecvSeq: recv}
+	io.c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.c.Write(AppendFrame(nil, kindHello, 0, appendHello(nil, h, Version))); err != nil {
+		return err
+	}
+	fr := NewFrameReader(io.br, t.cfg.MaxFrame)
+	kind, _, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	if kind != kindHelloAck {
+		return fmt.Errorf("transport: expected hello-ack, got frame kind %d", kind)
+	}
+	ack, err := parseHello(payload)
+	if err != nil {
+		return err
+	}
+	if ack.ClusterID != t.cfg.ClusterID || ack.From != p.index || ack.Procs != len(t.cfg.Addrs) {
+		return fmt.Errorf("transport: hello-ack identity mismatch (cluster %x from %d procs %d)",
+			ack.ClusterID, ack.From, ack.Procs)
+	}
+	io.c.SetDeadline(time.Time{})
+	p.install(io, ack.RecvSeq)
+	return nil
+}
+
+// acceptLoop accepts connections from higher-indexed peers, validates their
+// handshake, and installs them (both at startup and on reconnect).
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func(c net.Conn) {
+			defer t.wg.Done()
+			if err := t.acceptOne(c); err != nil {
+				c.Close()
+				t.logf("transport: process %d: rejected connection: %v", t.cfg.Index, err)
+			}
+		}(c)
+	}
+}
+
+func (t *Transport) acceptOne(c net.Conn) error {
+	io := &connIO{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	fr := NewFrameReader(io.br, t.cfg.MaxFrame)
+	kind, _, payload, err := fr.Next()
+	if err != nil {
+		return err
+	}
+	if kind != kindHello {
+		return fmt.Errorf("expected hello, got frame kind %d", kind)
+	}
+	h, err := parseHello(payload)
+	if err != nil {
+		return err
+	}
+	if h.ClusterID != t.cfg.ClusterID {
+		return fmt.Errorf("cluster id mismatch: peer %x, ours %x", h.ClusterID, t.cfg.ClusterID)
+	}
+	if h.Procs != len(t.cfg.Addrs) {
+		return fmt.Errorf("peer count mismatch: peer says %d, ours %d", h.Procs, len(t.cfg.Addrs))
+	}
+	if h.From <= t.cfg.Index || h.From >= len(t.cfg.Addrs) {
+		return fmt.Errorf("unexpected dial from process %d to process %d", h.From, t.cfg.Index)
+	}
+	p := t.peers[h.From]
+	p.mu.Lock()
+	recv := p.recvSeq
+	p.mu.Unlock()
+	ack := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs), RecvSeq: recv}
+	if _, err := c.Write(AppendFrame(nil, kindHelloAck, 0, appendHello(nil, ack, Version))); err != nil {
+		return err
+	}
+	c.SetDeadline(time.Time{})
+	p.install(io, h.RecvSeq)
+	return nil
+}
+
+// install hands a fresh connection to the peer: tear down any previous one,
+// start its receive loop, and leave it pending for the sender goroutine to
+// adopt (which is when retained frames past peerRecv are requeued).
+func (p *peer) install(io *connIO, peerRecv uint64) {
+	if p.t.isClosed() {
+		io.c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.c.Close()
+		p.conn = nil
+	}
+	if p.pending != nil {
+		p.pending.io.c.Close()
+	}
+	p.pending = &struct {
+		io       *connIO
+		peerRecv uint64
+	}{io: io, peerRecv: peerRecv}
+	p.mu.Unlock()
+	p.upOnce.Do(func() { close(p.up) })
+	p.poke()
+	p.t.wg.Add(1)
+	go p.recvLoop(io)
+}
+
+// recvLoop reads frames from one connection until it breaks, dispatching
+// user frames (deduplicated by sequence number) to the handler in order.
+func (p *peer) recvLoop(io *connIO) {
+	defer p.t.wg.Done()
+	t := p.t
+	fr := NewFrameReader(io.br, t.cfg.MaxFrame)
+	for {
+		kind, seq, payload, err := fr.Next()
+		if err != nil {
+			p.connBroken(io)
+			return
+		}
+		if kind == kindAck {
+			if len(payload) == 8 {
+				p.mu.Lock()
+				p.trimUnackedLocked(binary.BigEndian.Uint64(payload))
+				p.mu.Unlock()
+			}
+			continue
+		}
+		if !p.dispatchFrame(io, kind, seq, payload) {
+			return
+		}
+	}
+}
+
+// dispatchFrame performs the receive step for one numbered frame under the
+// peer's dispatch lock, so receive loops of overlapping connection
+// generations never process frames concurrently or out of order. It
+// reports false when the frame is a sequence-gap protocol violation (the
+// connection is torn down and the caller's loop must exit).
+func (p *peer) dispatchFrame(io *connIO, kind byte, seq uint64, payload []byte) bool {
+	t := p.t
+	p.dispatch.Lock()
+	defer p.dispatch.Unlock()
+	p.mu.Lock()
+	if seq <= p.recvSeq {
+		// Replayed duplicate from before a reconnect. Re-ack it: the
+		// original ack may have died with the old connection, and the
+		// sender retains the frame (blocking its shutdown barrier) until
+		// some ack covers it.
+		cur := p.recvSeq
+		p.lastAck = cur
+		p.mu.Unlock()
+		var ab [8]byte
+		binary.BigEndian.PutUint64(ab[:], cur)
+		p.enqueue(kindAck, ab[:], false)
+		return true
+	}
+	if seq != p.recvSeq+1 {
+		p.mu.Unlock()
+		t.logf("transport: process %d: sequence gap from peer %d (got %d, want %d)",
+			t.cfg.Index, p.index, seq, p.recvSeq+1)
+		p.connBroken(io)
+		return false
+	}
+	p.recvSeq = seq
+	needAck := p.recvSeq-p.lastAck >= uint64(t.cfg.AckEvery) || kind == kindFin
+	if needAck {
+		p.lastAck = p.recvSeq
+	}
+	p.mu.Unlock()
+	if needAck {
+		var ab [8]byte
+		binary.BigEndian.PutUint64(ab[:], seq)
+		p.enqueue(kindAck, ab[:], false)
+	}
+	switch {
+	case kind == kindFin:
+		p.mu.Lock()
+		p.finRecvd = true
+		p.mu.Unlock()
+	case kind >= KindUser:
+		if t.handler != nil {
+			t.handler(p.index, kind, payload)
+		}
+	}
+	return true
+}
+
+// Finish runs the shutdown barrier: it announces FIN to every peer (after
+// all previously enqueued frames, preserving FIFO) and waits until every
+// peer's FIN has arrived and our own outbound queues have drained, then
+// closes the transport. Because FIN is ordered after all of a peer's
+// frames, returning from Finish means every frame of every peer has been
+// received and handled.
+func (t *Transport) Finish(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.sendSeq++
+		fin := frame{seq: p.sendSeq, kind: kindFin}
+		p.finSeq = fin.seq
+		p.q = append(p.q, fin)
+		p.mu.Unlock()
+		p.poke()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			// Drained means: the peer acknowledged our FIN (so every frame
+			// we sent was received), their FIN arrived (so every frame they
+			// sent was handled), and nothing of ours — acks included — is
+			// still queued or mid-write.
+			drained := p.finRecvd && p.ackedSeq >= p.finSeq &&
+				len(p.q) == 0 && !p.inFlight
+			p.mu.Unlock()
+			if !drained {
+				done = false
+				break
+			}
+		}
+		if done {
+			t.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			t.Close()
+			return fmt.Errorf("transport: process %d: shutdown barrier timed out after %v", t.cfg.Index, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close tears the transport down immediately: all connections and the
+// listener are closed and the goroutines exit. Prefer Finish for an orderly
+// shutdown.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			if p.conn != nil {
+				p.conn.c.Close()
+			}
+			if p.pending != nil {
+				p.pending.io.c.Close()
+			}
+			p.mu.Unlock()
+			p.poke()
+		}
+	})
+	t.wg.Wait()
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the CI bench regression guard: compare a fresh
+# BENCH_runtime.json against the committed baseline and fail if any pinned
+# benchmark regressed materially:
+#
+#   * records_s (sustained throughput) dropped by more than 15%, or
+#   * allocs_op (allocations per operation) grew by more than 10%
+#     (a zero-alloc baseline must stay zero-alloc), or
+#   * a baseline benchmark disappeared from the fresh run.
+#
+# Benchmarks present only in the fresh run are reported as NEW and do not
+# fail the guard — commit a refreshed baseline to pin them.
+#
+# The committed baseline is machine-dependent for throughput; on noisier
+# hardware (shared CI runners) the thresholds can be widened via
+# BENCH_MAX_RECORDS_DROP / BENCH_MAX_ALLOCS_GROWTH without editing this
+# script. allocs_op is machine-independent and its threshold should stay
+# tight everywhere.
+#
+# Usage: scripts/bench_compare.sh [baseline.json] [fresh.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BASE=${1:-BENCH_runtime.json}
+FRESH=${2:-BENCH_fresh.json}
+export BENCH_MAX_RECORDS_DROP=${BENCH_MAX_RECORDS_DROP:-0.15}
+export BENCH_MAX_ALLOCS_GROWTH=${BENCH_MAX_ALLOCS_GROWTH:-0.10}
+
+python3 - "$BASE" "$FRESH" <<'EOF'
+import json
+import os
+import sys
+
+MAX_RECORDS_DROP = float(os.environ["BENCH_MAX_RECORDS_DROP"])
+MAX_ALLOCS_GROWTH = float(os.environ["BENCH_MAX_ALLOCS_GROWTH"])
+
+base = json.load(open(sys.argv[1]))["benchmarks"]
+fresh = json.load(open(sys.argv[2]))["benchmarks"]
+fail = False
+
+for name, b in sorted(base.items()):
+    f = fresh.get(name)
+    if f is None:
+        print(f"FAIL  {name}: present in baseline but missing from the fresh run")
+        fail = True
+        continue
+    checks = []
+    if "records_s" in b and "records_s" in f and b["records_s"] > 0:
+        drop = 1 - f["records_s"] / b["records_s"]
+        checks.append((f"records_s {f['records_s']:.3g} vs {b['records_s']:.3g} ({-drop:+.1%})",
+                       drop > MAX_RECORDS_DROP))
+    if "allocs_op" in b and "allocs_op" in f:
+        if b["allocs_op"] > 0:
+            growth = f["allocs_op"] / b["allocs_op"] - 1
+            checks.append((f"allocs_op {f['allocs_op']:.3g} vs {b['allocs_op']:.3g} ({growth:+.1%})",
+                           growth > MAX_ALLOCS_GROWTH))
+        else:
+            checks.append((f"allocs_op {f['allocs_op']:.3g} vs 0",
+                           f["allocs_op"] > 0))
+    bad = any(c[1] for c in checks)
+    fail = fail or bad
+    detail = ", ".join(c[0] for c in checks) or "no pinned metrics"
+    print(f"{'FAIL' if bad else 'ok':5} {name}: {detail}")
+
+for name in sorted(set(fresh) - set(base)):
+    print(f"NEW   {name}: not in baseline (commit a refreshed {sys.argv[1]} to pin it)")
+
+sys.exit(1 if fail else 0)
+EOF

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# cluster.sh — spawn an N-process megaphone cluster on localhost and verify
+# output equivalence against the single-process run.
+#
+# For each workload (keycount, and NEXMark q4), the script runs:
+#   1. one single-process reference with N*W workers, dumping its outputs;
+#   2. N OS processes (-hosts/-process), each with W workers, dumping theirs;
+# then compares the canonicalized output sets. keycount outputs form a
+# deterministic multiset and are compared sorted; q4 emits running averages
+# whose within-epoch order is inherently nondeterministic, so its dumps are
+# reduced to the last value per (epoch, category) — the end-of-epoch
+# aggregate, which frontier-ordered application makes deterministic — before
+# comparison (see cluster_test.go for the same argument in Go).
+#
+# Usage: scripts/cluster.sh [-n procs] [-w workers-per-proc] [-d duration]
+#                           [-r rate] [-o logdir] [keycount|nexmark|all]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROCS=3
+WORKERS=1
+DURATION=2s
+RATE=20000
+LOGDIR=cluster-logs
+while getopts "n:w:d:r:o:" opt; do
+    case $opt in
+        n) PROCS=$OPTARG ;;
+        w) WORKERS=$OPTARG ;;
+        d) DURATION=$OPTARG ;;
+        r) RATE=$OPTARG ;;
+        o) LOGDIR=$OPTARG ;;
+        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|all]" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
+TARGET=${1:-all}
+TOTAL=$((PROCS * WORKERS))
+
+mkdir -p "$LOGDIR"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "building binaries..." >&2
+go build -o "$TMP/keycount" ./cmd/keycount
+go build -o "$TMP/nexmark" ./cmd/nexmark
+
+# pick_ports fills HOSTS with $PROCS free localhost ports.
+pick_ports() {
+    HOSTS=$(go run ./scripts/freeports.go "$PROCS")
+}
+
+# run_cluster BIN NAME ARGS... — run the single-process reference and the
+# N-process cluster, leaving dumps in $TMP/$NAME.{single,proc.I} and logs in
+# $LOGDIR.
+run_cluster() {
+    local bin=$1 name=$2
+    shift 2
+    echo "== $name: single-process reference ($TOTAL workers)" >&2
+    "$TMP/$bin" -workers "$TOTAL" -dump "$TMP/$name.single" "$@" \
+        > "$LOGDIR/$name.single.log" 2>&1
+
+    pick_ports
+    echo "== $name: $PROCS-process cluster ($WORKERS workers each) on $HOSTS" >&2
+    local pids=()
+    for ((p = 0; p < PROCS; p++)); do
+        "$TMP/$bin" -workers "$WORKERS" -hosts "$HOSTS" -process "$p" \
+            -dump "$TMP/$name.proc.$p" "$@" \
+            > "$LOGDIR/$name.proc.$p.log" 2>&1 &
+        pids+=($!)
+    done
+    local rc=0
+    for ((p = 0; p < PROCS; p++)); do
+        if ! wait "${pids[$p]}"; then
+            echo "process $p of $name failed; log follows:" >&2
+            cat "$LOGDIR/$name.proc.$p.log" >&2
+            rc=1
+        fi
+    done
+    return $rc
+}
+
+fail=0
+
+if [[ $TARGET == keycount || $TARGET == all ]]; then
+    run_cluster keycount keycount \
+        -rate "$RATE" -duration "$DURATION" -bins 4 -domain 4096 \
+        -strategy batched -batch 4 -migrate-at 700ms
+    sort "$TMP"/keycount.proc.* > "$TMP/keycount.cluster.sorted"
+    sort "$TMP/keycount.single" > "$TMP/keycount.single.sorted"
+    if cmp -s "$TMP/keycount.cluster.sorted" "$TMP/keycount.single.sorted"; then
+        echo "keycount: cluster output multiset == single-process ($(wc -l < "$TMP/keycount.single.sorted") records)" | tee -a "$LOGDIR/verdict.txt"
+    else
+        echo "keycount: OUTPUT MISMATCH (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
+        diff "$TMP/keycount.single.sorted" "$TMP/keycount.cluster.sorted" | head -20 >&2 || true
+        fail=1
+    fi
+fi
+
+if [[ $TARGET == nexmark || $TARGET == all ]]; then
+    run_cluster nexmark nexmark-q4 \
+        -query q4 -impl megaphone -rate "$RATE" -duration "$DURATION" -bins 4 \
+        -strategy batched -batch 4 -migrate-at 700ms
+    # Keep the last line per (epoch, category): dump lines are
+    # "<epoch> {<category> <avg>}" and each (epoch, category) is produced by
+    # exactly one worker's batch, written atomically.
+    canon_q4() { awk '{ v[$1" "$2] = $0 } END { for (k in v) print v[k] }' "$@" | sort; }
+    canon_q4 "$TMP"/nexmark-q4.proc.* > "$TMP/q4.cluster.canon"
+    canon_q4 "$TMP/nexmark-q4.single" > "$TMP/q4.single.canon"
+    if cmp -s "$TMP/q4.cluster.canon" "$TMP/q4.single.canon"; then
+        echo "nexmark q4: cluster end-of-epoch aggregates == single-process ($(wc -l < "$TMP/q4.single.canon") keys)" | tee -a "$LOGDIR/verdict.txt"
+    else
+        echo "nexmark q4: OUTPUT MISMATCH (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
+        diff "$TMP/q4.single.canon" "$TMP/q4.cluster.canon" | head -20 >&2 || true
+        fail=1
+    fi
+fi
+
+exit $fail

@@ -1,0 +1,41 @@
+// Command freeports prints N free localhost TCP addresses, comma-joined,
+// for scripts/cluster.sh to hand to every process of a local cluster. The
+// ports are bound (concurrently, so they are distinct) and released just
+// before printing; the window until the cluster processes re-bind them is
+// small and a collision only fails the smoke run, not silently.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	n := 3
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "usage: freeports [n]\n")
+			os.Exit(2)
+		}
+		n = v
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	fmt.Println(strings.Join(addrs, ","))
+}
