@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -97,7 +98,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig1, fig5..fig20, skew, autoscale, codec, or all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig1, fig5..fig20, skew, autoscale, recovery, codec, or all")
 		workers  = fs.Int("workers", 4, "number of workers")
 		quick    = fs.Bool("quick", false, "shrink durations for a fast pass")
 		transfer = fs.String("transfer", "gob",
@@ -131,6 +132,7 @@ func run(args []string, out io.Writer) error {
 		"codec":     codecExp,
 		"skew":      skewExp,
 		"autoscale": autoscaleExp,
+		"recovery":  recoveryExp,
 		"fig5":      func(c config) { statelessFig(c, "fig5", "q1") },
 		"fig6":      func(c config) { statelessFig(c, "fig6", "q2") },
 		"fig7":      func(c config) { queryFig(c, "fig7", "q3", true) },
@@ -177,6 +179,8 @@ func orderKey(n string) int {
 		return 900 // the new ablations run after the paper's figures
 	case "autoscale":
 		return 901
+	case "recovery":
+		return 902
 	case "codec":
 		return 999
 	}
@@ -642,6 +646,87 @@ func autoscaleExp(c config) {
 				p+1, from, to, peak, settled)
 		}
 	}
+}
+
+// recoveryExp — the failure half of the migration story: the same
+// frontier-aligned stall that moves bins between workers can move them to
+// disk, so a checkpoint's latency cost lines up against a migration's, and
+// a crash costs one restore plus the replay since the last checkpoint.
+// Three runs on the same keycount configuration: (a) the migration
+// baseline, (b) a checkpointing run reporting each checkpoint's stall and
+// volume, (c) a simulated crash — the run is cut at 60% of its duration,
+// then recovered from its newest on-disk checkpoint and driven to the
+// original end, reporting restore cost and the post-resume catch-up spike.
+func recoveryExp(c config) {
+	header(c, "recovery", "checkpoint stall and recovery latency vs migration latency (key-count)")
+	if c.cluster != nil {
+		// The crash simulation drives one process's run in two phases; the
+		// cluster gauntlet (scripts/cluster.sh recovery) covers the real
+		// multi-process kill. Every process skips identically.
+		fmt.Fprintln(c.out, "# skipped in cluster mode: see scripts/cluster.sh recovery for the multi-process kill")
+		return
+	}
+	dir, err := os.MkdirTemp("", "megaphone-recovery-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	base := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant:  keycount.HashCount,
+			LogBins:  8,
+			Domain:   1 << 20,
+			Transfer: c.transfer,
+			Preload:  true,
+		},
+		Workers:    c.workers,
+		Rate:       200_000,
+		Duration:   c.dur(8 * time.Second),
+		Strategy:   plan.AllAtOnce,
+		MigrateAt:  c.dur(4 * time.Second),
+		MigrateTwo: false,
+	}
+
+	mig := c.runKeycount(base)
+	fmt.Fprintf(c.out, "%-28s %14s %12s\n", "event", "max-latency[ms]", "detail")
+	for _, sp := range mig.MigrationSpans {
+		fmt.Fprintf(c.out, "%-28s %14.2f %12s\n", "migration (all-at-once)", sp.MaxLatency,
+			fmt.Sprintf("%.2fs", sp.Duration))
+	}
+
+	ck := base
+	ck.MigrateAt = 0
+	ck.CheckpointDir = filepath.Join(dir, "steady")
+	ck.CheckpointEvery = c.dur(2 * time.Second)
+	res := c.runKeycount(ck)
+	for _, st := range res.Checkpoints {
+		at := float64(st.Epoch) * time.Millisecond.Seconds()
+		stall := res.Timeline.MaxOver(at, at+0.5)
+		fmt.Fprintf(c.out, "%-28s %14.2f %12s\n", fmt.Sprintf("checkpoint @%.1fs", at), stall,
+			fmt.Sprintf("%d bins, %.1f MiB, write %.0fms", st.Bins, float64(st.Bytes)/(1<<20), st.Write*1e3))
+	}
+
+	// Crash simulation: run phase 1 for 60% of the duration (checkpointing),
+	// abandon its tail state, and recover a fresh execution from disk.
+	crash := ck
+	crash.CheckpointDir = filepath.Join(dir, "crash")
+	crash.Duration = base.Duration * 3 / 5
+	c.runKeycount(crash)
+
+	rec := ck
+	rec.CheckpointDir = crash.CheckpointDir
+	rec.Duration = base.Duration // original total: the recovered run finishes the schedule
+	rec.Recover = true
+	start := time.Now()
+	recRes := c.runKeycount(rec)
+	// A recovered run's timeline starts at its own wall clock: the restore
+	// epoch completes at ~0s, so the post-resume catch-up spike lives in
+	// the first second of the timeline, not at the epoch's absolute time.
+	fmt.Fprintf(c.out, "%-28s %14.2f %12s\n", "recovery catch-up", recRes.Timeline.MaxOver(0, 1.0),
+		fmt.Sprintf("restore %.0fms, resumed at epoch %d, total %.2fs",
+			recRes.RestoreSeconds*1e3, recRes.RestoreEpoch, time.Since(start).Seconds()))
 }
 
 // phaseP99 returns the peak p99 over the window [from, to) and the median

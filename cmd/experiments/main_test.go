@@ -36,7 +36,7 @@ func TestRunErrors(t *testing.T) {
 // TestOrderKey pins the experiment ordering of -exp all: table first, then
 // figures in numeric order, then the new ablations, codec last.
 func TestOrderKey(t *testing.T) {
-	order := []string{"table1", "fig1", "fig5", "fig12", "fig20", "skew", "autoscale", "codec"}
+	order := []string{"table1", "fig1", "fig5", "fig12", "fig20", "skew", "autoscale", "recovery", "codec"}
 	for i := 1; i < len(order); i++ {
 		if orderKey(order[i-1]) >= orderKey(order[i]) {
 			t.Errorf("orderKey(%s)=%d not before orderKey(%s)=%d",

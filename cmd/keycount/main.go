@@ -56,6 +56,10 @@ func run(args []string, out io.Writer) error {
 		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
 		proc  = fs.Int("process", 0, "this process's index into -hosts")
 		dump  = fs.String("dump", "", "write one line per output record to this file (for cross-run output-equivalence checks)")
+
+		ckptDir   = fs.String("checkpoint-dir", "", "enable epoch-aligned checkpoints into this directory")
+		ckptEvery = fs.Duration("checkpoint-every", time.Second, "checkpoint cadence (with -checkpoint-dir)")
+		recov     = fs.Bool("recover", false, "resume from the newest complete checkpoint in -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +130,9 @@ func run(args []string, out io.Writer) error {
 	if *hosts != "" {
 		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
 	}
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.Recover = *recov
 	var finishDump func() error
 	if *dump != "" {
 		sink, finish, err := harness.LineSink(*dump)
@@ -154,6 +161,13 @@ func run(args []string, out io.Writer) error {
 			i+1, sp.Start, sp.End, sp.Duration, sp.MaxLatency)
 	}
 	res.FprintAdaptive(out)
+	if res.RestoreEpoch > 0 {
+		fmt.Fprintf(out, "# recovered from checkpoint epoch %d (load %.3fs)\n", res.RestoreEpoch, res.RestoreSeconds)
+	}
+	for _, ck := range res.Checkpoints {
+		fmt.Fprintf(out, "# checkpoint epoch=%d bins=%d bytes=%d write=%.1fms\n",
+			ck.Epoch, ck.Bins, ck.Bytes, ck.Write*1e3)
+	}
 	fmt.Fprintf(out, "# records=%d overall: %s\n", res.Records, res.Hist.Summary())
 	if *ccdf {
 		fmt.Fprintln(out, "# CCDF: latency[ms] fraction-greater")

@@ -42,6 +42,32 @@ func TestRunTinyAuto(t *testing.T) {
 	}
 }
 
+// TestRunTinyCheckpointRecover drives the checkpoint flags end to end: a
+// short checkpointing run, then a -recover run resuming from its newest
+// epoch.
+func TestRunTinyCheckpointRecover(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{
+		"-duration", "120ms", "-rate", "2000", "-workers", "2",
+		"-bins", "4", "-domain", "1024", "-migrate-at", "0",
+		"-checkpoint-dir", dir, "-checkpoint-every", "40ms",
+	}
+	var out strings.Builder
+	if err := run(common, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# checkpoint epoch=") {
+		t.Fatalf("checkpointing run reported no checkpoints:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(append(common, "-recover"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# recovered from checkpoint epoch") {
+		t.Fatalf("recovery run did not report restoring:\n%s", out.String())
+	}
+}
+
 // TestRunFlagErrors: bad flags and bad enum values fail with errors rather
 // than running.
 func TestRunFlagErrors(t *testing.T) {
@@ -52,6 +78,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-workload", "nope"},
 		{"-auto", "nope"},
 		{"-transfer", "nope"},
+		{"-recover"}, // -recover without -checkpoint-dir
+		{"-checkpoint-dir", "/tmp/x", "-variant", "native-hash"},
+		{"-checkpoint-dir", "/tmp/x", "-transfer", "direct"},
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"megaphone/internal/binenc"
+)
+
+// Epoch-aligned checkpoint/restore: a checkpoint is a migration whose
+// destination is disk. The CheckpointMove control command rides the same
+// broadcast stream as migrations, becomes final when the control frontier
+// passes its time T, and executes when the output frontier shows every
+// update before T applied — at which point each worker's locally-owned bins
+// are exactly the consistent cut at T, and the only state worth persisting.
+// F serializes them with the operator's migration codec, splits them with
+// the same chunking used for in-flight StateMsgs, and writes the chunks plus
+// a manifest (epoch, the bin→worker assignment in effect, per-bin chunk
+// digests) to CheckpointConfig.Dir. A restarting process loads the newest
+// epoch whose every worker manifest is present, reinstalls its workers' bins
+// through the same install path a migration uses, and resumes input at T.
+
+// CheckpointConfig enables checkpointing on a megaphone operator
+// (Config.Checkpoint). The directory is shared by every worker of the
+// execution in local clusters and tests; each worker writes only its own
+// files, so no coordination beyond the filesystem is needed.
+type CheckpointConfig struct {
+	// Dir is the checkpoint root; the operator writes under Dir/<op-name>/.
+	Dir string
+	// OnCheckpoint, when non-nil, observes every completed per-worker
+	// checkpoint write (instrumentation; called on worker goroutines).
+	OnCheckpoint func(epoch Time, worker, bins int, bytes int64, elapsed time.Duration)
+	// OnError, when non-nil, observes a failed checkpoint write. Write
+	// failures are non-fatal by design: the worker's manifest is simply
+	// never committed, which invalidates the epoch for recovery (the
+	// previous complete epoch remains usable) while the run itself keeps
+	// streaming — a full disk must not turn into the process death
+	// checkpoints exist to survive. nil logs to stderr.
+	OnError func(epoch Time, worker int, err error)
+}
+
+// reportError routes a non-fatal checkpoint failure.
+func (c *CheckpointConfig) reportError(epoch Time, worker int, err error) {
+	if c.OnError != nil {
+		c.OnError(epoch, worker, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "megaphone: checkpoint at epoch %d on worker %d failed (epoch not committed): %v\n", epoch, worker, err)
+}
+
+// Restore carries a loaded checkpoint into Operator via Config.Restore: the
+// bin→worker assignment in effect at the checkpoint epoch and the
+// serialized payloads of the bins owned by this process's workers. Build it
+// with LoadRestore.
+type Restore struct {
+	// Epoch is the checkpoint's logical time; drivers resume input there.
+	Epoch Time
+	// LogBins must match the operator's Config.LogBins.
+	LogBins int
+	// Assignment maps every bin to its owning worker at Epoch.
+	Assignment []int
+	// Bins maps locally-owned bins to their codec payloads.
+	Bins map[int][]byte
+}
+
+// Manifest is the per-worker commit record of one checkpoint epoch: it is
+// written (atomically, via rename) only after every bin chunk reached disk,
+// so its presence certifies the data file, and an epoch is complete exactly
+// when all workers' manifests exist.
+type Manifest struct {
+	Op         string        `json:"op"`
+	Epoch      uint64        `json:"epoch"`
+	Worker     int           `json:"worker"`
+	Peers      int           `json:"peers"`
+	LogBins    int           `json:"log_bins"`
+	Codec      string        `json:"codec"`
+	Assignment []int         `json:"assignment"`
+	Bins       []BinManifest `json:"bins"`
+	Bytes      int64         `json:"bytes"`
+}
+
+// BinManifest records one drained bin: its payload size and the FNV-64a
+// digest of each chunk, in chunk order.
+type BinManifest struct {
+	Bin     int      `json:"bin"`
+	Bytes   int64    `json:"bytes"`
+	Digests []string `json:"chunk_digests"`
+}
+
+// checkpoint file layout under CheckpointConfig.Dir:
+//
+//	<dir>/<op>/epoch-<E>/bins-w<idx>.dat      chunk stream (see chunk record below)
+//	<dir>/<op>/epoch-<E>/manifest-w<idx>.json commit record, written last
+//
+// A chunk record is: uvarint bin, uvarint seq, bool last, uvarint len,
+// payload bytes, 8-byte big-endian FNV-64a digest of the payload.
+const (
+	ckptMagic       = "MPCK1\n"
+	ckptEpochPrefix = "epoch-"
+)
+
+func ckptEpochDir(dir, op string, epoch Time) string {
+	return filepath.Join(dir, op, ckptEpochPrefix+strconv.FormatUint(uint64(epoch), 10))
+}
+
+func ckptManifestPath(dir, op string, epoch Time, worker int) string {
+	return filepath.Join(ckptEpochDir(dir, op, epoch), fmt.Sprintf("manifest-w%d.json", worker))
+}
+
+func ckptBinsPath(dir, op string, epoch Time, worker int) string {
+	return filepath.Join(ckptEpochDir(dir, op, epoch), fmt.Sprintf("bins-w%d.dat", worker))
+}
+
+func chunkDigest(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// CheckpointWriter streams one worker's bins into a checkpoint epoch
+// directory. WriteBin consumes the chunked StateMsgs of one bin (the same
+// messages a migration would put in flight); Finish writes the manifest,
+// committing the checkpoint for this worker.
+type CheckpointWriter struct {
+	dir, op string
+	epoch   Time
+	worker  int
+	f       *os.File
+	scratch []byte
+	bins    []BinManifest
+	bytes   int64
+}
+
+// NewCheckpointWriter creates the epoch directory and opens this worker's
+// data file.
+func NewCheckpointWriter(dir, op string, epoch Time, worker int) (*CheckpointWriter, error) {
+	ed := ckptEpochDir(dir, op, epoch)
+	if err := os.MkdirAll(ed, 0o777); err != nil {
+		return nil, fmt.Errorf("megaphone: creating checkpoint dir: %w", err)
+	}
+	f, err := os.Create(ckptBinsPath(dir, op, epoch, worker))
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: creating checkpoint data file: %w", err)
+	}
+	w := &CheckpointWriter{dir: dir, op: op, epoch: epoch, worker: worker, f: f}
+	if _, err := f.WriteString(ckptMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteBin appends one bin's chunk stream to the data file and records its
+// digests. The chunks must belong to a single bin, in Seq order.
+func (w *CheckpointWriter) WriteBin(chunks []StateMsg) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	bm := BinManifest{Bin: chunks[0].Bin}
+	for _, m := range chunks {
+		if m.Dir != nil {
+			return fmt.Errorf("megaphone: direct-transfer bins cannot be checkpointed; use a serializing codec")
+		}
+		buf := w.scratch[:0]
+		buf = binenc.AppendUvarint(buf, uint64(m.Bin))
+		buf = binenc.AppendUvarint(buf, uint64(m.Seq))
+		buf = binenc.AppendBool(buf, m.Last)
+		buf = binenc.AppendUvarint(buf, uint64(len(m.Bytes)))
+		buf = append(buf, m.Bytes...)
+		d := chunkDigest(m.Bytes)
+		buf = binary.BigEndian.AppendUint64(buf, d)
+		w.scratch = buf
+		if _, err := w.f.Write(buf); err != nil {
+			return fmt.Errorf("megaphone: writing checkpoint chunk: %w", err)
+		}
+		bm.Bytes += int64(len(m.Bytes))
+		bm.Digests = append(bm.Digests, strconv.FormatUint(d, 16))
+	}
+	w.bytes += bm.Bytes
+	w.bins = append(w.bins, bm)
+	return nil
+}
+
+// Bins returns the number of bins written so far.
+func (w *CheckpointWriter) Bins() int { return len(w.bins) }
+
+// Bytes returns the payload bytes written so far.
+func (w *CheckpointWriter) Bytes() int64 { return w.bytes }
+
+// Finish fsyncs the data file and commits the manifest via atomic rename.
+func (w *CheckpointWriter) Finish(peers, logBins int, codec string, assignment []int) error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	m := Manifest{
+		Op:         w.op,
+		Epoch:      uint64(w.epoch),
+		Worker:     w.worker,
+		Peers:      peers,
+		LogBins:    logBins,
+		Codec:      codec,
+		Assignment: assignment,
+		Bins:       w.bins,
+		Bytes:      w.bytes,
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	path := ckptManifestPath(w.dir, w.op, w.epoch, w.worker)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return fmt.Errorf("megaphone: writing checkpoint manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("megaphone: committing checkpoint manifest: %w", err)
+	}
+	return nil
+}
+
+// Abort closes the data file without committing (a partial data file with
+// no manifest is ignored by recovery).
+func (w *CheckpointWriter) Abort() { w.f.Close() }
+
+// LatestCheckpoint scans dir for the newest epoch at which every operator
+// subdirectory holds a manifest for every worker in [0, peers). It returns
+// the epoch and the operator names found; ok is false when no complete
+// epoch exists (including when dir is empty or absent).
+func LatestCheckpoint(dir string, peers int) (epoch Time, ops []string, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("megaphone: reading checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			ops = append(ops, e.Name())
+		}
+	}
+	if len(ops) == 0 {
+		return 0, nil, false, nil
+	}
+	sort.Strings(ops)
+
+	// Candidate epochs: those listed under the first operator; an epoch is
+	// complete when every op has every worker's manifest for it.
+	var epochs []Time
+	sub, err := os.ReadDir(filepath.Join(dir, ops[0]))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for _, e := range sub {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, ckptEpochPrefix) {
+			continue
+		}
+		v, perr := strconv.ParseUint(name[len(ckptEpochPrefix):], 10, 64)
+		if perr != nil {
+			continue
+		}
+		epochs = append(epochs, Time(v))
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+
+	for _, ep := range epochs {
+		complete := true
+		for _, op := range ops {
+			for w := 0; w < peers && complete; w++ {
+				if _, serr := os.Stat(ckptManifestPath(dir, op, ep, w)); serr != nil {
+					complete = false
+				}
+			}
+			if !complete {
+				break
+			}
+		}
+		if complete {
+			return ep, ops, true, nil
+		}
+	}
+	return 0, ops, false, nil
+}
+
+// LoadRestore reads one operator's checkpoint at epoch for the workers in
+// [first, first+n): it verifies every manifest (peer count, codec,
+// assignment agreement) and every chunk digest, reassembles chunked bins
+// with the same assembler the migration receive path uses, and returns the
+// Restore to hand to Config.Restore. codec must name the codec the
+// recovering run will decode with.
+func LoadRestore(dir, op string, epoch Time, peers, first, n int, codec string) (*Restore, error) {
+	r := &Restore{Epoch: epoch, Bins: make(map[int][]byte)}
+	for w := first; w < first+n; w++ {
+		data, err := os.ReadFile(ckptManifestPath(dir, op, epoch, w))
+		if err != nil {
+			return nil, fmt.Errorf("megaphone: checkpoint manifest for worker %d: %w", w, err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("megaphone: checkpoint manifest for worker %d: %w", w, err)
+		}
+		if m.Op != op || m.Epoch != uint64(epoch) || m.Worker != w {
+			return nil, fmt.Errorf("megaphone: checkpoint manifest identity mismatch (op %q epoch %d worker %d)", m.Op, m.Epoch, m.Worker)
+		}
+		if m.Peers != peers {
+			return nil, fmt.Errorf("megaphone: checkpoint was taken with %d workers, recovering with %d: worker counts must match", m.Peers, peers)
+		}
+		if m.Codec != codec {
+			return nil, fmt.Errorf("megaphone: checkpoint was encoded with codec %q, recovering with %q: pass the same -transfer", m.Codec, codec)
+		}
+		if r.Assignment == nil {
+			r.LogBins = m.LogBins
+			r.Assignment = m.Assignment
+		} else if m.LogBins != r.LogBins || !equalInts(m.Assignment, r.Assignment) {
+			return nil, fmt.Errorf("megaphone: checkpoint manifests disagree on the bin assignment (worker %d)", w)
+		}
+		if len(m.Assignment) != 1<<uint(m.LogBins) {
+			return nil, fmt.Errorf("megaphone: checkpoint manifest assignment has %d bins, log_bins says %d", len(m.Assignment), 1<<uint(m.LogBins))
+		}
+		if err := loadBins(dir, op, epoch, w, &m, r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// loadBins reads one worker's data file, verifying chunk digests against
+// both the in-file digests and the manifest, and reassembles payloads.
+func loadBins(dir, op string, epoch Time, worker int, m *Manifest, r *Restore) error {
+	want := make(map[int]*BinManifest, len(m.Bins))
+	for i := range m.Bins {
+		bm := &m.Bins[i]
+		if bm.Bin < 0 || bm.Bin >= len(m.Assignment) {
+			return fmt.Errorf("megaphone: checkpoint manifest lists bin %d out of range", bm.Bin)
+		}
+		if m.Assignment[bm.Bin] != worker {
+			return fmt.Errorf("megaphone: checkpoint manifest for worker %d lists bin %d owned by worker %d", worker, bm.Bin, m.Assignment[bm.Bin])
+		}
+		want[bm.Bin] = bm
+	}
+	data, err := os.ReadFile(ckptBinsPath(dir, op, epoch, worker))
+	if err != nil {
+		return fmt.Errorf("megaphone: checkpoint data for worker %d: %w", worker, err)
+	}
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("megaphone: checkpoint data for worker %d: bad magic", worker)
+	}
+	data = data[len(ckptMagic):]
+
+	var asm chunkAssembler
+	seen := make(map[int]int) // bin -> chunks consumed (index into digests)
+	for len(data) > 0 {
+		var msg StateMsg
+		var v uint64
+		if v, data, err = binenc.Uvarint(data); err != nil {
+			return chunkErr(worker, err)
+		}
+		msg.Bin = int(v)
+		if v, data, err = binenc.Uvarint(data); err != nil {
+			return chunkErr(worker, err)
+		}
+		msg.Seq = int(v)
+		if msg.Last, data, err = binenc.Bool(data); err != nil {
+			return chunkErr(worker, err)
+		}
+		if v, data, err = binenc.Uvarint(data); err != nil {
+			return chunkErr(worker, err)
+		}
+		if uint64(len(data)) < v+8 {
+			return chunkErr(worker, io.ErrUnexpectedEOF)
+		}
+		msg.Bytes = data[:v]
+		data = data[v:]
+		fileDigest := binary.BigEndian.Uint64(data[:8])
+		data = data[8:]
+
+		bm := want[msg.Bin]
+		if bm == nil {
+			return fmt.Errorf("megaphone: checkpoint data for worker %d holds bin %d absent from its manifest", worker, msg.Bin)
+		}
+		idx := seen[msg.Bin]
+		if idx >= len(bm.Digests) {
+			return fmt.Errorf("megaphone: checkpoint bin %d has more chunks than its manifest records", msg.Bin)
+		}
+		d := chunkDigest(msg.Bytes)
+		if d != fileDigest || strconv.FormatUint(d, 16) != bm.Digests[idx] {
+			return fmt.Errorf("megaphone: checkpoint bin %d chunk %d digest mismatch (corrupt checkpoint)", msg.Bin, idx)
+		}
+		seen[msg.Bin] = idx + 1
+		// The assembler copies nothing for single-chunk bins, so detach the
+		// payload from the file buffer explicitly.
+		if payload, done := asm.add(msg); done {
+			r.Bins[msg.Bin] = append([]byte(nil), payload...)
+		}
+	}
+	for bin, bm := range want {
+		if seen[bin] != len(bm.Digests) {
+			return fmt.Errorf("megaphone: checkpoint bin %d truncated: %d of %d chunks present", bin, seen[bin], len(bm.Digests))
+		}
+	}
+	return nil
+}
+
+func chunkErr(worker int, err error) error {
+	return fmt.Errorf("megaphone: checkpoint data for worker %d: corrupt chunk record: %w", worker, err)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CodecName resolves the registry name of a (possibly nil) Config.Transfer
+// value, for recording in checkpoint manifests.
+func CodecName(c Codec) string {
+	if c == nil {
+		return TransferGob.Name()
+	}
+	return c.Name()
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mkBin builds a MapState bin with n entries keyed off seed.
+func mkBin(seed uint64, n int) *BinState[KV[uint64, uint64], MapState[uint64, uint64]] {
+	b := &BinState[KV[uint64, uint64], MapState[uint64, uint64]]{
+		State: &MapState[uint64, uint64]{M: make(map[uint64]uint64)},
+	}
+	for i := 0; i < n; i++ {
+		k := Mix64(seed + uint64(i))
+		b.State.M[k] = k % 977
+	}
+	return b
+}
+
+// writeTestCheckpoint drains bins (bin id -> state) for one worker at the
+// given epoch, chunking at chunkBytes, and commits the manifest.
+func writeTestCheckpoint(t *testing.T, dir string, epoch Time, worker, peers, logBins, chunkBytes int,
+	assignment []int, binStates map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]) {
+	t.Helper()
+	w, err := NewCheckpointWriter(dir, "test-op", epoch, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 1<<uint(logBins); b++ {
+		bs, ok := binStates[b]
+		if !ok || assignment[b] != worker {
+			continue
+		}
+		payload, err := TransferBinary.EncodeBin(bs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteBin(appendChunks(nil, b, worker, payload, chunkBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(peers, logBins, TransferBinary.Name(), assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRoundTrip: bins written through the chunked checkpoint
+// writer come back bit-identical through LoadRestore, including bins whose
+// payload spans many chunks, and the recorded assignment survives.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const peers, logBins = 2, 2
+	assignment := []int{1, 0, 1, 1} // bins 0,2,3 on worker 1; bin 1 on worker 0
+	bins := map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]{
+		0: mkBin(1, 3),
+		1: mkBin(2, 500), // forces chunking at the tiny chunk size below
+		2: mkBin(3, 0),   // occupied but empty map
+	}
+	// Pending records must survive too (they migrate with the bin).
+	bins[0].PushPending(9, KV[uint64, uint64]{Key: 7, Val: 7})
+	for w := 0; w < peers; w++ {
+		writeTestCheckpoint(t, dir, 5, w, peers, logBins, 64, assignment, bins)
+	}
+
+	epoch, ops, ok, err := LatestCheckpoint(dir, peers)
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if epoch != 5 || len(ops) != 1 || ops[0] != "test-op" {
+		t.Fatalf("LatestCheckpoint = (%d, %v)", epoch, ops)
+	}
+
+	// Worker 1's process view.
+	r, err := LoadRestore(dir, "test-op", 5, peers, 1, 1, TransferBinary.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Assignment, assignment) || r.LogBins != logBins || r.Epoch != 5 {
+		t.Fatalf("restore metadata mismatch: %+v", r)
+	}
+	for _, b := range []int{0, 2} {
+		payload, ok := r.Bins[b]
+		if !ok {
+			t.Fatalf("bin %d missing from restore", b)
+		}
+		got := &BinState[KV[uint64, uint64], MapState[uint64, uint64]]{
+			State: &MapState[uint64, uint64]{},
+		}
+		if err := TransferBinary.DecodeBin(got, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.State, bins[b].State) || !reflect.DeepEqual(got.Pending, bins[b].Pending) {
+			t.Fatalf("bin %d state mismatch after restore", b)
+		}
+	}
+	if _, ok := r.Bins[3]; ok {
+		t.Fatal("bin 3 was never written (empty) but appeared in the restore")
+	}
+	if _, ok := r.Bins[1]; ok {
+		t.Fatal("bin 1 belongs to worker 0 but appeared in worker 1's restore")
+	}
+}
+
+// TestLatestCheckpointSkipsIncomplete: an epoch missing any worker's
+// manifest (e.g. the process died mid-checkpoint) is not recoverable; the
+// newest complete epoch wins.
+func TestLatestCheckpointSkipsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	assignment := []int{0, 1}
+	bins := map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]{0: mkBin(1, 4), 1: mkBin(2, 4)}
+	for w := 0; w < 2; w++ {
+		writeTestCheckpoint(t, dir, 10, w, 2, 1, 0, assignment, bins)
+	}
+	// Epoch 20: only worker 0 committed before the "crash".
+	writeTestCheckpoint(t, dir, 20, 0, 2, 1, 0, assignment, bins)
+
+	epoch, _, ok, err := LatestCheckpoint(dir, 2)
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if epoch != 10 {
+		t.Fatalf("LatestCheckpoint picked epoch %d, want the complete 10", epoch)
+	}
+
+	// An empty or absent dir is not an error, just no checkpoint.
+	if _, _, ok, err := LatestCheckpoint(filepath.Join(dir, "nope"), 2); ok || err != nil {
+		t.Fatalf("absent dir: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestLoadRestoreDetectsCorruption: flipped payload bytes fail the chunk
+// digest check, and a truncated data file fails the completeness check.
+func TestLoadRestoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	assignment := []int{0, 0}
+	bins := map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]{0: mkBin(1, 300), 1: mkBin(2, 300)}
+	writeTestCheckpoint(t, dir, 7, 0, 1, 1, 128, assignment, bins)
+
+	path := filepath.Join(dir, "test-op", "epoch-7", "bins-w0.dat")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0xff
+	if err := os.WriteFile(path, flipped, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRestore(dir, "test-op", 7, 1, 0, 1, TransferBinary.Name()); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("corrupted payload not detected: %v", err)
+	}
+
+	if err := os.WriteFile(path, data[:len(data)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRestore(dir, "test-op", 7, 1, 0, 1, TransferBinary.Name()); err == nil {
+		t.Fatal("truncated data file not detected")
+	}
+
+	// Codec mismatch is a configuration error, reported as such.
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRestore(dir, "test-op", 7, 1, 0, 1, TransferGob.Name()); err == nil ||
+		!strings.Contains(err.Error(), "codec") {
+		t.Fatalf("codec mismatch not detected: %v", err)
+	}
+}

@@ -34,6 +34,23 @@ type Move struct {
 	Worker int
 }
 
+// CheckpointBin is the Move.Bin sentinel marking a checkpoint command: a
+// "migration to disk" of every worker's locally-owned bins, executed with
+// exactly the prepare/complete epoch alignment of a real migration (all
+// updates before the command's time applied, none at or after it). It never
+// collides with a real bin (bins are non-negative).
+const CheckpointBin = -1
+
+// CheckpointMove returns the checkpoint command. Like any configuration
+// command it is broadcast on the control stream and takes effect at its
+// stream timestamp; operators without a Config.Checkpoint ignore it (they
+// still observe the same epoch-aligned stall, keeping every worker's
+// frontier schedule identical).
+func CheckpointMove() Move { return Move{Bin: CheckpointBin} }
+
+// IsCheckpoint reports whether m is a checkpoint command.
+func (m Move) IsCheckpoint() bool { return m.Bin == CheckpointBin }
+
 // Mix64 finalizes a 64-bit value into a well-distributed hash (the
 // splitmix64 finalizer). Megaphone assigns keys to bins by the *most
 // significant* bits of the exchange hash (Section 4.2), so exchange

@@ -27,6 +27,18 @@ type Config struct {
 	// the S operator (see LoadMeter). It must be sized for this execution:
 	// NewLoadMeter(peers, LogBins). nil disables metering.
 	Meter *LoadMeter
+	// Checkpoint, when set, makes CheckpointMove commands on the control
+	// stream drain every locally-owned bin to Checkpoint.Dir at the
+	// command's epoch — a migration to disk, with the same frontier
+	// alignment. Requires a serializing Transfer codec. nil ignores
+	// checkpoint commands.
+	Checkpoint *CheckpointConfig
+	// Restore, when set, installs a loaded checkpoint before the execution
+	// starts: the recorded assignment seeds every F's routing history and
+	// the bins owned by this process's workers are decoded and installed
+	// through the migration install path. Drivers must resume input at
+	// Restore.Epoch. See LoadRestore.
+	Restore *Restore
 }
 
 func (c *Config) defaults() {
@@ -83,9 +95,13 @@ type Handle[R, S, O any] struct {
 	// OnApply, when set before Start, is invoked for every record
 	// application with the worker index it ran on (used by the Property 2
 	// "Migration" tests).
-	OnApply  func(t Time, bin, worker int)
-	bins     []*binsHolder[R, S]
-	newState func() *S
+	OnApply func(t Time, bin, worker int)
+	// OnInstall, when set before Start, is invoked whenever a migrated bin
+	// finishes installing on a worker (after chunk reassembly) — exactly
+	// once per bin per migration, which the transport-failure tests pin.
+	OnInstall func(t Time, bin, worker int)
+	bins      []*binsHolder[R, S]
+	newState  func() *S
 	// Migrated counts bins shipped away, per worker (a chunked bin counts
 	// once regardless of how many StateMsgs carry it).
 	migrated []int
@@ -150,6 +166,9 @@ func Operator[R, S, O any](
 	handle *Handle[R, S, O],
 ) dataflow.Stream[O] {
 	cfg.defaults()
+	if cfg.Checkpoint != nil && isDirect(cfg.Transfer) {
+		panic(fmt.Sprintf("megaphone: operator %q: checkpointing needs a serializing transfer codec, not direct pointer handoff", cfg.Name))
+	}
 	if handle == nil {
 		handle = &Handle[R, S, O]{}
 	}
@@ -172,6 +191,9 @@ func Operator[R, S, O any](
 		probe: func() *dataflow.Probe { return probe },
 		hist:  make([][]assign, 1<<uint(cfg.LogBins)),
 		h:     handle,
+	}
+	if cfg.Restore != nil {
+		installRestore(w, cfg, ops, f, bins)
 	}
 
 	fb := w.NewOp(cfg.Name+"-F", 2)
@@ -205,6 +227,22 @@ func Operator[R, S, O any](
 	sb := w.NewOp(cfg.Name+"-S", 1)
 	dataflow.Connect(sb, routedData, dataflow.ExchangeTo[routed[R]]{To: func(r routed[R]) int { return int(r.To) }})
 	dataflow.Connect(sb, stateOut, dataflow.ExchangeTo[StateMsg]{To: func(m StateMsg) int { return m.To }})
+	if cfg.Restore != nil {
+		// Restored bins can carry pending post-dated records (all at times
+		// >= the checkpoint epoch: earlier ones were replayed before the
+		// checkpoint's frontier). Re-index them in S's notification heap and
+		// pin the output capability at the epoch until S's first scheduling
+		// recomputes its holds — without the initial hold, the frontier
+		// could pass a restored notification before S ever runs.
+		sb.InitialHold(0, cfg.Restore.Epoch)
+		for b, bs := range bins.data {
+			if bs != nil {
+				if ht, ok := bs.headPending(); ok {
+					heap.Push(&s.notify, binTime{time: ht, bin: b})
+				}
+			}
+		}
+	}
 	souts := sb.Build(s.schedule)
 	out := dataflow.Typed[O](souts[0])
 
@@ -214,6 +252,42 @@ func Operator[R, S, O any](
 	// a migration is staged.
 	w.WatchFrontier(fouts[0], probe)
 	return out
+}
+
+// installRestore applies a loaded checkpoint to one worker's operator
+// instance at build time: the recorded assignment becomes the F routing
+// history (so records at times >= the checkpoint epoch route exactly as
+// they did when the checkpoint was taken) and this worker's bins are
+// decoded and installed — the same decode-and-install a migration's
+// receiving side performs, just fed from disk instead of the wire.
+func installRestore[R, S, O any](w *dataflow.Worker, cfg Config, ops Ops[R, S, O], f *fOp[R, S, O], bins *binsHolder[R, S]) {
+	r := cfg.Restore
+	if r.LogBins != cfg.LogBins {
+		panic(fmt.Sprintf("megaphone: operator %q: checkpoint has 2^%d bins, config says 2^%d", cfg.Name, r.LogBins, cfg.LogBins))
+	}
+	if len(r.Assignment) != 1<<uint(cfg.LogBins) {
+		panic(fmt.Sprintf("megaphone: operator %q: restore assignment covers %d bins, want %d", cfg.Name, len(r.Assignment), 1<<uint(cfg.LogBins)))
+	}
+	if isDirect(cfg.Transfer) {
+		panic(fmt.Sprintf("megaphone: operator %q: restoring needs a serializing transfer codec", cfg.Name))
+	}
+	for b, owner := range r.Assignment {
+		if owner != InitialWorker(b, w.Peers()) {
+			f.hist[b] = append(f.hist[b], assign{From: 0, Worker: owner})
+		}
+		if owner != w.Index() {
+			continue
+		}
+		payload, ok := r.Bins[b]
+		if !ok {
+			continue // bin was owned but empty at the checkpoint
+		}
+		bin := &BinState[R, S]{State: ops.NewState()}
+		if err := cfg.Transfer.DecodeBin(bin, payload); err != nil {
+			panic(fmt.Sprintf("megaphone: operator %q: restoring bin %d: %v", cfg.Name, b, err))
+		}
+		bins.install(b, bin)
+	}
 }
 
 // canonMoves sorts moves by (bin, worker) and keeps one move per bin (the
@@ -334,6 +408,9 @@ func (f *fOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 		}
 		pc.moves = canonMoves(pc.moves)
 		for _, m := range pc.moves {
+			if m.IsCheckpoint() {
+				continue // checkpoints change no ownership
+			}
 			f.hist[m.Bin] = append(f.hist[m.Bin], assign{From: pc.time, Worker: m.Worker})
 		}
 		heap.Push(&f.installed, pc)
@@ -418,10 +495,20 @@ func (f *fOp[R, S, O]) route(c *dataflow.OpCtx, t Time, data []R) {
 
 // execute performs the state movement of one installed configuration: for
 // every moved bin this worker currently owns, uninstall it from the local S
-// instance and ship it at the migration's timestamp.
+// instance and ship it at the migration's timestamp. A checkpoint command
+// in the batch (canonically sorted first) runs before any moves of the same
+// time, so the snapshot records the pre-move assignment together with the
+// bins still at their pre-move owners — a consistent cut either way.
 func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
+	moves := mg.moves
+	if len(moves) > 0 && moves[0].IsCheckpoint() {
+		if f.cfg.Checkpoint != nil {
+			f.checkpoint(mg.time)
+		}
+		moves = moves[1:]
+	}
 	var msgs []StateMsg
-	for _, m := range mg.moves {
+	for _, m := range moves {
 		// Owner just before the migration takes effect.
 		old := f.ownerBefore(m.Bin, mg.time)
 		if old == m.Worker {
@@ -447,6 +534,62 @@ func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
 	}
 	if len(msgs) > 0 {
 		dataflow.SendBatch(c, fOutState, mg.time, msgs)
+	}
+}
+
+// checkpoint drains every bin this worker owns just before time t into the
+// configured checkpoint directory: each bin is serialized with the
+// operator's migration codec and split with the operator's chunking — the
+// exact byte stream a migration would put on the wire, written to disk
+// instead. It runs at the same frontier alignment as a migration (all
+// updates before t applied, none at or after it), so the union of all
+// workers' files is a consistent snapshot of the operator at t.
+func (f *fOp[R, S, O]) checkpoint(t Time) {
+	ck := f.cfg.Checkpoint
+	start := time.Now()
+	nbins := 1 << uint(f.cfg.LogBins)
+	asn := make([]int, nbins)
+	for b := range asn {
+		asn[b] = f.ownerBefore(b, t)
+	}
+	// Filesystem failures are non-fatal: the uncommitted manifest already
+	// invalidates this epoch for recovery, and killing the run over a full
+	// checkpoint volume would defeat the mechanism's purpose. Codec
+	// failures, by contrast, are programming errors and panic exactly as
+	// they do on the migration path.
+	w, err := NewCheckpointWriter(ck.Dir, f.cfg.Name, t, f.index)
+	if err != nil {
+		ck.reportError(t, f.index, err)
+		return
+	}
+	var payload []byte
+	var msgs []StateMsg
+	for b := 0; b < nbins; b++ {
+		if asn[b] != f.index {
+			continue
+		}
+		bin := f.bins.data[b]
+		if bin == nil {
+			continue // owned but empty: recovery recreates it lazily
+		}
+		payload, err = f.cfg.Transfer.EncodeBin(bin, payload[:0])
+		if err != nil {
+			w.Abort()
+			panic(err)
+		}
+		msgs = appendChunks(msgs[:0], b, f.index, payload, f.cfg.ChunkBytes)
+		if err := w.WriteBin(msgs); err != nil {
+			w.Abort()
+			ck.reportError(t, f.index, err)
+			return
+		}
+	}
+	if err := w.Finish(f.peers, f.cfg.LogBins, f.cfg.Transfer.Name(), asn); err != nil {
+		ck.reportError(t, f.index, err)
+		return
+	}
+	if ck.OnCheckpoint != nil {
+		ck.OnCheckpoint(t, f.index, w.Bins(), w.Bytes(), time.Since(start))
 	}
 }
 
@@ -526,6 +669,9 @@ func (s *sOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 				}
 			}
 			s.bins.install(m.Bin, b)
+			if s.h.OnInstall != nil {
+				s.h.OnInstall(t, m.Bin, s.index)
+			}
 			if ht, ok := b.headPending(); ok {
 				heap.Push(&s.notify, binTime{time: ht, bin: m.Bin})
 			}

@@ -1,0 +1,145 @@
+// Chaos drives failure injection for multi-process runs: it supervises a
+// set of real OS processes (the cluster's workers), kills one mid-run the
+// way an operator's machine dies — SIGKILL, no flushing, no goodbyes — and
+// restarts the cluster in recovery mode. The recovery equivalence tests and
+// scripts/cluster.sh's kill-and-recover mode are built on it.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ChaosProc describes one supervised process.
+type ChaosProc struct {
+	Name string   // label for logs and errors
+	Path string   // binary to execute
+	Args []string // arguments (argv[1:])
+	Env  []string // extra environment entries, appended to os.Environ()
+	Log  string   // file receiving combined stdout+stderr ("" discards)
+}
+
+// Chaos supervises one generation of cluster processes. Create it with the
+// process specs, StartAll, then Kill/Signal/WaitAll as the scenario
+// demands. A Chaos value is not safe for concurrent method calls.
+type Chaos struct {
+	Procs []ChaosProc
+
+	cmds []*exec.Cmd
+	logs []*os.File
+	done []chan error // closed after Wait returns; carries the exit error
+}
+
+// StartAll launches every process. On error, already-started processes are
+// killed.
+func (c *Chaos) StartAll() error {
+	c.cmds = make([]*exec.Cmd, len(c.Procs))
+	c.logs = make([]*os.File, len(c.Procs))
+	c.done = make([]chan error, len(c.Procs))
+	for i := range c.Procs {
+		if err := c.start(i); err != nil {
+			c.KillAll()
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Chaos) start(i int) error {
+	p := c.Procs[i]
+	cmd := exec.Command(p.Path, p.Args...)
+	cmd.Env = append(os.Environ(), p.Env...)
+	if p.Log != "" {
+		f, err := os.Create(p.Log)
+		if err != nil {
+			return fmt.Errorf("chaos: log for %s: %w", p.Name, err)
+		}
+		c.logs[i] = f
+		cmd.Stdout = f
+		cmd.Stderr = f
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: starting %s: %w", p.Name, err)
+	}
+	c.cmds[i] = cmd
+	ch := make(chan error, 1)
+	c.done[i] = ch
+	go func() {
+		ch <- cmd.Wait()
+		close(ch)
+	}()
+	return nil
+}
+
+// Kill delivers SIGKILL to process i — the abrupt machine-death failure
+// mode checkpoints exist for. It does not wait for the exit.
+func (c *Chaos) Kill(i int) error {
+	if c.cmds[i] == nil || c.cmds[i].Process == nil {
+		return fmt.Errorf("chaos: %s not running", c.Procs[i].Name)
+	}
+	return c.cmds[i].Process.Signal(syscall.SIGKILL)
+}
+
+// KillAll SIGKILLs every process that was started (best effort).
+func (c *Chaos) KillAll() {
+	for i := range c.cmds {
+		if c.cmds[i] != nil && c.cmds[i].Process != nil {
+			c.cmds[i].Process.Signal(syscall.SIGKILL)
+		}
+	}
+}
+
+// Wait blocks until process i exits (or the timeout elapses) and returns
+// its exit error (nil for success).
+func (c *Chaos) Wait(i int, timeout time.Duration) error {
+	select {
+	case err := <-c.done[i]:
+		c.closeLog(i)
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("chaos: %s did not exit within %v", c.Procs[i].Name, timeout)
+	}
+}
+
+// WaitAll waits for every started process, killing stragglers once the
+// timeout elapses, and returns the per-process exit errors.
+func (c *Chaos) WaitAll(timeout time.Duration) []error {
+	errs := make([]error, len(c.cmds))
+	var wg sync.WaitGroup
+	deadline := time.After(timeout)
+	killed := make(chan struct{})
+	go func() {
+		select {
+		case <-deadline:
+			c.KillAll()
+		case <-killed:
+		}
+	}()
+	for i := range c.cmds {
+		if c.cmds[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = <-c.done[i]
+		}(i)
+	}
+	wg.Wait()
+	close(killed)
+	for i := range c.cmds {
+		c.closeLog(i)
+	}
+	return errs
+}
+
+func (c *Chaos) closeLog(i int) {
+	if c.logs[i] != nil {
+		c.logs[i].Close()
+		c.logs[i] = nil
+	}
+}

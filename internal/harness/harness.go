@@ -45,6 +45,18 @@ type Options struct {
 	// workers. Zero TotalInputs means len(inputs) (single process).
 	TotalInputs int
 	FirstInput  int
+	// CheckpointEvery issues a checkpoint command on the control stream at
+	// every epoch divisible by it (0 disables). The cadence is a pure
+	// function of the epoch, so every process of a cluster issues the same
+	// commands and the operators merge them into one checkpoint per epoch.
+	CheckpointEvery int64
+	// StartEpoch is the first epoch driven (default 1). Recovery runs set
+	// it to the restored checkpoint's epoch: the generator re-produces
+	// epochs from there, which together with the restored state yields the
+	// same outputs an uninterrupted run would have emitted from that epoch
+	// on. No checkpoint is issued at StartEpoch itself (it would overwrite
+	// the checkpoint just restored from).
+	StartEpoch int64
 }
 
 // Migration schedules a plan to start at a given epoch.
@@ -55,13 +67,15 @@ type Migration struct {
 
 // Driver paces migrations and advances the control epochs: the harness
 // calls Tick once per epoch and consults Idle/Start/Span for scheduled
-// migrations. Both plan.Controller (scripted plans) and plan.AutoController
-// (policy-driven plans) satisfy it.
+// migrations; Checkpoint injects a checkpoint command at the current epoch
+// (before Tick advances past it). Both plan.Controller (scripted plans) and
+// plan.AutoController (policy-driven plans) satisfy it.
 type Driver interface {
 	Tick(now core.Time)
 	Idle() bool
 	Start(p plan.Plan)
 	Span() (start, end core.Time, ok bool)
+	Checkpoint(now core.Time)
 	Close()
 }
 
@@ -77,7 +91,8 @@ type Result struct {
 	// seconds (relative to run start) at which its plan started and ended
 	// and the maximum latency (ms) observed while it ran.
 	MigrationSpans []Span
-	// Epochs is the number of epochs driven.
+	// Epochs is the last epoch driven (the count, except in recovery runs,
+	// which start at Options.StartEpoch rather than 1).
 	Epochs int64
 	// Records is the number of records injected.
 	Records int64
@@ -93,18 +108,32 @@ type Result struct {
 	// Load is the final cumulative load snapshot when the run was metered
 	// (nil otherwise).
 	Load *core.LoadSnapshot
+	// Checkpoints lists the completed checkpoints of a checkpointing run
+	// (filled in by workload runners from the operator's OnCheckpoint
+	// instrumentation; empty otherwise).
+	Checkpoints []CheckpointStat
+	// RestoreEpoch and RestoreSeconds describe a recovery run: the epoch
+	// the run resumed from and the wall-clock cost of loading and
+	// verifying the checkpoint (both zero for fresh runs).
+	RestoreEpoch   int64
+	RestoreSeconds float64
 }
 
 // NewDriver wires a run's migration driver: a plain plan.Controller for
-// scripted plans, or — when auto is non-nil — an AutoController over the
-// initial round-robin assignment. The AutoController is also returned
-// directly so the runner can collect its decisions (nil otherwise);
-// auto.Meter must already be set.
-func NewDriver(auto *plan.AutoOptions, handles []*dataflow.InputHandle[core.Move], probe *dataflow.Probe, bins, workers int) (Driver, *plan.AutoController) {
+// scripted plans, or — when auto is non-nil — an AutoController over
+// initial (the default round-robin assignment when nil; a recovering run
+// passes its CheckpointPlan.InitialAssignment so the controller's view of
+// bin ownership matches the restored routing history). The AutoController
+// is also returned directly so the runner can collect its decisions (nil
+// otherwise); auto.Meter must already be set.
+func NewDriver(auto *plan.AutoOptions, handles []*dataflow.InputHandle[core.Move], probe *dataflow.Probe, bins, workers int, initial plan.Assignment) (Driver, *plan.AutoController) {
 	if auto == nil {
 		return plan.NewController(handles, probe), nil
 	}
-	a := plan.NewAutoController(handles, probe, plan.Initial(bins, workers), *auto)
+	if initial == nil {
+		initial = plan.Initial(bins, workers)
+	}
+	a := plan.NewAutoController(handles, probe, initial, *auto)
 	return a, a
 }
 
@@ -177,6 +206,11 @@ func Run[T any](
 	if totalInputs <= 0 {
 		totalInputs = workers
 	}
+	startEpoch := opts.StartEpoch
+	if startEpoch <= 0 {
+		startEpoch = 1
+	}
+	endEpoch := startEpoch + totalEpochs - 1
 
 	res := Result{
 		Timeline: metrics.NewTimeline(),
@@ -186,7 +220,7 @@ func Run[T any](
 
 	start := time.Now()
 	deadline := func(e int64) time.Time {
-		return start.Add(time.Duration(e) * opts.EpochEvery)
+		return start.Add(time.Duration(e-startEpoch+1) * opts.EpochEvery)
 	}
 
 	// Prober: watch the output frontier; when it passes epoch e, the
@@ -197,7 +231,7 @@ func Run[T any](
 	probeWG.Add(1)
 	go func() {
 		defer probeWG.Done()
-		lastReported := int64(0) // epochs <= lastReported measured
+		lastReported := startEpoch - 1 // epochs <= lastReported measured
 		nextFlush := start.Add(opts.ReportEvery)
 		nextMem := start
 		for {
@@ -205,12 +239,12 @@ func Run[T any](
 			f := probe.Frontier()
 			var passed int64
 			if f == core.None {
-				passed = totalEpochs
+				passed = endEpoch
 			} else {
 				passed = int64(f) - 1 // epochs strictly below the frontier are complete
 			}
-			if passed > totalEpochs {
-				passed = totalEpochs
+			if passed > endEpoch {
+				passed = endEpoch
 			}
 			for e := lastReported + 1; e <= passed; e++ {
 				lat := now.Sub(deadline(e)).Nanoseconds()
@@ -243,7 +277,7 @@ func Run[T any](
 			select {
 			case <-stopProbe:
 				// Final pass to catch the tail.
-				if lastReported >= totalEpochs {
+				if lastReported >= endEpoch {
 					return
 				}
 			default:
@@ -261,7 +295,7 @@ func Run[T any](
 
 	// Open-loop injection: epoch e's records go in at deadline(e) — or as
 	// soon as possible if we are running behind, without ever skipping.
-	for e := int64(1); e <= totalEpochs; e++ {
+	for e := startEpoch; e <= endEpoch; e++ {
 		if d := time.Until(deadline(e)); d > 0 {
 			time.Sleep(d)
 		}
@@ -277,6 +311,9 @@ func Run[T any](
 				inputs[w].SendBatchAt(t, batch)
 				res.Records += int64(len(batch))
 			}
+		}
+		if opts.CheckpointEvery > 0 && e%opts.CheckpointEvery == 0 && e != startEpoch {
+			ctl.Checkpoint(t)
 		}
 		if migIdx < len(opts.Migrations) && e >= opts.Migrations[migIdx].AtEpoch && ctl.Idle() {
 			if !spanStates[migIdx].started {

@@ -61,6 +61,25 @@ type Params struct {
 	// laptop rates without needing real cores behind every worker. 0
 	// disables.
 	ServiceNanos int64
+	// Checkpoint enables epoch-aligned checkpoints of the migrateable
+	// variants (nil disables); Restore installs a loaded checkpoint before
+	// the run starts. See core.CheckpointConfig / core.LoadRestore.
+	Checkpoint *core.CheckpointConfig
+	Restore    *core.Restore
+}
+
+// OpName returns the megaphone operator name of a migrateable variant —
+// the checkpoint subdirectory its state is drained into ("" for native
+// variants, which have no migrateable state).
+func (p Params) OpName() string {
+	switch p.Variant {
+	case HashCount:
+		return "hash-count"
+	case KeyCount:
+		return "key-count"
+	default:
+		return ""
+	}
 }
 
 // serviceSleeper levies simulated service time. Fine-grained sleeps drown
@@ -139,7 +158,8 @@ func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], dat
 	switch p.Variant {
 	case HashCount:
 		return core.Unary(w,
-			core.Config{Name: "hash-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter},
+			core.Config{Name: "hash-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter,
+				Checkpoint: p.Checkpoint, Restore: p.Restore},
 			control, data,
 			func(k uint64) uint64 { return core.Mix64(k) },
 			func() *HashState { return &HashState{M: make(map[uint64]uint64)} },
@@ -158,7 +178,8 @@ func Build(w *dataflow.Worker, p Params, control dataflow.Stream[core.Move], dat
 		}
 		domain := p.Domain
 		return core.Unary(w,
-			core.Config{Name: "key-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter},
+			core.Config{Name: "key-count", LogBins: p.LogBins, Transfer: p.Transfer, Meter: p.Meter,
+				Checkpoint: p.Checkpoint, Restore: p.Restore},
 			control, data,
 			denseHasher(domain),
 			func() *ArrayState { return &ArrayState{Counts: make([]uint64, binSpan)} },

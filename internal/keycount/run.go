@@ -43,6 +43,17 @@ type RunConfig struct {
 	// input stream. Every process must be started with the same RunConfig
 	// apart from Cluster.Process.
 	Cluster *dataflow.ClusterSpec
+	// CheckpointDir enables epoch-aligned checkpoints into this directory
+	// (shared by every process of a local cluster); CheckpointEvery is the
+	// cadence (default 1s). Requires a migrateable variant and a
+	// serializing transfer codec.
+	CheckpointDir   string
+	CheckpointEvery time.Duration
+	// Recover loads the newest complete checkpoint from CheckpointDir
+	// before starting and resumes the (deterministic) input stream at its
+	// epoch; Duration still names the original total run length, so the
+	// recovered run ends at the same epoch an uninterrupted run would.
+	Recover bool
 	// Sink, when non-nil, receives one "key:count" line per output record,
 	// for output-equivalence checks across runs. It is called from worker
 	// goroutines and must be safe for concurrent use.
@@ -66,6 +77,18 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	}
 	totalWorkers := cfg.Workers * procs
 	firstWorker := proc * cfg.Workers
+
+	if (cfg.CheckpointDir != "" || cfg.Recover) && cfg.OpName() == "" {
+		return harness.Result{}, fmt.Errorf("keycount: checkpointing requires a migrateable variant (hash or key), not %v", cfg.Variant)
+	}
+	ckpt, duration, err := harness.PlanCheckpoints("keycount", cfg.CheckpointDir, cfg.CheckpointEvery,
+		cfg.Recover, cfg.Transfer, totalWorkers, firstWorker, cfg.Workers, cfg.EpochEvery, cfg.Duration)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	cfg.Duration = duration
+	cfg.Params.Checkpoint = ckpt.Config
+	cfg.Params.Restore = ckpt.Restore(cfg.OpName())
 
 	var meter *core.LoadMeter
 	if cfg.Auto != nil {
@@ -96,13 +119,16 @@ func Run(cfg RunConfig) (harness.Result, error) {
 			probe = p
 		}
 	})
-	if cfg.Preload {
+	if cfg.Preload && cfg.Params.Restore == nil {
+		// A restored run's bins (and their assignment) come from the
+		// checkpoint; preloading against the initial assignment would
+		// fight it.
 		PreloadLocal(cfg.Params, totalWorkers, handles, firstWorker, cfg.Workers)
 	}
 	exec.Start()
 
 	bins := 1 << uint(cfg.LogBins)
-	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers, ckpt.InitialAssignment())
 
 	var migrations []harness.Migration
 	if cfg.Auto == nil && cfg.MigrateAt > 0 {
@@ -125,6 +151,7 @@ func Run(cfg RunConfig) (harness.Result, error) {
 				Plan:    plan.Build(cfg.Strategy, imbalanced, initial, cfg.Batch),
 			})
 		}
+		migrations = ckpt.FilterMigrations(migrations)
 	}
 
 	domain := uint64(cfg.Domain)
@@ -136,16 +163,19 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	}
 
 	res := harness.Run(exec, dataIns, ctl, probe, gen, harness.Options{
-		Rate:         cfg.Rate,
-		EpochEvery:   cfg.EpochEvery,
-		Duration:     cfg.Duration,
-		ReportEvery:  cfg.ReportEvery,
-		SampleMemory: cfg.Memory,
-		Migrations:   migrations,
-		TotalInputs:  totalWorkers,
-		FirstInput:   firstWorker,
+		Rate:            cfg.Rate,
+		EpochEvery:      cfg.EpochEvery,
+		Duration:        cfg.Duration,
+		ReportEvery:     cfg.ReportEvery,
+		SampleMemory:    cfg.Memory,
+		Migrations:      migrations,
+		TotalInputs:     totalWorkers,
+		FirstInput:      firstWorker,
+		CheckpointEvery: ckpt.Every,
+		StartEpoch:      ckpt.StartEpoch,
 	})
 	res.FinishAdaptive(auto, meter)
+	ckpt.Finish(&res)
 	return res, nil
 }
 

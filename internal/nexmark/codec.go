@@ -386,7 +386,11 @@ func (s *q7State) DecodeBinaryState(data []byte) ([]byte, error) {
 
 // --- Q8: recent registrations ---
 
-// AppendBinaryState implements core.BinaryState.
+// AppendBinaryState implements core.BinaryState. Only Since is encoded:
+// the within-epoch auction buffer (q8State.pending) describes a single,
+// already-completed epoch by the time a bin can migrate or checkpoint, so
+// it is dead state on arrival and deliberately omitted (gob omits it too,
+// being unexported).
 func (s *q8State) AppendBinaryState(buf []byte) []byte {
 	buf = binenc.AppendUvarint(buf, uint64(len(s.Since)))
 	for id, p := range s.Since {

@@ -132,29 +132,24 @@ func sinkAndProbe[T any](w *dataflow.Worker, s dataflow.Stream[T], collect func(
 // produce identical output multisets (Property 1 at system scale).
 func TestImplementationsAgree(t *testing.T) {
 	// Q5 is excluded: its native and megaphone variants report windows on
-	// slightly different (both valid) activity conditions. Q8 is compared
-	// with a small tolerance: its join is order-sensitive for a person and
-	// an auction arriving in the same epoch or exactly at the expiry
-	// boundary, and the formal model does not fix within-timestamp order.
+	// slightly different (both valid) activity conditions. Q8 used to be
+	// compared with a tolerance because its join was order-sensitive for a
+	// person and an auction arriving in the same epoch and at the expiry
+	// boundary; both implementations now apply a canonical within-epoch
+	// order (expirations, then registrations, then joins — see q8.go), so
+	// every query compares exactly.
 	for _, q := range []string{"q1", "q2", "q3", "q4", "q6", "q7", "q8"} {
 		q := q
 		t.Run(q, func(t *testing.T) {
 			t.Parallel()
 			native := collectQuery(t, q, nexmark.Native, false)
 			mega := collectQuery(t, q, nexmark.Megaphone, true)
-			tolerance := 0.0
-			if q == "q8" {
-				// The divergence rate depends on goroutine scheduling
-				// (same-epoch person/auction arrivals at the expiry
-				// boundary); observed values cluster around 2-2.5%.
-				tolerance = 0.03
-			}
-			diffMultisets(t, q, native, mega, tolerance)
+			diffMultisets(t, q, native, mega)
 		})
 	}
 }
 
-func diffMultisets(t *testing.T, q string, a, b map[string]int, tolerance float64) {
+func diffMultisets(t *testing.T, q string, a, b map[string]int) {
 	t.Helper()
 	var keys []string
 	total := 0
@@ -178,11 +173,11 @@ func diffMultisets(t *testing.T, q string, a, b map[string]int, tolerance float6
 			}
 		}
 	}
-	if float64(bad) > tolerance*float64(total) {
+	if bad > 0 {
 		for _, e := range examples {
 			t.Errorf("%s: output %s", q, e)
 		}
-		t.Errorf("%s: %d of %d outputs differ (tolerance %.0f%%)", q, bad, total, tolerance*100)
+		t.Errorf("%s: %d of %d outputs differ", q, bad, total)
 	}
 	if len(a) == 0 {
 		t.Errorf("%s: native produced no output", q)

@@ -1,6 +1,7 @@
 package nexmark
 
 import (
+	"fmt"
 	"time"
 
 	"megaphone/internal/core"
@@ -36,6 +37,12 @@ type RunConfig struct {
 	// Cluster, when non-nil, runs this process's share of a multi-process
 	// execution (see keycount.RunConfig.Cluster; the semantics match).
 	Cluster *dataflow.ClusterSpec
+	// CheckpointDir/CheckpointEvery/Recover mirror keycount.RunConfig:
+	// epoch-aligned checkpoints of every megaphone stage of the query, and
+	// recovery from the newest complete checkpoint. Megaphone impl only.
+	CheckpointDir   string
+	CheckpointEvery time.Duration
+	Recover         bool
 }
 
 // Run executes the query open-loop and returns its measurements. In a
@@ -55,6 +62,18 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	}
 	totalWorkers := cfg.Workers * procs
 	firstWorker := proc * cfg.Workers
+
+	if (cfg.CheckpointDir != "" || cfg.Recover) && cfg.Params.Impl != Megaphone {
+		return harness.Result{}, fmt.Errorf("nexmark: checkpointing requires the megaphone implementation")
+	}
+	ckpt, duration, err := harness.PlanCheckpoints("nexmark", cfg.CheckpointDir, cfg.CheckpointEvery,
+		cfg.Recover, cfg.Params.Transfer, totalWorkers, firstWorker, cfg.Workers, cfg.EpochEvery, cfg.Duration)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	cfg.Duration = duration
+	cfg.Params.Checkpoint = ckpt.Config
+	cfg.Params.Restore = ckpt.Restores
 
 	var meter *core.LoadMeter
 	if cfg.Auto != nil {
@@ -80,7 +99,7 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	exec.Start()
 
 	bins := 1 << uint(cfg.Params.LogBins)
-	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers)
+	ctl, auto := harness.NewDriver(cfg.Auto, ctlIns, probe, bins, totalWorkers, ckpt.InitialAssignment())
 
 	var migrations []harness.Migration
 	if cfg.Auto == nil && cfg.MigrateAt > 0 {
@@ -96,6 +115,7 @@ func Run(cfg RunConfig) (harness.Result, error) {
 			harness.Migration{AtEpoch: epoch, Plan: plan.Build(cfg.Strategy, initial, imbalanced, cfg.Batch)},
 			harness.Migration{AtEpoch: epoch + (total-epoch)/2, Plan: plan.Build(cfg.Strategy, imbalanced, initial, cfg.Batch)},
 		)
+		migrations = ckpt.FilterMigrations(migrations)
 	}
 
 	gen := NewGen(cfg.Gen)
@@ -106,15 +126,18 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	}
 
 	res := harness.Run(exec, dataIns, ctl, probe, genFn, harness.Options{
-		Rate:         cfg.Rate,
-		EpochEvery:   cfg.EpochEvery,
-		Duration:     cfg.Duration,
-		ReportEvery:  cfg.ReportEvery,
-		SampleMemory: cfg.Memory,
-		Migrations:   migrations,
-		TotalInputs:  totalWorkers,
-		FirstInput:   firstWorker,
+		Rate:            cfg.Rate,
+		EpochEvery:      cfg.EpochEvery,
+		Duration:        cfg.Duration,
+		ReportEvery:     cfg.ReportEvery,
+		SampleMemory:    cfg.Memory,
+		Migrations:      migrations,
+		TotalInputs:     totalWorkers,
+		FirstInput:      firstWorker,
+		CheckpointEvery: ckpt.Every,
+		StartEpoch:      ckpt.StartEpoch,
 	})
 	res.FinishAdaptive(auto, meter)
+	ckpt.Finish(&res)
 	return res, nil
 }

@@ -107,6 +107,19 @@ func (c *Controller) Tick(now core.Time) {
 	}
 }
 
+// Checkpoint injects a checkpoint command at epoch now. Call before Tick
+// advances the control epochs past now; like plan steps, the command goes
+// out on the first handle and the broadcast pact fans it to every worker.
+// In a cluster every process issues the command at the same epoch (the
+// cadence is deterministic) and the operator canonicalizes the merged
+// same-time copies into one checkpoint.
+func (c *Controller) Checkpoint(now core.Time) {
+	c.mu.Lock()
+	handle := c.handles[0]
+	c.mu.Unlock()
+	handle.SendAt(now, core.CheckpointMove())
+}
+
 // Close closes every control handle.
 func (c *Controller) Close() {
 	for _, h := range c.handles {

@@ -6,7 +6,7 @@
 # the cross-process transport.
 #
 # The benchmark set is DISCOVERED with `go test -list`: every benchmark in
-# the runtime packages (internal/dataflow, internal/progress,
+# the runtime packages (internal/core, internal/dataflow, internal/progress,
 # internal/transport) is run and recorded automatically, so new ones cannot
 # silently fall out of BENCH_runtime.json or scripts/bench_compare.sh's
 # regression guard. The root package is the one exception — its figure
@@ -43,6 +43,7 @@ run_pkg() {
 # in the runtime packages runs once at a fixed benchtime, which already
 # averages over many iterations.
 run_pkg . 1x 3 '^BenchmarkAblationBinsSteadyState$'
+run_pkg ./internal/core/ 1s 1
 run_pkg ./internal/dataflow/ 1s 1
 run_pkg ./internal/progress/ 1s 1
 run_pkg ./internal/transport/ 1s 1

@@ -12,8 +12,15 @@
 # aggregate, which frontier-ordered application makes deterministic — before
 # comparison (see cluster_test.go for the same argument in Go).
 #
+# A third mode, `recovery`, is the kill-and-recover gauntlet: a keycount
+# cluster checkpoints to disk while running, one process is SIGKILLed
+# mid-stream, the survivors are reaped, and the whole cluster is restarted
+# with -recover; the merged per-key final counts (max per key: counts are
+# cumulative, and recovery re-emits every epoch from the checkpoint on)
+# must equal the uninterrupted single-process run's.
+#
 # Usage: scripts/cluster.sh [-n procs] [-w workers-per-proc] [-d duration]
-#                           [-r rate] [-o logdir] [keycount|nexmark|all]
+#                           [-r rate] [-o logdir] [keycount|nexmark|recovery|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +36,7 @@ while getopts "n:w:d:r:o:" opt; do
         d) DURATION=$OPTARG ;;
         r) RATE=$OPTARG ;;
         o) LOGDIR=$OPTARG ;;
-        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|all]" >&2; exit 2 ;;
+        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|recovery|all]" >&2; exit 2 ;;
     esac
 done
 shift $((OPTIND - 1))
@@ -38,7 +45,17 @@ TOTAL=$((PROCS * WORKERS))
 
 mkdir -p "$LOGDIR"
 TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
+# Track every spawned cluster process so a failed or cancelled run never
+# leaves orphans holding ports: the EXIT trap must reap them, not just the
+# tempdir. PIDS is pruned after each phase's processes are waited on.
+PIDS=()
+cleanup() {
+    if ((${#PIDS[@]})); then
+        kill -9 "${PIDS[@]}" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
 
 echo "building binaries..." >&2
 go build -o "$TMP/keycount" ./cmd/keycount
@@ -67,6 +84,7 @@ run_cluster() {
             -dump "$TMP/$name.proc.$p" "$@" \
             > "$LOGDIR/$name.proc.$p.log" 2>&1 &
         pids+=($!)
+        PIDS+=($!)
     done
     local rc=0
     for ((p = 0; p < PROCS; p++)); do
@@ -76,6 +94,7 @@ run_cluster() {
             rc=1
         fi
     done
+    PIDS=()
     return $rc
 }
 
@@ -92,6 +111,79 @@ if [[ $TARGET == keycount || $TARGET == all ]]; then
     else
         echo "keycount: OUTPUT MISMATCH (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
         diff "$TMP/keycount.single.sorted" "$TMP/keycount.cluster.sorted" | head -20 >&2 || true
+        fail=1
+    fi
+fi
+
+if [[ $TARGET == recovery ]]; then
+    # Kill-and-recover: real binaries, real SIGKILL. Durations are fixed
+    # (not -d) because the kill point, checkpoint cadence and run length
+    # must stay in proportion.
+    RDUR=4s
+    CKPT=$TMP/ckpt
+    canon_max() { awk -F: '$2 + 0 >= m[$1] { m[$1] = $2 + 0 } END { for (k in m) printf "%s:%d\n", k, m[k] }' "$@" | sort; }
+
+    echo "== recovery: uninterrupted single-process reference ($TOTAL workers)" >&2
+    "$TMP/keycount" -workers "$TOTAL" -dump "$TMP/rec.single" \
+        -rate "$RATE" -duration "$RDUR" -bins 4 -domain 2048 \
+        -strategy batched -batch 4 -migrate-at 700ms \
+        > "$LOGDIR/rec.single.log" 2>&1
+
+    pick_ports
+    echo "== recovery: $PROCS-process cluster on $HOSTS, checkpointing every 600ms" >&2
+    pids=()
+    for ((p = 0; p < PROCS; p++)); do
+        "$TMP/keycount" -workers "$WORKERS" -hosts "$HOSTS" -process "$p" \
+            -rate "$RATE" -duration "$RDUR" -bins 4 -domain 2048 \
+            -strategy batched -batch 4 -migrate-at 700ms \
+            -checkpoint-dir "$CKPT" -checkpoint-every 600ms \
+            -dump "$TMP/rec.phase1.$p" \
+            > "$LOGDIR/rec.phase1.$p.log" 2>&1 &
+        pids+=($!)
+        PIDS+=($!)
+    done
+    sleep 2
+    echo "== recovery: SIGKILL process 1 mid-stream, reaping survivors" >&2
+    kill -9 "${pids[1]}" 2>/dev/null || true
+    sleep 0.3
+    kill -9 "${pids[@]}" 2>/dev/null || true
+    for pid in "${pids[@]}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    PIDS=()
+
+    echo "== recovery: restarting all $PROCS processes with -recover" >&2
+    pids=()
+    for ((p = 0; p < PROCS; p++)); do
+        "$TMP/keycount" -workers "$WORKERS" -hosts "$HOSTS" -process "$p" \
+            -rate "$RATE" -duration "$RDUR" -bins 4 -domain 2048 \
+            -strategy batched -batch 4 -migrate-at 700ms \
+            -checkpoint-dir "$CKPT" -checkpoint-every 600ms -recover \
+            -dump "$TMP/rec.phase2.$p" \
+            > "$LOGDIR/rec.phase2.$p.log" 2>&1 &
+        pids+=($!)
+        PIDS+=($!)
+    done
+    for ((p = 0; p < PROCS; p++)); do
+        if ! wait "${pids[$p]}"; then
+            echo "recovery process $p failed; log follows:" >&2
+            cat "$LOGDIR/rec.phase2.$p.log" >&2
+            fail=1
+        fi
+    done
+    PIDS=()
+    if ! grep -q "# recovered from checkpoint epoch" "$LOGDIR"/rec.phase2.*.log; then
+        echo "recovery: no process reported restoring a checkpoint (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
+        fail=1
+    fi
+
+    canon_max "$TMP"/rec.phase1.* "$TMP"/rec.phase2.* > "$TMP/rec.cluster.canon"
+    canon_max "$TMP/rec.single" > "$TMP/rec.single.canon"
+    if [[ $fail == 0 ]] && cmp -s "$TMP/rec.cluster.canon" "$TMP/rec.single.canon"; then
+        echo "recovery: killed-and-recovered cluster's final counts == uninterrupted run ($(wc -l < "$TMP/rec.single.canon") keys)" | tee -a "$LOGDIR/verdict.txt"
+    else
+        echo "recovery: OUTPUT MISMATCH after kill-and-recover (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
+        diff "$TMP/rec.single.canon" "$TMP/rec.cluster.canon" | head -20 >&2 || true
         fail=1
     fi
 fi
