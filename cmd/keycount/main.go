@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		workload  = fs.String("workload", "uniform", "key distribution: uniform, zipf[:S], hotshift[:FRAC,KEYS,EVERY[,STRIDE]]")
 		auto      = fs.String("auto", "", "auto-controller policy (load-balance or static); replaces -migrate-at plans")
 		hyst      = fs.Float64("hysteresis", 0.25, "auto-controller rebalance trigger above mean load")
+		cost      = fs.Bool("cost", true, "with -auto, gate migrations on the cost model (decline unprofitable plans)")
 		service   = fs.Duration("service", 0, "simulated per-record service time (0 disables)")
 		ccdf      = fs.Bool("ccdf", false, "print per-record latency CCDF")
 		memory    = fs.Bool("memory", false, "print heap series")
@@ -126,6 +127,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.Auto = &plan.AutoOptions{Policy: pol, Strategy: st, Batch: *batch}
+		if *cost {
+			cfg.Auto.Cost = plan.DefaultCostModel()
+		}
 	}
 	if *hosts != "" {
 		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}

@@ -51,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		hotShift  = fs.Uint64("hot-shift-every", 0, "epochs between hot-auction jumps (0 pins it to the newest)")
 		auto      = fs.String("auto", "", "auto-controller policy (load-balance or static); replaces -migrate-at plans")
 		hyst      = fs.Float64("hysteresis", 0.25, "auto-controller rebalance trigger above mean load")
+		cost      = fs.Bool("cost", true, "with -auto, gate migrations on the cost model (decline unprofitable plans)")
 		transfer  = fs.String("transfer", "gob",
 			"migration codec: "+strings.Join(core.CodecNames(), ", "))
 		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
@@ -102,6 +103,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.Auto = &plan.AutoOptions{Policy: pol, Strategy: st, Batch: *batch}
+		if *cost {
+			cfg.Auto.Cost = plan.DefaultCostModel()
+		}
 	}
 	if im == nexmark.Megaphone {
 		cfg.MigrateAt = *migrateAt

@@ -60,6 +60,18 @@ func (m *LoadMeter) row(worker int) []meterCell {
 	return m.cells[worker*m.bins : (worker+1)*m.bins]
 }
 
+// ReadRow copies worker w's cumulative per-bin counters into recs and nanos
+// (each must have length Bins). The cluster control plane uses it to compute
+// per-row deltas for the load-telemetry wire without aggregating across
+// workers the way Snapshot does.
+func (m *LoadMeter) ReadRow(worker int, recs, nanos []uint64) {
+	row := m.row(worker)
+	for b := range row {
+		recs[b] = row[b].recs.Load()
+		nanos[b] = row[b].nanos.Load()
+	}
+}
+
 // LoadSnapshot is one observation of a LoadMeter: cumulative record counts
 // and service nanoseconds per bin (summed over workers) and per worker
 // (attributed to the worker that did the work). Policies usually consume a
@@ -158,6 +170,15 @@ func (s *LoadSnapshot) TotalRecs() uint64 {
 	return t
 }
 
+// TotalNanos returns the total service time across bins.
+func (s *LoadSnapshot) TotalNanos() uint64 {
+	var t uint64
+	for _, n := range s.BinNanos {
+		t += n
+	}
+	return t
+}
+
 // RecsUnder sums the per-bin record counts grouped by the given bin-to-worker
 // assignment (len(assign) must equal Bins): the load each worker would carry
 // if the snapshot's traffic repeated under that assignment. into is reused
@@ -166,6 +187,16 @@ func (s *LoadSnapshot) RecsUnder(assign []int, into []uint64) []uint64 {
 	into = resize(into, s.Workers)
 	for b, r := range s.BinRecs {
 		into[assign[b]] += r
+	}
+	return into
+}
+
+// NanosUnder is RecsUnder over service time: the nanoseconds each worker
+// would spend if the snapshot's traffic repeated under that assignment.
+func (s *LoadSnapshot) NanosUnder(assign []int, into []uint64) []uint64 {
+	into = resize(into, s.Workers)
+	for b, n := range s.BinNanos {
+		into[assign[b]] += n
 	}
 	return into
 }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"megaphone/internal/binenc"
+)
+
+// makeDelta builds a delta with deterministic pseudo-random sparse cells.
+func makeDelta(proc, first, workers, bins int, seq uint64, density int) *LoadDelta {
+	d := &LoadDelta{Proc: proc, Seq: seq, FirstWorker: first, Bins: bins}
+	for r := 0; r < workers; r++ {
+		row := LoadDeltaRow{Recs: make([]uint64, bins), Nanos: make([]uint64, bins)}
+		for b := 0; b < bins; b++ {
+			h := Mix64(uint64(proc)<<40 ^ uint64(r)<<20 ^ uint64(b) ^ seq)
+			if density > 0 && h%uint64(density) == 0 {
+				row.Recs[b] = h >> 32
+				row.Nanos[b] = h & 0xffffffff
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}
+
+func deltasEqual(a, b *LoadDelta) error {
+	if a.Proc != b.Proc || a.Seq != b.Seq || a.FirstWorker != b.FirstWorker || a.Bins != b.Bins {
+		return fmt.Errorf("header mismatch: %+v vs %+v", a, b)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for r := range a.Rows {
+		for b_ := 0; b_ < a.Bins; b_++ {
+			if a.Rows[r].Recs[b_] != b.Rows[r].Recs[b_] {
+				return fmt.Errorf("row %d bin %d recs %d vs %d", r, b_, a.Rows[r].Recs[b_], b.Rows[r].Recs[b_])
+			}
+			if a.Rows[r].Nanos[b_] != b.Rows[r].Nanos[b_] {
+				return fmt.Errorf("row %d bin %d nanos %d vs %d", r, b_, a.Rows[r].Nanos[b_], b.Rows[r].Nanos[b_])
+			}
+		}
+	}
+	return nil
+}
+
+func TestLoadDeltaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		delta *LoadDelta
+	}{
+		{"empty heartbeat", makeDelta(2, 4, 2, 16, 7, 0)},
+		{"single cell", &LoadDelta{Proc: 1, Seq: 1, FirstWorker: 3, Bins: 4,
+			Rows: []LoadDeltaRow{{Recs: []uint64{0, 0, 9, 0}, Nanos: []uint64{0, 0, 1234, 0}}}}},
+		{"dense", makeDelta(0, 0, 4, 32, 3, 1)},
+		{"sparse", makeDelta(5, 10, 2, 256, 99, 17)},
+		{"huge counters", &LoadDelta{Proc: 0, Seq: ^uint64(0), FirstWorker: 0, Bins: 2,
+			Rows: []LoadDeltaRow{{Recs: []uint64{^uint64(0), 0}, Nanos: []uint64{0, ^uint64(0)}}}}},
+		{"huge snapshot", makeDelta(1, 0, 8, 4096, 12, 3)},
+		{"zero rows", &LoadDelta{Proc: 3, Seq: 5, FirstWorker: 6, Bins: 8}},
+	}
+	var got LoadDelta // reused across cases to exercise slice reuse
+	for _, tc := range cases {
+		buf := AppendLoadDelta(nil, tc.delta)
+		if err := DecodeLoadDelta(buf, &got); err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if err := deltasEqual(tc.delta, &got); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestLoadDeltaTornReads(t *testing.T) {
+	// Any proper prefix of a valid encoding must error, never panic. (The
+	// transport never tears a frame, but the codec stands on its own.)
+	full := AppendLoadDelta(nil, makeDelta(1, 2, 3, 64, 42, 5))
+	var d LoadDelta
+	for cut := 0; cut < len(full); cut++ {
+		if err := DecodeLoadDelta(full[:cut], &d); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(full))
+		}
+	}
+	if err := DecodeLoadDelta(full, &d); err != nil {
+		t.Fatalf("full payload: %v", err)
+	}
+}
+
+func TestLoadDeltaTrailingBytes(t *testing.T) {
+	buf := AppendLoadDelta(nil, makeDelta(0, 0, 1, 8, 1, 2))
+	buf = append(buf, 0xaa)
+	var d LoadDelta
+	if err := DecodeLoadDelta(buf, &d); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("expected trailing-bytes error, got %v", err)
+	}
+}
+
+func TestLoadDeltaVersionSkew(t *testing.T) {
+	buf := AppendLoadDelta(nil, makeDelta(0, 0, 1, 8, 1, 2))
+	buf[0] = LoadWireVersion + 1
+	var d LoadDelta
+	if err := DecodeLoadDelta(buf, &d); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+	buf[0] = 0
+	if err := DecodeLoadDelta(buf, &d); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error for version 0, got %v", err)
+	}
+}
+
+func TestLoadDeltaAbsurdGeometryRejected(t *testing.T) {
+	// A tiny forged payload declaring an enormous matrix must be rejected
+	// before the decoder sizes any allocation from it.
+	forge := func(bins, rows uint64) []byte {
+		buf := []byte{LoadWireVersion}
+		buf = appendForgedHeader(buf, 0, 1, 0, bins, rows)
+		return buf
+	}
+	var d LoadDelta
+	if err := DecodeLoadDelta(forge(1<<30, 1), &d); err == nil {
+		t.Fatal("expected bins-bound error")
+	}
+	if err := DecodeLoadDelta(forge(1<<16, 1<<16), &d); err == nil {
+		t.Fatal("expected cells-bound error")
+	}
+	// Row count exceeding the bytes that could possibly encode the rows.
+	if err := DecodeLoadDelta(forge(4, 1<<40), &d); err == nil {
+		t.Fatal("expected row-count error")
+	}
+	// A cell naming a bin outside the declared range.
+	buf := forge(4, 1)
+	buf = appendUvarints(buf, 1 /* cells */, 9 /* bin >= bins */, 1, 1)
+	if err := DecodeLoadDelta(buf, &d); err == nil || !strings.Contains(err.Error(), "bin") {
+		t.Fatalf("expected out-of-range bin error, got %v", err)
+	}
+}
+
+func appendForgedHeader(buf []byte, proc, seq, first, bins, rows uint64) []byte {
+	return appendUvarints(buf, proc, seq, first, bins, rows)
+}
+
+func appendUvarints(buf []byte, xs ...uint64) []byte {
+	for _, x := range xs {
+		buf = binenc.AppendUvarint(buf, x)
+	}
+	return buf
+}
+
+func TestClusterLoadViewMerge(t *testing.T) {
+	// 3 processes × 2 workers, 8 bins. This process is 1 (workers 2, 3).
+	const bins, logBins = 8, 3
+	meter := NewLoadMeter(6, logBins)
+	view := NewClusterLoadView(meter, 2, 2)
+
+	// Local traffic lands in the meter directly.
+	meter.add(2, 1, 10, 1000)
+	meter.add(3, 5, 20, 2000)
+
+	// Remote deltas arrive in two increments from process 0 and one from 2.
+	d0a := &LoadDelta{Proc: 0, Seq: 1, FirstWorker: 0, Bins: bins, Rows: []LoadDeltaRow{
+		{Recs: mkRow(bins, 0, 5), Nanos: mkRow(bins, 0, 500)},
+		{Recs: mkRow(bins, 3, 7), Nanos: mkRow(bins, 3, 700)},
+	}}
+	d0b := &LoadDelta{Proc: 0, Seq: 2, FirstWorker: 0, Bins: bins, Rows: []LoadDeltaRow{
+		{Recs: mkRow(bins, 0, 5), Nanos: mkRow(bins, 0, 500)},
+		{Recs: make([]uint64, bins), Nanos: make([]uint64, bins)},
+	}}
+	d2 := &LoadDelta{Proc: 2, Seq: 1, FirstWorker: 4, Bins: bins, Rows: []LoadDeltaRow{
+		{Recs: mkRow(bins, 7, 100), Nanos: mkRow(bins, 7, 9000)},
+		{Recs: make([]uint64, bins), Nanos: make([]uint64, bins)},
+	}}
+	for _, d := range []*LoadDelta{d0a, d0b, d2} {
+		if err := view.Apply(d); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+
+	s := view.Snapshot(nil)
+	wantWorkerRecs := []uint64{10, 7, 10, 20, 100, 0}
+	for w, want := range wantWorkerRecs {
+		if s.WorkerRecs[w] != want {
+			t.Fatalf("worker %d recs = %d, want %d (all: %v)", w, s.WorkerRecs[w], want, s.WorkerRecs)
+		}
+	}
+	if s.BinRecs[0] != 10 || s.BinRecs[1] != 10 || s.BinRecs[3] != 7 || s.BinRecs[5] != 20 || s.BinRecs[7] != 100 {
+		t.Fatalf("bin recs: %v", s.BinRecs)
+	}
+	if s.TotalNanos() != 1000+2000+500+700+500+9000 {
+		t.Fatalf("total nanos = %d", s.TotalNanos())
+	}
+
+	// A delta covering our own rows must be ignored (the meter is
+	// authoritative for local workers), not double-counted.
+	dSelf := &LoadDelta{Proc: 1, Seq: 1, FirstWorker: 2, Bins: bins, Rows: []LoadDeltaRow{
+		{Recs: mkRow(bins, 1, 999), Nanos: mkRow(bins, 1, 999)},
+		{Recs: make([]uint64, bins), Nanos: make([]uint64, bins)},
+	}}
+	if err := view.Apply(dSelf); err != nil {
+		t.Fatalf("apply self: %v", err)
+	}
+	s = view.Snapshot(s)
+	if s.WorkerRecs[2] != 10 {
+		t.Fatalf("self delta double-counted: worker 2 recs = %d", s.WorkerRecs[2])
+	}
+
+	// Geometry mismatches are rejected.
+	if err := view.Apply(&LoadDelta{Proc: 0, Bins: 4}); err == nil {
+		t.Fatal("expected bins mismatch error")
+	}
+	if err := view.Apply(&LoadDelta{Proc: 0, Bins: bins, FirstWorker: 5,
+		Rows: make([]LoadDeltaRow, 2)}); err == nil {
+		t.Fatal("expected out-of-range rows error")
+	}
+}
+
+func mkRow(bins, hot int, v uint64) []uint64 {
+	r := make([]uint64, bins)
+	r[hot] = v
+	return r
+}
+
+func TestLoadMeterReadRow(t *testing.T) {
+	meter := NewLoadMeter(2, 2)
+	meter.add(1, 3, 7, 70)
+	recs := make([]uint64, meter.Bins())
+	nanos := make([]uint64, meter.Bins())
+	meter.ReadRow(1, recs, nanos)
+	if recs[3] != 7 || nanos[3] != 70 || recs[0] != 0 {
+		t.Fatalf("ReadRow: recs=%v nanos=%v", recs, nanos)
+	}
+}
+
+func FuzzLoadDeltaDecode(f *testing.F) {
+	f.Add(AppendLoadDelta(nil, makeDelta(1, 2, 3, 64, 42, 5)))
+	f.Add(AppendLoadDelta(nil, makeDelta(0, 0, 1, 8, 1, 0)))
+	f.Add([]byte{LoadWireVersion, 0xff, 0xff, 0xff})
+	f.Add([]byte{LoadWireVersion + 3, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d LoadDelta
+		if err := DecodeLoadDelta(data, &d); err != nil {
+			return // any error is fine; panics and unbounded allocations are not
+		}
+		// A payload that decodes must re-encode to a payload that decodes to
+		// the same delta (canonical forms may differ: non-sparse zero cells).
+		var e LoadDelta
+		if err := DecodeLoadDelta(AppendLoadDelta(nil, &d), &e); err != nil {
+			t.Fatalf("re-encode of valid delta failed to decode: %v", err)
+		}
+		if err := deltasEqual(&d, &e); err != nil {
+			t.Fatalf("re-encode round trip: %v", err)
+		}
+	})
+}
+
+func FuzzLoadDeltaRoundTrip(f *testing.F) {
+	f.Add(2, 4, 3, uint64(9), 5)
+	f.Fuzz(func(t *testing.T, proc, first, logW int, seq uint64, density int) {
+		if proc < 0 || first < 0 || logW < 0 || logW > 3 {
+			return
+		}
+		d := makeDelta(proc&0xff, first&0xff, 1<<logW, 32, seq, density)
+		var got LoadDelta
+		if err := DecodeLoadDelta(AppendLoadDelta(nil, d), &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := deltasEqual(d, &got); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"megaphone/internal/binenc"
@@ -52,6 +53,7 @@ const (
 	kindProgress = transport.KindUser + 0 // one progress.Batch, applied atomically
 	kindData     = transport.KindUser + 1 // one exchanged batch for one worker
 	kindGraph    = transport.KindUser + 2 // graph digest, first frame per peer
+	kindCtrl     = transport.KindUser + 3 // opaque control-plane frame (load telemetry, decisions)
 )
 
 // Mesh is the cross-process fabric of an execution: in-process workers keep
@@ -72,6 +74,21 @@ type Mesh struct {
 	ready chan struct{} // closed at Execution.Start; gates inbound dispatch
 
 	scratch []*progress.Batch // per-peer decode scratch (recv is per-peer serial)
+
+	// ctrlMu serializes every control-plane dispatch: inbound frames from
+	// different peers, and the drain of frames buffered before the handler
+	// was registered. Control traffic is a few small frames per sampling
+	// window, so one lock is cheaper than per-peer machinery.
+	ctrlMu      sync.Mutex
+	ctrlHandler func(from int, payload []byte)
+	ctrlPending []ctrlFrame
+}
+
+// ctrlFrame is a control frame buffered before SetControlHandler; the
+// payload is copied because the transport reuses its receive buffer.
+type ctrlFrame struct {
+	from    int
+	payload []byte
 }
 
 // JoinMesh connects this process to its cluster: it binds the local
@@ -120,6 +137,36 @@ func (m *Mesh) Procs() int { return m.procs }
 
 // Process returns this process's index.
 func (m *Mesh) Process() int { return m.proc }
+
+// BroadcastControl ships one opaque control-plane frame to every peer
+// process. Control frames ride the same exactly-once per-peer-FIFO transport
+// sessions as progress and data, but are invisible to the dataflow: the
+// layer above (plan's cluster control plane) owns their encoding. Safe to
+// call from any goroutine once the mesh is joined.
+func (m *Mesh) BroadcastControl(payload []byte) {
+	for p := 0; p < m.procs; p++ {
+		if p != m.proc {
+			m.tr.Send(p, kindCtrl, payload)
+		}
+	}
+}
+
+// SetControlHandler registers the sink for inbound control frames and
+// delivers, in arrival order, any frames that arrived before registration.
+// Buffering matters because control payloads are increments (load deltas):
+// dropping the frames that race execution startup would permanently skew
+// the receiver's view. The handler runs serialized — frames from all peers
+// and the buffered backlog never overlap — on transport receive goroutines,
+// so it must not block on dataflow progress.
+func (m *Mesh) SetControlHandler(h func(from int, payload []byte)) {
+	m.ctrlMu.Lock()
+	defer m.ctrlMu.Unlock()
+	m.ctrlHandler = h
+	for _, f := range m.ctrlPending {
+		h(f.from, f.payload)
+	}
+	m.ctrlPending = nil
+}
 
 // attach binds the mesh to its execution (called by NewExecution).
 func (m *Mesh) attach(e *Execution) {
@@ -210,6 +257,15 @@ func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 		if err != nil {
 			panic(fmt.Sprintf("dataflow: corrupt data frame from process %d: %v", from, err))
 		}
+	case kindCtrl:
+		m.ctrlMu.Lock()
+		if m.ctrlHandler == nil {
+			m.ctrlPending = append(m.ctrlPending,
+				ctrlFrame{from: from, payload: append([]byte(nil), payload...)})
+		} else {
+			m.ctrlHandler(from, payload)
+		}
+		m.ctrlMu.Unlock()
 	default:
 		panic(fmt.Sprintf("dataflow: unknown mesh frame kind %d from process %d", kind, from))
 	}

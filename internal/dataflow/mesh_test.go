@@ -187,6 +187,127 @@ func canonKC(recs []kcOut) string {
 	return out
 }
 
+// TestMeshControlChannel pins the control-plane channel the cluster
+// AutoController rides on: BroadcastControl reaches every peer exactly once
+// in per-sender FIFO order, frames sent before the receiving execution
+// starts (or before a handler is registered) are buffered and replayed in
+// arrival order rather than dropped, and handler invocations on one mesh
+// never overlap.
+func TestMeshControlChannel(t *testing.T) {
+	const procs, perSender = 3, 4
+	meshes := joinLocalMeshes(t, procs)
+
+	// First half of the traffic goes out before any execution starts and
+	// before any handler exists: the mesh must hold it.
+	for p, m := range meshes {
+		for i := 0; i < perSender/2; i++ {
+			m.BroadcastControl([]byte{byte(p), byte(i)})
+		}
+	}
+
+	// Trivial identical executions to open inbound dispatch.
+	handles := make([]*InputHandle[uint64], procs)
+	execs := make([]*Execution, procs)
+	for p := range meshes {
+		exec := NewExecution(Config{Workers: 1, Mesh: meshes[p]})
+		exec.Build(func(w *Worker) {
+			in, s := NewInput[uint64](w, "in")
+			handles[p] = in
+			b := w.NewOp("sink", 0)
+			Connect(b, s, Pipeline[uint64]{})
+			b.Build(func(c *OpCtx) { ForEachBatch(c, 0, func(Time, []uint64) {}) })
+		})
+		exec.Start()
+		execs[p] = exec
+	}
+
+	type rec struct {
+		from    int
+		payload []byte
+	}
+	var mu sync.Mutex
+	recv := make([][]rec, procs)
+	overlaps := make([]int32, procs)
+	var overlapped bool
+	for p := range meshes {
+		p := p
+		meshes[p].SetControlHandler(func(from int, payload []byte) {
+			mu.Lock()
+			overlaps[p]++
+			if overlaps[p] != 1 {
+				overlapped = true
+			}
+			recv[p] = append(recv[p], rec{from, append([]byte(nil), payload...)})
+			overlaps[p]--
+			mu.Unlock()
+		})
+	}
+
+	// Second half lands with handlers registered: direct dispatch.
+	for p, m := range meshes {
+		for i := perSender / 2; i < perSender; i++ {
+			m.BroadcastControl([]byte{byte(p), byte(i)})
+		}
+	}
+
+	want := (procs - 1) * perSender
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := true
+		for p := range recv {
+			if len(recv[p]) < want {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for p := range execs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			handles[p].Close()
+			execs[p].Wait()
+		}(p)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if overlapped {
+		t.Error("control handler invocations overlapped on one mesh")
+	}
+	for p := range recv {
+		if len(recv[p]) != want {
+			t.Fatalf("process %d received %d control frames, want %d: %v", p, len(recv[p]), want, recv[p])
+		}
+		// Per-sender FIFO: each peer's frames arrive as seq 0,1,2,...
+		next := make(map[int]byte)
+		for _, r := range recv[p] {
+			if len(r.payload) != 2 {
+				t.Fatalf("process %d: malformed payload %v", p, r.payload)
+			}
+			sender := int(r.payload[0])
+			if sender == p {
+				t.Fatalf("process %d received its own broadcast", p)
+			}
+			if sender != r.from {
+				t.Fatalf("process %d: frame from %d claims sender %d", p, r.from, sender)
+			}
+			if r.payload[1] != next[sender] {
+				t.Fatalf("process %d: sender %d out of order: got seq %d, want %d", p, sender, r.payload[1], next[sender])
+			}
+			next[sender]++
+		}
+	}
+}
+
 // TestMeshBroadcastAndFrontier checks that broadcast edges reach every
 // worker of every process exactly once per sender, and that cluster-wide
 // completion (Wait) observes remote frontier movement.

@@ -34,6 +34,7 @@ const (
 	chaosDumpEnv    = "MEGAPHONE_CHAOS_DUMP"
 	chaosRecoverEnv = "MEGAPHONE_CHAOS_RECOVER"
 	chaosGenEnv     = "MEGAPHONE_CHAOS_GENERATION"
+	chaosAutoEnv    = "MEGAPHONE_CHAOS_AUTO"
 )
 
 func TestMain(m *testing.M) {
@@ -88,6 +89,32 @@ func chaosWorkerMain() {
 	}
 	cfg.CheckpointDir = os.Getenv(chaosDirEnv)
 	cfg.Recover = os.Getenv(chaosRecoverEnv) == "1"
+	if os.Getenv(chaosAutoEnv) == "1" {
+		// Adaptive mode for the leader-failover scenario: no scripted
+		// migrations or checkpoints, an AutoController per process, and the
+		// control-plane lifecycle logged so the supervisor can observe the
+		// election from outside.
+		cfg.CheckpointDir = ""
+		cfg.CheckpointEvery = 0
+		cfg.Auto = &plan.AutoOptions{
+			Policy:      plan.LoadBalance{Hysteresis: 0.25},
+			Strategy:    plan.Optimized,
+			Batch:       4,
+			SampleEvery: 100,
+			Cooldown:    200,
+		}
+		cfg.Workload = harness.Workload{
+			Kind:        harness.HotShift,
+			HotFraction: 0.85,
+			HotKeys:     16,
+			HotStride:   uint64(1 << 11 >> 4 * 2),
+			ShiftEvery:  600,
+		}
+		cfg.Duration = 10 * time.Second
+		cfg.Cluster.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	sink, finish, err := harness.LineSink(os.Getenv(chaosDumpEnv))
 	if err != nil {
 		fail(err)
@@ -285,5 +312,90 @@ func TestClusterKillAndRecover(t *testing.T) {
 	}
 	if bad > 0 {
 		t.Fatalf("%d keys diverge between the killed-and-recovered cluster and the uninterrupted run (recovered from epoch %d)", bad, epoch)
+	}
+}
+
+// TestClusterLeaderFailover kills the elected cluster controller (process 0,
+// the lowest index) in a real 3-OS-process adaptive cluster and asserts the
+// control plane's succession protocol from outside: process 1 — and only
+// process 1 — announces taking over, after the heartbeat suspicion window.
+// The in-process variant (plan's TestClusterControllerElectionFailover)
+// additionally pins the no-conflicting-plan guarantees; this one pins that
+// the whole stack — mesh control channel, telemetry heartbeats, election —
+// behaves the same over real sockets between real processes.
+func TestClusterLeaderFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes and runs ~5s")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs = 3
+	dir := t.TempDir()
+	hosts := freeHosts(t, procs)
+	takeoverMsg := "assumed cluster-controller leadership"
+
+	c := &harness.Chaos{}
+	logPath := func(p int) string { return filepath.Join(dir, fmt.Sprintf("log-auto-%d", p)) }
+	for p := 0; p < procs; p++ {
+		c.Procs = append(c.Procs, harness.ChaosProc{
+			Name: fmt.Sprintf("auto-proc%d", p),
+			Path: exe,
+			Args: []string{"-test.run", "xxx"}, // the role env short-circuits TestMain before flags matter
+			Env: []string{
+				chaosRoleEnv + "=keycount",
+				chaosHostsEnv + "=" + strings.Join(hosts, ","),
+				chaosProcEnv + "=" + strconv.Itoa(p),
+				chaosDumpEnv + "=" + filepath.Join(dir, fmt.Sprintf("dump-auto-%d", p)),
+				chaosAutoEnv + "=1",
+				chaosGenEnv + "=1",
+			},
+			Log: logPath(p),
+		})
+	}
+	if err := c.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.KillAll()
+
+	// Let the cluster mesh up and process 0 lead for a while, then kill it
+	// the way machines die.
+	time.Sleep(1200 * time.Millisecond)
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Succession is announced within roughly SuspectAfter sampling windows
+	// (4 x 100ms here); poll generously, then stop the survivors before the
+	// transport's redial deadline turns the stalled dataflow into a panic.
+	deadline := time.Now().Add(20 * time.Second)
+	var took bool
+	for time.Now().Before(deadline) {
+		log1, _ := os.ReadFile(logPath(1))
+		if strings.Contains(string(log1), takeoverMsg) {
+			took = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	c.KillAll()
+	c.WaitAll(20 * time.Second) // exit errors are the point: everyone was killed
+
+	log1, _ := os.ReadFile(logPath(1))
+	log2, _ := os.ReadFile(logPath(2))
+	if !took {
+		t.Fatalf("process 1 never announced taking over after the leader died\nproc1 log:\n%s\nproc2 log:\n%s", log1, log2)
+	}
+	if !strings.Contains(string(log1), "cluster controller is now process 1") {
+		t.Errorf("process 1 did not log the controller change:\n%s", log1)
+	}
+	// Process 1 kept heartbeating throughout, so process 2 must never have
+	// considered itself the controller — no second, conflicting driver.
+	if strings.Contains(string(log2), takeoverMsg) {
+		t.Errorf("process 2 also assumed leadership — two concurrent controllers:\n%s", log2)
+	}
+	if strings.Contains(string(log2), "cluster controller is now process 2") {
+		t.Errorf("process 2 believed itself the controller:\n%s", log2)
 	}
 }

@@ -10,20 +10,21 @@ import (
 // JoinCluster is the shared cluster-mode front door of the workload
 // runners: it validates the preconditions every multi-process run shares —
 // a serializing transfer codec (pointer handoff cannot cross process
-// boundaries) and scripted rather than policy-driven control (a
-// per-process AutoController would meter only its own workers and plan
-// against a view in which every remote worker looks idle) — then joins the
-// mesh. A nil spec is the single-process case: no mesh, one process,
-// index 0.
+// boundaries) — then joins the mesh. A nil spec is the single-process case:
+// no mesh, one process, index 0.
+//
+// Auto-controlled cluster runs are supported: workload runners wire the
+// returned mesh into plan.ClusterOptions so load telemetry is exchanged
+// over the mesh control channel and the elected lowest-index live process
+// drives the policy cluster-wide (the auto parameter is retained so the
+// harness remains the single choke point should a future mode need to
+// reject it again).
 func JoinCluster(workload string, spec *dataflow.ClusterSpec, transfer core.Codec, auto bool) (mesh *dataflow.Mesh, procs, proc int, err error) {
 	if spec == nil {
 		return nil, 1, 0, nil
 	}
 	if transfer != nil && core.IsDirectCodec(transfer) {
 		return nil, 0, 0, fmt.Errorf("%s: the direct transfer codec cannot cross process boundaries; use gob or binary", workload)
-	}
-	if auto {
-		return nil, 0, 0, fmt.Errorf("%s: the auto-controller is not supported in cluster runs (per-process load views diverge); use scripted migrations", workload)
 	}
 	mesh, err = dataflow.JoinMesh(*spec)
 	if err != nil {

@@ -101,9 +101,11 @@ type Result struct {
 	// rate this is ~Duration; when it falls behind, Records/Elapsed is the
 	// system's actual sustained throughput.
 	Elapsed float64
-	// Decisions lists the reconfigurations an AutoController issued during
-	// the run (filled in by workload runners that install one; empty for
-	// scripted migrations).
+	// Decisions lists the decisions an AutoController took during the run —
+	// issued reconfigurations and cost-model declines alike, including, in
+	// cluster runs, decisions mirrored from the elected controller process
+	// (filled in by workload runners that install one; empty for scripted
+	// migrations).
 	Decisions []plan.Decision
 	// Load is the final cumulative load snapshot when the run was metered
 	// (nil otherwise).
@@ -152,8 +154,13 @@ func (r *Result) FinishAdaptive(auto *plan.AutoController, meter *core.LoadMeter
 // lines shared by every binary. It is a no-op for unmetered runs.
 func (r *Result) FprintAdaptive(w io.Writer) {
 	for i, d := range r.Decisions {
-		fmt.Fprintf(w, "# decision %d: epoch=%d policy=%s moves=%d steps=%d window-records=%d\n",
-			i+1, int64(d.Epoch), d.Policy, d.Moves, d.Steps, d.WindowRecs)
+		if d.Declined {
+			fmt.Fprintf(w, "# decision %d: epoch=%d policy=%s DECLINED reason=%s moves=%d window-records=%d volume=%d gain=%d origin=%d\n",
+				i+1, int64(d.Epoch), d.Policy, d.Reason, d.Moves, d.WindowRecs, d.Volume, d.Gain, d.Origin)
+			continue
+		}
+		fmt.Fprintf(w, "# decision %d: epoch=%d policy=%s moves=%d steps=%d window-records=%d origin=%d\n",
+			i+1, int64(d.Epoch), d.Policy, d.Moves, d.Steps, d.WindowRecs, d.Origin)
 	}
 	if r.Load != nil {
 		total := r.Load.TotalRecs()
@@ -216,6 +223,28 @@ func Run[T any](
 		Timeline: metrics.NewTimeline(),
 		Hist:     &metrics.Histogram{},
 		Memory:   &metrics.Series{Name: "heap-bytes"},
+	}
+
+	// Cluster processes reach Run staggered by their own join and preload
+	// times, and injection is paced off this process's wall clock — so
+	// without alignment, one late process holds every epoch's completion a
+	// constant offset behind an early process's deadlines for the whole
+	// run, which reads as a flat latency plateau from t=0. Align on
+	// cluster-wide readiness: open the data inputs at the start epoch, tick
+	// the driver once at the preceding epoch (no plan is active yet, so the
+	// only effect is advancing the control stream to the start epoch too),
+	// and wait for the output frontier to confirm every process has done
+	// the same before starting the clock.
+	for _, in := range inputs {
+		in.AdvanceTo(core.Time(startEpoch))
+	}
+	ctl.Tick(core.Time(startEpoch - 1))
+	for {
+		f := probe.Frontier()
+		if f == core.None || int64(f) >= startEpoch {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
 	}
 
 	start := time.Now()

@@ -83,16 +83,22 @@ func (p Params) OpName() string {
 }
 
 // serviceSleeper levies simulated service time. Fine-grained sleeps drown
-// in timer granularity, so it accumulates owed time and sleeps millisecond
-// chunks, crediting the overshoot back. One per worker instance.
+// in timer granularity, so it accumulates owed time and sleeps it off in
+// chunks, crediting the overshoot back. The chunk is kept well under the
+// epoch interval: while a worker sleeps it processes nothing — including
+// progress traffic — so millisecond chunks would add a milliseconds-scale
+// floor to every epoch's completion latency once a dozen workers sleep
+// independently. One per worker instance.
 type serviceSleeper struct {
 	perRecord int64
 	owed      int64
 }
 
+const sleepChunk = int64(250 * time.Microsecond)
+
 func (s *serviceSleeper) apply() {
 	s.owed += s.perRecord
-	if s.owed >= int64(time.Millisecond) {
+	if s.owed >= sleepChunk {
 		d := time.Duration(s.owed)
 		start := time.Now()
 		time.Sleep(d)

@@ -95,6 +95,18 @@ func Run(cfg RunConfig) (harness.Result, error) {
 		meter = core.NewLoadMeter(totalWorkers, cfg.LogBins)
 		cfg.Params.Meter = meter
 		cfg.Auto.Meter = meter
+		if mesh != nil {
+			// Cluster-wide control plane: exchange load telemetry over the
+			// mesh and let the elected lowest-index live process drive the
+			// policy for everyone.
+			cfg.Auto.Cluster = &plan.ClusterOptions{
+				Bus:            mesh,
+				Procs:          procs,
+				Proc:           proc,
+				WorkersPerProc: cfg.Workers,
+				Logf:           cfg.Cluster.Logf,
+			}
+		}
 	}
 
 	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})

@@ -80,6 +80,17 @@ func Run(cfg RunConfig) (harness.Result, error) {
 		meter = core.NewLoadMeter(totalWorkers, cfg.Params.LogBins)
 		cfg.Params.Meter = meter
 		cfg.Auto.Meter = meter
+		if mesh != nil {
+			// Cluster-wide control plane, as in keycount.Run: telemetry over
+			// the mesh, one elected policy driver.
+			cfg.Auto.Cluster = &plan.ClusterOptions{
+				Bus:            mesh,
+				Procs:          procs,
+				Proc:           proc,
+				WorkersPerProc: cfg.Workers,
+				Logf:           cfg.Cluster.Logf,
+			}
+		}
 	}
 
 	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})

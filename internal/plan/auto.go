@@ -26,7 +26,17 @@ type AutoOptions struct {
 	// before the next decision may be taken, so consecutive reconfigurations
 	// never chain back-to-back (default 2*SampleEvery).
 	Cooldown int
-	// OnDecision observes each issued reconfiguration (instrumentation).
+	// Cost, when non-nil, gates every policy proposal on projected
+	// profitability (see CostModel): unprofitable proposals are declined,
+	// and declines are recorded in Decisions like issued plans. Nil means
+	// every policy proposal is issued, as before.
+	Cost *CostModel
+	// Cluster, when non-nil, runs the control loop cluster-wide: load
+	// telemetry is exchanged over the bus, and only the elected lowest-index
+	// live process decides (see ClusterOptions). Nil means single-process.
+	Cluster *ClusterOptions
+	// OnDecision observes each decision this process makes, issued or
+	// declined (instrumentation; not called for mirrored remote decisions).
 	OnDecision func(d Decision)
 }
 
@@ -39,17 +49,29 @@ func (o *AutoOptions) defaults() {
 	}
 }
 
-// Decision records one autonomous reconfiguration.
+// Decision records one autonomous reconfiguration — issued or, when a cost
+// model vetoed the policy's proposal, declined.
 type Decision struct {
-	// Epoch is the tick at which the plan was issued.
+	// Epoch is the tick at which the decision was taken.
 	Epoch core.Time
 	// Policy is the deciding policy's name.
 	Policy string
-	// Moves and Steps size the issued plan.
+	// Moves and Steps size the (proposed or issued) plan.
 	Moves, Steps int
 	// WindowRecs is the record count of the load window that triggered the
 	// decision.
 	WindowRecs uint64
+	// Declined marks a proposal the cost model judged unprofitable; no plan
+	// was issued. Reason is one of the cost model's Reason constants.
+	Declined bool
+	Reason   string
+	// Volume and Gain are the cost model's two sides of the trade: state
+	// records behind the moved bins, and service nanos recovered over the
+	// credited horizon (both 0 when no cost model is configured).
+	Volume, Gain uint64
+	// Origin is the index of the process that took the decision (0 in
+	// single-process runs; every cluster process records every decision).
+	Origin int
 }
 
 // AutoController closes the control loop the paper leaves to an external
@@ -70,12 +92,32 @@ type AutoController struct {
 	ticks    int
 	cooldown int // idle ticks still owed before the next decision
 
+	// source is what gets sampled: the meter itself, or the merged
+	// cluster-wide view in cluster mode.
+	source            loadSource
 	prev, cur, window *core.LoadSnapshot
 
+	// lastHot and stability track how long the same worker has been the
+	// window's hottest (consecutive sampling windows); the cost model's
+	// stability cap consumes it.
+	lastHot   int
+	stability int
+
+	// cluster is the distributed control plane state (nil single-process).
+	cluster *clusterState
+	decBuf  []byte
+
 	// dmu guards decisions and current: both are written on the ticking
-	// goroutine and may be read from any other.
+	// goroutine (and, in cluster mode, by mirrored remote decisions on bus
+	// handler goroutines) and may be read from any other.
 	dmu       sync.Mutex
 	decisions []Decision
+}
+
+// loadSource is anything snapshotable like a LoadMeter; *core.LoadMeter and
+// *core.ClusterLoadView both qualify.
+type loadSource interface {
+	Snapshot(into *core.LoadSnapshot) *core.LoadSnapshot
 }
 
 // NewAutoController returns an auto controller over the given control
@@ -96,9 +138,18 @@ func NewAutoController(handles []*dataflow.InputHandle[core.Move], probe *datafl
 		Controller: NewController(handles, probe),
 		opts:       opts,
 		current:    append(Assignment(nil), initial...),
+		source:     opts.Meter,
+		lastHot:    -1,
+	}
+	if opts.Cluster != nil {
+		a.cluster = newClusterState(opts.Meter, *opts.Cluster)
+		a.source = a.cluster.view
+		// Registering the handler also drains any control frames that beat
+		// us here, so no peer's telemetry or decision is ever lost.
+		opts.Cluster.Bus.SetControlHandler(a.onControl)
 	}
 	// Seed the previous snapshot so the first window is a true delta.
-	a.prev = opts.Meter.Snapshot(nil)
+	a.prev = a.source.Snapshot(nil)
 	return a
 }
 
@@ -111,42 +162,116 @@ func (a *AutoController) Tick(now core.Time) {
 	}
 	a.ticks++
 	if a.ticks%a.opts.SampleEvery == 0 {
-		a.cur = a.opts.Meter.Snapshot(a.cur)
+		if a.cluster != nil {
+			// Broadcast this window's local row increments first (the delta
+			// is also our heartbeat), then sample the merged view.
+			a.cluster.sample()
+		}
+		a.cur = a.source.Snapshot(a.cur)
 		a.window = a.cur.Delta(a.prev, a.window)
 		a.prev, a.cur = a.cur, a.prev
-		if a.Idle() && a.cooldown == 0 {
+		a.observeStability()
+		lead := true
+		if a.cluster != nil {
+			// Only the elected leader decides; a fresh leader not until the
+			// frontier proves its predecessor's moves have drained, and no
+			// leader until every live peer's telemetry has reached the view —
+			// a window of mostly-local rows reads as a phantom imbalance.
+			lead = a.cluster.elect(now) && a.cluster.mayDecide(a.probe.Frontier()) &&
+				a.cluster.covered()
+		}
+		if lead && a.Idle() && a.cooldown == 0 {
 			a.decide(now)
 		}
 	}
 	a.Controller.Tick(now)
 }
 
-// decide asks the policy for a target over the current window and issues
-// the resulting plan, if any.
+// observeStability extends or resets the run of windows in which the same
+// worker has been hottest. Service time is the signal when measured; record
+// counts otherwise.
+func (a *AutoController) observeStability() {
+	loads := a.window.WorkerNanos
+	if a.window.TotalNanos() == 0 {
+		loads = a.window.WorkerRecs
+	}
+	hot := 0
+	for w, l := range loads {
+		if l > loads[hot] {
+			hot = w
+		}
+	}
+	if hot == a.lastHot {
+		a.stability++
+	} else {
+		a.lastHot = hot
+		a.stability = 1
+	}
+}
+
+// decide asks the policy for a target over the current window, gates the
+// proposal through the cost model (when configured), and issues the
+// resulting plan. Both outcomes are recorded; neither repeats before the
+// cooldown elapses.
 func (a *AutoController) decide(now core.Time) {
-	target, ok := a.opts.Policy.Target(a.current, a.window)
+	a.dmu.Lock()
+	current := append(Assignment(nil), a.current...)
+	a.dmu.Unlock()
+	target, ok := a.opts.Policy.Target(current, a.window)
 	if !ok {
 		return
 	}
-	p := Build(a.opts.Strategy, a.current, target, a.opts.Batch)
+	p := Build(a.opts.Strategy, current, target, a.opts.Batch)
 	if len(p.Steps) == 0 {
 		return
 	}
-	a.Controller.Start(p)
-	a.dmu.Lock()
-	a.current = target
-	a.dmu.Unlock()
-	a.cooldown = a.opts.Cooldown
 	d := Decision{
 		Epoch:      now,
 		Policy:     a.opts.Policy.Name(),
 		Moves:      p.NumMoves(),
 		Steps:      len(p.Steps),
 		WindowRecs: a.window.TotalRecs(),
+		Origin:     a.origin(),
 	}
+	if a.opts.Cost != nil {
+		// a.prev holds the newest cumulative snapshot after the swap in
+		// Tick; its per-bin record counts proxy the state volume to move.
+		v := a.opts.Cost.Evaluate(current, target, a.window, a.prev, a.stability)
+		d.Volume, d.Gain = v.VolumeRecs, v.GainNanos
+		if !v.Migrate {
+			d.Declined, d.Reason = true, v.Reason
+			a.cooldown = a.opts.Cooldown
+			a.record(d, nil)
+			return
+		}
+	}
+	a.Controller.Start(p)
+	a.dmu.Lock()
+	a.current = target
+	a.dmu.Unlock()
+	a.cooldown = a.opts.Cooldown
+	a.record(d, target)
+}
+
+// origin returns this process's decision origin index.
+func (a *AutoController) origin() int {
+	if a.opts.Cluster != nil {
+		return a.opts.Cluster.Proc
+	}
+	return 0
+}
+
+// record appends a decision locally and, in cluster mode, broadcasts it so
+// followers mirror it (and the new assignment, when one was issued) into
+// their own records — every process's Result.Decisions converges.
+func (a *AutoController) record(d Decision, assign Assignment) {
 	a.dmu.Lock()
 	a.decisions = append(a.decisions, d)
 	a.dmu.Unlock()
+	if a.cluster != nil {
+		a.decBuf = appendDecisionFrame(a.decBuf[:0], d, assign)
+		a.cluster.opts.Bus.BroadcastControl(a.decBuf)
+	}
 	if a.opts.OnDecision != nil {
 		a.opts.OnDecision(d)
 	}
