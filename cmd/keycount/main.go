@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +62,11 @@ func run(args []string, out io.Writer) error {
 		ckptDir   = fs.String("checkpoint-dir", "", "enable epoch-aligned checkpoints into this directory")
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "checkpoint cadence (with -checkpoint-dir)")
 		recov     = fs.Bool("recover", false, "resume from the newest complete checkpoint in -checkpoint-dir")
+
+		membership = fs.Bool("membership", false, "enable dynamic membership (join, drain-leave, crash-leave); requires -hosts and -checkpoint-dir, implies -preload=false and disables scripted migrations")
+		absent     = fs.String("absent", "", "comma-separated roster indexes that start absent (with -membership); a process whose own index is listed is a late joiner")
+		leaveAt    = fs.Int64("leave-at", 0, "epoch at which this process requests drain-leave (with -membership)")
+		memSlack   = fs.Int("membership-slack", 1, "multiplier on the membership suspicion/death/margin windows (with -membership); raise it on slow or loaded machines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +143,33 @@ func run(args []string, out io.Writer) error {
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.Recover = *recov
+	if *membership {
+		cfg.Membership = true
+		cfg.LeaveAt = *leaveAt
+		cfg.MembershipSlack = *memSlack
+		cfg.Preload = false
+		cfg.MigrateAt = 0
+		cfg.MigrateTwo = false
+		if cfg.Cluster == nil {
+			return fmt.Errorf("-membership requires -hosts")
+		}
+		cfg.Cluster.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		if *absent != "" {
+			abs := make([]bool, len(cfg.Cluster.Hosts))
+			for _, s := range strings.Split(*absent, ",") {
+				i, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || i < 0 || i >= len(abs) {
+					return fmt.Errorf("-absent: bad roster index %q", s)
+				}
+				abs[i] = true
+			}
+			cfg.Cluster.Absent = abs
+		}
+	} else if *absent != "" || *leaveAt != 0 {
+		return fmt.Errorf("-absent and -leave-at require -membership")
+	}
 	var finishDump func() error
 	if *dump != "" {
 		sink, finish, err := harness.LineSink(*dump)

@@ -63,6 +63,28 @@ func (b *BinState[R, S]) headPending() (Time, bool) {
 	return b.Pending[0].Time, true
 }
 
+// clampPending raises every pending record scheduled before t to t,
+// restoring heap order, and reports whether anything changed. Crash-leave
+// restore uses it: notifications that came due while the bin's owner was
+// dead cannot be delivered at their original times (those frontiers have
+// passed cluster-wide), so they are delivered at the restore time — the
+// earliest timestamp the runtime can still emit at.
+func (b *BinState[R, S]) clampPending(t Time) bool {
+	changed := false
+	for i := range b.Pending {
+		if b.Pending[i].Time < t {
+			b.Pending[i].Time = t
+			changed = true
+		}
+	}
+	if changed {
+		h := recHeap[R](b.Pending)
+		heap.Init(&h)
+		b.Pending = h
+	}
+	return changed
+}
+
 // binsHolder is the per-worker collection of bins, shared between the F and
 // S operator instances of the same worker (they run on the same worker
 // goroutine, so no locking is required — this mirrors the shared-pointer

@@ -415,6 +415,51 @@ func loadBins(dir, op string, epoch Time, worker int, m *Manifest, r *Restore) e
 	return nil
 }
 
+// LoadCheckpointBins reads the payloads of a specific set of bins from one
+// operator's checkpoint at epoch, wherever they were written: the
+// checkpoint's own assignment — not the assignment in effect now — names
+// the worker whose file holds each bin, because bins may have migrated
+// since. Crash-leave restore uses it to rebuild a dead member's bins on
+// their new owners without loading the whole checkpoint. Bins that were
+// owned but empty at the checkpoint are absent from the result (recovery
+// recreates them lazily), exactly as with LoadRestore.
+func LoadCheckpointBins(dir, op string, epoch Time, peers int, bins []int, codec string) (*Restore, error) {
+	data, err := os.ReadFile(ckptManifestPath(dir, op, epoch, 0))
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: checkpoint manifest for worker 0: %w", err)
+	}
+	var m0 Manifest
+	if err := json.Unmarshal(data, &m0); err != nil {
+		return nil, fmt.Errorf("megaphone: checkpoint manifest for worker 0: %w", err)
+	}
+	out := &Restore{Epoch: epoch, LogBins: m0.LogBins, Assignment: m0.Assignment, Bins: make(map[int][]byte)}
+	wanted := make(map[int]bool, len(bins))
+	byOwner := make(map[int][]int)
+	for _, b := range bins {
+		if b < 0 || b >= len(m0.Assignment) {
+			return nil, fmt.Errorf("megaphone: restore bin %d out of range for checkpoint with %d bins", b, len(m0.Assignment))
+		}
+		wanted[b] = true
+		owner := m0.Assignment[b]
+		byOwner[owner] = append(byOwner[owner], b)
+	}
+	for w := range byOwner {
+		r, err := LoadRestore(dir, op, epoch, peers, w, 1, codec)
+		if err != nil {
+			return nil, err
+		}
+		if !equalInts(r.Assignment, out.Assignment) {
+			return nil, fmt.Errorf("megaphone: checkpoint manifests disagree on the bin assignment (worker %d)", w)
+		}
+		for b, p := range r.Bins {
+			if wanted[b] {
+				out.Bins[b] = p
+			}
+		}
+	}
+	return out, nil
+}
+
 func chunkErr(worker int, err error) error {
 	return fmt.Errorf("megaphone: checkpoint data for worker %d: corrupt chunk record: %w", worker, err)
 }

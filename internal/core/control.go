@@ -32,6 +32,15 @@ const None = dataflow.None
 type Move struct {
 	Bin    int
 	Worker int
+	// RestoreEpoch, when non-zero, marks a restore command: the bin's
+	// previous owner is declared dead, so instead of receiving the state
+	// over the wire, the NEW owner rebuilds it from the checkpoint taken at
+	// this epoch (wherever in the checkpoint the bin was written — the
+	// checkpoint's own assignment names the file). The command still changes
+	// ownership exactly like a plain move; it only replaces the state's
+	// source. Zero is unambiguous because checkpoints are only ever
+	// commanded at epochs > 0 (a command at 0 could never become final).
+	RestoreEpoch Time
 }
 
 // CheckpointBin is the Move.Bin sentinel marking a checkpoint command: a
@@ -50,6 +59,17 @@ func CheckpointMove() Move { return Move{Bin: CheckpointBin} }
 
 // IsCheckpoint reports whether m is a checkpoint command.
 func (m Move) IsCheckpoint() bool { return m.Bin == CheckpointBin }
+
+// RestoreMove returns the command that reassigns bin to worker and rebuilds
+// its state from the checkpoint at epoch ckpt. Crash-leave issues one per
+// bin the dead member owned; the replay of inputs since ckpt is the
+// driver's job (see harness), the command only recovers the bin as of ckpt.
+func RestoreMove(bin, worker int, ckpt Time) Move {
+	return Move{Bin: bin, Worker: worker, RestoreEpoch: ckpt}
+}
+
+// IsRestore reports whether m is a restore command.
+func (m Move) IsRestore() bool { return m.RestoreEpoch != 0 }
 
 // Mix64 finalizes a 64-bit value into a well-distributed hash (the
 // splitmix64 finalizer). Megaphone assigns keys to bins by the *most

@@ -199,6 +199,7 @@ func Operator[R, S, O any](
 	fb := w.NewOp(cfg.Name+"-F", 2)
 	dataflow.Connect(fb, control, dataflow.Broadcast[Move]{})
 	dataflow.Connect(fb, input, dataflow.Pipeline[R]{})
+	fb.OnPurge(f.purge)
 	fouts := fb.Build(f.schedule)
 	routedData := dataflow.Typed[routed[R]](fouts[0])
 	stateOut := dataflow.Typed[StateMsg](fouts[1])
@@ -243,6 +244,8 @@ func Operator[R, S, O any](
 			}
 		}
 	}
+	sb.OnPurge(s.purge)
+	sb.OnBound(s.appliedBound)
 	souts := sb.Build(s.schedule)
 	out := dataflow.Typed[O](souts[0])
 
@@ -508,7 +511,30 @@ func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
 		moves = moves[1:]
 	}
 	var msgs []StateMsg
+	// Restore commands first, batched: one checkpoint read serves every bin
+	// this worker must rebuild (a crash reassigns many bins at one epoch).
+	var restoreBins []int
+	var restoreEpoch Time
 	for _, m := range moves {
+		if m.IsRestore() && m.Worker == f.index && f.ownerBefore(m.Bin, mg.time) != f.index {
+			if restoreEpoch != 0 && restoreEpoch != m.RestoreEpoch {
+				panic(fmt.Sprintf("megaphone: operator %q: restore commands at epoch %d name different checkpoints (%d and %d)",
+					f.cfg.Name, mg.time, restoreEpoch, m.RestoreEpoch))
+			}
+			restoreEpoch = m.RestoreEpoch
+			restoreBins = append(restoreBins, m.Bin)
+		}
+	}
+	if len(restoreBins) > 0 {
+		msgs = f.restoreFromCheckpoint(msgs, restoreBins, restoreEpoch, mg.time)
+	}
+	for _, m := range moves {
+		if m.IsRestore() {
+			// Ownership already changed in step 2; the dead previous owner
+			// ships nothing, and the new owner's state was synthesized above.
+			f.compact(m.Bin, mg.time)
+			continue
+		}
 		// Owner just before the migration takes effect.
 		old := f.ownerBefore(m.Bin, mg.time)
 		if old == m.Worker {
@@ -535,6 +561,44 @@ func (f *fOp[R, S, O]) execute(c *dataflow.OpCtx, mg pendingConfig) {
 	if len(msgs) > 0 {
 		dataflow.SendBatch(c, fOutState, mg.time, msgs)
 	}
+}
+
+// restoreFromCheckpoint rebuilds the given bins — reassigned to this worker
+// by restore commands taking effect at time `at` — from the checkpoint at
+// epoch ckpt, and ships them to this worker's own S instance as ordinary
+// StateMsg chunks at `at`. Riding the normal migration install path (rather
+// than poking the shared bins holder directly) re-indexes S's notification
+// heap and fires OnInstall exactly as a wire migration would. Pending
+// records that came due while the owner was dead are clamped up to `at`
+// (see clampPending); the clamp forces a re-encode, otherwise the
+// checkpoint payload is shipped verbatim. Failure to read the checkpoint is
+// fatal: the dead member's state exists nowhere else.
+func (f *fOp[R, S, O]) restoreFromCheckpoint(msgs []StateMsg, bins []int, ckpt, at Time) []StateMsg {
+	if f.cfg.Checkpoint == nil {
+		panic(fmt.Sprintf("megaphone: operator %q: restore command at epoch %d but no Config.Checkpoint to read from", f.cfg.Name, at))
+	}
+	r, err := LoadCheckpointBins(f.cfg.Checkpoint.Dir, f.cfg.Name, ckpt, f.peers, bins, f.cfg.Transfer.Name())
+	if err != nil {
+		panic(fmt.Sprintf("megaphone: operator %q: restoring %d bins from checkpoint at epoch %d: %v", f.cfg.Name, len(bins), ckpt, err))
+	}
+	for _, b := range bins {
+		payload, ok := r.Bins[b]
+		if !ok {
+			continue // owned but empty at the checkpoint
+		}
+		bin := &BinState[R, S]{State: f.ops.NewState()}
+		if err := f.cfg.Transfer.DecodeBin(bin, payload); err != nil {
+			panic(fmt.Sprintf("megaphone: operator %q: decoding restored bin %d: %v", f.cfg.Name, b, err))
+		}
+		if bin.clampPending(at) {
+			payload, err = f.cfg.Transfer.EncodeBin(bin, nil)
+			if err != nil {
+				panic(err)
+			}
+		}
+		msgs = appendChunks(msgs, b, f.index, payload, f.cfg.ChunkBytes)
+	}
+	return msgs
 }
 
 // checkpoint drains every bin this worker owns just before time t into the
@@ -593,6 +657,63 @@ func (f *fOp[R, S, O]) checkpoint(t Time) {
 	}
 }
 
+// purge implements the crash-barrier deferred-work purge for F (see
+// dataflow.OpBuilder.OnPurge): every buffered data record waits at a time at
+// or above the control frontier, which at a quiesced crash barrier is at or
+// above the cut, so all of them are discarded — the barrier's replay
+// re-injects their epochs from the deterministic source. Pending and
+// installed configurations are kept: control commands are injected
+// identically by every live process, so the survivors' own copies complete
+// each batch.
+func (f *fOp[R, S, O]) purge(cut Time) []dataflow.Time {
+	for t := range f.buffered {
+		if t < cut {
+			panic(fmt.Sprintf("megaphone: operator %q: buffered data at %v below purge cut %v (not quiesced?)", f.cfg.Name, t, cut))
+		}
+		delete(f.buffered, t)
+	}
+	f.bufTimes = f.bufTimes[:0]
+	stateHold := None
+	if len(f.pendingCfg) > 0 {
+		stateHold = f.pendingCfg[0].time
+	}
+	if len(f.installed) > 0 && f.installed[0].time < stateHold {
+		stateHold = f.installed[0].time
+	}
+	return []dataflow.Time{None, stateHold}
+}
+
+// purge implements the crash-barrier deferred-work purge for S: deferred
+// data records (all at times at or above the cut — earlier times completed
+// and were applied before the barrier quiesced) are discarded for replay.
+// The notification heap survives: pending post-dated records are bin state,
+// not unapplied input, and migrate or restore with their bin.
+func (s *sOp[R, S, O]) purge(cut Time) []dataflow.Time {
+	for t, recs := range s.pending {
+		if t < cut {
+			panic(fmt.Sprintf("megaphone: operator %q: deferred data at %v below purge cut %v (not quiesced?)", s.cfg.Name, t, cut))
+		}
+		clear(recs)
+		s.free = append(s.free, recs[:0])
+		delete(s.pending, t)
+	}
+	s.dataTimes = s.dataTimes[:0]
+	hold := None
+	if nt, ok := s.notifyHead(); ok {
+		hold = nt
+	}
+	return []dataflow.Time{hold}
+}
+
+// appliedBound implements the crash-barrier applied-bound report for S (see
+// dataflow.OpBuilder.OnBound): the bound of its latest schedule. Every data
+// record below it was folded into this worker's bins; everything at or above
+// it is still deferred (and purged by the barrier) or was never delivered.
+// The crash replay's per-bin window starts here for the bins this worker
+// keeps: a crashed process's stalled output frontier wedges the global cut
+// well below what the survivors had already applied.
+func (s *sOp[R, S, O]) appliedBound() Time { return s.applied }
+
 // ownerBefore returns the owner of bin for times strictly less than t,
 // ignoring history entries at exactly t (the migration being executed).
 func (f *fOp[R, S, O]) ownerBefore(bin int, t Time) int {
@@ -631,6 +752,7 @@ type sOp[R, S, O any] struct {
 
 	pending   map[Time][]routed[R] // data deferred until its time completes
 	dataTimes binTimeHeap          // heap of deferred times (bin unused)
+	applied   Time                 // bound of the latest schedule: all data below it is folded in
 	notify    binTimeHeap          // (time, bin) index into per-bin pending heaps
 	chunks    chunkAssembler       // reassembles chunked migration payloads
 
@@ -695,6 +817,7 @@ func (s *sOp[R, S, O]) schedule(c *dataflow.OpCtx) {
 	if sf := c.Frontier(sState); sf < bound {
 		bound = sf
 	}
+	s.applied = bound
 
 	// 3. Apply complete times in timestamp order: first replayed pending
 	// records, then fresh data, per time.

@@ -16,7 +16,8 @@ import (
 // AppendBinaryRec implements BinaryRec.
 func (m *Move) AppendBinaryRec(buf []byte) []byte {
 	buf = binenc.AppendUvarint(buf, uint64(m.Bin))
-	return binenc.AppendUvarint(buf, uint64(m.Worker))
+	buf = binenc.AppendUvarint(buf, uint64(m.Worker))
+	return binenc.AppendUvarint(buf, uint64(m.RestoreEpoch))
 }
 
 // DecodeBinaryRec implements BinaryRec.
@@ -29,7 +30,11 @@ func (m *Move) DecodeBinaryRec(data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("megaphone: decoding Move.Worker: %w", err)
 	}
-	m.Bin, m.Worker = int(bin), int(w)
+	re, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("megaphone: decoding Move.RestoreEpoch: %w", err)
+	}
+	m.Bin, m.Worker, m.RestoreEpoch = int(bin), int(w), Time(re)
 	return data, nil
 }
 

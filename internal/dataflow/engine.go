@@ -22,6 +22,7 @@ package dataflow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"megaphone/internal/progress"
 	"megaphone/internal/timestamp"
@@ -94,21 +95,126 @@ type Execution struct {
 
 	pendingHolds []pendingHold
 
+	// Membership views: which processes' workers are live, per timestamp
+	// range. Immutable snapshots swapped atomically; see InstallView.
+	views atomic.Pointer[[]memView]
+
+	// Pause/halt machinery for membership barriers (see Pause, Halt).
+	pauseMu   sync.Mutex
+	pauseCond *sync.Cond
+	pauseReq  atomic.Bool
+	pausedN   int
+	halted    atomic.Bool
+
 	started bool
 	wg      sync.WaitGroup
+}
+
+// memView is one membership view: from time `from` onward, workers of
+// process p participate iff active[p]. Partitioners consult the view for
+// the timestamp they are sending at, so a reconfiguration commits at a
+// chosen epoch boundary rather than at some racy wall-clock instant.
+type memView struct {
+	from    Time
+	active  []bool // per process
+	workers []int  // global indices of workers on active processes
+	wpp     int    // workers per process
+	full    bool   // every process active (fast path)
+}
+
+// workerActive reports whether global worker index w participates.
+func (v *memView) workerActive(w int) bool {
+	return v.full || v.active[w/v.wpp]
+}
+
+// viewAt returns the membership view governing sends at time t.
+func (e *Execution) viewAt(t Time) *memView {
+	vs := *e.views.Load()
+	for i := len(vs) - 1; i > 0; i-- {
+		if t >= vs[i].from {
+			return &vs[i]
+		}
+	}
+	return &vs[0]
+}
+
+// makeView assembles a view snapshot from a per-process activity vector.
+func (e *Execution) makeView(from Time, active []bool) memView {
+	procs := 1
+	if e.mesh != nil {
+		procs = e.mesh.procs
+	}
+	if len(active) != procs {
+		panic(fmt.Sprintf("dataflow: view names %d processes, cluster has %d", len(active), procs))
+	}
+	v := memView{from: from, active: append([]bool(nil), active...), wpp: e.cfg.Workers, full: true}
+	for p, a := range v.active {
+		if !a {
+			v.full = false
+			continue
+		}
+		for i := 0; i < e.cfg.Workers; i++ {
+			v.workers = append(v.workers, p*e.cfg.Workers+i)
+		}
+	}
+	if len(v.workers) == 0 {
+		panic("dataflow: membership view with no active process")
+	}
+	return v
+}
+
+// InstallView declares that from time `from` onward the workers of process
+// p participate iff active[p]. Every process must install the same view
+// before any worker sends at a time >= from (the membership protocol
+// chooses `from` with a margin beyond every input's current epoch, exactly
+// like migration commit times). Views must be installed in increasing
+// `from` order; reinstalling the current boundary replaces it.
+func (e *Execution) InstallView(from Time, active []bool) {
+	nv := e.makeView(from, active)
+	for {
+		old := e.views.Load()
+		vs := *old
+		last := vs[len(vs)-1]
+		if from < last.from {
+			panic(fmt.Sprintf("dataflow: view at %v installed after view at %v", from, last.from))
+		}
+		next := make([]memView, len(vs), len(vs)+1)
+		copy(next, vs)
+		if from == last.from {
+			next[len(next)-1] = nv
+		} else {
+			next = append(next, nv)
+		}
+		if e.views.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// ActiveAt reports whether process p's workers participate at time t.
+func (e *Execution) ActiveAt(t Time, p int) bool {
+	v := e.viewAt(t)
+	return v.full || v.active[p]
 }
 
 // NewExecution creates an execution with the given configuration.
 func NewExecution(cfg Config) *Execution {
 	cfg.defaults()
 	e := &Execution{cfg: cfg, gb: progress.NewGraphBuilder()}
+	e.pauseCond = sync.NewCond(&e.pauseMu)
 	e.totalWorkers = cfg.Workers
+	var act []bool
 	if cfg.Mesh != nil {
 		cfg.Mesh.attach(e)
 		e.mesh = cfg.Mesh
 		e.totalWorkers = cfg.Workers * cfg.Mesh.procs
 		e.firstGlobal = cfg.Mesh.proc * cfg.Workers
+		act = cfg.Mesh.initialActive()
+	} else {
+		act = []bool{true}
 	}
+	views := []memView{e.makeView(0, act)}
+	e.views.Store(&views)
 	for i := 0; i < cfg.Workers; i++ {
 		w := &Worker{
 			exec:  e,
@@ -140,10 +246,18 @@ func (e *Execution) Build(build func(w *Worker)) {
 	// every process's tracker must account the initial holds of all
 	// processes' worker instances; the graph build is deterministic and
 	// identical everywhere, so each process scales its own holds by the
-	// process count instead of exchanging them.
+	// count of *initially active* processes instead of exchanging them
+	// (absent roster slots contribute nothing until they join, at which
+	// point the membership barrier rebuilds every tracker from exchanged
+	// inventories — see HoldInventory).
 	procs := 1
 	if e.mesh != nil {
-		procs = e.mesh.procs
+		procs = 0
+		for _, a := range e.mesh.initialActive() {
+			if a {
+				procs++
+			}
+		}
 		e.tracker.TolerateNegativeCounts()
 	}
 	var b progress.Batch
@@ -186,6 +300,125 @@ func (e *Execution) Wait() {
 	e.wg.Wait()
 	if e.mesh != nil {
 		e.mesh.finish()
+	}
+}
+
+// Pause parks every local worker at a safe point and returns once all are
+// parked: no operator logic is running, so operator-owned state (capability
+// holds in particular) may be read by the caller without races. Workers stay
+// parked until Resume. Pause is the local half of a cluster-wide membership
+// barrier: it is only meaningful once the processes have also drained data
+// in flight among themselves (frontier at the agreed epoch, wire counters
+// stable), which the membership protocol establishes before calling it.
+func (e *Execution) Pause() {
+	e.pauseReq.Store(true)
+	for _, w := range e.workers {
+		w.poke()
+	}
+	e.pauseMu.Lock()
+	for e.pausedN < len(e.workers) {
+		e.pauseCond.Wait()
+	}
+	e.pauseMu.Unlock()
+}
+
+// Resume releases workers parked by Pause and waits until all have left the
+// pause point.
+func (e *Execution) Resume() {
+	e.pauseMu.Lock()
+	e.pauseReq.Store(false)
+	e.pauseCond.Broadcast()
+	for e.pausedN > 0 {
+		e.pauseCond.Wait()
+	}
+	e.pauseMu.Unlock()
+	for _, w := range e.workers {
+		w.poke()
+	}
+}
+
+// Halt makes every local worker exit its run loop regardless of tracker
+// state. A leaving process cannot wait for the global computation to drain
+// (it runs on without us); Halt is its local exit, and the crash fixtures'
+// stand-in for process death. Do not call while workers are parked in Pause
+// (Resume first).
+func (e *Execution) Halt() {
+	e.halted.Store(true)
+	for _, w := range e.workers {
+		w.poke()
+	}
+}
+
+// HoldInventory appends one (+1) delta per live capability hold of this
+// process's operator instances — the process's genuine contribution to the
+// global pointstamp multiset at quiescence (messages in flight and queued
+// batches are excluded, but at a membership barrier there are none). Must
+// be called while workers are parked in Pause; holds are worker-owned.
+func (e *Execution) HoldInventory(b *progress.Batch) {
+	for _, w := range e.workers {
+		for _, op := range w.ops {
+			for port, h := range op.holds {
+				if h != None {
+					b.Add(e.tracker.CapLocation(progress.Port{Node: op.node, Port: port}), h, 1)
+				}
+			}
+		}
+	}
+}
+
+// PurgeDeferred invokes every local operator's registered purge (see
+// OpBuilder.OnPurge) with the given cut, rewriting each operator's capability
+// holds to what the purge returns. Must be called while workers are parked in
+// Pause and must be followed by ResetProgress: holds are rewritten without
+// progress deltas, which only the subsequent tracker rebuild can account.
+func (e *Execution) PurgeDeferred(cut Time) {
+	for _, w := range e.workers {
+		for _, op := range w.ops {
+			if op.purge == nil {
+				continue
+			}
+			holds := op.purge(cut)
+			if len(holds) != op.numOut {
+				panic(fmt.Sprintf("dataflow: %s purge returned %d holds for %d output ports", op.name, len(holds), op.numOut))
+			}
+			op.holdCount = 0
+			for port, h := range holds {
+				op.holds[port] = h
+				if h != None {
+					op.holdCount++
+				}
+			}
+		}
+	}
+}
+
+// AppliedBounds reports the applied bound of every local worker, keyed by
+// global worker index: the minimum over the worker's operators that
+// registered one (see OpBuilder.OnBound). Workers without a bound-reporting
+// operator are absent from the map. Must be called while workers are parked
+// in Pause: bounds are operator state.
+func (e *Execution) AppliedBounds() map[int]Time {
+	out := make(map[int]Time)
+	for _, w := range e.workers {
+		for _, op := range w.ops {
+			if op.bound == nil {
+				continue
+			}
+			b := op.bound()
+			if cur, ok := out[w.index]; !ok || b < cur {
+				out[w.index] = b
+			}
+		}
+	}
+	return out
+}
+
+// ResetProgress rebuilds the local tracker from a summed inventory batch
+// (see progress.Tracker.ResetCounts) and re-dirties every worker.
+func (e *Execution) ResetProgress(b *progress.Batch) {
+	e.tracker.ResetCounts(b)
+	for _, w := range e.workers {
+		w.poke()
 	}
 }
 
@@ -370,9 +603,30 @@ func (w *Worker) sweep() bool {
 // operators (running one may activate others), and park until new work can
 // exist. The loop exits when the tracker reports no live pointstamps
 // anywhere.
+// pausePoint parks the worker inside Pause's barrier until Resume.
+func (w *Worker) pausePoint() {
+	e := w.exec
+	e.pauseMu.Lock()
+	e.pausedN++
+	e.pauseCond.Broadcast()
+	for e.pauseReq.Load() {
+		e.pauseCond.Wait()
+	}
+	e.pausedN--
+	e.pauseCond.Broadcast()
+	e.pauseMu.Unlock()
+}
+
 func (w *Worker) run() {
 	tr := w.exec.tracker
 	for {
+		if w.exec.halted.Load() {
+			return
+		}
+		if w.exec.pauseReq.Load() {
+			w.pausePoint()
+			continue
+		}
 		w.drainInbox()
 		w.sweep()
 		for i := 0; i < len(w.activeQ); i++ {

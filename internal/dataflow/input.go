@@ -121,6 +121,17 @@ func (h *InputHandle[T]) Close() {
 	h.w.poke()
 }
 
+// Settled reports whether the worker has flushed every staged batch and
+// epoch change of this handle into the dataflow. A membership barrier uses
+// it on a joiner: the joiner's capability holds must reflect its advanced
+// inputs before its hold inventory is meaningful, and unlike a member it
+// has no converged output frontier to certify that.
+func (h *InputHandle[T]) Settled() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.dirty
+}
+
 // pending reports whether the worker has unflushed input work.
 func (h *InputHandle[T]) pending() bool {
 	h.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"megaphone/internal/binenc"
@@ -43,6 +44,18 @@ type ClusterSpec struct {
 	Listener net.Listener
 	// Logf, when non-nil, receives transport lifecycle messages.
 	Logf func(format string, args ...any)
+	// Absent marks roster slots that are not part of the initial membership:
+	// Hosts is the full fixed roster (including processes expected to join
+	// later), Absent says which slots start empty. Present processes neither
+	// dial nor wait for absent slots; a process whose own slot is marked
+	// absent is a late joiner and dials every present peer itself. Nil means
+	// all slots present (the static-cluster behavior).
+	Absent []bool
+	// MembershipEpoch is the membership view version this process believes
+	// in when it handshakes. A late joiner is handed the current epoch out
+	// of band (by the operator or harness); the value rides the hello so a
+	// future admission check can refuse joiners with a stale view.
+	MembershipEpoch uint64
 }
 
 // Frame kinds of the mesh protocol, layered on the transport's opaque user
@@ -75,6 +88,28 @@ type Mesh struct {
 
 	scratch []*progress.Batch // per-peer decode scratch (recv is per-peer serial)
 
+	// active[p] says whether roster slot p currently participates in the
+	// dataflow. Broadcast paths (progress, graph digest, control) skip
+	// inactive slots; point sends to them are a protocol violation that the
+	// transport surfaces by dropping (retired) or queueing (absent). Flipped
+	// by Activate/Retire under membership transitions, read concurrently by
+	// every worker goroutine.
+	activeInit []bool
+	active     []atomic.Bool
+
+	// sentN/recvN count dataflow frames (progress, data, graph — not ctrl)
+	// exchanged with each peer. The membership barrier uses their cluster-
+	// wide sums as a Safra-style stability check: only when every member's
+	// sent total equals the matching recv totals over consecutive control
+	// rounds is the fabric quiescent enough to rebuild progress state.
+	sentN []atomic.Uint64
+	recvN []atomic.Uint64
+
+	// finMode selects the shutdown barrier: 0 full FIN exchange, 1 leave
+	// (one-sided FIN, don't wait for peers'), 2 abandon (close without
+	// barrier — used when this process is declared dead or panicking).
+	finMode atomic.Int32
+
 	// ctrlMu serializes every control-plane dispatch: inbound frames from
 	// different peers, and the drain of frames buffered before the handler
 	// was registered. Control traffic is a few small frames per sampling
@@ -101,6 +136,9 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 	if spec.Process < 0 || spec.Process >= len(spec.Hosts) {
 		return nil, fmt.Errorf("dataflow: process %d out of range for %d hosts", spec.Process, len(spec.Hosts))
 	}
+	if spec.Absent != nil && len(spec.Absent) != len(spec.Hosts) {
+		return nil, fmt.Errorf("dataflow: Absent has %d entries for %d hosts", len(spec.Absent), len(spec.Hosts))
+	}
 	m := &Mesh{
 		procs: len(spec.Hosts),
 		proc:  spec.Process,
@@ -110,6 +148,15 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 	for i := range m.scratch {
 		m.scratch[i] = &progress.Batch{}
 	}
+	m.activeInit = make([]bool, len(spec.Hosts))
+	m.active = make([]atomic.Bool, len(spec.Hosts))
+	m.sentN = make([]atomic.Uint64, len(spec.Hosts))
+	m.recvN = make([]atomic.Uint64, len(spec.Hosts))
+	for i := range m.activeInit {
+		up := spec.Absent == nil || !spec.Absent[i]
+		m.activeInit[i] = up
+		m.active[i].Store(up)
+	}
 	h := fnv.New64a()
 	h.Write([]byte(strings.Join(spec.Hosts, ",")))
 	clusterID := (h.Sum64() | 1) + spec.Generation*0x9e3779b97f4a7c15
@@ -117,13 +164,15 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 		clusterID = 1 // 0 would make the transport re-derive it unsalted
 	}
 	tr, err := transport.Dial(transport.Config{
-		Addrs:       spec.Hosts,
-		Index:       spec.Process,
-		ClusterID:   clusterID,
-		MaxFrame:    spec.MaxFrame,
-		DialTimeout: spec.DialTimeout,
-		Listener:    spec.Listener,
-		Logf:        spec.Logf,
+		Addrs:           spec.Hosts,
+		Index:           spec.Process,
+		ClusterID:       clusterID,
+		MaxFrame:        spec.MaxFrame,
+		DialTimeout:     spec.DialTimeout,
+		Listener:        spec.Listener,
+		Logf:            spec.Logf,
+		Absent:          spec.Absent,
+		MembershipEpoch: spec.MembershipEpoch,
 	}, m.onFrame)
 	if err != nil {
 		return nil, err
@@ -138,6 +187,64 @@ func (m *Mesh) Procs() int { return m.procs }
 // Process returns this process's index.
 func (m *Mesh) Process() int { return m.proc }
 
+// initialActive returns the membership at execution start (roster minus the
+// slots marked Absent). NewExecution seeds the time-0 membership view and
+// the initial capability holds from it.
+func (m *Mesh) initialActive() []bool {
+	return append([]bool(nil), m.activeInit...)
+}
+
+// Active reports whether roster slot p currently participates.
+func (m *Mesh) Active(p int) bool { return m.active[p].Load() }
+
+// Activate marks roster slot p live: broadcast paths start including it.
+// Called on every member (including the joiner itself, for its own slot is
+// already live from its perspective) when a join commits.
+func (m *Mesh) Activate(p int) { m.active[p].Store(true) }
+
+// RetirePeer marks roster slot p gone — left or declared dead. Broadcast
+// paths stop including it, the transport drops queued and future frames to
+// it, stands down its redial loop, and the shutdown barrier stops waiting
+// for its FIN. Irreversible for this execution (a returning process must
+// rejoin under a new generation).
+func (m *Mesh) RetirePeer(p int) {
+	m.active[p].Store(false)
+	m.tr.Retire(p)
+}
+
+// Leave switches this process's shutdown barrier to the one-sided variant:
+// announce FIN and wait for the peers to ack our frames, but do not require
+// their FINs (they keep running). Used by drain-leave.
+func (m *Mesh) Leave() { m.finMode.Store(1) }
+
+// Abandon switches this process's shutdown to an unceremonious close, no
+// barrier at all. Crash-simulation fixtures use it to model SIGKILL without
+// leaking the transport's goroutines into later tests.
+func (m *Mesh) Abandon() { m.finMode.Store(2) }
+
+// SetMembershipEpoch records the membership view version this process now
+// believes in; future transport handshakes carry it.
+func (m *Mesh) SetMembershipEpoch(e uint64) { m.tr.SetMembershipEpoch(e) }
+
+// MembershipEpoch returns the last value passed to SetMembershipEpoch (or
+// the ClusterSpec value).
+func (m *Mesh) MembershipEpoch() uint64 { return m.tr.MembershipEpoch() }
+
+// DataCounters snapshots the per-peer dataflow frame counters: sent[p] and
+// recv[p] count progress/data/graph frames exchanged with slot p since the
+// mesh joined. Counter reads are individually atomic but the snapshot is
+// not; the membership barrier compensates by requiring cluster-wide sums to
+// be stable across consecutive control rounds.
+func (m *Mesh) DataCounters() (sent, recv []uint64) {
+	sent = make([]uint64, m.procs)
+	recv = make([]uint64, m.procs)
+	for p := 0; p < m.procs; p++ {
+		sent[p] = m.sentN[p].Load()
+		recv[p] = m.recvN[p].Load()
+	}
+	return sent, recv
+}
+
 // BroadcastControl ships one opaque control-plane frame to every peer
 // process. Control frames ride the same exactly-once per-peer-FIFO transport
 // sessions as progress and data, but are invisible to the dataflow: the
@@ -145,7 +252,14 @@ func (m *Mesh) Process() int { return m.proc }
 // call from any goroutine once the mesh is joined.
 func (m *Mesh) BroadcastControl(payload []byte) {
 	for p := 0; p < m.procs; p++ {
-		if p != m.proc {
+		if p == m.proc {
+			continue
+		}
+		// Control reaches every connected peer, not just active dataflow
+		// participants: a late joiner is connected (Joined) before the
+		// membership barrier activates it, and the admission protocol itself
+		// rides these frames.
+		if m.active[p].Load() || m.tr.Joined(p) {
 			m.tr.Send(p, kindCtrl, payload)
 		}
 	}
@@ -187,8 +301,9 @@ func (m *Mesh) start() {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], m.exec.graphDigest())
 	for p := 0; p < m.procs; p++ {
-		if p != m.proc {
+		if p != m.proc && m.active[p].Load() {
 			m.tr.Send(p, kindGraph, buf[:])
+			m.sentN[p].Add(1)
 		}
 	}
 	close(m.ready)
@@ -217,10 +332,21 @@ func (e *Execution) graphDigest() uint64 {
 
 // finish runs the cluster-wide shutdown barrier after the local workers
 // drained: announce FIN, wait for every peer's FIN (by which point all
-// their frames have been handled), and close the transport.
+// their frames have been handled), and close the transport. A process that
+// called Leave runs the one-sided variant (peers keep running); one that
+// called Abandon just closes.
 func (m *Mesh) finish() {
-	if err := m.tr.Finish(60 * time.Second); err != nil {
-		panic(err)
+	switch m.finMode.Load() {
+	case 2:
+		m.tr.Close()
+	case 1:
+		if err := m.tr.FinishLeave(60 * time.Second); err != nil {
+			panic(err)
+		}
+	default:
+		if err := m.tr.Finish(60 * time.Second); err != nil {
+			panic(err)
+		}
 	}
 }
 
@@ -230,6 +356,9 @@ func (m *Mesh) finish() {
 // its delta batches apply in generation order.
 func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 	<-m.ready
+	if kind != kindCtrl {
+		m.recvN[from].Add(1)
+	}
 	e := m.exec
 	switch kind {
 	case kindGraph:
@@ -311,7 +440,9 @@ func (w *Worker) sendRemote(m outMsg) {
 	buf = binenc.AppendUvarint(buf, uint64(m.msg.time))
 	buf = e.edgeCodecs[edge].enc(m.msg.data, buf)
 	w.wireBuf = buf
-	e.mesh.tr.Send(m.peer/e.cfg.Workers, kindData, buf)
+	dst := m.peer / e.cfg.Workers
+	e.mesh.tr.Send(dst, kindData, buf)
+	e.mesh.sentN[dst].Add(1)
 }
 
 // broadcastProgress ships one scheduling's (already coalesced) progress
@@ -320,13 +451,21 @@ func (w *Worker) sendRemote(m outMsg) {
 // the produced pointstamps before it can observe the messages.
 func (w *Worker) broadcastProgress(b *progress.Batch) {
 	e := w.exec
+	if !e.mesh.active[e.mesh.proc].Load() {
+		// A joiner that has not been admitted yet keeps its progress local:
+		// the members' trackers never accounted its initial holds, so its
+		// deltas would corrupt their frontiers. The membership barrier
+		// rebuilds every tracker from explicit inventories at admission.
+		return
+	}
 	buf := w.progBuf[:0]
 	buf = b.AppendWire(buf)
 	w.progBuf = buf
 	for p := 0; p < e.mesh.procs; p++ {
-		if p == e.mesh.proc {
+		if p == e.mesh.proc || !e.mesh.active[p].Load() {
 			continue
 		}
 		e.mesh.tr.Send(p, kindProgress, buf)
+		e.mesh.sentN[p].Add(1)
 	}
 }

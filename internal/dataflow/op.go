@@ -31,6 +31,8 @@ type opInstance struct {
 	inEdges  []progress.Edge // canonical edge id feeding each input port
 	outEdges [][]outEdgeInst
 	logic    func(*OpCtx)
+	purge    func(cut Time) []Time // see OpBuilder.OnPurge; nil = nothing to purge
+	bound    func() Time           // see OpBuilder.OnBound; nil = no state to bound
 
 	// Scheduling state, owned by the worker goroutine (see Worker.sweep).
 	active    bool     // queued in the worker's activation set
@@ -53,14 +55,16 @@ func (op *opInstance) finalize(w *Worker) {
 // Partitioner splits a batch (a []T boxed as any) into per-worker batches.
 // The result is indexed by worker; nil entries mean "nothing for that
 // worker". A nil Partitioner is the pipeline contract: the batch stays on
-// the sending worker.
+// the sending worker. The timestamp is the batch's send time: pacts that
+// are membership-aware (Exchange, Broadcast) consult the view governing
+// that time, so reconfigurations commit at epoch boundaries.
 //
 // The returned slice is only read until the next call on the same worker, so
 // implementations reuse it across calls; empty partitions must be nil (the
 // runtime does not re-check lengths). A partitioner may return the input
 // batch itself as a partition (Broadcast does; Exchange does for a single
 // peer), in which case the input is owned by the receivers afterwards.
-type Partitioner func(data any) []any
+type Partitioner func(t Time, data any) []any
 
 // StreamCore identifies a stream of timestamped batches: the output port of
 // the operator that produces it. It is worker-specific only in that it was
@@ -82,6 +86,8 @@ type OpBuilder struct {
 	parts   []Partitioner
 	codecs  []wireCodec // per input edge; zero value = cannot cross processes
 	node    progress.Node
+	purgeFn func(cut Time) []Time
+	boundFn func() Time
 	holdsAt []struct {
 		port int
 		time Time
@@ -105,6 +111,30 @@ func (b *OpBuilder) AddInput(s StreamCore, part Partitioner) int {
 	b.parts = append(b.parts, part)
 	b.codecs = append(b.codecs, wireCodec{})
 	return len(b.inputs) - 1
+}
+
+// OnPurge registers the operator's deferred-work purge: called (with workers
+// parked in Pause, so operator state is safe to touch) when a crash barrier
+// discards every record at times >= cut — unapplied input that will be
+// re-injected from its deterministic source after the barrier. The callback
+// must drop such records from the operator's own buffers and return the
+// operator's new capability hold per output port (None = no hold). Hold
+// bookkeeping is rewritten directly, without progress deltas: a purge is
+// always followed by ResetProgress, which rebuilds every tracker from the
+// post-purge holds.
+func (b *OpBuilder) OnPurge(f func(cut Time) []Time) {
+	b.purgeFn = f
+}
+
+// OnBound registers the operator's applied-bound report: a callback returning
+// the earliest timestamp the operator has not yet folded into its state —
+// every record strictly below the bound is applied, none at or above it is.
+// A crash barrier collects the bounds (Execution.AppliedBounds) to compute
+// per-bin replay windows: applications above the purge cut survive a crash on
+// the workers that made them, so replaying from the cut alone would apply
+// those records twice. Called only while workers are parked in Pause.
+func (b *OpBuilder) OnBound(f func() Time) {
+	b.boundFn = f
 }
 
 // InitialHold grants the operator a capability hold at time t on the given
@@ -159,6 +189,8 @@ func (b *OpBuilder) Build(logic func(*OpCtx)) []StreamCore {
 		queues: make([][]batchIn, len(b.inputs)),
 		holds:  make([]Time, b.numOut),
 		logic:  logic,
+		purge:  b.purgeFn,
+		bound:  b.boundFn,
 	}
 	for i := range op.holds {
 		op.holds[i] = None
@@ -279,7 +311,7 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 			c.local = append(c.local, message{edge: oe.edge, time: t, data: data})
 			continue
 		}
-		parts := oe.part(data)
+		parts := oe.part(t, data)
 		for peer, pd := range parts {
 			if pd == nil {
 				continue

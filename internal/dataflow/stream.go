@@ -19,26 +19,32 @@ func Typed[T any](c StreamCore) Stream[T] { return Stream[T]{core: c} }
 // Pact is a parallelization contract: it decides how batches on an edge are
 // routed between workers.
 type Pact[T any] interface {
-	partitioner(peers int) Partitioner
+	partitioner(w *Worker) Partitioner
 }
 
 // Pipeline keeps batches on the worker that produced them.
 type Pipeline[T any] struct{}
 
-func (Pipeline[T]) partitioner(peers int) Partitioner { return nil }
+func (Pipeline[T]) partitioner(w *Worker) Partitioner { return nil }
 
 // Exchange routes each record to the worker given by its hash modulo the
-// number of workers.
+// number of workers. The hash spread is stateless load distribution, so
+// membership awareness is safe here: a record whose hash lands on a worker
+// that is inactive at the send time is remapped onto an active worker
+// (deterministically per target, arbitrary across senders — the receiving
+// operator must not depend on which peer a record arrives at, which holds
+// for Megaphone's F router by construction).
 type Exchange[T any] struct {
 	Hash func(T) uint64
 }
 
-func (e Exchange[T]) partitioner(peers int) Partitioner {
+func (e Exchange[T]) partitioner(w *Worker) Partitioner {
 	hash := e.Hash
+	peers := w.Peers()
 	if peers == 1 {
 		// Identity: ship the (already boxed) input batch itself.
 		out := make([]any, 1)
-		return func(data any) []any {
+		return func(t Time, data any) []any {
 			if len(data.([]T)) == 0 {
 				return nil
 			}
@@ -46,12 +52,25 @@ func (e Exchange[T]) partitioner(peers int) Partitioner {
 			return out
 		}
 	}
-	return partitionBy[T](peers, func(r T) int { return int(hash(r) % uint64(peers)) })
+	ex := w.exec
+	return partitionBy[T](peers, func(t Time, r T) int {
+		p := int(hash(r) % uint64(peers))
+		if v := ex.viewAt(t); !v.full && !v.workerActive(p) {
+			p = v.workers[p%len(v.workers)]
+		}
+		return p
+	})
 }
 
 // ExchangeTo routes each record to the worker index returned by To. This is
 // the indirection Megaphone introduces: the routing decision is made by the
 // sender against its routing table rather than by a static hash.
+//
+// ExchangeTo is deliberately NOT membership-aware: its destinations are
+// assignment-driven (bin ownership), and the membership protocol's
+// invariant is that no bin is ever assigned to an inactive worker at a
+// committed time. A violation should surface as a wedged frontier in
+// equivalence tests, not be papered over by silent rerouting.
 //
 // The produced partitions never alias the input batch (they are copied into
 // a fresh buffer), so a sender may reuse its input buffer across sends on
@@ -60,8 +79,9 @@ type ExchangeTo[T any] struct {
 	To func(T) int
 }
 
-func (e ExchangeTo[T]) partitioner(peers int) Partitioner {
-	return partitionBy[T](peers, e.To)
+func (e ExchangeTo[T]) partitioner(w *Worker) Partitioner {
+	to := e.To
+	return partitionBy[T](w.Peers(), func(_ Time, r T) int { return to(r) })
 }
 
 // partitionBy builds a partitioner that splits each batch by a per-record
@@ -70,12 +90,12 @@ func (e ExchangeTo[T]) partitioner(peers int) Partitioner {
 // receivers), and the result slice, destination table, and offset tables
 // are scratch reused across calls — partitioners are per-worker and only
 // invoked from their worker's scheduling loop.
-func partitionBy[T any](peers int, to func(T) int) Partitioner {
+func partitionBy[T any](peers int, to func(Time, T) int) Partitioner {
 	out := make([]any, peers)
 	offs := make([]int32, peers+1)
 	cur := make([]int32, peers)
 	var dest []int32
-	return func(data any) []any {
+	return func(t Time, data any) []any {
 		in := data.([]T)
 		if len(in) == 0 {
 			return nil
@@ -88,7 +108,7 @@ func partitionBy[T any](peers int, to func(T) int) Partitioner {
 			offs[i] = 0
 		}
 		for i, r := range in {
-			p := to(r)
+			p := to(t, r)
 			dest[i] = int32(p)
 			offs[p+1]++
 		}
@@ -113,18 +133,27 @@ func partitionBy[T any](peers int, to func(T) int) Partitioner {
 	}
 }
 
-// Broadcast delivers every batch to every worker.
+// Broadcast delivers every batch to every worker active at the batch's
+// time. Inactive workers are skipped, not caught up later: a process that
+// joins is seeded with the consolidated effect of everything it missed
+// (assignment history, migrated state), exactly as a restored process is.
 type Broadcast[T any] struct{}
 
-func (Broadcast[T]) partitioner(peers int) Partitioner {
-	out := make([]any, peers)
-	return func(data any) []any {
+func (Broadcast[T]) partitioner(w *Worker) Partitioner {
+	out := make([]any, w.Peers())
+	ex := w.exec
+	return func(t Time, data any) []any {
 		if len(data.([]T)) == 0 {
 			return nil
 		}
+		v := ex.viewAt(t)
 		for i := range out {
-			// Share the boxed batch: batches are immutable after send.
-			out[i] = data
+			if v.workerActive(i) {
+				// Share the boxed batch: batches are immutable after send.
+				out[i] = data
+			} else {
+				out[i] = nil
+			}
 		}
 		return out
 	}
@@ -136,7 +165,7 @@ func (Broadcast[T]) partitioner(peers int) Partitioner {
 // edge's batches cross process boundaries; edges wired through the untyped
 // AddInput cannot.
 func Connect[T any](b *OpBuilder, s Stream[T], p Pact[T]) int {
-	i := b.AddInput(s.core, p.partitioner(b.w.Peers()))
+	i := b.AddInput(s.core, p.partitioner(b.w))
 	if b.w.exec.mesh != nil {
 		b.codecs[i] = wireCodecFor[T]()
 	}

@@ -1,0 +1,116 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"megaphone/internal/harness"
+)
+
+// Supervisor-level tests for the Chaos process harness: single-process Start,
+// Restart incarnations sharing one log artifact, and WaitAll's killed-vs-exited
+// reporting. These use throwaway shell processes, not cluster workers.
+
+func shellProc(name, script, log string) harness.ChaosProc {
+	return harness.ChaosProc{Name: name, Path: "/bin/sh", Args: []string{"-c", script}, Log: log}
+}
+
+func TestChaosStartRejectsRunning(t *testing.T) {
+	c := &harness.Chaos{Procs: []harness.ChaosProc{shellProc("sleeper", "sleep 30", "")}}
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(0); err == nil || !strings.Contains(err.Error(), "already running") {
+		t.Fatalf("second Start of a running process: err = %v, want 'already running'", err)
+	}
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(0, 10*time.Second); err == nil {
+		t.Fatal("SIGKILLed process exited cleanly")
+	}
+	// Once exited, the slot is free again.
+	c.Procs[0] = shellProc("sleeper", "true", "")
+	if err := c.Start(0); err != nil {
+		t.Fatalf("Start after exit: %v", err)
+	}
+	if err := c.Wait(0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosRestartAppendsLog(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "proc.log")
+	c := &harness.Chaos{Procs: []harness.ChaosProc{shellProc("worker", "echo incarnation; sleep 30", log)}}
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	// Restart must refuse while the previous incarnation is still running.
+	if err := c.Restart(0, 200*time.Millisecond); err == nil || !strings.Contains(err.Error(), "still running") {
+		t.Fatalf("Restart over a live process: err = %v, want 'still running'", err)
+	}
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	// After the kill, Restart reaps the old incarnation and starts a new one
+	// appending to the same log.
+	if err := c.Restart(0, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the new incarnation has written its line before killing it.
+	deadline := time.Now().Add(10 * time.Second)
+	var data []byte
+	for {
+		var err error
+		data, err = os.ReadFile(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Count(string(data), "incarnation") >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log holds %d incarnation lines, want 2 (restart must append, not truncate):\n%s",
+				strings.Count(string(data), "incarnation"), data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Kill(0)
+	if sts := c.WaitAll(10 * time.Second); len(sts) != 1 {
+		t.Fatalf("WaitAll statuses: %v", sts)
+	}
+}
+
+func TestChaosWaitAllReportsKilledStragglers(t *testing.T) {
+	c := &harness.Chaos{Procs: []harness.ChaosProc{
+		shellProc("quick", "true", ""),
+		shellProc("straggler", "sleep 60", ""),
+		shellProc("never-started", "true", ""),
+	}}
+	if err := c.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sts := c.WaitAll(2 * time.Second)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("WaitAll took %v; the straggler was not killed at the timeout", elapsed)
+	}
+	if len(sts) != 3 {
+		t.Fatalf("WaitAll returned %d statuses, want 3", len(sts))
+	}
+	if sts[0].Err != nil || sts[0].Killed {
+		t.Fatalf("clean exit reported as %+v", sts[0])
+	}
+	if sts[1].Err == nil || !sts[1].Killed {
+		t.Fatalf("straggler reported as %+v, want a kill with Killed=true", sts[1])
+	}
+	if sts[2].Err != nil || sts[2].Killed {
+		t.Fatalf("never-started process reported as %+v, want zero status", sts[2])
+	}
+}

@@ -269,10 +269,10 @@ func TestClusterKillAndRecover(t *testing.T) {
 
 	// Phase 2: restart the whole cluster in recovery mode.
 	phase2 := spawn("phase2", 2)
-	for p, err := range phase2.WaitAll(60 * time.Second) {
-		if err != nil {
+	for p, st := range phase2.WaitAll(60 * time.Second) {
+		if st.Err != nil {
 			log, _ := os.ReadFile(filepath.Join(dir, fmt.Sprintf("log-phase2-%d", p)))
-			t.Fatalf("recovery process %d failed: %v\n%s", p, err, log)
+			t.Fatalf("recovery process %d failed (killed=%v): %v\n%s", p, st.Killed, st.Err, log)
 		}
 	}
 	for p := 0; p < procs; p++ {

@@ -1,0 +1,134 @@
+package keycount
+
+import (
+	"fmt"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/dataflow"
+	"megaphone/internal/harness"
+	"megaphone/internal/plan"
+)
+
+// runMembership is the dynamic-membership variant of Run: the cluster's
+// roster may grow (an absent slot joins mid-run) and shrink (drain-leave and
+// crash-leave) while the dataflow keeps running. Scripted migrations, the
+// auto-controller, preload and whole-cluster recovery are rejected up front —
+// membership owns the control bus, the assignment mirror, and the checkpoint
+// restore path.
+func runMembership(cfg RunConfig) (harness.Result, error) {
+	switch {
+	case cfg.Cluster == nil:
+		return harness.Result{}, fmt.Errorf("keycount: dynamic membership requires a cluster (-hosts)")
+	case cfg.Auto != nil:
+		return harness.Result{}, harness.MembershipSpecError("keycount", "-auto (the autoscaler control plane shares the control bus)")
+	case cfg.MigrateAt > 0:
+		return harness.Result{}, harness.MembershipSpecError("keycount", "scripted migrations (they would race the membership controller's assignment mirror)")
+	case cfg.Recover:
+		return harness.Result{}, harness.MembershipSpecError("keycount", "-recover (crash recovery is per-member, inside the run)")
+	case cfg.Preload:
+		return harness.Result{}, harness.MembershipSpecError("keycount", "preload (it targets the full-roster initial assignment, which membership reseeds)")
+	case cfg.CheckpointDir == "":
+		return harness.Result{}, fmt.Errorf("keycount: dynamic membership requires -checkpoint-dir (crash-leave restores the dead member's bins from the latest complete checkpoint)")
+	}
+	var hashFn func(uint64) uint64
+	switch cfg.Variant {
+	case HashCount:
+		hashFn = core.Mix64
+	case KeyCount:
+		hashFn = denseHasher(cfg.Domain)
+	default:
+		return harness.Result{}, fmt.Errorf("keycount: dynamic membership requires a migrateable variant (hash or key), not %v", cfg.Variant)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.EpochEvery <= 0 {
+		cfg.EpochEvery = time.Millisecond
+	}
+
+	mesh, procs, proc, err := harness.JoinCluster("keycount", cfg.Cluster, cfg.Transfer, false)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	totalWorkers := cfg.Workers * procs
+	firstWorker := proc * cfg.Workers
+
+	ckpt, duration, err := harness.PlanCheckpoints("keycount", cfg.CheckpointDir, cfg.CheckpointEvery,
+		false, cfg.Transfer, totalWorkers, firstWorker, cfg.Workers, cfg.EpochEvery, cfg.Duration)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	cfg.Duration = duration
+	cfg.Params.Checkpoint = ckpt.Config
+
+	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})
+	var dataIns []*dataflow.InputHandle[uint64]
+	var ctlIns []*dataflow.InputHandle[core.Move]
+	var probe *dataflow.Probe
+	handles := &Handles{
+		Hash: &core.Handle[uint64, HashState, Out]{},
+		Key:  &core.Handle[uint64, ArrayState, Out]{},
+	}
+	exec.Build(func(w *dataflow.Worker) {
+		ctl, ctlStream := dataflow.NewInput[core.Move](w, "control")
+		ctlIns = append(ctlIns, ctl)
+		in, data := dataflow.NewInput[uint64](w, "data")
+		dataIns = append(dataIns, in)
+		out := Build(w, cfg.Params, ctlStream, data, handles)
+		if cfg.Sink != nil {
+			attachSink(w, out, cfg.Sink)
+		}
+		p := dataflow.NewProbe(w, out)
+		if w.Index() == firstWorker {
+			probe = p
+		}
+	})
+	exec.Start()
+
+	var initialActive []bool
+	if cfg.Cluster.Absent != nil {
+		initialActive = make([]bool, procs)
+		for p := range initialActive {
+			initialActive[p] = !cfg.Cluster.Absent[p]
+		}
+	}
+	fab := harness.ClusterFabric{Execution: exec, Mesh: mesh}
+	mc := plan.NewMembershipController(plan.MembershipOptions{
+		Bus:            mesh,
+		Fabric:         fab,
+		Frontier:       probe.Frontier,
+		Procs:          procs,
+		Proc:           proc,
+		WorkersPerProc: cfg.Workers,
+		Bins:           1 << uint(cfg.LogBins),
+		InitialActive:  initialActive,
+		CheckpointDir:  cfg.CheckpointDir,
+		Slack:          cfg.MembershipSlack,
+		TickEvery:      cfg.EpochEvery,
+		Logf:           cfg.Cluster.Logf,
+	})
+
+	domain := uint64(cfg.Domain)
+	workload := cfg.Workload
+	gen := func(w int, epoch int64, n int) []uint64 {
+		out := make([]uint64, n)
+		workload.Fill(out, domain, w, epoch)
+		return out
+	}
+	logBins := cfg.LogBins
+	binOf := func(k uint64) int { return core.BinOf(hashFn(k), logBins) }
+
+	res, err := harness.RunMembership(fab, mc, dataIns, ctlIns, probe, gen, binOf, harness.MembershipRunOptions{
+		Rate:            cfg.Rate,
+		EpochEvery:      cfg.EpochEvery,
+		Duration:        cfg.Duration,
+		TotalInputs:     totalWorkers,
+		CheckpointEvery: ckpt.Every,
+		LeaveAt:         cfg.LeaveAt,
+		CrashAt:         cfg.CrashAt,
+		CheckpointDir:   cfg.CheckpointDir,
+	})
+	ckpt.Finish(&res)
+	return res, err
+}

@@ -58,12 +58,35 @@ type RunConfig struct {
 	// for output-equivalence checks across runs. It is called from worker
 	// goroutines and must be safe for concurrent use.
 	Sink func(line string)
+	// Membership enables the dynamic-membership control plane: the roster
+	// may grow (Cluster.Absent slots joining mid-run) and shrink (drain- and
+	// crash-leave) while the dataflow keeps running. Requires Cluster and
+	// CheckpointDir; incompatible with Auto, scripted migrations, Preload
+	// and Recover.
+	Membership bool
+	// LeaveAt makes this process request drain-leave once its drive loop
+	// passes that epoch (with Membership).
+	LeaveAt int64
+	// MembershipSlack multiplies the membership controller's suspicion,
+	// death and margin windows (plan.MembershipOptions.Slack): raise it
+	// where scheduling jitter is large relative to the epoch interval.
+	MembershipSlack int
+	// CrashAt makes this process abandon the run abruptly at that epoch —
+	// the in-process stand-in for SIGKILL (with Membership; see
+	// harness.MembershipRunOptions.CrashAt).
+	CrashAt int64
 }
 
 // Run executes the benchmark and returns its measurements. In a cluster
 // run the returned measurements are this process's local view (its own
 // injected records and its local probe's latency observations).
 func Run(cfg RunConfig) (harness.Result, error) {
+	if cfg.Membership {
+		return runMembership(cfg)
+	}
+	if cfg.Cluster != nil && cfg.Cluster.Absent != nil {
+		return harness.Result{}, fmt.Errorf("keycount: a roster with absent slots requires dynamic membership (Membership)")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}

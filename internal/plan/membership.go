@@ -1,0 +1,1301 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"megaphone/internal/binenc"
+	"megaphone/internal/core"
+	"megaphone/internal/progress"
+)
+
+// This file is the membership control plane: it reconfigures the live worker
+// space of a running cluster at epoch boundaries. Three transitions exist —
+// join (an absent roster slot comes up and is admitted), drain-leave (a
+// member migrates its bins away and departs cleanly), and crash-leave (a
+// member is declared dead and its bins are rebuilt from the latest complete
+// checkpoint). The leader (lowest live index, heartbeat-elected exactly like
+// the autoscaler's control plane in cluster.go) decides each transition and
+// broadcasts it with a commit epoch chosen a margin ahead of the present;
+// every member applies the transition when its drive loop reaches that epoch,
+// so membership changes commit at frontier-aligned epoch boundaries exactly
+// like bin migrations do.
+//
+// Join and crash-leave additionally need a cluster-wide progress barrier: the
+// progress trackers of the members do not account a joiner's capability holds
+// (nor, after a crash, can they cancel the dead member's), so at the commit
+// epoch every participant drains to quiescence, pauses its workers, exchanges
+// an explicit inventory of its capability holds, and rebuilds its tracker
+// from the summed inventories (dataflow.Execution.ResetProgress). Quiescence
+// is certified Safra-style: the per-peer dataflow frame counters of all
+// participants must match pairwise and stay unchanged over consecutive
+// control rounds. Drain-leave needs no barrier — the leaver retires its holds
+// through ordinary progress broadcasts before departing.
+
+// TransitionKind distinguishes the membership transitions.
+type TransitionKind int
+
+const (
+	// TransitionJoin admits an absent roster slot at the commit epoch.
+	TransitionJoin TransitionKind = iota
+	// TransitionDrain removes a member that asked to leave: its bins migrate
+	// away at the commit epoch and it departs once the migration completes.
+	TransitionDrain
+	// TransitionCrash removes a member declared dead: at the commit epoch the
+	// survivors rebuild its bins from a checkpoint and purge-and-replay the
+	// unapplied input window.
+	TransitionCrash
+)
+
+func (k TransitionKind) String() string {
+	switch k {
+	case TransitionJoin:
+		return "join"
+	case TransitionDrain:
+		return "drain-leave"
+	case TransitionCrash:
+		return "crash-leave"
+	}
+	return fmt.Sprintf("TransitionKind(%d)", int(k))
+}
+
+// Transition is one decided membership change, mirrored identically on every
+// member. The drive loop commits it when its epoch loop reaches Epoch.
+type Transition struct {
+	Kind     TransitionKind
+	Slot     int       // roster process joining, leaving, or dead
+	Epoch    core.Time // commit epoch (view switch, barrier, move injection)
+	MemEpoch uint64    // membership epoch after the transition
+
+	// Ckpt is the checkpoint epoch a crash-leave restores from; DeadBins are
+	// the bins rebuilt from it (the dead member's bins at the crash).
+	Ckpt     core.Time
+	DeadBins []int
+}
+
+// BarrierResult reports what a membership barrier established.
+type BarrierResult struct {
+	// Cut is the purge boundary of a crash barrier: the common wedged
+	// frontier of the participants, below which every record is applied
+	// everywhere. For a join barrier Cut equals the commit epoch (nothing
+	// was purged).
+	Cut core.Time
+	// BinCut, set only by a crash barrier, is the per-bin replay boundary:
+	// for every bin b, records at epochs in [BinCut[b], Epoch) must be
+	// re-injected from the deterministic source, and no record below it may
+	// be. A dead bin rolls back to the checkpoint, so its boundary is the
+	// checkpoint epoch. A surviving bin keeps its live state, whose content
+	// is bounded by its owner's applied bound, not by Cut: the global
+	// frontier wedges at whatever the dead process last acknowledged, while
+	// the survivors kept applying epochs past it. The bounds are reported at
+	// pause time and exchanged with the hold inventories; replaying from Cut
+	// alone would re-apply [Cut, bound) on every surviving bin.
+	BinCut []core.Time
+}
+
+// Fabric is the slice of the dataflow runtime the membership protocol
+// drives. dataflow.Execution plus dataflow.Mesh implement it together (see
+// harness.ClusterFabric); membership unit tests substitute fakes.
+type Fabric interface {
+	Pause()
+	Resume()
+	HoldInventory(b *progress.Batch)
+	PurgeDeferred(cut core.Time)
+	AppliedBounds() map[int]core.Time
+	ResetProgress(b *progress.Batch)
+	InstallView(from core.Time, active []bool)
+	Activate(p int)
+	RetirePeer(p int)
+	SetMembershipEpoch(e uint64)
+	DataCounters() (sent, recv []uint64)
+}
+
+// MembershipOptions configures a MembershipController.
+type MembershipOptions struct {
+	// Bus is the cluster control channel (required). With *dataflow.Mesh it
+	// reaches joined-but-not-yet-active peers too, which admission needs.
+	Bus ControlBus
+	// Fabric is the runtime the barriers drive (required).
+	Fabric Fabric
+	// Frontier reports the probe frontier of the local process (required):
+	// the barrier's quiescence condition reads it.
+	Frontier func() core.Time
+	// Procs, Proc, WorkersPerProc describe the fixed roster: Procs slots of
+	// WorkersPerProc workers each, this process at index Proc.
+	Procs, Proc    int
+	WorkersPerProc int
+	// Bins is the operator's total bin count (the assignment mirror's size).
+	Bins int
+	// InitialActive marks the roster slots live at start (nil = all). A
+	// process whose own slot is false is a late joiner.
+	InitialActive []bool
+	// SuspectAfter is the number of consecutive local heartbeat windows
+	// without a beat from a member before it is suspected (default 4);
+	// DeathAfter is how many further windows until a suspected member is
+	// declared dead (default SuspectAfter). Suspicion only pauses
+	// leadership; declaration is irreversible.
+	SuspectAfter int
+	DeathAfter   int
+	// Margin is the number of epochs between a decision and its commit
+	// epoch; it must exceed the control-plane latency measured in epochs,
+	// and a decision arriving at a member whose loop has already passed the
+	// commit epoch is fatal (raise Margin). Default 8.
+	Margin core.Time
+	// CheckpointDir locates checkpoints for crash-leave recovery. Required
+	// to declare a member dead: without a complete checkpoint the dead
+	// member's bins are unrecoverable.
+	CheckpointDir string
+	// BarrierTimeout bounds one membership barrier (default 60s).
+	BarrierTimeout time.Duration
+	// Slack multiplies SuspectAfter, DeathAfter and Margin after
+	// defaulting: one jitter-tolerance knob for environments where
+	// scheduling latency is large relative to the tick interval
+	// (race-instrumented fixtures, single-core CI machines). Default 1.
+	Slack int
+	// TickEvery, when positive, is the wall-clock floor between heartbeat
+	// window advances: Tick always broadcasts a beat, but the suspicion
+	// clock moves at most once per TickEvery. Without the floor a drive
+	// loop catching up after a stall (a barrier, crash replay) bursts
+	// through epochs in microseconds and suspects every peer before their
+	// beats can cross the network. Real drivers pass their epoch interval;
+	// zero (the default) advances on every Tick, which suits tests that
+	// step virtual time.
+	TickEvery time.Duration
+	// Logf, when non-nil, receives membership lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (o *MembershipOptions) defaults() {
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 4
+	}
+	if o.DeathAfter <= 0 {
+		o.DeathAfter = o.SuspectAfter
+	}
+	if o.Margin <= 0 {
+		o.Margin = 8
+	}
+	if o.BarrierTimeout <= 0 {
+		o.BarrierTimeout = 60 * time.Second
+	}
+	if o.Slack > 1 {
+		o.SuspectAfter *= o.Slack
+		o.DeathAfter *= o.Slack
+		o.Margin *= core.Time(o.Slack)
+	}
+}
+
+func (o *MembershipOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Membership control-plane payload kinds. They live above the autoscaler's
+// kinds (1, 2) so the two planes could share a bus if that restriction is
+// ever lifted; today membership owns the bus handler outright (the keycount
+// driver rejects -auto together with membership).
+const (
+	memKindBeat     byte = 10 // heartbeat
+	memKindHello    byte = 11 // joiner asks for admission
+	memKindLeaveReq byte = 12 // member asks to drain out
+	memKindDecision byte = 13 // leader's transition decision
+	memKindReady    byte = 14 // barrier: quiescence report (frontier + counters)
+	memKindInv      byte = 15 // barrier: capability-hold inventory + applied bounds
+	memKindDone     byte = 16 // barrier: tracker reset complete
+	memKindGoodbye  byte = 17 // leaver's final control frame before its FIN
+)
+
+// memStep is one step of the membership timeline: from epoch `from` onward,
+// roster slot p participates iff active[p].
+type memStep struct {
+	from   core.Time
+	active []bool
+}
+
+// barSnap is one participant's quiescence report.
+type barSnap struct {
+	frontier   core.Time
+	sent, recv []uint64
+}
+
+// invSnap is one participant's hold inventory (with the counters it saw at
+// pause time, to certify nothing moved since its ready report) plus the
+// applied bounds of its workers, keyed by global worker index.
+type invSnap struct {
+	barSnap
+	batch  progress.Batch
+	bounds map[int]core.Time
+}
+
+// timedMoves is a move batch every member injects on its local control input
+// at the given epoch (duplicates across members canonicalize away).
+type timedMoves struct {
+	epoch core.Time
+	moves []core.Move
+}
+
+// MembershipController runs one process's half of the membership protocol.
+// The drive loop owns Tick, NextCommit, RunBarrier, CommitDrain, MovesAt and
+// Covered; the bus's serialized handler owns inbound frames. The two sides
+// meet under mu (barrier collections, decisions) and a few atomics
+// (heartbeat clocks).
+type MembershipController struct {
+	opts MembershipOptions
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	active   []bool // current (latest-decided) membership
+	timeline []memStep
+	memEpoch uint64
+	assign   Assignment // mirror of the executed bin assignment
+
+	pending    *Transition // decided, not yet committed by the drive loop
+	settleAt   core.Time   // leader: no new decision until the loop passes this
+	injections []timedMoves
+
+	helloFrom int // joiner slot awaiting admission; -1 none
+	leaveFrom int // member asking to drain; -1 none
+	deadGone  []bool
+
+	joinDecision *Transition // joiner side: our own admission
+
+	// Heartbeat clocks, as in clusterState: ticks counts local windows,
+	// lastHeard[q] the ticks value when q last spoke, tickNano the wall
+	// clock of the last window advance (TickEvery pacing).
+	ticks     atomic.Int64
+	tickNano  atomic.Int64
+	lastTick  atomic.Int64
+	lastHeard []atomic.Int64
+	leader    bool
+	everLed   bool
+	guardTill core.Time // fresh leader: no decision until the loop passes this
+
+	// Barrier collections, keyed by commit epoch (a fast peer may report for
+	// a barrier this process has not entered yet).
+	ready   map[core.Time]map[int]*barSnap
+	invs    map[core.Time]map[int]*invSnap
+	resetOK map[core.Time]map[int]bool
+
+	beatBuf []byte
+}
+
+// NewMembershipController validates the options, seeds the timeline from the
+// initial membership, and registers the bus handler (taking sole ownership of
+// the bus: membership cannot share it with the autoscaler's control plane).
+func NewMembershipController(opts MembershipOptions) *MembershipController {
+	if opts.Bus == nil || opts.Fabric == nil || opts.Frontier == nil {
+		panic("plan: MembershipOptions needs Bus, Fabric and Frontier")
+	}
+	if opts.Procs < 2 || opts.Proc < 0 || opts.Proc >= opts.Procs {
+		panic("plan: MembershipOptions process index out of range")
+	}
+	if opts.WorkersPerProc <= 0 || opts.Bins <= 0 {
+		panic("plan: MembershipOptions needs WorkersPerProc and Bins")
+	}
+	if opts.InitialActive != nil && len(opts.InitialActive) != opts.Procs {
+		panic("plan: MembershipOptions.InitialActive length does not match Procs")
+	}
+	opts.defaults()
+	mc := &MembershipController{
+		opts:      opts,
+		helloFrom: -1,
+		leaveFrom: -1,
+		deadGone:  make([]bool, opts.Procs),
+		lastHeard: make([]atomic.Int64, opts.Procs),
+		ready:     make(map[core.Time]map[int]*barSnap),
+		invs:      make(map[core.Time]map[int]*invSnap),
+		resetOK:   make(map[core.Time]map[int]bool),
+	}
+	mc.cond = sync.NewCond(&mc.mu)
+	mc.active = make([]bool, opts.Procs)
+	for p := range mc.active {
+		mc.active[p] = opts.InitialActive == nil || opts.InitialActive[p]
+	}
+	mc.timeline = []memStep{{from: 0, active: append([]bool(nil), mc.active...)}}
+	// With absent roster slots, the operator's built-in initial assignment
+	// (round-robin over the full roster) would own bins with workers that do
+	// not exist yet; start from a live-only assignment instead, reached via
+	// InitialMoves at the first epoch.
+	if live := participantsOf(mc.active); len(live) == opts.Procs {
+		mc.assign = Initial(opts.Bins, opts.Procs*opts.WorkersPerProc)
+	} else {
+		mc.assign = Rebalance(opts.Bins, mc.liveWorkers(live))
+	}
+	opts.Bus.SetControlHandler(mc.onControl)
+	return mc
+}
+
+// Proc returns this process's roster index.
+func (mc *MembershipController) Proc() int { return mc.opts.Proc }
+
+// InitialMoves returns the moves every initially-live process injects at its
+// first epoch so no bin starts owned by an absent roster slot (the
+// operator's built-in initial assignment spans the full roster). Duplicate
+// injections across processes canonicalize away. Empty when the roster
+// starts complete.
+func (mc *MembershipController) InitialMoves() []core.Move {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return Diff(Initial(mc.opts.Bins, mc.opts.Procs*mc.opts.WorkersPerProc), mc.assign)
+}
+
+// Joiner reports whether this process's own roster slot started absent.
+func (mc *MembershipController) Joiner() bool {
+	return mc.opts.InitialActive != nil && !mc.opts.InitialActive[mc.opts.Proc]
+}
+
+// MembershipEpoch returns the current membership view version.
+func (mc *MembershipController) MembershipEpoch() uint64 {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.memEpoch
+}
+
+// Assignment returns a copy of the controller's bin-assignment mirror.
+func (mc *MembershipController) Assignment() Assignment {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return append(Assignment(nil), mc.assign...)
+}
+
+// activeAt returns the membership view governing epoch e.
+func (mc *MembershipController) activeAt(e core.Time) []bool {
+	for i := len(mc.timeline) - 1; i >= 0; i-- {
+		if mc.timeline[i].from <= e {
+			return mc.timeline[i].active
+		}
+	}
+	return mc.timeline[0].active
+}
+
+// participants lists the processes active at epoch e, ascending.
+func (mc *MembershipController) participants(e core.Time) []int {
+	act := mc.activeAt(e)
+	var out []int
+	for p, a := range act {
+		if a {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Covered returns the global input slots (worker indices) this process
+// drives at epoch e: its own workers' slots, plus a deterministic share of
+// the slots belonging to inactive roster processes — every member computes
+// the same partition, so each orphan slot is driven exactly once and the
+// cluster-wide input multiset per epoch is independent of membership.
+func (mc *MembershipController) Covered(e core.Time) []int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	act := mc.activeAt(e)
+	if !act[mc.opts.Proc] {
+		return nil
+	}
+	live := make([]int, 0, mc.opts.Procs)
+	for p, a := range act {
+		if a {
+			live = append(live, p)
+		}
+	}
+	w := mc.opts.WorkersPerProc
+	var out []int
+	for p, a := range act {
+		for i := 0; i < w; i++ {
+			g := p*w + i
+			if a {
+				if p == mc.opts.Proc {
+					out = append(out, g)
+				}
+			} else if live[g%len(live)] == mc.opts.Proc {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// ReplaySlots partitions the full input slot space among the processes live
+// at epoch e; the crash replay uses it so every lost record is re-injected
+// by exactly one survivor.
+func (mc *MembershipController) ReplaySlots(e core.Time) []int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	live := make([]int, 0, mc.opts.Procs)
+	for p, a := range mc.activeAt(e) {
+		if a {
+			live = append(live, p)
+		}
+	}
+	var out []int
+	total := mc.opts.Procs * mc.opts.WorkersPerProc
+	for g := 0; g < total; g++ {
+		if live[g%len(live)] == mc.opts.Proc {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// NextCommit returns the decided transition the drive loop has not committed
+// yet, or nil. The loop commits it when its epoch reaches Transition.Epoch
+// (RunBarrier for join and crash-leave, CommitDrain for drain-leave).
+func (mc *MembershipController) NextCommit() *Transition {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.pending
+}
+
+// MovesAt removes and returns the control moves every member injects on its
+// local control input at epoch e (nil when none).
+func (mc *MembershipController) MovesAt(e core.Time) []core.Move {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	var out []core.Move
+	kept := mc.injections[:0]
+	for _, tm := range mc.injections {
+		if tm.epoch == e {
+			out = append(out, tm.moves...)
+		} else {
+			kept = append(kept, tm)
+		}
+	}
+	mc.injections = kept
+	return out
+}
+
+// Tick runs once per drive-loop epoch: it broadcasts the heartbeat, advances
+// the suspicion clock, and — on the leader — decides any pending transition.
+func (mc *MembershipController) Tick(now core.Time) {
+	mc.lastTick.Store(int64(now))
+	mc.beatBuf = append(mc.beatBuf[:0], memKindBeat)
+	mc.opts.Bus.BroadcastControl(mc.beatBuf)
+	advance := true
+	if d := int64(mc.opts.TickEvery); d > 0 {
+		nano := time.Now().UnixNano()
+		advance = nano-mc.tickNano.Load() >= d
+		if advance {
+			mc.tickNano.Store(nano)
+		}
+	}
+	if advance {
+		n := mc.ticks.Add(1)
+		mc.lastHeard[mc.opts.Proc].Store(n)
+	}
+
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	// A recorded request can have been satisfied by a decision made
+	// elsewhere (every process records inbound requests, not just the
+	// leader that decides them); drop it rather than re-deciding it after
+	// a leadership change.
+	if mc.helloFrom >= 0 && mc.active[mc.helloFrom] {
+		mc.helloFrom = -1
+	}
+	if mc.leaveFrom >= 0 && !mc.active[mc.leaveFrom] {
+		mc.leaveFrom = -1
+	}
+	if !mc.electLocked(now) {
+		return
+	}
+	if mc.pending != nil || now < mc.settleAt || now < mc.guardTill {
+		return
+	}
+	switch {
+	case mc.helloFrom >= 0:
+		mc.decideJoinLocked(now, mc.helloFrom)
+	case mc.leaveFrom >= 0:
+		mc.decideDrainLocked(now, mc.leaveFrom)
+	default:
+		if dead := mc.deadCandidateLocked(); dead >= 0 {
+			mc.decideCrashLocked(now, dead)
+		}
+	}
+}
+
+// suspected reports whether member q has missed more than SuspectAfter
+// heartbeat windows (never true of the local process).
+func (mc *MembershipController) suspected(q int) bool {
+	if q == mc.opts.Proc {
+		return false
+	}
+	return mc.ticks.Load()-mc.lastHeard[q].Load() > int64(mc.opts.SuspectAfter)
+}
+
+// electLocked re-evaluates leadership: lowest unsuspected current member. A
+// process that acquires leadership mid-run (not process 0 at startup) must
+// wait Margin epochs before deciding, so a dying leader's in-flight decision
+// either surfaces (it was broadcast) or never happened.
+func (mc *MembershipController) electLocked(now core.Time) bool {
+	lead := false
+	for q := 0; q < mc.opts.Procs; q++ {
+		if !mc.active[q] || mc.deadGone[q] {
+			continue
+		}
+		if q == mc.opts.Proc {
+			lead = true
+		}
+		if q == mc.opts.Proc || !mc.suspected(q) {
+			lead = lead && q == mc.opts.Proc
+			break
+		}
+	}
+	if lead && !mc.leader {
+		if !(mc.opts.Proc == 0 && !mc.everLed) {
+			mc.guardTill = now + mc.opts.Margin
+			mc.opts.logf("megaphone: process %d assumed membership leadership at epoch %d", mc.opts.Proc, now)
+		}
+		mc.everLed = true
+	}
+	mc.leader = lead
+	return lead
+}
+
+// deadCandidateLocked returns a member to declare dead: active, not already
+// gone, and silent for SuspectAfter+DeathAfter windows.
+func (mc *MembershipController) deadCandidateLocked() int {
+	n := mc.ticks.Load()
+	for q := 0; q < mc.opts.Procs; q++ {
+		if q == mc.opts.Proc || !mc.active[q] || mc.deadGone[q] {
+			continue
+		}
+		if n-mc.lastHeard[q].Load() > int64(mc.opts.SuspectAfter+mc.opts.DeathAfter) {
+			return q
+		}
+	}
+	return -1
+}
+
+// RequestLeave asks the leader to drain this process out. Idempotent; the
+// decision arrives like any other and the drive loop commits it at its epoch.
+func (mc *MembershipController) RequestLeave() {
+	mc.mu.Lock()
+	self := mc.leader
+	if self && mc.leaveFrom < 0 {
+		mc.leaveFrom = mc.opts.Proc
+	}
+	mc.mu.Unlock()
+	if !self {
+		mc.opts.Bus.BroadcastControl([]byte{memKindLeaveReq})
+	}
+}
+
+// AwaitAdmission is the joiner's entry point: broadcast the admission request
+// and block until the leader's join decision arrives. The caller must then
+// advance every local input to the returned transition's epoch and call
+// RunBarrier.
+func (mc *MembershipController) AwaitAdmission() (*Transition, error) {
+	if !mc.Joiner() {
+		panic("plan: AwaitAdmission on a process that is not a joiner")
+	}
+	mc.opts.Bus.BroadcastControl([]byte{memKindHello})
+	deadline := time.Now().Add(mc.opts.BarrierTimeout)
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	for mc.joinDecision == nil {
+		if !mc.waitLocked(deadline) {
+			return nil, fmt.Errorf("plan: process %d: no admission decision within %v", mc.opts.Proc, mc.opts.BarrierTimeout)
+		}
+	}
+	return mc.joinDecision, nil
+}
+
+// Goodbye is the leaver's final control frame: the survivors retire the slot
+// on receipt. Sent after the leaver observed its drain complete (probe
+// frontier past the commit epoch), so per-peer FIFO guarantees every dataflow
+// frame it ever sent is already delivered.
+func (mc *MembershipController) Goodbye() {
+	mc.opts.Bus.BroadcastControl([]byte{memKindGoodbye})
+}
+
+// waitLocked waits on the condition variable with a deadline; returns false
+// once the deadline passed. The timer wakes the wait via Broadcast.
+func (mc *MembershipController) waitLocked(deadline time.Time) bool {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return false
+	}
+	t := time.AfterFunc(d, func() {
+		mc.mu.Lock()
+		mc.cond.Broadcast()
+		mc.mu.Unlock()
+	})
+	mc.cond.Wait()
+	t.Stop()
+	return time.Now().Before(deadline)
+}
+
+// liveWorkers lists the global worker indices of the given processes.
+func (mc *MembershipController) liveWorkers(procs []int) []int {
+	var out []int
+	for _, p := range procs {
+		for i := 0; i < mc.opts.WorkersPerProc; i++ {
+			out = append(out, p*mc.opts.WorkersPerProc+i)
+		}
+	}
+	return out
+}
+
+// decideJoinLocked renders and broadcasts the admission of `slot`. The seed
+// moves replay the current assignment at the commit epoch — a no-op for the
+// members, the routing history for the joiner — and the rebalance moves a
+// margin later migrate bins onto the joiner's workers through the ordinary
+// prepare/complete migration path.
+func (mc *MembershipController) decideJoinLocked(now core.Time, slot int) {
+	commit := now + mc.opts.Margin
+	after := append([]bool(nil), mc.active...)
+	after[slot] = true
+	tr := &Transition{Kind: TransitionJoin, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1}
+	seed := Diff(Initial(mc.opts.Bins, mc.opts.Procs*mc.opts.WorkersPerProc), mc.assign)
+	rebalEpoch := commit + mc.opts.Margin
+	target := Rebalance(mc.opts.Bins, mc.liveWorkers(participantsOf(after)))
+	rebal := Diff(mc.assign, target)
+	mc.helloFrom = -1
+	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, seed}, {rebalEpoch, rebal}}, target)
+}
+
+// decideDrainLocked renders and broadcasts the departure of `slot`: its bins
+// move round-robin onto the survivors at the commit epoch.
+func (mc *MembershipController) decideDrainLocked(now core.Time, slot int) {
+	commit := now + mc.opts.Margin
+	after := append([]bool(nil), mc.active...)
+	after[slot] = false
+	tr := &Transition{Kind: TransitionDrain, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1}
+	moves, target := mc.reassignLocked(slot, after, 0)
+	mc.leaveFrom = -1
+	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, moves}}, target)
+}
+
+// decideCrashLocked declares `slot` dead, provided a complete checkpoint
+// exists to rebuild its bins from (without one the state is unrecoverable,
+// so declaration waits for the next checkpoint to complete).
+func (mc *MembershipController) decideCrashLocked(now core.Time, slot int) {
+	if mc.opts.CheckpointDir == "" {
+		panic(fmt.Sprintf("plan: process %d is dead but membership has no CheckpointDir to restore from (run with checkpointing enabled)", slot))
+	}
+	peers := mc.opts.Procs * mc.opts.WorkersPerProc
+	ckpt, _, ok, err := core.LatestCheckpoint(mc.opts.CheckpointDir, peers)
+	if err != nil {
+		panic(fmt.Sprintf("plan: scanning %s for a checkpoint to restore process %d from: %v", mc.opts.CheckpointDir, slot, err))
+	}
+	if !ok {
+		mc.opts.logf("megaphone: process %d is dead but no complete checkpoint exists yet; deferring declaration", slot)
+		return
+	}
+	commit := now + mc.opts.Margin
+	after := append([]bool(nil), mc.active...)
+	after[slot] = false
+	tr := &Transition{Kind: TransitionCrash, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1, Ckpt: ckpt}
+	moves, target := mc.reassignLocked(slot, after, ckpt)
+	for _, m := range moves {
+		tr.DeadBins = append(tr.DeadBins, m.Bin)
+	}
+	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, moves}}, target)
+}
+
+// reassignLocked computes the moves that take slot's bins away: round-robin
+// onto the remaining members' workers, as plain moves (restoreEpoch 0) or as
+// restore commands when restoreEpoch is set. Returns the moves and the
+// post-transition assignment.
+func (mc *MembershipController) reassignLocked(slot int, after []bool, restoreEpoch core.Time) ([]core.Move, Assignment) {
+	w := mc.opts.WorkersPerProc
+	lw := mc.liveWorkers(participantsOf(after))
+	target := append(Assignment(nil), mc.assign...)
+	var moves []core.Move
+	i := 0
+	for b, owner := range mc.assign {
+		if owner/w != slot {
+			continue
+		}
+		nw := lw[i%len(lw)]
+		i++
+		target[b] = nw
+		if restoreEpoch > 0 {
+			moves = append(moves, core.RestoreMove(b, nw, restoreEpoch))
+		} else {
+			moves = append(moves, core.Move{Bin: b, Worker: nw})
+		}
+	}
+	return moves, target
+}
+
+func participantsOf(active []bool) []int {
+	var out []int
+	for p, a := range active {
+		if a {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// broadcastDecisionLocked encodes, broadcasts, and locally applies one
+// decision. schedule pairs are (epoch, moves).
+func (mc *MembershipController) broadcastDecisionLocked(tr *Transition, after []bool, schedule [][2]any, target Assignment) {
+	buf := []byte{memKindDecision}
+	buf = binenc.AppendUvarint(buf, uint64(tr.Kind))
+	buf = binenc.AppendUvarint(buf, uint64(tr.Slot))
+	buf = binenc.AppendUvarint(buf, uint64(tr.Epoch))
+	buf = binenc.AppendUvarint(buf, tr.MemEpoch)
+	buf = binenc.AppendUvarint(buf, uint64(tr.Ckpt))
+	buf = binenc.AppendUvarint(buf, uint64(len(schedule)))
+	for _, se := range schedule {
+		buf = binenc.AppendUvarint(buf, uint64(se[0].(core.Time)))
+		moves := se[1].([]core.Move)
+		buf = binenc.AppendUvarint(buf, uint64(len(moves)))
+		for i := range moves {
+			buf = moves[i].AppendBinaryRec(buf)
+		}
+	}
+	mc.opts.Bus.BroadcastControl(buf)
+	mc.opts.logf("megaphone: process %d decided %v of process %d at epoch %d (membership epoch %d, checkpoint %d)",
+		mc.opts.Proc, tr.Kind, tr.Slot, tr.Epoch, tr.MemEpoch, tr.Ckpt)
+	mc.applyDecisionLocked(tr, scheduleOf(schedule))
+	_ = target
+}
+
+func scheduleOf(schedule [][2]any) []timedMoves {
+	var out []timedMoves
+	for _, se := range schedule {
+		out = append(out, timedMoves{epoch: se[0].(core.Time), moves: se[1].([]core.Move)})
+	}
+	return out
+}
+
+// applyDecisionLocked applies one decision to the local state: timeline and
+// view, assignment mirror, move injections, peer retirement, and the pending
+// commit the drive loop will pick up. Runs on the decider and, via
+// onControl, on every member that receives the broadcast.
+func (mc *MembershipController) applyDecisionLocked(tr *Transition, schedule []timedMoves) {
+	if last := core.Time(mc.lastTick.Load()); tr.Epoch <= last {
+		panic(fmt.Sprintf("plan: process %d received a %v decision committing at epoch %d but its loop is already at %d; raise the membership margin",
+			mc.opts.Proc, tr.Kind, tr.Epoch, last))
+	}
+	after := append([]bool(nil), mc.active...)
+	after[tr.Slot] = tr.Kind == TransitionJoin
+	mc.timeline = append(mc.timeline, memStep{from: tr.Epoch, active: after})
+	mc.active = after
+	mc.memEpoch = tr.MemEpoch
+	viewFrom := tr.Epoch
+	if tr.Kind == TransitionDrain {
+		// The drain moves are broadcast at the commit epoch and the leaver
+		// itself must execute them — it is the worker that ships the departing
+		// bins' state. A view excluding it at that exact epoch would make the
+		// broadcast pact skip it, so the engine view flips one epoch later.
+		// The plan timeline above still flips at the commit epoch: input
+		// coverage hands over exactly there.
+		viewFrom++
+	}
+	mc.opts.Fabric.InstallView(viewFrom, after)
+	mc.opts.Fabric.SetMembershipEpoch(tr.MemEpoch)
+	for _, tm := range schedule {
+		mc.injections = append(mc.injections, tm)
+		for _, m := range tm.moves {
+			if !m.IsCheckpoint() && m.Bin >= 0 && m.Bin < len(mc.assign) {
+				mc.assign[m.Bin] = m.Worker
+			}
+		}
+	}
+	switch tr.Kind {
+	case TransitionCrash:
+		// Stop queueing frames to the dead slot immediately; the barrier at
+		// the commit epoch wipes the resulting phantom message counts.
+		mc.deadGone[tr.Slot] = true
+		mc.opts.Fabric.RetirePeer(tr.Slot)
+	case TransitionJoin:
+		// The joiner starts its heartbeat clock now; give it a fresh window.
+		mc.lastHeard[tr.Slot].Store(mc.ticks.Load())
+	}
+	if mc.helloFrom == tr.Slot && mc.active[tr.Slot] {
+		mc.helloFrom = -1
+	}
+	if mc.leaveFrom == tr.Slot && !mc.active[tr.Slot] {
+		mc.leaveFrom = -1
+	}
+	mc.settleAt = tr.Epoch + 2*mc.opts.Margin
+	if tr.Kind == TransitionJoin && tr.Slot == mc.opts.Proc {
+		mc.joinDecision = tr
+	} else {
+		mc.pending = tr
+	}
+	mc.cond.Broadcast()
+}
+
+// CommitDrain marks a drain-leave transition committed: the drive loop calls
+// it at the commit epoch, right before injecting the drain moves MovesAt
+// returns for that epoch. No barrier runs — the leaver retires its holds via
+// ordinary progress broadcasts as its inputs close.
+func (mc *MembershipController) CommitDrain(tr *Transition) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.pending == tr {
+		mc.pending = nil
+	}
+}
+
+// RunBarrier executes the membership barrier of a join or crash-leave
+// transition on the drive-loop goroutine. On entry every local input handle
+// must already be advanced to tr.Epoch (the joiner's pre-advanced from its
+// initial epoch). On return the transition is committed: workers resumed,
+// membership view active, tracker rebuilt. For crash-leave the caller must
+// then re-inject the purged window per BarrierResult.Cut.
+func (mc *MembershipController) RunBarrier(tr *Transition) BarrierResult {
+	deadline := time.Now().Add(mc.opts.BarrierTimeout)
+	parts := func() []int {
+		mc.mu.Lock()
+		defer mc.mu.Unlock()
+		return mc.participants(tr.Epoch)
+	}()
+	joining := tr.Kind == TransitionJoin && tr.Slot == mc.opts.Proc
+
+	// Phase 1: quiescence. Broadcast (frontier, counters) rounds until every
+	// participant reports, the reports match pairwise, and nothing changed
+	// across two consecutive rounds. A joiner's own tracker holds only
+	// pre-admission garbage, so it reports the commit epoch as its frontier;
+	// the members report their real probe frontier, which at quiescence is
+	// the commit epoch (join) or the wedged cut (crash-leave).
+	var stable map[int]*barSnap
+	for tries := 0; ; tries++ {
+		snap := mc.reportReady(tr, joining)
+		cur := mc.collectReady(tr.Epoch, snap)
+		if ok, cut := barrierQuiesced(parts, cur, tr); ok {
+			if prevEqual(stable, cur, parts) {
+				stable = cur
+				_ = cut
+				break
+			}
+			stable = cur
+		} else {
+			stable = nil
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("plan: process %d: %v barrier at epoch %d did not quiesce within %v",
+				mc.opts.Proc, tr.Kind, tr.Epoch, mc.opts.BarrierTimeout))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_, cut := barrierQuiesced(parts, stable, tr)
+
+	// Phase 2: pause, purge (crash only), inventory. With workers parked no
+	// new dataflow frames can be created, and the stability certificate says
+	// none are in flight, so the capability holds now inventoried are the
+	// complete global pointstamp multiset. The applied bounds ride along:
+	// each worker's state reflects applications up to its own bound, which
+	// at a crash sits at or above the wedged cut, and the replay windows
+	// must respect every one of them.
+	mc.opts.Fabric.Pause()
+	bounds := mc.opts.Fabric.AppliedBounds()
+	if tr.Kind == TransitionCrash {
+		mc.opts.Fabric.PurgeDeferred(cut)
+	}
+	var inv progress.Batch
+	mc.opts.Fabric.HoldInventory(&inv)
+	mc.broadcastInventory(tr.Epoch, stable[mc.opts.Proc], &inv, bounds)
+	others, allBounds := mc.collectInventories(tr.Epoch, parts, stable, deadline, &inv, bounds)
+
+	// Phase 3: rebuild the tracker from the summed inventories and commit
+	// the membership. Every participant resets to the same baseline before
+	// anyone resumes (phase 4's rendezvous), so no post-reset delta can
+	// arrive at a participant that has not reset yet.
+	mc.opts.Fabric.ResetProgress(others)
+	if tr.Kind == TransitionJoin {
+		mc.opts.Fabric.Activate(tr.Slot)
+		mc.lastHeard[tr.Slot].Store(mc.ticks.Load())
+	}
+
+	// Phase 4: wait for every participant's reset before resuming workers.
+	mc.opts.Bus.BroadcastControl(binenc.AppendUvarint([]byte{memKindDone}, uint64(tr.Epoch)))
+	mc.awaitResetDone(tr.Epoch, parts, deadline)
+	mc.opts.Fabric.Resume()
+
+	// Every participant just proved liveness through the barrier's frame
+	// exchange; restart their heartbeat windows so the post-barrier
+	// catch-up burst cannot suspect them over pre-barrier silence.
+	n := mc.ticks.Load()
+	for _, p := range parts {
+		mc.lastHeard[p].Store(n)
+	}
+
+	res := BarrierResult{Cut: cut}
+	mc.mu.Lock()
+	if tr.Kind == TransitionCrash {
+		res.BinCut = mc.binCutLocked(tr, cut, allBounds)
+	}
+	if mc.pending == tr {
+		mc.pending = nil
+	}
+	if joining {
+		mc.joinDecision = nil
+	}
+	delete(mc.ready, tr.Epoch)
+	delete(mc.invs, tr.Epoch)
+	delete(mc.resetOK, tr.Epoch)
+	mc.mu.Unlock()
+	mc.opts.logf("megaphone: process %d: %v barrier at epoch %d complete (cut %d, membership epoch %d)",
+		mc.opts.Proc, tr.Kind, tr.Epoch, cut, tr.MemEpoch)
+	return res
+}
+
+// binCutLocked renders a crash barrier's per-bin replay boundaries from the
+// exchanged applied bounds: the checkpoint epoch for the dead member's bins
+// (their state rolled back there), the owner's applied bound for everyone
+// else's (its state holds every application below the bound and none above).
+// Every participant computes the same boundaries from the same exchanged
+// bounds and the same assignment mirror. A missing owner bound falls back to
+// the wedged cut, which is correct whenever the owner never applied past it.
+func (mc *MembershipController) binCutLocked(tr *Transition, cut core.Time, bounds map[int]core.Time) []core.Time {
+	dead := make(map[int]bool, len(tr.DeadBins))
+	for _, b := range tr.DeadBins {
+		dead[b] = true
+	}
+	out := make([]core.Time, len(mc.assign))
+	for b, owner := range mc.assign {
+		switch bo, ok := bounds[owner]; {
+		case dead[b]:
+			out[b] = tr.Ckpt
+		case ok:
+			out[b] = bo
+		default:
+			out[b] = cut
+		}
+	}
+	return out
+}
+
+// reportReady broadcasts this round's quiescence report and returns it.
+func (mc *MembershipController) reportReady(tr *Transition, joining bool) *barSnap {
+	sent, recv := mc.opts.Fabric.DataCounters()
+	f := mc.opts.Frontier()
+	if joining {
+		f = tr.Epoch
+	}
+	buf := []byte{memKindReady}
+	buf = binenc.AppendUvarint(buf, uint64(tr.Epoch))
+	buf = appendSnap(buf, f, sent, recv)
+	mc.opts.Bus.BroadcastControl(buf)
+	return &barSnap{frontier: f, sent: sent, recv: recv}
+}
+
+// collectReady merges our own report with the latest received per peer.
+func (mc *MembershipController) collectReady(epoch core.Time, own *barSnap) map[int]*barSnap {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	cur := make(map[int]*barSnap, len(mc.ready[epoch])+1)
+	for p, s := range mc.ready[epoch] {
+		cur[p] = s
+	}
+	cur[mc.opts.Proc] = own
+	return cur
+}
+
+// barrierQuiesced evaluates the quiescence conditions over one round's
+// reports and, when met, returns the agreed cut: the common frontier of the
+// participants — the commit epoch at a join, the wedged floor at a crash.
+// Every epoch below the cut is fully applied everywhere; above it,
+// applications vary per worker (the frontier wedges at whatever the dead
+// process last acknowledged, not at what the survivors have applied), which
+// is what the per-worker applied bounds exchanged with the inventories
+// account for.
+func barrierQuiesced(parts []int, snaps map[int]*barSnap, tr *Transition) (bool, core.Time) {
+	var cut core.Time
+	for i, p := range parts {
+		s := snaps[p]
+		if s == nil {
+			return false, 0
+		}
+		if i == 0 {
+			cut = s.frontier
+		} else if s.frontier != cut {
+			return false, 0
+		}
+	}
+	if tr.Kind == TransitionJoin && cut != tr.Epoch {
+		return false, 0
+	}
+	for _, p := range parts {
+		for _, q := range parts {
+			if p == q {
+				continue
+			}
+			if snaps[p].sent[q] != snaps[q].recv[p] {
+				return false, 0
+			}
+		}
+	}
+	return true, cut
+}
+
+// prevEqual reports whether two consecutive rounds' reports are identical
+// over the participants (the stability half of the Safra certificate).
+func prevEqual(prev, cur map[int]*barSnap, parts []int) bool {
+	if prev == nil {
+		return false
+	}
+	for _, p := range parts {
+		a, b := prev[p], cur[p]
+		if a == nil || b == nil || a.frontier != b.frontier {
+			return false
+		}
+		for i := range a.sent {
+			if a.sent[i] != b.sent[i] || a.recv[i] != b.recv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// broadcastInventory ships this process's hold inventory and applied bounds,
+// tagged with the counters from its stable ready report so receivers can
+// certify nothing moved in between.
+func (mc *MembershipController) broadcastInventory(epoch core.Time, snap *barSnap, inv *progress.Batch, bounds map[int]core.Time) {
+	buf := []byte{memKindInv}
+	buf = binenc.AppendUvarint(buf, uint64(epoch))
+	buf = appendSnap(buf, snap.frontier, snap.sent, snap.recv)
+	buf = binenc.AppendUvarint(buf, uint64(len(bounds)))
+	for w, b := range bounds {
+		buf = binenc.AppendUvarint(buf, uint64(w))
+		buf = binenc.AppendUvarint(buf, uint64(b))
+	}
+	buf = inv.AppendWire(buf)
+	mc.opts.Bus.BroadcastControl(buf)
+}
+
+// collectInventories waits for every other participant's inventory, verifies
+// its counters still match the stability certificate, and folds all deltas
+// (including our own) into one batch and all applied bounds into one map.
+func (mc *MembershipController) collectInventories(epoch core.Time, parts []int, stable map[int]*barSnap, deadline time.Time, own *progress.Batch, ownBounds map[int]core.Time) (*progress.Batch, map[int]core.Time) {
+	sum := &progress.Batch{}
+	sum.Deltas = append(sum.Deltas, own.Deltas...)
+	bounds := make(map[int]core.Time, len(ownBounds)*len(parts))
+	for w, b := range ownBounds {
+		bounds[w] = b
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	for _, p := range parts {
+		if p == mc.opts.Proc {
+			continue
+		}
+		for mc.invs[epoch][p] == nil {
+			if !mc.waitLocked(deadline) {
+				panic(fmt.Sprintf("plan: process %d: no hold inventory from process %d for the barrier at epoch %d within %v",
+					mc.opts.Proc, p, epoch, mc.opts.BarrierTimeout))
+			}
+		}
+		is := mc.invs[epoch][p]
+		want := stable[p]
+		for i := range is.sent {
+			if is.sent[i] != want.sent[i] || is.recv[i] != want.recv[i] {
+				panic(fmt.Sprintf("plan: process %d: process %d's frame counters moved between quiescence and pause at the barrier at epoch %d",
+					mc.opts.Proc, p, epoch))
+			}
+		}
+		sum.Deltas = append(sum.Deltas, is.batch.Deltas...)
+		for w, b := range is.bounds {
+			bounds[w] = b
+		}
+	}
+	return sum, bounds
+}
+
+// awaitResetDone blocks until every other participant confirmed its tracker
+// reset for the barrier at the given epoch.
+func (mc *MembershipController) awaitResetDone(epoch core.Time, parts []int, deadline time.Time) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	for _, p := range parts {
+		if p == mc.opts.Proc {
+			continue
+		}
+		for !mc.resetOK[epoch][p] {
+			if !mc.waitLocked(deadline) {
+				panic(fmt.Sprintf("plan: process %d: process %d did not confirm its tracker reset for the barrier at epoch %d within %v",
+					mc.opts.Proc, p, epoch, mc.opts.BarrierTimeout))
+			}
+		}
+	}
+}
+
+func appendSnap(buf []byte, f core.Time, sent, recv []uint64) []byte {
+	buf = binenc.AppendUvarint(buf, uint64(f))
+	buf = binenc.AppendUvarint(buf, uint64(len(sent)))
+	for _, v := range sent {
+		buf = binenc.AppendUvarint(buf, v)
+	}
+	for _, v := range recv {
+		buf = binenc.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+func parseSnap(data []byte) (*barSnap, []byte, error) {
+	f, data, err := binenc.Uvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	n64, data, err := binenc.Count(data, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(n64)
+	s := &barSnap{frontier: core.Time(f), sent: make([]uint64, n), recv: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		if s.sent[i], data, err = binenc.Uvarint(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.recv[i], data, err = binenc.Uvarint(data); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, data, nil
+}
+
+// onControl handles one inbound membership frame. Runs on the bus's
+// serialized handler context.
+func (mc *MembershipController) onControl(from int, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	kind, body := payload[0], payload[1:]
+	if kind == memKindBeat {
+		mc.lastHeard[from].Store(mc.ticks.Load())
+		return
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	switch kind {
+	case memKindHello:
+		mc.lastHeard[from].Store(mc.ticks.Load())
+		if !mc.active[from] && !mc.deadGone[from] {
+			mc.helloFrom = from
+		}
+	case memKindLeaveReq:
+		if mc.active[from] {
+			mc.leaveFrom = from
+		}
+	case memKindGoodbye:
+		if mc.active[from] || !mc.deadGone[from] {
+			mc.deadGone[from] = true
+			mc.opts.Fabric.RetirePeer(from)
+			mc.opts.logf("megaphone: process %d: process %d said goodbye; retired", mc.opts.Proc, from)
+		}
+	case memKindDecision:
+		tr, schedule, err := parseDecision(body)
+		if err != nil {
+			panic(fmt.Sprintf("plan: process %d: corrupt membership decision from %d: %v", mc.opts.Proc, from, err))
+		}
+		mc.applyDecisionLocked(tr, schedule)
+	case memKindReady, memKindInv, memKindDone:
+		e, rest, err := binenc.Uvarint(body)
+		if err != nil {
+			panic(fmt.Sprintf("plan: process %d: corrupt membership barrier frame from %d: %v", mc.opts.Proc, from, err))
+		}
+		epoch := core.Time(e)
+		switch kind {
+		case memKindReady:
+			s, _, err := parseSnap(rest)
+			if err != nil {
+				panic(fmt.Sprintf("plan: process %d: corrupt barrier ready frame from %d: %v", mc.opts.Proc, from, err))
+			}
+			if mc.ready[epoch] == nil {
+				mc.ready[epoch] = make(map[int]*barSnap)
+			}
+			mc.ready[epoch][from] = s
+		case memKindInv:
+			s, rest2, err := parseSnap(rest)
+			if err != nil {
+				panic(fmt.Sprintf("plan: process %d: corrupt barrier inventory frame from %d: %v", mc.opts.Proc, from, err))
+			}
+			is := &invSnap{barSnap: *s}
+			nb, rest2, err := binenc.Count(rest2, 2)
+			if err != nil {
+				panic(fmt.Sprintf("plan: process %d: corrupt barrier inventory bounds from %d: %v", mc.opts.Proc, from, err))
+			}
+			is.bounds = make(map[int]core.Time, nb)
+			for i := uint64(0); i < nb; i++ {
+				var w, b uint64
+				if w, rest2, err = binenc.Uvarint(rest2); err == nil {
+					b, rest2, err = binenc.Uvarint(rest2)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("plan: process %d: corrupt barrier inventory bounds from %d: %v", mc.opts.Proc, from, err))
+				}
+				is.bounds[int(w)] = core.Time(b)
+			}
+			if err := is.batch.DecodeWire(rest2); err != nil {
+				panic(fmt.Sprintf("plan: process %d: corrupt barrier inventory batch from %d: %v", mc.opts.Proc, from, err))
+			}
+			if mc.invs[epoch] == nil {
+				mc.invs[epoch] = make(map[int]*invSnap)
+			}
+			mc.invs[epoch][from] = is
+		case memKindDone:
+			if mc.resetOK[epoch] == nil {
+				mc.resetOK[epoch] = make(map[int]bool)
+			}
+			mc.resetOK[epoch][from] = true
+		}
+		mc.cond.Broadcast()
+	default:
+		mc.opts.logf("megaphone: process %d: unknown membership payload kind %d from %d", mc.opts.Proc, kind, from)
+	}
+}
+
+// parseDecision decodes a decision frame (sans kind byte).
+func parseDecision(data []byte) (*Transition, []timedMoves, error) {
+	var k, slot, epoch, mem, ckpt, ns uint64
+	var err error
+	if k, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if slot, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if epoch, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if mem, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if ckpt, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	tr := &Transition{Kind: TransitionKind(k), Slot: int(slot), Epoch: core.Time(epoch), MemEpoch: mem, Ckpt: core.Time(ckpt)}
+	if ns, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	var schedule []timedMoves
+	for s := uint64(0); s < ns; s++ {
+		var e, nm uint64
+		if e, data, err = binenc.Uvarint(data); err != nil {
+			return nil, nil, err
+		}
+		if nm, data, err = binenc.Uvarint(data); err != nil {
+			return nil, nil, err
+		}
+		tm := timedMoves{epoch: core.Time(e), moves: make([]core.Move, nm)}
+		for i := range tm.moves {
+			if data, err = tm.moves[i].DecodeBinaryRec(data); err != nil {
+				return nil, nil, err
+			}
+		}
+		schedule = append(schedule, tm)
+	}
+	if tr.Kind == TransitionCrash {
+		for _, tm := range schedule {
+			for _, m := range tm.moves {
+				if m.IsRestore() {
+					tr.DeadBins = append(tr.DeadBins, m.Bin)
+				}
+			}
+		}
+	}
+	return tr, schedule, nil
+}

@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"testing"
+
+	"megaphone/internal/core"
+)
+
+// nopBus satisfies ControlBus for tests that only exercise the local half of
+// the control plane (heartbeat clocks, election) and never need delivery.
+type nopBus struct{}
+
+func (nopBus) BroadcastControl([]byte)             {}
+func (nopBus) SetControlHandler(func(int, []byte)) {}
+
+// newSuspectState builds a clusterState for process `proc` of a three-process
+// roster, so leaderIndex scans real lower-indexed peers.
+func newSuspectState(proc, suspectAfter int) *clusterState {
+	const procs, wpp, logBins = 3, 2, 2
+	meter := core.NewLoadMeter(procs*wpp, logBins)
+	return newClusterState(meter, ClusterOptions{
+		Bus:            nopBus{},
+		Procs:          procs,
+		Proc:           proc,
+		WorkersPerProc: wpp,
+		SuspectAfter:   suspectAfter,
+	})
+}
+
+// heard simulates the inbound fold path of a load delta from process q: the
+// handler stores the current local sample clock (cluster.go onControl).
+func heard(cs *clusterState, q int) {
+	cs.lastHeard[q].Store(cs.samples.Load())
+	cs.heard[q].Store(true)
+}
+
+// TestSuspicionNeverWithRegularBeats pins the healthy side of the suspicion
+// boundary: a peer heard from at least once every SuspectAfter-1 sampling
+// windows is never suspected, so leadership never strays from it.
+func TestSuspicionNeverWithRegularBeats(t *testing.T) {
+	const suspectAfter = 4
+	cs := newSuspectState(2, suspectAfter)
+	for w := 1; w <= 12*suspectAfter; w++ {
+		cs.sample()
+		if w%(suspectAfter-1) == 0 {
+			heard(cs, 0)
+			heard(cs, 1)
+		}
+		if got := cs.leaderIndex(); got != 0 {
+			t.Fatalf("window %d: leaderIndex = %d; a peer beating every %d windows must never be suspected",
+				w, got, suspectAfter-1)
+		}
+	}
+}
+
+// TestSuspicionBoundaryExact pins the exact suspicion edge: a peer that goes
+// silent survives SuspectAfter windows of silence and is suspected on the
+// next one (silence strictly greater than SuspectAfter windows).
+func TestSuspicionBoundaryExact(t *testing.T) {
+	const suspectAfter = 4
+	cs := newSuspectState(2, suspectAfter)
+	heard(cs, 0) // last sign of life at sample clock 0
+	heard(cs, 1)
+	for w := 1; w <= suspectAfter; w++ {
+		cs.sample()
+		heard(cs, 1) // peer 1 stays chatty; only peer 0 goes silent
+		if got := cs.leaderIndex(); got != 0 {
+			t.Fatalf("window %d of %d: peer 0 suspected one window early (leaderIndex = %d)",
+				w, suspectAfter, got)
+		}
+	}
+	cs.sample()
+	heard(cs, 1)
+	if got := cs.leaderIndex(); got != 1 {
+		t.Fatalf("window %d: peer 0 still unsuspected after more than SuspectAfter silent windows (leaderIndex = %d)",
+			suspectAfter+1, got)
+	}
+}
+
+// TestSuspicionLateBeatUnsuspects pins recovery: a suspected peer that
+// resumes its heartbeat is unsuspected at once and takes leadership back.
+func TestSuspicionLateBeatUnsuspects(t *testing.T) {
+	const suspectAfter = 3
+	cs := newSuspectState(2, suspectAfter)
+	for w := 1; w <= suspectAfter+2; w++ {
+		cs.sample()
+		heard(cs, 1)
+	}
+	if got := cs.leaderIndex(); got != 1 {
+		t.Fatalf("setup: peer 0 should be suspected (leaderIndex = %d)", got)
+	}
+	heard(cs, 0) // the late beat
+	if got := cs.leaderIndex(); got != 0 {
+		t.Fatalf("after a late beat peer 0 must be unsuspected (leaderIndex = %d)", got)
+	}
+	// And suspicion re-arms from the new clock, not the old one.
+	for w := 1; w <= suspectAfter; w++ {
+		cs.sample()
+		heard(cs, 1)
+		if got := cs.leaderIndex(); got != 0 {
+			t.Fatalf("window %d after recovery: suspicion re-armed early (leaderIndex = %d)", w, got)
+		}
+	}
+	cs.sample()
+	heard(cs, 1)
+	if got := cs.leaderIndex(); got != 1 {
+		t.Fatalf("suspicion did not re-arm after recovery (leaderIndex = %d)", got)
+	}
+}
+
+// TestSuspicionCoverageGate pins covered(): a silent peer that never sent
+// telemetry blocks coverage until its silence exceeds the suspect window.
+func TestSuspicionCoverageGate(t *testing.T) {
+	const suspectAfter = 4
+	cs := newSuspectState(0, suspectAfter)
+	heard(cs, 1)
+	for w := 1; w <= suspectAfter; w++ {
+		cs.sample()
+		heard(cs, 1)
+		if cs.covered() {
+			t.Fatalf("window %d: covered with peer 2 unheard and not yet suspect", w)
+		}
+	}
+	cs.sample()
+	heard(cs, 1)
+	if !cs.covered() {
+		t.Fatal("peer 2 silent past the suspect window must count as covered (suspicion stands in for telemetry)")
+	}
+}

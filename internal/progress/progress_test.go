@@ -240,3 +240,48 @@ func TestConcurrentApply(t *testing.T) {
 		t.Fatal("not idle after concurrent churn")
 	}
 }
+
+// TestResetCountsRebuildsMultiset: ResetCounts discards every existing
+// pointstamp — including entries no survivor could ever retire, the
+// crash-leave wedge — and installs exactly the supplied inventory, bumping
+// version, liveness, and every port epoch.
+func TestResetCountsRebuildsMultiset(t *testing.T) {
+	tr, midIn, outIn, e1, _ := linearGraph()
+	var b Batch
+	srcCap := tr.CapLocation(Port{0, 0})
+	// A "dead member's" orphaned message at 2 plus a legitimate hold at 5.
+	b.Add(tr.EdgeLocation(e1), 2, 1)
+	b.Add(srcCap, 5, 1)
+	tr.Apply(&b)
+	if f := tr.Frontier(midIn); f != 2 {
+		t.Fatalf("frontier = %v, want 2 (orphan wedges it)", f)
+	}
+	v, pe := tr.Version(), tr.PortEpoch(tr.PortID(midIn))
+
+	// Rebuild from an inventory holding only the capability at 5.
+	var inv Batch
+	inv.Add(srcCap, 5, 1)
+	tr.ResetCounts(&inv)
+	if f := tr.Frontier(midIn); f != 5 {
+		t.Fatalf("rebuilt frontier = %v, want 5 (orphan gone)", f)
+	}
+	if f := tr.Frontier(outIn); f != 5 {
+		t.Fatalf("rebuilt downstream frontier = %v, want 5", f)
+	}
+	if tr.Idle() {
+		t.Fatal("rebuilt tracker idle with a live capability")
+	}
+	if tr.Version() == v {
+		t.Fatal("ResetCounts did not bump version")
+	}
+	if tr.PortEpoch(tr.PortID(midIn)) == pe {
+		t.Fatal("ResetCounts did not bump port epochs")
+	}
+
+	// An empty inventory means done.
+	var empty Batch
+	tr.ResetCounts(&empty)
+	if !tr.Idle() {
+		t.Fatal("tracker not idle after empty rebuild")
+	}
+}

@@ -345,6 +345,47 @@ func (t *Tracker) Apply(b *Batch) {
 	t.mu.Unlock()
 }
 
+// ResetCounts atomically replaces the tracker's entire pointstamp multiset
+// with the contents of b, as if the tracker were freshly built and b were
+// its first Apply. This is the crash-leave recovery primitive: after a
+// member is declared dead, the global multiset contains its unretired
+// pointstamps (productions whose consumptions died with it, and vice
+// versa), which no surviving worker can ever retire — the frontier would
+// wedge forever. The survivors instead exchange their local hold
+// inventories (op capability holds and input capabilities — at agreed
+// quiescence nothing else is genuinely outstanding), sum them identically,
+// and each rebuilds its tracker from that consistent picture. All port
+// epochs are bumped and waiters woken, since any frontier may have moved.
+func (t *Tracker) ResetCounts(b *Batch) {
+	b.coalesce()
+	t.mu.Lock()
+	for i := range t.locs {
+		t.locs[i] = multiset{}
+	}
+	for _, d := range b.Deltas {
+		t.locs[d.Loc].update(d.Time, d.Delta, t.negOK)
+	}
+	live := int64(0)
+	for i := range t.locs {
+		if !t.locs[i].empty() {
+			live++
+		}
+	}
+	t.live.Store(live)
+	for i := range t.portEpochs {
+		t.portEpochs[i].Add(1)
+	}
+	t.version.Add(1)
+	for _, w := range t.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	t.waiters = t.waiters[:0]
+	t.mu.Unlock()
+}
+
 // Frontier returns the least timestamp that may still arrive at the given
 // node input port, or None if no more messages can arrive there.
 func (t *Tracker) Frontier(p Port) Time {

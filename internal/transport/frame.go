@@ -23,6 +23,7 @@ const (
 	kindHelloAck byte = 1 // handshake reply, acceptor -> dialer
 	kindAck      byte = 2 // cumulative receive acknowledgement
 	kindFin      byte = 3 // sender has no further frames (shutdown barrier)
+	kindReject   byte = 4 // handshake rejection with a reason, acceptor -> dialer
 
 	// KindUser is the first frame kind available to the layer above.
 	KindUser byte = 16
@@ -33,8 +34,11 @@ const (
 	// Magic opens every handshake payload.
 	Magic uint32 = 0x4d475048 // "MGPH"
 	// Version is the wire protocol version; a handshake with any other
-	// version is rejected.
-	Version uint16 = 1
+	// version is rejected. Version 2 added the membership epoch to the
+	// handshake (dynamic membership): a version-1 hello is one a build
+	// predating reconfigurable clusters would send, and is rejected rather
+	// than defaulted so a stale binary cannot silently join under epoch 0.
+	Version uint16 = 2
 	// DefaultMaxFrame bounds the total encoded size of one frame unless
 	// Config.MaxFrame overrides it. Oversized frames are rejected on both
 	// sides: Send panics (a programming error — the layer above bounds its
@@ -120,12 +124,22 @@ func (fr *FrameReader) Next() (kind byte, seq uint64, payload []byte, err error)
 type hello struct {
 	ClusterID uint64
 	From      int // process index of the hello's sender
-	Procs     int // total process count, verified to match
+	Procs     int // total roster size, verified to match
 	RecvSeq   uint64
+	// MembershipEpoch is the sender's current membership view version. The
+	// roster (Procs) is fixed for a cluster's lifetime; which roster slots
+	// are active changes at membership epochs, and a connection between two
+	// processes whose views have diverged is still valid — the view is
+	// reconciled by the control plane, not the transport — so the epoch is
+	// carried for observability and for the acceptor to admit dials from
+	// peers it has not itself activated yet.
+	MembershipEpoch uint64
 }
 
 // appendHello encodes h at the given protocol version (the version argument
-// exists so tests can forge a mismatching handshake).
+// exists so tests can forge a mismatching handshake). Version 1 emits the
+// legacy 26-byte payload without the membership epoch, exactly as an old
+// build would, so rejection tests exercise the true old wire format.
 func appendHello(buf []byte, h hello, version uint16) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, Magic)
 	buf = binary.BigEndian.AppendUint16(buf, version)
@@ -133,24 +147,37 @@ func appendHello(buf []byte, h hello, version uint16) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(h.From))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Procs))
 	buf = binary.BigEndian.AppendUint64(buf, h.RecvSeq)
+	if version >= 2 {
+		buf = binary.BigEndian.AppendUint64(buf, h.MembershipEpoch)
+	}
 	return buf
 }
 
 // parseHello decodes and validates a handshake payload.
 func parseHello(p []byte) (hello, error) {
-	if len(p) != 4+2+8+2+2+8 {
+	if len(p) < 4+2 {
 		return hello{}, fmt.Errorf("transport: handshake payload of %d bytes", len(p))
 	}
 	if m := binary.BigEndian.Uint32(p[0:4]); m != Magic {
 		return hello{}, fmt.Errorf("transport: bad handshake magic %#x", m)
 	}
+	// Version is checked before length so a version-1 hello (8 bytes
+	// shorter: no membership epoch) is reported as the version skew it is,
+	// not as a truncated payload.
 	if v := binary.BigEndian.Uint16(p[4:6]); v != Version {
+		if v == 1 {
+			return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks 1, this build speaks %d (version 1 predates the membership-epoch handshake; upgrade the peer)", Version)
+		}
 		return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks %d, this build speaks %d", v, Version)
 	}
+	if len(p) != 4+2+8+2+2+8+8 {
+		return hello{}, fmt.Errorf("transport: handshake payload of %d bytes", len(p))
+	}
 	return hello{
-		ClusterID: binary.BigEndian.Uint64(p[6:14]),
-		From:      int(binary.BigEndian.Uint16(p[14:16])),
-		Procs:     int(binary.BigEndian.Uint16(p[16:18])),
-		RecvSeq:   binary.BigEndian.Uint64(p[18:26]),
+		ClusterID:       binary.BigEndian.Uint64(p[6:14]),
+		From:            int(binary.BigEndian.Uint16(p[14:16])),
+		Procs:           int(binary.BigEndian.Uint16(p[16:18])),
+		RecvSeq:         binary.BigEndian.Uint64(p[18:26]),
+		MembershipEpoch: binary.BigEndian.Uint64(p[26:34]),
 	}, nil
 }

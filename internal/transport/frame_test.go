@@ -65,13 +65,44 @@ func TestFrameTornReads(t *testing.T) {
 }
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	h := hello{ClusterID: 0xfeedface, From: 3, Procs: 5, RecvSeq: 42}
+	h := hello{ClusterID: 0xfeedface, From: 3, Procs: 5, RecvSeq: 42, MembershipEpoch: 7}
 	got, err := parseHello(appendHello(nil, h, Version))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != h {
 		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+// TestHandshakeOldVersionRejected pins the compatibility break: a version-1
+// hello — the true legacy wire format, 8 bytes shorter because it predates
+// the membership epoch — is rejected as a version skew with an error that
+// says so, not misreported as a truncated payload.
+func TestHandshakeOldVersionRejected(t *testing.T) {
+	p := appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, RecvSeq: 3}, 1)
+	if want := 4 + 2 + 8 + 2 + 2 + 8; len(p) != want {
+		t.Fatalf("legacy hello is %d bytes, want %d", len(p), want)
+	}
+	_, err := parseHello(p)
+	if err == nil {
+		t.Fatal("expected rejection of version-1 hello")
+	}
+	for _, sub := range []string{"version mismatch", "membership-epoch"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(sub)) {
+			t.Fatalf("error %q does not mention %q", err, sub)
+		}
+	}
+}
+
+// TestHandshakeCurrentVersionTruncated: a current-version hello with the
+// membership epoch cut off is a length error, not a crash.
+func TestHandshakeCurrentVersionTruncated(t *testing.T) {
+	p := appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, MembershipEpoch: 9}, Version)
+	for cut := 6; cut < len(p); cut++ {
+		if _, err := parseHello(p[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
 	}
 }
 
@@ -134,7 +165,31 @@ func FuzzFrameRoundTrip(f *testing.F) {
 
 func FuzzParseHello(f *testing.F) {
 	f.Add(appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, RecvSeq: 3}, Version))
+	f.Add(appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, RecvSeq: 3, MembershipEpoch: 12}, Version))
+	f.Add(appendHello(nil, hello{ClusterID: 9, From: 0, Procs: 4, RecvSeq: 8}, 1)) // legacy 26-byte format
 	f.Fuzz(func(t *testing.T, data []byte) {
 		parseHello(data) // must not panic
+	})
+}
+
+// FuzzHelloRoundTrip: every hello survives encode/decode field-for-field at
+// the current version (membership epoch included), and its version-1
+// rendering is always rejected.
+func FuzzHelloRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 1, 2, uint64(3), uint64(4))
+	f.Add(uint64(0xfeedface), 3, 5, uint64(42), uint64(0))
+	f.Fuzz(func(t *testing.T, cluster uint64, from, procs int, recvSeq, memEpoch uint64) {
+		h := hello{ClusterID: cluster, From: from & 0xffff, Procs: procs & 0xffff,
+			RecvSeq: recvSeq, MembershipEpoch: memEpoch}
+		got, err := parseHello(appendHello(nil, h, Version))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if got != h {
+			t.Fatalf("round trip mismatch: got %+v, want %+v", got, h)
+		}
+		if _, err := parseHello(appendHello(nil, h, 1)); err == nil {
+			t.Fatal("version-1 rendering accepted")
+		}
 	})
 }

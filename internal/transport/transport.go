@@ -3,13 +3,23 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// rejectRetired is the reason payload of a kindReject frame sent to a
+// dialer whose slot this process has retired.
+const rejectRetired = "retired"
+
+// errRetiredByPeer reports a dial rejected because the peer has retired us:
+// the session is over for good, not merely interrupted.
+var errRetiredByPeer = errors.New("transport: peer has retired this process")
 
 // Config describes one process's membership in a cluster.
 type Config struct {
@@ -36,6 +46,17 @@ type Config struct {
 	Listener net.Listener
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Absent marks roster slots that are not members of the cluster when
+	// this process starts. Addrs is the full fixed roster; membership is
+	// which slots are live. Absent[i] for a peer means: do not dial it and
+	// do not wait for it at startup — it may join later by dialing us.
+	// Absent[Index] means this process is itself a late joiner: it dials
+	// every live peer regardless of index order (the usual
+	// higher-index-dials rule assumes everyone starts together).
+	Absent []bool
+	// MembershipEpoch is the initial membership view version carried in
+	// handshakes; bump it via Transport.SetMembershipEpoch as views change.
+	MembershipEpoch uint64
 }
 
 func (c *Config) defaults() {
@@ -78,23 +99,31 @@ type connIO struct {
 // peer is the state of one remote process: the outbound queue and retained
 // frames, the live connection, and receive-side bookkeeping.
 type peer struct {
-	t     *Transport
-	index int
-	dials bool // we dial this peer (our index is higher)
+	t      *Transport
+	index  int
+	dials  bool // we dial this peer (our index is higher, or we are a joiner)
+	absent bool // roster slot inactive at our startup; may join later
 
-	mu       sync.Mutex
-	notify   chan struct{} // latched wake for the sender goroutine
-	q        []frame       // enqueued, not yet written
-	spareQ   []frame       // recycled batch backing array
-	unacked  []frame       // written on some conn, awaiting ack
-	pool     [][]byte      // recycled frame payload buffers
-	sendSeq  uint64        // last assigned outbound sequence number
-	ackedSeq uint64        // highest outbound seq acked by the peer
-	recvSeq  uint64        // highest contiguous inbound seq received
-	lastAck  uint64        // recvSeq when we last enqueued an ack
-	finRecvd bool
-	finSeq   uint64 // our FIN's seq (0 until Finish)
-	inFlight bool   // sender is mid-write on a batch taken from q
+	mu        sync.Mutex
+	notify    chan struct{} // latched wake for the sender goroutine
+	q         []frame       // enqueued, not yet written
+	spareQ    []frame       // recycled batch backing array
+	unacked   []frame       // written on some conn, awaiting ack
+	pool      [][]byte      // recycled frame payload buffers
+	sendSeq   uint64        // last assigned outbound sequence number
+	ackedSeq  uint64        // highest outbound seq acked by the peer
+	recvSeq   uint64        // highest contiguous inbound seq received
+	lastAck   uint64        // recvSeq when we last enqueued an ack
+	finRecvd  bool
+	finSeq    uint64 // our FIN's seq (0 until Finish)
+	inFlight  bool   // sender is mid-write on a batch taken from q
+	joined    bool   // a connection was installed at least once
+	retired   bool   // peer left the cluster for good; drop sends, no redial
+	retiredUs bool   // the peer rejected our dial as retired: it will never
+	// ack another frame of ours, so shutdown barriers must not wait for it.
+	// Set only on a leaver (survivors retire a departed member on its
+	// goodbye, which can close the connection before the leaver's FIN is
+	// acknowledged).
 
 	conn    *connIO // adopted by the sender goroutine
 	pending *struct {
@@ -120,10 +149,11 @@ type peer struct {
 // Transport is one process's endpoint of the cluster mesh: N-1 reliable,
 // FIFO, exactly-once frame sessions, one per peer process.
 type Transport struct {
-	cfg     Config
-	handler Handler
-	peers   []*peer
-	ln      net.Listener
+	cfg      Config
+	handler  Handler
+	peers    []*peer
+	ln       net.Listener
+	memEpoch atomic.Uint64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -140,6 +170,9 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 		return nil, fmt.Errorf("transport: index %d out of range for %d addrs", cfg.Index, len(cfg.Addrs))
 	}
 	t := &Transport{cfg: cfg, handler: handler, closed: make(chan struct{})}
+	t.memEpoch.Store(cfg.MembershipEpoch)
+	absent := func(i int) bool { return i < len(cfg.Absent) && cfg.Absent[i] }
+	selfJoiner := absent(cfg.Index)
 	for i := range cfg.Addrs {
 		if i == cfg.Index {
 			t.peers = append(t.peers, nil)
@@ -148,7 +181,8 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 		p := &peer{
 			t:      t,
 			index:  i,
-			dials:  cfg.Index > i,
+			dials:  cfg.Index > i || selfJoiner,
+			absent: absent(i),
 			notify: make(chan struct{}, 1),
 			up:     make(chan struct{}),
 		}
@@ -173,18 +207,20 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 		}
 		t.wg.Add(1)
 		go p.sendLoop()
-		if p.dials {
+		if p.dials && !p.absent {
 			p.mu.Lock()
 			p.startRedialLocked()
 			p.mu.Unlock()
 		}
 	}
 
+	waited := 0
 	deadline := time.After(cfg.DialTimeout)
 	for _, p := range t.peers {
-		if p == nil {
+		if p == nil || p.absent {
 			continue
 		}
+		waited++
 		select {
 		case <-p.up:
 		case <-deadline:
@@ -193,7 +229,7 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 				cfg.Index, p.index, cfg.DialTimeout)
 		}
 	}
-	t.logf("transport: process %d/%d connected to %d peers", cfg.Index, len(cfg.Addrs), len(cfg.Addrs)-1)
+	t.logf("transport: process %d/%d connected to %d peers", cfg.Index, len(cfg.Addrs), waited)
 	return t, nil
 }
 
@@ -205,6 +241,79 @@ func (t *Transport) Procs() int { return len(t.cfg.Addrs) }
 
 // MaxFrame returns the configured frame size bound.
 func (t *Transport) MaxFrame() int { return t.cfg.MaxFrame }
+
+// SetMembershipEpoch updates the membership view version carried in any
+// future handshake (reconnects and accepted joins).
+func (t *Transport) SetMembershipEpoch(e uint64) { t.memEpoch.Store(e) }
+
+// MembershipEpoch returns the current membership view version.
+func (t *Transport) MembershipEpoch() uint64 { return t.memEpoch.Load() }
+
+// Retire removes a peer from the mesh for good: its session is torn down,
+// reconnect attempts stop (no DialTimeout panic for a declared-dead peer),
+// queued and retained frames are dropped, further Sends to it are dropped
+// silently, and the shutdown barriers skip it. Used after a drain-leave FIN
+// or a declared crash death; there is no un-retire.
+func (t *Transport) Retire(i int) {
+	p := t.peers[i]
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	already := p.retired
+	p.retired = true
+	if p.conn != nil {
+		p.conn.c.Close()
+		p.conn = nil
+	}
+	if p.pending != nil {
+		p.pending.io.c.Close()
+		p.pending = nil
+	}
+	for _, f := range p.q {
+		if f.data != nil {
+			p.putBufLocked(f.data)
+		}
+	}
+	p.q = p.q[:0]
+	for _, f := range p.unacked {
+		if f.data != nil {
+			p.putBufLocked(f.data)
+		}
+	}
+	p.unacked = p.unacked[:0]
+	p.mu.Unlock()
+	p.upOnce.Do(func() { close(p.up) })
+	p.poke()
+	if !already {
+		t.logf("transport: process %d: retired peer %d", t.cfg.Index, i)
+	}
+}
+
+// Retired reports whether peer i has been retired.
+func (t *Transport) Retired(i int) bool {
+	p := t.peers[i]
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retired
+}
+
+// Joined reports whether a session with peer i was ever installed. An
+// absent roster slot flips to joined when the late process dials in; the
+// mesh's control-plane broadcast uses this to reach a joiner that is
+// connected but not yet an active dataflow participant.
+func (t *Transport) Joined(i int) bool {
+	p := t.peers[i]
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joined && !p.retired
+}
 
 func (t *Transport) logf(format string, args ...any) {
 	if t.cfg.Logf != nil {
@@ -249,6 +358,10 @@ func (t *Transport) Send(to int, kind byte, payload []byte) {
 // outbound queue, copying payload into a pooled buffer.
 func (p *peer) enqueue(kind byte, payload []byte, numbered bool) {
 	p.mu.Lock()
+	if p.retired {
+		p.mu.Unlock()
+		return
+	}
 	buf := p.getBufLocked(len(payload))
 	buf = append(buf[:0], payload...)
 	var seq uint64
@@ -393,7 +506,7 @@ func (p *peer) connBroken(io *connIO) {
 		if p.pending != nil && p.pending.io == io {
 			p.pending = nil
 		}
-		if p.dials {
+		if p.dials && !p.retired && !p.retiredUs {
 			p.startRedialLocked()
 		}
 	}
@@ -425,7 +538,10 @@ func (p *peer) redial() {
 	start := time.Now()
 	backoff := 50 * time.Millisecond
 	for {
-		if t.isClosed() {
+		p.mu.Lock()
+		retired := p.retired
+		p.mu.Unlock()
+		if t.isClosed() || retired {
 			p.mu.Lock()
 			p.redialing = false
 			p.mu.Unlock()
@@ -441,12 +557,22 @@ func (p *peer) redial() {
 				return
 			}
 			c.Close()
+			if err == errRetiredByPeer {
+				p.mu.Lock()
+				p.retiredUs = true
+				p.redialing = false
+				p.mu.Unlock()
+				p.poke()
+				t.logf("transport: process %d: peer %d has retired us; standing down", t.cfg.Index, p.index)
+				return
+			}
 		}
 		if time.Since(start) > t.cfg.DialTimeout {
 			p.mu.Lock()
 			p.redialing = false
+			retired = p.retired
 			p.mu.Unlock()
-			if t.isClosed() {
+			if t.isClosed() || retired {
 				return
 			}
 			panic(fmt.Sprintf("transport: process %d: cannot reach peer %d at %s after %v: %v",
@@ -469,7 +595,8 @@ func (p *peer) handshakeDial(io *connIO) error {
 	p.mu.Lock()
 	recv := p.recvSeq
 	p.mu.Unlock()
-	h := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs), RecvSeq: recv}
+	h := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs),
+		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load()}
 	io.c.SetDeadline(time.Now().Add(5 * time.Second))
 	if _, err := io.c.Write(AppendFrame(nil, kindHello, 0, appendHello(nil, h, Version))); err != nil {
 		return err
@@ -479,6 +606,12 @@ func (p *peer) handshakeDial(io *connIO) error {
 	if err != nil {
 		return err
 	}
+	if kind == kindReject {
+		if string(payload) == rejectRetired {
+			return errRetiredByPeer
+		}
+		return fmt.Errorf("transport: dial rejected by peer %d: %s", p.index, payload)
+	}
 	if kind != kindHelloAck {
 		return fmt.Errorf("transport: expected hello-ack, got frame kind %d", kind)
 	}
@@ -487,8 +620,8 @@ func (p *peer) handshakeDial(io *connIO) error {
 		return err
 	}
 	if ack.ClusterID != t.cfg.ClusterID || ack.From != p.index || ack.Procs != len(t.cfg.Addrs) {
-		return fmt.Errorf("transport: hello-ack identity mismatch (cluster %x from %d procs %d)",
-			ack.ClusterID, ack.From, ack.Procs)
+		return fmt.Errorf("transport: hello-ack identity mismatch dialing peer %d at %s: remote says cluster %x from %d procs %d, want cluster %x from %d procs %d",
+			p.index, io.c.RemoteAddr(), ack.ClusterID, ack.From, ack.Procs, t.cfg.ClusterID, p.index, len(t.cfg.Addrs))
 	}
 	io.c.SetDeadline(time.Time{})
 	p.install(io, ack.RecvSeq)
@@ -530,20 +663,36 @@ func (t *Transport) acceptOne(c net.Conn) error {
 	if err != nil {
 		return err
 	}
+	remote := c.RemoteAddr()
 	if h.ClusterID != t.cfg.ClusterID {
-		return fmt.Errorf("cluster id mismatch: peer %x, ours %x", h.ClusterID, t.cfg.ClusterID)
+		return fmt.Errorf("cluster id mismatch accepting dial from %s: peer %x, ours %x", remote, h.ClusterID, t.cfg.ClusterID)
 	}
 	if h.Procs != len(t.cfg.Addrs) {
-		return fmt.Errorf("peer count mismatch: peer says %d, ours %d", h.Procs, len(t.cfg.Addrs))
+		return fmt.Errorf("peer count mismatch accepting dial from %s (peer index %d): peer says %d, ours %d",
+			remote, h.From, h.Procs, len(t.cfg.Addrs))
 	}
-	if h.From <= t.cfg.Index || h.From >= len(t.cfg.Addrs) {
-		return fmt.Errorf("unexpected dial from process %d to process %d", h.From, t.cfg.Index)
+	// The usual rule is higher-index-dials-lower; a slot marked absent in
+	// our roster is a late joiner, which dials everyone, so its dial is
+	// legitimate regardless of index order.
+	fromAbsent := h.From >= 0 && h.From < len(t.cfg.Absent) && t.cfg.Absent[h.From]
+	if h.From == t.cfg.Index || h.From < 0 || h.From >= len(t.cfg.Addrs) || (h.From < t.cfg.Index && !fromAbsent) {
+		return fmt.Errorf("unexpected dial from process %d at %s to process %d (acceptor side)", h.From, remote, t.cfg.Index)
 	}
 	p := t.peers[h.From]
 	p.mu.Lock()
+	retired := p.retired
 	recv := p.recvSeq
 	p.mu.Unlock()
-	ack := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs), RecvSeq: recv}
+	if retired {
+		// Tell the dialer before closing: a retired process redialing us is
+		// usually a leaver chasing the ack of its final frames, and without
+		// the reject frame it cannot distinguish retirement from an outage
+		// (it would redial until its dial timeout and panic).
+		c.Write(AppendFrame(nil, kindReject, 0, []byte(rejectRetired)))
+		return fmt.Errorf("dial from retired process %d at %s", h.From, remote)
+	}
+	ack := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs),
+		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load()}
 	if _, err := c.Write(AppendFrame(nil, kindHelloAck, 0, appendHello(nil, ack, Version))); err != nil {
 		return err
 	}
@@ -561,6 +710,11 @@ func (p *peer) install(io *connIO, peerRecv uint64) {
 		return
 	}
 	p.mu.Lock()
+	if p.retired {
+		p.mu.Unlock()
+		io.c.Close()
+		return
+	}
 	if p.conn != nil {
 		p.conn.c.Close()
 		p.conn = nil
@@ -572,6 +726,7 @@ func (p *peer) install(io *connIO, peerRecv uint64) {
 		io       *connIO
 		peerRecv uint64
 	}{io: io, peerRecv: peerRecv}
+	p.joined = true
 	p.mu.Unlock()
 	p.upOnce.Do(func() { close(p.up) })
 	p.poke()
@@ -666,14 +821,38 @@ func (p *peer) dispatchFrame(io *connIO, kind byte, seq uint64, payload []byte) 
 // frames, returning from Finish means every frame of every peer has been
 // received and handled.
 func (t *Transport) Finish(timeout time.Duration) error {
+	return t.finish(timeout, true)
+}
+
+// FinishLeave is the drain-leaver's one-sided shutdown barrier: FIN is
+// announced to every live peer and the call returns once each has
+// acknowledged it (so every frame we sent was received) and our queues
+// have drained — without waiting for the peers' own FINs, which the
+// survivors only send at the end of their run, long after we are gone.
+func (t *Transport) FinishLeave(timeout time.Duration) error {
+	return t.finish(timeout, false)
+}
+
+func (t *Transport) finish(timeout time.Duration, waitPeerFin bool) error {
 	if timeout <= 0 {
 		timeout = 60 * time.Second
+	}
+	// skip reports peers outside the barrier: retired ones (in either
+	// direction — a peer that retired us will never ack again), and absent
+	// slots that never joined. Re-evaluated every pass — a peer may be
+	// retired while we wait, which must release the barrier for it.
+	skip := func(p *peer) bool {
+		return p.retired || p.retiredUs || (p.absent && !p.joined)
 	}
 	for _, p := range t.peers {
 		if p == nil {
 			continue
 		}
 		p.mu.Lock()
+		if skip(p) {
+			p.mu.Unlock()
+			continue
+		}
 		p.sendSeq++
 		fin := frame{seq: p.sendSeq, kind: kindFin}
 		p.finSeq = fin.seq
@@ -691,10 +870,19 @@ func (t *Transport) Finish(timeout time.Duration) error {
 			p.mu.Lock()
 			// Drained means: the peer acknowledged our FIN (so every frame
 			// we sent was received), their FIN arrived (so every frame they
-			// sent was handled), and nothing of ours — acks included — is
-			// still queued or mid-write.
-			drained := p.finRecvd && p.ackedSeq >= p.finSeq &&
-				len(p.q) == 0 && !p.inFlight
+			// sent was handled — unless this is a one-sided leave), and
+			// nothing of ours — acks included — is still queued or mid-write.
+			// In a one-sided leave a peer whose connection is down with no
+			// redial in flight will never ack again — survivors retire a
+			// leaver on its goodbye and drop the connection, and when the
+			// peer owns the dialing there is no reject handshake to tell us
+			// so. The leaver verified application of everything it sent
+			// (probe past its hold epoch) before saying goodbye, so the
+			// unacknowledged tail is only the FIN formality.
+			drained := skip(p) ||
+				((p.finRecvd || !waitPeerFin) && p.ackedSeq >= p.finSeq &&
+					len(p.q) == 0 && !p.inFlight) ||
+				(!waitPeerFin && p.joined && p.conn == nil && !p.redialing)
 			p.mu.Unlock()
 			if !drained {
 				done = false

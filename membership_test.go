@@ -1,0 +1,178 @@
+// Dynamic-membership equivalence: the acceptance test of join, drain-leave
+// and crash-leave on a live cluster. A 4-slot roster starts with slot 3
+// absent; under continuous load the cluster admits the late joiner, survives
+// an abrupt crash of process 2 (recovering only its bins from the latest
+// complete checkpoint and replaying the bounded input window), and drains
+// process 1 out cleanly — all without restarting the cluster. The merged
+// output must be equivalent to an uninterrupted single-process run with the
+// same total worker count. scripts/cluster.sh join-leave performs the same
+// scenario against the real binaries with a real SIGKILL.
+package megaphone_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"megaphone/internal/core"
+	"megaphone/internal/keycount"
+)
+
+// maxCounts folds "key:count" output lines into the final (maximum) count
+// per key. Counts only grow, and crash recovery re-emits every epoch from
+// the checkpoint on, so at-least-once duplication is expected across a
+// crash: the per-key maximum is the deterministic quantity, equal to the
+// key's total number of occurrences in the input stream.
+func maxCounts(t *testing.T, lines []string) map[string]uint64 {
+	t.Helper()
+	out := make(map[string]uint64)
+	for _, line := range lines {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			t.Fatalf("malformed output line %q", line)
+		}
+		n, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("malformed output line %q: %v", line, err)
+		}
+		if n > out[line[:i]] {
+			out[line[:i]] = n
+		}
+	}
+	return out
+}
+
+func TestMembershipJoinCrashDrainEquivalence(t *testing.T) {
+	const (
+		procs = 4
+		wpp   = 1
+		// Epoch timeline: slot 3 joins at startup (committed within the
+		// first ~20 epochs), checkpoints land every 200 epochs, process 2
+		// crashes at 450 (recovering from the complete full-roster
+		// checkpoint at 400), process 1 drain-leaves at 700, and the two
+		// survivors run out the remaining epochs.
+		durationEpochs  = 1000
+		checkpointEvery = 200 * time.Millisecond
+		crashAt         = 450
+		leaveAt         = 700
+	)
+	base := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: keycount.HashCount,
+			LogBins: 4,
+			Domain:  1 << 10,
+			Preload: false,
+		},
+		Rate:       20000,
+		Duration:   durationEpochs * time.Millisecond,
+		EpochEvery: time.Millisecond,
+	}
+
+	// Uninterrupted single-process reference with the same total worker
+	// count: the membership run's merged output must match its final count
+	// for every key.
+	var ref collector
+	refCfg := base
+	refCfg.Workers = procs * wpp
+	refCfg.Sink = ref.add
+	refRes, err := keycount.Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Records == 0 {
+		t.Fatal("reference run injected no records")
+	}
+
+	specs := localClusterSpecs(t, procs)
+	absent := make([]bool, procs)
+	absent[procs-1] = true
+	ckptDir := t.TempDir()
+
+	var clu collector
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	epochs := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Workers = wpp
+			cfg.Cluster = &specs[p]
+			cfg.Cluster.Absent = absent
+			cfg.Cluster.Logf = func(format string, args ...any) {
+				t.Logf("proc %d: "+format, append([]any{p}, args...)...)
+			}
+			cfg.Sink = clu.add
+			cfg.Membership = true
+			cfg.CheckpointDir = ckptDir
+			cfg.CheckpointEvery = checkpointEvery
+			// Four race-instrumented runtimes sharing however few cores the
+			// test machine has: widen the suspicion/death/margin windows so
+			// scheduling jitter cannot fake a crash or outrun a commit.
+			cfg.MembershipSlack = 6
+			switch p {
+			case 1:
+				cfg.LeaveAt = leaveAt
+			case 2:
+				cfg.CrashAt = crashAt
+			}
+			res, err := keycount.Run(cfg)
+			errs[p] = err
+			epochs[p] = res.Epochs
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+
+	// The crashed process abandoned mid-run — at its crash epoch, or later
+	// if the first full-roster checkpoint was still completing; the drained
+	// process broke out shortly after its leave commit; the survivors
+	// (including the joiner) ran the full range.
+	if epochs[2] == durationEpochs {
+		t.Fatalf("crash victim drove the full %d epochs without abandoning", durationEpochs)
+	}
+	if epochs[1] < leaveAt || epochs[1] == durationEpochs {
+		t.Fatalf("leaver drove epoch %d, want departure in (%d, %d)", epochs[1], leaveAt, durationEpochs)
+	}
+	for _, p := range []int{0, procs - 1} {
+		if epochs[p] != durationEpochs {
+			t.Fatalf("survivor %d stopped at epoch %d, want %d", p, epochs[p], durationEpochs)
+		}
+	}
+
+	// Output equivalence under at-least-once replay: final count per key.
+	want := maxCounts(t, ref.lines)
+	got := maxCounts(t, clu.lines)
+	var low, high int
+	binsOff := map[int]int{}
+	for k, w := range want {
+		g := got[k]
+		if g == w {
+			continue
+		}
+		if g < w {
+			low++
+		} else {
+			high++
+		}
+		key, _ := strconv.ParseUint(k, 10, 64)
+		binsOff[core.BinOf(core.Mix64(key), 4)]++
+		if low+high <= 5 {
+			t.Errorf("key %s: final count %d, reference %d", k, g, w)
+		}
+	}
+	if low+high > 0 {
+		t.Fatalf("%d keys under reference, %d over (of %d distinct; mismatches per bin %v)",
+			low, high, len(want), binsOff)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("membership run produced %d distinct keys, reference %d", len(got), len(want))
+	}
+}

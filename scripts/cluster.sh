@@ -27,8 +27,19 @@
 # `experiments -exp autoscale` run must settle the post-shift p99 below
 # AUTOSCALE_P99MS (default 10 ms) in every phase of the load-balance run.
 #
+# A fifth mode, `join-leave`, is the dynamic-membership gauntlet: an
+# (N+1)-slot keycount roster starts with N live processes and the last slot
+# absent, under continuous load with periodic checkpoints. The absent slot
+# joins mid-run, process 2 is SIGKILLed once the script observes a complete
+# full-roster checkpoint on disk (the survivors declare it dead and restore
+# only its bins), and process 1 drain-leaves via -leave-at. The merged
+# final counts (max per key, as in recovery) must equal the uninterrupted
+# single-process run's. Timing-sensitive like autoscale, so failed attempts
+# retry up to MEMBERSHIP_ATTEMPTS times with per-attempt logs kept.
+#
 # Usage: scripts/cluster.sh [-n procs] [-w workers-per-proc] [-d duration]
-#                           [-r rate] [-o logdir] [keycount|nexmark|recovery|autoscale|all]
+#                           [-r rate] [-o logdir]
+#                           [keycount|nexmark|recovery|autoscale|join-leave|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +55,7 @@ while getopts "n:w:d:r:o:" opt; do
         d) DURATION=$OPTARG ;;
         r) RATE=$OPTARG ;;
         o) LOGDIR=$OPTARG ;;
-        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|recovery|autoscale|all]" >&2; exit 2 ;;
+        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|recovery|autoscale|join-leave|all]" >&2; exit 2 ;;
     esac
 done
 shift $((OPTIND - 1))
@@ -69,9 +80,9 @@ echo "building binaries..." >&2
 go build -o "$TMP/keycount" ./cmd/keycount
 go build -o "$TMP/nexmark" ./cmd/nexmark
 
-# pick_ports fills HOSTS with $PROCS free localhost ports.
+# pick_ports fills HOSTS with $1 (default $PROCS) free localhost ports.
 pick_ports() {
-    HOSTS=$(go run ./scripts/freeports.go "$PROCS")
+    HOSTS=$(go run ./scripts/freeports.go "${1:-$PROCS}")
 }
 
 # run_cluster BIN NAME ARGS... — run the single-process reference and the
@@ -192,6 +203,155 @@ if [[ $TARGET == recovery ]]; then
     else
         echo "recovery: OUTPUT MISMATCH after kill-and-recover (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
         diff "$TMP/rec.single.canon" "$TMP/rec.cluster.canon" | head -20 >&2 || true
+        fail=1
+    fi
+fi
+
+if [[ $TARGET == join-leave ]]; then
+    # Dynamic membership against real binaries: an (N+1)-slot roster with the
+    # last slot absent, a late joiner, a real SIGKILL after a durable
+    # checkpoint, and a drain-leave — one run, all three transitions. Fixed
+    # durations (not -d): the join, kill and leave points must stay in
+    # proportion to the run length and the checkpoint cadence.
+    MPROCS=$((PROCS + 1)) # roster slots: $PROCS live at start + 1 absent
+    MTOTAL=$((MPROCS * WORKERS))
+    MDUR=6s     # 6000 epochs at the 1ms default epoch granularity
+    MLEAVE=4000 # epoch at which the leaver requests drain-leave
+    MSLACK=${MEMBERSHIP_SLACK:-6}
+    MATTEMPTS=${MEMBERSHIP_ATTEMPTS:-3}
+    JOINER=$((MPROCS - 1))
+    LEAVER=1
+    VICTIM=2
+    canon_max() { awk -F: '$2 + 0 >= m[$1] { m[$1] = $2 + 0 } END { for (k in m) printf "%s:%d\n", k, m[k] }' "$@" | sort; }
+
+    # ckpt_complete DIR TOTAL — true once some epoch directory holds every
+    # operator's manifest for every one of TOTAL workers: the same
+    # completeness rule core.LatestCheckpoint applies, and the survivors'
+    # precondition for declaring a crashed member dead. Polled from the shell
+    # so the SIGKILL lands only when the victim's bins are recoverable.
+    ckpt_complete() {
+        local dir=$1 total=$2 op ep n complete
+        [[ -d $dir ]] || return 1
+        local ops=()
+        for op in "$dir"/*/; do [[ -d $op ]] && ops+=("$op"); done
+        ((${#ops[@]})) || return 1
+        for ep in $(cd "${ops[0]}" && ls -d epoch-* 2>/dev/null | sed 's/epoch-//' | sort -rn); do
+            complete=1
+            for op in "${ops[@]}"; do
+                n=$(ls "$op/epoch-$ep"/manifest-w*.json 2>/dev/null | wc -l)
+                ((n == total)) || { complete=0; break; }
+            done
+            ((complete)) && return 0
+        done
+        return 1
+    }
+
+    echo "== join-leave: uninterrupted single-process reference ($MTOTAL workers)" >&2
+    "$TMP/keycount" -workers "$MTOTAL" -dump "$TMP/mem.single" \
+        -rate "$RATE" -duration "$MDUR" -bins 4 -domain 2048 -migrate-at 0 \
+        > "$LOGDIR/join-leave.single.log" 2>&1
+
+    # Timing gauntlet on a shared host: the kill must land between the first
+    # complete checkpoint and the drain window, so a stalled attempt (e.g.
+    # the checkpoint never completing in time under host contention) is
+    # retried. Every attempt's logs are kept.
+    membership_ok=
+    for ((attempt = 1; attempt <= MATTEMPTS; attempt++)); do
+        CKPT=$TMP/mem-ckpt.$attempt
+        rm -f "$TMP"/mem.proc.*
+        pick_ports "$MPROCS"
+        echo "== join-leave: $MPROCS-slot roster on $HOSTS — late join of slot $JOINER, SIGKILL $VICTIM after a complete checkpoint, drain $LEAVER at epoch $MLEAVE (attempt $attempt/$MATTEMPTS)" >&2
+        pids=()
+        for ((p = 0; p < MPROCS; p++)); do
+            if ((p == JOINER)); then
+                # Started below, after the cluster is running: the joiner
+                # dials in late and asks for admission.
+                pids+=(0)
+                continue
+            fi
+            args=(-workers "$WORKERS" -hosts "$HOSTS" -process "$p"
+                -rate "$RATE" -duration "$MDUR" -bins 4 -domain 2048
+                -membership -absent "$JOINER" -membership-slack "$MSLACK"
+                -checkpoint-dir "$CKPT" -checkpoint-every 600ms
+                -dump "$TMP/mem.proc.$p")
+            ((p == LEAVER)) && args+=(-leave-at "$MLEAVE")
+            "$TMP/keycount" "${args[@]}" \
+                > "$LOGDIR/join-leave.attempt$attempt.proc.$p.log" 2>&1 &
+            pids[p]=$!
+            PIDS+=($!)
+        done
+        sleep 0.5
+        "$TMP/keycount" -workers "$WORKERS" -hosts "$HOSTS" -process "$JOINER" \
+            -rate "$RATE" -duration "$MDUR" -bins 4 -domain 2048 \
+            -membership -absent "$JOINER" -membership-slack "$MSLACK" \
+            -checkpoint-dir "$CKPT" -checkpoint-every 600ms \
+            -dump "$TMP/mem.proc.$JOINER" \
+            > "$LOGDIR/join-leave.attempt$attempt.proc.$JOINER.log" 2>&1 &
+        pids[JOINER]=$!
+        PIDS+=($!)
+
+        # Poll for a complete full-roster checkpoint, then SIGKILL the
+        # victim. Full-roster also implies the joiner is in: checkpoints
+        # cannot complete while a roster slot writes no manifests.
+        killed=
+        for ((i = 0; i < 70; i++)); do # up to 3.5s — before the drain at 4s
+            kill -0 "${pids[VICTIM]}" 2>/dev/null || break
+            if ckpt_complete "$CKPT" "$MTOTAL"; then
+                echo "== join-leave: complete checkpoint observed; SIGKILL process $VICTIM" >&2
+                kill -9 "${pids[VICTIM]}" 2>/dev/null || true
+                killed=1
+                break
+            fi
+            sleep 0.05
+        done
+
+        crashed=
+        for ((p = 0; p < MPROCS; p++)); do
+            if ((p == VICTIM)); then
+                wait "${pids[$p]}" 2>/dev/null || true
+                continue
+            fi
+            if ! wait "${pids[$p]}"; then
+                echo "join-leave process $p failed (attempt $attempt); log follows:" >&2
+                cat "$LOGDIR/join-leave.attempt$attempt.proc.$p.log" >&2
+                crashed=1
+            fi
+        done
+        PIDS=()
+        for ((p = 0; p < MPROCS; p++)); do
+            cp "$LOGDIR/join-leave.attempt$attempt.proc.$p.log" "$LOGDIR/join-leave.proc.$p.log"
+        done
+        if [[ -n $crashed ]]; then
+            continue
+        fi
+        if [[ -z $killed ]]; then
+            echo "join-leave: no complete full-roster checkpoint appeared before the drain window (attempt $attempt/$MATTEMPTS)" >&2
+            continue
+        fi
+        # All three transitions must actually have been decided.
+        ok=1
+        for want in "decided join of process $JOINER" \
+            "decided crash-leave of process $VICTIM" \
+            "decided drain-leave of process $LEAVER"; do
+            if ! grep -hq "$want" "$LOGDIR/join-leave.attempt$attempt.proc."*.log; then
+                echo "join-leave: no process logged \"$want\" (attempt $attempt/$MATTEMPTS)" >&2
+                ok=
+            fi
+        done
+        [[ -n $ok ]] || continue
+
+        canon_max "$TMP"/mem.proc.* > "$TMP/mem.cluster.canon"
+        canon_max "$TMP/mem.single" > "$TMP/mem.single.canon"
+        if cmp -s "$TMP/mem.cluster.canon" "$TMP/mem.single.canon"; then
+            echo "join-leave: merged final counts after join + crash + drain == uninterrupted run ($(wc -l < "$TMP/mem.single.canon") keys) [attempt $attempt]" | tee -a "$LOGDIR/verdict.txt"
+            membership_ok=1
+            break
+        fi
+        echo "join-leave: OUTPUT MISMATCH (attempt $attempt/$MATTEMPTS; see $LOGDIR)" >&2
+        diff "$TMP/mem.single.canon" "$TMP/mem.cluster.canon" | head -20 >&2 || true
+    done
+    if [[ -z $membership_ok ]]; then
+        echo "join-leave: no attempt passed the dynamic-membership gauntlet (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
         fail=1
     fi
 fi
