@@ -63,10 +63,14 @@ func run(args []string, out io.Writer) error {
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "checkpoint cadence (with -checkpoint-dir)")
 		recov     = fs.Bool("recover", false, "resume from the newest complete checkpoint in -checkpoint-dir")
 
-		membership = fs.Bool("membership", false, "enable dynamic membership (join, drain-leave, crash-leave); requires -hosts and -checkpoint-dir, implies -preload=false and disables scripted migrations")
+		membership = fs.Bool("membership", false, "enable dynamic membership (join, drain-leave, crash-leave); requires -hosts and -checkpoint-dir")
 		absent     = fs.String("absent", "", "comma-separated roster indexes that start absent (with -membership); a process whose own index is listed is a late joiner")
 		leaveAt    = fs.Int64("leave-at", 0, "epoch at which this process requests drain-leave (with -membership)")
 		memSlack   = fs.Int("membership-slack", 1, "multiplier on the membership suspicion/death/margin windows (with -membership); raise it on slow or loaded machines")
+
+		scaleOut     = fs.Uint64("scale-out-above", 0, "with -membership -auto: mean records per live worker per sampling window above which a registered standby is admitted (0 disables scale-out)")
+		scaleIn      = fs.Uint64("scale-in-below", 0, "with -membership -auto: mean records per live worker per sampling window below which the coldest member is drain-left (0 disables scale-in)")
+		scaleSustain = fs.Int("scale-sustain", 3, "with -membership -auto: consecutive windows a scale signal must persist before the leader acts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,13 +147,28 @@ func run(args []string, out io.Writer) error {
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.Recover = *recov
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *membership {
 		cfg.Membership = true
 		cfg.LeaveAt = *leaveAt
 		cfg.MembershipSlack = *memSlack
-		cfg.Preload = false
-		cfg.MigrateAt = 0
-		cfg.MigrateTwo = false
+		cfg.ScaleOutAbove = *scaleOut
+		cfg.ScaleInBelow = *scaleIn
+		cfg.ScaleSustain = *scaleSustain
+		if !explicit["migrate-at"] {
+			// The benchmark's default migration schedule is for plain runs;
+			// in membership mode a scripted migration runs only when asked
+			// for (it rides the membership controller's schedule broadcast).
+			cfg.MigrateAt = 0
+			cfg.MigrateTwo = false
+		}
+		if cfg.Auto != nil && *scaleOut == 0 && *scaleIn == 0 {
+			return fmt.Errorf("-auto with -membership drives join/leave from load thresholds; give -scale-out-above and/or -scale-in-below")
+		}
+		if cfg.Auto == nil && (*scaleOut != 0 || *scaleIn != 0) {
+			return fmt.Errorf("-scale-out-above/-scale-in-below read the autoscaler's load windows; add -auto")
+		}
 		if cfg.Cluster == nil {
 			return fmt.Errorf("-membership requires -hosts")
 		}
@@ -169,6 +188,8 @@ func run(args []string, out io.Writer) error {
 		}
 	} else if *absent != "" || *leaveAt != 0 {
 		return fmt.Errorf("-absent and -leave-at require -membership")
+	} else if *scaleOut != 0 || *scaleIn != 0 || explicit["scale-sustain"] {
+		return fmt.Errorf("-scale-out-above, -scale-in-below and -scale-sustain require -membership with -auto")
 	}
 	var finishDump func() error
 	if *dump != "" {

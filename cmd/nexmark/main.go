@@ -61,9 +61,18 @@ func run(args []string, out io.Writer) error {
 		ckptDir   = fs.String("checkpoint-dir", "", "enable epoch-aligned checkpoints into this directory")
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "checkpoint cadence (with -checkpoint-dir)")
 		recov     = fs.Bool("recover", false, "resume from the newest complete checkpoint in -checkpoint-dir")
+
+		membership = fs.Bool("membership", false, "not supported for nexmark (see cmd/keycount)")
+		absent     = fs.String("absent", "", "not supported for nexmark (see cmd/keycount)")
+		leaveAt    = fs.Int64("leave-at", 0, "not supported for nexmark (see cmd/keycount)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *membership || *absent != "" || *leaveAt != 0 {
+		// Reject at parse time, before the mesh is joined: a cluster whose
+		// processes disagree on this would otherwise hang in the handshake.
+		return fmt.Errorf("nexmark: dynamic membership is keycount-only for now — the windowed operators (q5/q7/q8) keep unboundedly many in-flight window capabilities and have no purge hooks, so the membership barrier cannot bound or rebuild their progress holds; use cmd/keycount -membership")
 	}
 
 	st, err := parseStrategy(*strategy)

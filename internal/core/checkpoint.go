@@ -24,10 +24,11 @@ import (
 // are exactly the consistent cut at T, and the only state worth persisting.
 // F serializes them with the operator's migration codec, splits them with
 // the same chunking used for in-flight StateMsgs, and writes the chunks plus
-// a manifest (epoch, the bin→worker assignment in effect, per-bin chunk
-// digests) to CheckpointConfig.Dir. A restarting process loads the newest
-// epoch whose every worker manifest is present, reinstalls its workers' bins
-// through the same install path a migration uses, and resumes input at T.
+// a manifest (epoch, the bin→worker assignment in effect, the live roster,
+// per-bin chunk digests) to CheckpointConfig.Dir. A restarting process loads
+// the newest epoch whose every *live* worker's manifest is present (dead
+// slots own no bins and write nothing), reinstalls its workers' bins through
+// the same install path a migration uses, and resumes input at T.
 
 // CheckpointConfig enables checkpointing on a megaphone operator
 // (Config.Checkpoint). The directory is shared by every worker of the
@@ -46,6 +47,22 @@ type CheckpointConfig struct {
 	// streaming — a full disk must not turn into the process death
 	// checkpoints exist to survive. nil logs to stderr.
 	OnError func(epoch Time, worker int, err error)
+	// LiveAt, when non-nil, names the global worker indices live at a
+	// checkpoint epoch (sorted ascending). Manifests record it, making a
+	// checkpoint taken on a shrunk roster complete — and restorable — once
+	// every *live* worker's manifest exists: dead slots own no bins at the
+	// epoch, so their absent manifests certify nothing. nil means the full
+	// roster is always live (the static-membership default).
+	LiveAt func(epoch Time) []int
+}
+
+// liveWorkers resolves the live roster recorded at a checkpoint epoch; nil
+// means the full roster.
+func (c *CheckpointConfig) liveWorkers(epoch Time) []int {
+	if c.LiveAt == nil {
+		return nil
+	}
+	return c.LiveAt(epoch)
 }
 
 // reportError routes a non-fatal checkpoint failure.
@@ -75,17 +92,33 @@ type Restore struct {
 // Manifest is the per-worker commit record of one checkpoint epoch: it is
 // written (atomically, via rename) only after every bin chunk reached disk,
 // so its presence certifies the data file, and an epoch is complete exactly
-// when all workers' manifests exist.
+// when all *live* workers' manifests exist — Live records the roster at the
+// epoch (nil means the full roster [0, Peers)), so a checkpoint taken after
+// a crash-leave is complete without the dead slot's manifest.
 type Manifest struct {
 	Op         string        `json:"op"`
 	Epoch      uint64        `json:"epoch"`
 	Worker     int           `json:"worker"`
 	Peers      int           `json:"peers"`
+	Live       []int         `json:"live,omitempty"`
 	LogBins    int           `json:"log_bins"`
 	Codec      string        `json:"codec"`
 	Assignment []int         `json:"assignment"`
 	Bins       []BinManifest `json:"bins"`
 	Bytes      int64         `json:"bytes"`
+}
+
+// liveSet resolves the worker set this manifest certifies as live; a nil
+// Live field means the full roster.
+func (m *Manifest) liveSet(peers int) []int {
+	if len(m.Live) > 0 {
+		return m.Live
+	}
+	all := make([]int, peers)
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // BinManifest records one drained bin: its payload size and the FNV-64a
@@ -197,7 +230,9 @@ func (w *CheckpointWriter) Bins() int { return len(w.bins) }
 func (w *CheckpointWriter) Bytes() int64 { return w.bytes }
 
 // Finish fsyncs the data file and commits the manifest via atomic rename.
-func (w *CheckpointWriter) Finish(peers, logBins int, codec string, assignment []int) error {
+// live names the global worker indices live at the checkpoint epoch (nil =
+// full roster); every writer of one epoch must record the same set.
+func (w *CheckpointWriter) Finish(peers, logBins int, codec string, assignment, live []int) error {
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
@@ -210,6 +245,7 @@ func (w *CheckpointWriter) Finish(peers, logBins int, codec string, assignment [
 		Epoch:      uint64(w.epoch),
 		Worker:     w.worker,
 		Peers:      peers,
+		Live:       live,
 		LogBins:    logBins,
 		Codec:      codec,
 		Assignment: assignment,
@@ -236,9 +272,10 @@ func (w *CheckpointWriter) Finish(peers, logBins int, codec string, assignment [
 func (w *CheckpointWriter) Abort() { w.f.Close() }
 
 // LatestCheckpoint scans dir for the newest epoch at which every operator
-// subdirectory holds a manifest for every worker in [0, peers). It returns
-// the epoch and the operator names found; ok is false when no complete
-// epoch exists (including when dir is empty or absent).
+// subdirectory holds a manifest for every worker the epoch's manifests name
+// as live (the full roster [0, peers) when no live set was recorded). It
+// returns the epoch and the operator names found; ok is false when no
+// complete epoch exists (including when dir is empty or absent).
 func LatestCheckpoint(dir string, peers int) (epoch Time, ops []string, ok bool, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -280,9 +317,19 @@ func LatestCheckpoint(dir string, peers int) (epoch Time, ops []string, ok bool,
 	for _, ep := range epochs {
 		complete := true
 		for _, op := range ops {
-			for w := 0; w < peers && complete; w++ {
+			// Any present manifest names the roster live at the epoch; the
+			// epoch is complete for this op when every live worker committed.
+			// A dead slot's manifest is never written post-crash, and never
+			// required: its bins belong to survivors at the epoch.
+			m := anyManifest(dir, op, ep, peers)
+			if m == nil || m.Peers != peers {
+				complete = false
+				break
+			}
+			for _, w := range m.liveSet(peers) {
 				if _, serr := os.Stat(ckptManifestPath(dir, op, ep, w)); serr != nil {
 					complete = false
+					break
 				}
 			}
 			if !complete {
@@ -296,16 +343,43 @@ func LatestCheckpoint(dir string, peers int) (epoch Time, ops []string, ok bool,
 	return 0, ops, false, nil
 }
 
+// anyManifest reads the first present, well-formed manifest of one
+// operator's checkpoint epoch, scanning worker slots in index order. nil
+// when none is readable.
+func anyManifest(dir, op string, epoch Time, peers int) *Manifest {
+	for w := 0; w < peers; w++ {
+		data, err := os.ReadFile(ckptManifestPath(dir, op, epoch, w))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if json.Unmarshal(data, &m) == nil {
+			return &m
+		}
+	}
+	return nil
+}
+
 // LoadRestore reads one operator's checkpoint at epoch for the workers in
 // [first, first+n): it verifies every manifest (peer count, codec,
 // assignment agreement) and every chunk digest, reassembles chunked bins
 // with the same assembler the migration receive path uses, and returns the
 // Restore to hand to Config.Restore. codec must name the codec the
-// recovering run will decode with.
+// recovering run will decode with. Workers outside the checkpoint's
+// recorded live roster wrote no manifest and own no bins; their absence is
+// tolerated, so a shrunk-roster checkpoint maps onto the full worker space.
 func LoadRestore(dir, op string, epoch Time, peers, first, n int, codec string) (*Restore, error) {
 	r := &Restore{Epoch: epoch, Bins: make(map[int][]byte)}
+	var live []int // live roster per the first manifest read
+	var missing []int
 	for w := first; w < first+n; w++ {
 		data, err := os.ReadFile(ckptManifestPath(dir, op, epoch, w))
+		if os.IsNotExist(err) {
+			// Possibly a slot that was dead at the checkpoint epoch; judged
+			// against the recorded live roster once a manifest is in hand.
+			missing = append(missing, w)
+			continue
+		}
 		if err != nil {
 			return nil, fmt.Errorf("megaphone: checkpoint manifest for worker %d: %w", w, err)
 		}
@@ -325,6 +399,7 @@ func LoadRestore(dir, op string, epoch Time, peers, first, n int, codec string) 
 		if r.Assignment == nil {
 			r.LogBins = m.LogBins
 			r.Assignment = m.Assignment
+			live = m.liveSet(peers)
 		} else if m.LogBins != r.LogBins || !equalInts(m.Assignment, r.Assignment) {
 			return nil, fmt.Errorf("megaphone: checkpoint manifests disagree on the bin assignment (worker %d)", w)
 		}
@@ -333,6 +408,36 @@ func LoadRestore(dir, op string, epoch Time, peers, first, n int, codec string) 
 		}
 		if err := loadBins(dir, op, epoch, w, &m, r); err != nil {
 			return nil, err
+		}
+	}
+	if len(missing) > 0 {
+		if r.Assignment == nil {
+			// Every requested worker's manifest is absent: consult any other
+			// worker's to learn the roster and assignment (a joiner reviving
+			// a slot that was dead at the epoch lands here).
+			m := anyManifest(dir, op, epoch, peers)
+			if m == nil {
+				return nil, fmt.Errorf("megaphone: checkpoint manifest for worker %d: no manifest present at epoch %d", missing[0], epoch)
+			}
+			if m.Peers != peers {
+				return nil, fmt.Errorf("megaphone: checkpoint was taken with %d workers, recovering with %d: worker counts must match", m.Peers, peers)
+			}
+			if m.Codec != codec {
+				return nil, fmt.Errorf("megaphone: checkpoint was encoded with codec %q, recovering with %q: pass the same -transfer", m.Codec, codec)
+			}
+			r.LogBins = m.LogBins
+			r.Assignment = m.Assignment
+			live = m.liveSet(peers)
+		}
+		for _, w := range missing {
+			if containsInt(live, w) {
+				return nil, fmt.Errorf("megaphone: checkpoint manifest for worker %d missing but the epoch records it live (incomplete checkpoint)", w)
+			}
+			for b, owner := range r.Assignment {
+				if owner == w {
+					return nil, fmt.Errorf("megaphone: checkpoint assigns bin %d to worker %d, which wrote no manifest (incomplete checkpoint)", b, w)
+				}
+			}
 		}
 	}
 	return r, nil
@@ -424,13 +529,11 @@ func loadBins(dir, op string, epoch Time, worker int, m *Manifest, r *Restore) e
 // owned but empty at the checkpoint are absent from the result (recovery
 // recreates them lazily), exactly as with LoadRestore.
 func LoadCheckpointBins(dir, op string, epoch Time, peers int, bins []int, codec string) (*Restore, error) {
-	data, err := os.ReadFile(ckptManifestPath(dir, op, epoch, 0))
-	if err != nil {
-		return nil, fmt.Errorf("megaphone: checkpoint manifest for worker 0: %w", err)
-	}
-	var m0 Manifest
-	if err := json.Unmarshal(data, &m0); err != nil {
-		return nil, fmt.Errorf("megaphone: checkpoint manifest for worker 0: %w", err)
+	// Any present manifest carries the checkpoint's assignment; worker 0
+	// itself may have been dead at the epoch and written none.
+	m0 := anyManifest(dir, op, epoch, peers)
+	if m0 == nil {
+		return nil, fmt.Errorf("megaphone: checkpoint at epoch %d for %q: no manifest present", epoch, op)
 	}
 	out := &Restore{Epoch: epoch, LogBins: m0.LogBins, Assignment: m0.Assignment, Bins: make(map[int][]byte)}
 	wanted := make(map[int]bool, len(bins))
@@ -462,6 +565,15 @@ func LoadCheckpointBins(dir, op string, epoch Time, peers int, bins []int, codec
 
 func chunkErr(worker int, err error) error {
 	return fmt.Errorf("megaphone: checkpoint data for worker %d: corrupt chunk record: %w", worker, err)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 func equalInts(a, b []int) bool {

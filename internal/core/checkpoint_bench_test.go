@@ -41,7 +41,7 @@ func BenchmarkCheckpointWrite(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if err := w.Finish(1, 6, TransferBinary.Name(), assignment); err != nil {
+		if err := w.Finish(1, 6, TransferBinary.Name(), assignment, nil); err != nil {
 			b.Fatal(err)
 		}
 		bytes = w.Bytes()
@@ -69,7 +69,7 @@ func BenchmarkCheckpointRestore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if err := w.Finish(1, 6, TransferBinary.Name(), assignment); err != nil {
+	if err := w.Finish(1, 6, TransferBinary.Name(), assignment, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(w.Bytes())

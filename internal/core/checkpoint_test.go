@@ -42,7 +42,34 @@ func writeTestCheckpoint(t *testing.T, dir string, epoch Time, worker, peers, lo
 			t.Fatal(err)
 		}
 	}
-	if err := w.Finish(peers, logBins, TransferBinary.Name(), assignment); err != nil {
+	if err := w.Finish(peers, logBins, TransferBinary.Name(), assignment, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeLiveCheckpoint is writeTestCheckpoint with an explicit live roster
+// recorded in the manifest (a shrunk-roster checkpoint).
+func writeLiveCheckpoint(t *testing.T, dir string, epoch Time, worker, peers, logBins, chunkBytes int,
+	assignment, live []int, binStates map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]) {
+	t.Helper()
+	w, err := NewCheckpointWriter(dir, "test-op", epoch, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 1<<uint(logBins); b++ {
+		bs, ok := binStates[b]
+		if !ok || assignment[b] != worker {
+			continue
+		}
+		payload, err := TransferBinary.EncodeBin(bs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteBin(appendChunks(nil, b, worker, payload, chunkBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(peers, logBins, TransferBinary.Name(), assignment, live); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,6 +155,56 @@ func TestLatestCheckpointSkipsIncomplete(t *testing.T) {
 	// An empty or absent dir is not an error, just no checkpoint.
 	if _, _, ok, err := LatestCheckpoint(filepath.Join(dir, "nope"), 2); ok || err != nil {
 		t.Fatalf("absent dir: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestShrunkRosterCheckpoint: an epoch whose manifests record a shrunk live
+// roster is complete without the dead slot's manifest, restores for the dead
+// slot's worker range come back empty instead of erroring, and the
+// bin-targeted loader works even when worker 0 is the dead one.
+func TestShrunkRosterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	const peers, logBins = 2, 1
+	// Worker 0 crashed earlier; its bins were restored onto worker 1.
+	assignment := []int{1, 1}
+	live := []int{1}
+	bins := map[int]*BinState[KV[uint64, uint64], MapState[uint64, uint64]]{0: mkBin(1, 8), 1: mkBin(2, 8)}
+	writeLiveCheckpoint(t, dir, 30, 1, peers, logBins, 0, assignment, live, bins)
+
+	epoch, _, ok, err := LatestCheckpoint(dir, peers)
+	if err != nil || !ok || epoch != 30 {
+		t.Fatalf("shrunk-roster epoch not complete: epoch=%d ok=%v err=%v", epoch, ok, err)
+	}
+
+	// The dead slot's worker range: no manifest, no bins, no error.
+	r, err := LoadRestore(dir, "test-op", 30, peers, 0, 1, TransferBinary.Name())
+	if err != nil {
+		t.Fatalf("restore of a checkpoint-dead slot errored: %v", err)
+	}
+	if len(r.Bins) != 0 || !reflect.DeepEqual(r.Assignment, assignment) {
+		t.Fatalf("dead-slot restore: bins=%d assignment=%v", len(r.Bins), r.Assignment)
+	}
+
+	// The survivor's range holds everything.
+	r, err = LoadRestore(dir, "test-op", 30, peers, 1, 1, TransferBinary.Name())
+	if err != nil || len(r.Bins) != 2 {
+		t.Fatalf("survivor restore: bins=%d err=%v", len(r.Bins), err)
+	}
+
+	// Targeted bin load must not insist on manifest-w0.
+	r, err = LoadCheckpointBins(dir, "test-op", 30, peers, []int{0, 1}, TransferBinary.Name())
+	if err != nil || len(r.Bins) != 2 {
+		t.Fatalf("LoadCheckpointBins without worker 0: bins=%d err=%v", len(r.Bins), err)
+	}
+
+	// A manifest missing for a worker the epoch records as LIVE still marks
+	// the epoch incomplete.
+	writeLiveCheckpoint(t, dir, 40, 1, peers, logBins, 0, assignment, []int{0, 1}, bins)
+	if epoch, _, ok, err := LatestCheckpoint(dir, peers); err != nil || !ok || epoch != 30 {
+		t.Fatalf("incomplete live epoch not skipped: epoch=%d ok=%v err=%v", epoch, ok, err)
+	}
+	if _, err := LoadRestore(dir, "test-op", 40, peers, 0, 1, TransferBinary.Name()); err == nil {
+		t.Fatal("restore of a live worker with a missing manifest did not error")
 	}
 }
 

@@ -648,7 +648,7 @@ func (f *fOp[R, S, O]) checkpoint(t Time) {
 			return
 		}
 	}
-	if err := w.Finish(f.peers, f.cfg.LogBins, f.cfg.Transfer.Name(), asn); err != nil {
+	if err := w.Finish(f.peers, f.cfg.LogBins, f.cfg.Transfer.Name(), asn, ck.liveWorkers(t)); err != nil {
 		ck.reportError(t, f.index, err)
 		return
 	}

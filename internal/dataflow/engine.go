@@ -303,6 +303,18 @@ func (e *Execution) Wait() {
 	}
 }
 
+// Err reports the fatal cross-process fabric error that aborted this
+// execution, if any: a peer session unreachable past its dial timeout kills
+// the transport, halts the local workers (so Wait returns instead of
+// wedging) and lands here. Nil for single-process executions and for runs
+// that completed or shut down in an orderly way. Check it after Wait.
+func (e *Execution) Err() error {
+	if e.mesh == nil {
+		return nil
+	}
+	return e.mesh.Err()
+}
+
 // Pause parks every local worker at a safe point and returns once all are
 // parked: no operator logic is running, so operator-owned state (capability
 // holds in particular) may be read by the caller without races. Workers stay

@@ -97,6 +97,18 @@ type Mesh struct {
 	activeInit []bool
 	active     []atomic.Bool
 
+	// retired[p] says slot p is gone for good (drain-left or declared dead),
+	// as opposed to merely absent (a standby that may still join). Workers
+	// consult it on the send path: a message for a retired slot is dropped at
+	// the source with no progress delta — the transport would discard the
+	// frame anyway, and a recorded pointstamp for it could never cancel (the
+	// dead process will not consume the message), wedging the frontier at the
+	// message's time forever. Pre-retirement sends to a crashed peer do leak
+	// such phantom counts; the membership barrier's tracker rebuild wipes
+	// those, and this flag keeps post-barrier sends (e.g. a migration that
+	// straddled the death executing late) from minting new ones.
+	retired []atomic.Bool
+
 	// sentN/recvN count dataflow frames (progress, data, graph — not ctrl)
 	// exchanged with each peer. The membership barrier uses their cluster-
 	// wide sums as a Safra-style stability check: only when every member's
@@ -117,6 +129,12 @@ type Mesh struct {
 	ctrlMu      sync.Mutex
 	ctrlHandler func(from int, payload []byte)
 	ctrlPending []ctrlFrame
+
+	// fatalMu guards fatalErr (the transport's fatal failure, if any) and the
+	// exec pointer's visibility to the fatal hook, which may fire before the
+	// mesh is attached to an execution.
+	fatalMu  sync.Mutex
+	fatalErr error
 }
 
 // ctrlFrame is a control frame buffered before SetControlHandler; the
@@ -150,6 +168,7 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 	}
 	m.activeInit = make([]bool, len(spec.Hosts))
 	m.active = make([]atomic.Bool, len(spec.Hosts))
+	m.retired = make([]atomic.Bool, len(spec.Hosts))
 	m.sentN = make([]atomic.Uint64, len(spec.Hosts))
 	m.recvN = make([]atomic.Uint64, len(spec.Hosts))
 	for i := range m.activeInit {
@@ -173,6 +192,7 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 		Logf:            spec.Logf,
 		Absent:          spec.Absent,
 		MembershipEpoch: spec.MembershipEpoch,
+		Fatal:           m.onFatal,
 	}, m.onFrame)
 	if err != nil {
 		return nil, err
@@ -209,8 +229,13 @@ func (m *Mesh) Activate(p int) { m.active[p].Store(true) }
 // rejoin under a new generation).
 func (m *Mesh) RetirePeer(p int) {
 	m.active[p].Store(false)
+	m.retired[p].Store(true)
 	m.tr.Retire(p)
 }
+
+// Retired reports whether roster slot p has been retired (vs. absent or
+// live). Read by the worker send path; see the field comment.
+func (m *Mesh) Retired(p int) bool { return m.retired[p].Load() }
 
 // Leave switches this process's shutdown barrier to the one-sided variant:
 // announce FIN and wait for the peers to ack our frames, but do not require
@@ -282,12 +307,52 @@ func (m *Mesh) SetControlHandler(h func(from int, payload []byte)) {
 	m.ctrlPending = nil
 }
 
+// onFatal reacts to the transport dying irrecoverably (a peer unreachable
+// past its dial timeout): record the cause and halt the local workers, which
+// would otherwise wait forever for progress from the dead session. The run
+// then unwinds through Execution.Wait and the error surfaces via Err.
+func (m *Mesh) onFatal(err error) {
+	m.fatalMu.Lock()
+	if m.fatalErr == nil {
+		m.fatalErr = err
+	}
+	e := m.exec
+	m.fatalMu.Unlock()
+	if e != nil {
+		e.Halt()
+	}
+}
+
+// Err returns the fatal transport error that killed this mesh, or nil.
+func (m *Mesh) Err() error {
+	m.fatalMu.Lock()
+	err := m.fatalErr
+	m.fatalMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if m.tr != nil {
+		return m.tr.Err()
+	}
+	return nil
+}
+
 // attach binds the mesh to its execution (called by NewExecution).
 func (m *Mesh) attach(e *Execution) {
+	m.fatalMu.Lock()
 	if m.exec != nil {
+		m.fatalMu.Unlock()
 		panic("dataflow: mesh already attached to an execution (join a fresh mesh per execution)")
 	}
 	m.exec = e
+	fatal := m.fatalErr
+	m.fatalMu.Unlock()
+	if fatal != nil {
+		// The transport died between JoinMesh and the execution's build:
+		// halting now (before Start) makes the workers exit immediately
+		// instead of wedging on the dead fabric.
+		e.Halt()
+	}
 }
 
 // start announces this process's graph digest to every peer (the first
@@ -336,15 +401,27 @@ func (e *Execution) graphDigest() uint64 {
 // called Leave runs the one-sided variant (peers keep running); one that
 // called Abandon just closes.
 func (m *Mesh) finish() {
+	if m.Err() != nil {
+		// The transport already died; there is no barrier left to run. The
+		// cause reaches the caller through Execution.Err, not a panic.
+		m.tr.Close()
+		return
+	}
 	switch m.finMode.Load() {
 	case 2:
 		m.tr.Close()
 	case 1:
 		if err := m.tr.FinishLeave(60 * time.Second); err != nil {
+			if m.tr.Err() != nil {
+				return // died mid-barrier; surfaced via Err
+			}
 			panic(err)
 		}
 	default:
 		if err := m.tr.Finish(60 * time.Second); err != nil {
+			if m.tr.Err() != nil {
+				return
+			}
 			panic(err)
 		}
 	}

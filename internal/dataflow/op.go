@@ -316,13 +316,20 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 			if pd == nil {
 				continue
 			}
-			c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
 			m := message{edge: oe.edge, time: t, data: pd}
 			if peer == c.w.index {
+				c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
 				c.local = append(c.local, m)
-			} else {
+			} else if mesh := c.w.exec.mesh; mesh == nil || !mesh.Retired(peer/c.w.exec.cfg.Workers) {
+				c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
 				c.remote = append(c.remote, outMsg{peer: peer, msg: m})
 			}
+			// else: the destination slot is retired. The transport would drop
+			// the frame; drop it here without a pointstamp, which could never
+			// cancel (nothing will consume the message) and would wedge the
+			// frontier at t. A migration that straddled a death ships its dead-
+			// bound bins into this void; the bins are in the crash's lost set
+			// and their restore rebuilds them from the checkpoint.
 		}
 	}
 }

@@ -311,7 +311,7 @@ func RunMembership[T any](
 	}
 	fab.Execution.Wait()
 	res.Elapsed = time.Since(start).Seconds()
-	return res, nil
+	return res, fab.Execution.Err()
 }
 
 // MembershipSpecError builds the common validation error for options that

@@ -242,13 +242,23 @@ func PreloadAll(p Params, peers int, h *Handles) {
 // worker count.
 func PreloadLocal(p Params, peers int, h *Handles, first, n int) {
 	bins := 1 << uint(p.LogBins)
+	assign := make([]int, bins)
+	for b := range assign {
+		assign[b] = core.InitialWorker(b, peers)
+	}
+	PreloadAssigned(p, assign, h, first, n)
+}
+
+// PreloadAssigned preloads the bins the given assignment places on workers in
+// [first, first+n). Dynamic-membership runs pass the membership controller's
+// initial (live-roster) assignment, under which absent slots own no bins.
+func PreloadAssigned(p Params, assign []int, h *Handles, first, n int) {
 	local := func(w int) bool { return w >= first && w < first+n }
 	switch p.Variant {
 	case HashCount:
 		// Touch each bin's map with a representative spread of keys. A full
 		// preload of huge domains is prohibitive in tests; pre-size maps.
-		for b := 0; b < bins; b++ {
-			w := core.InitialWorker(b, peers)
+		for b, w := range assign {
 			if !local(w) {
 				continue
 			}
@@ -259,8 +269,7 @@ func PreloadLocal(p Params, peers int, h *Handles, first, n int) {
 			})
 		}
 	case KeyCount:
-		for b := 0; b < bins; b++ {
-			w := core.InitialWorker(b, peers)
+		for b, w := range assign {
 			if !local(w) {
 				continue
 			}

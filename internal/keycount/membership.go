@@ -12,24 +12,24 @@ import (
 
 // runMembership is the dynamic-membership variant of Run: the cluster's
 // roster may grow (an absent slot joins mid-run) and shrink (drain-leave and
-// crash-leave) while the dataflow keeps running. Scripted migrations, the
-// auto-controller, preload and whole-cluster recovery are rejected up front —
-// membership owns the control bus, the assignment mirror, and the checkpoint
-// restore path.
+// crash-leave) while the dataflow keeps running. Scripted migrations route
+// through the membership controller's schedule broadcast (so the move set
+// stays canonical across leader failovers), preload consults the live-roster
+// initial assignment, and -auto attaches the cluster autoscaler as a
+// telemetry plane multiplexed onto the same control bus — the membership
+// leader turns its load windows into standby admissions and drain-leaves.
+// Only whole-cluster -recover stays rejected: recovery inside a membership
+// run is per-member (crash-leave).
 func runMembership(cfg RunConfig) (harness.Result, error) {
 	switch {
 	case cfg.Cluster == nil:
 		return harness.Result{}, fmt.Errorf("keycount: dynamic membership requires a cluster (-hosts)")
-	case cfg.Auto != nil:
-		return harness.Result{}, harness.MembershipSpecError("keycount", "-auto (the autoscaler control plane shares the control bus)")
-	case cfg.MigrateAt > 0:
-		return harness.Result{}, harness.MembershipSpecError("keycount", "scripted migrations (they would race the membership controller's assignment mirror)")
 	case cfg.Recover:
 		return harness.Result{}, harness.MembershipSpecError("keycount", "-recover (crash recovery is per-member, inside the run)")
-	case cfg.Preload:
-		return harness.Result{}, harness.MembershipSpecError("keycount", "preload (it targets the full-roster initial assignment, which membership reseeds)")
 	case cfg.CheckpointDir == "":
 		return harness.Result{}, fmt.Errorf("keycount: dynamic membership requires -checkpoint-dir (crash-leave restores the dead member's bins from the latest complete checkpoint)")
+	case cfg.Auto != nil && cfg.ScaleOutAbove == 0 && cfg.ScaleInBelow == 0:
+		return harness.Result{}, fmt.Errorf("keycount: -auto with dynamic membership drives elasticity from load thresholds; give -scale-out-above and/or -scale-in-below")
 	}
 	var hashFn func(uint64) uint64
 	switch cfg.Variant {
@@ -62,6 +62,13 @@ func runMembership(cfg RunConfig) (harness.Result, error) {
 	cfg.Duration = duration
 	cfg.Params.Checkpoint = ckpt.Config
 
+	var meter *core.LoadMeter
+	if cfg.Auto != nil {
+		meter = core.NewLoadMeter(totalWorkers, cfg.LogBins)
+		cfg.Params.Meter = meter
+		cfg.Auto.Meter = meter
+	}
+
 	exec := dataflow.NewExecution(dataflow.Config{Workers: cfg.Workers, Mesh: mesh})
 	var dataIns []*dataflow.InputHandle[uint64]
 	var ctlIns []*dataflow.InputHandle[core.Move]
@@ -84,7 +91,6 @@ func runMembership(cfg RunConfig) (harness.Result, error) {
 			probe = p
 		}
 	})
-	exec.Start()
 
 	var initialActive []bool
 	if cfg.Cluster.Absent != nil {
@@ -93,21 +99,97 @@ func runMembership(cfg RunConfig) (harness.Result, error) {
 			initialActive[p] = !cfg.Cluster.Absent[p]
 		}
 	}
+	bins := 1 << uint(cfg.LogBins)
+
+	// With -auto the two control planes share the mesh control channel
+	// through a mux: autoscaler kinds below 10, membership at and above.
+	var memBus plan.ControlBus = mesh
+	var autoscale *plan.MembershipAutoscale
+	var auto *plan.AutoController
+	if cfg.Auto != nil {
+		mux := plan.NewBusMux(mesh)
+		memBus = mux.Membership()
+		// In membership mode the autoscaler is telemetry-only: bin moves must
+		// route through the membership plane, so its policy is forced Static
+		// and it never drives the control inputs (nil handles).
+		cfg.Auto.Policy = plan.Static{}
+		cfg.Auto.Cluster = &plan.ClusterOptions{
+			Bus:            mux.Auto(),
+			Procs:          procs,
+			Proc:           proc,
+			WorkersPerProc: cfg.Workers,
+			Logf:           cfg.Cluster.Logf,
+		}
+		auto = plan.NewAutoController(nil, probe, plan.Initial(bins, totalWorkers), *cfg.Auto)
+		autoscale = &plan.MembershipAutoscale{
+			Auto:     auto,
+			HotRecs:  cfg.ScaleOutAbove,
+			ColdRecs: cfg.ScaleInBelow,
+			Sustain:  cfg.ScaleSustain,
+			Cost:     cfg.Auto.Cost,
+		}
+	}
+
 	fab := harness.ClusterFabric{Execution: exec, Mesh: mesh}
 	mc := plan.NewMembershipController(plan.MembershipOptions{
-		Bus:            mesh,
+		Bus:            memBus,
 		Fabric:         fab,
 		Frontier:       probe.Frontier,
 		Procs:          procs,
 		Proc:           proc,
 		WorkersPerProc: cfg.Workers,
-		Bins:           1 << uint(cfg.LogBins),
+		Bins:           bins,
 		InitialActive:  initialActive,
 		CheckpointDir:  cfg.CheckpointDir,
 		Slack:          cfg.MembershipSlack,
 		TickEvery:      cfg.EpochEvery,
+		Autoscale:      autoscale,
 		Logf:           cfg.Cluster.Logf,
 	})
+	// Manifests record the roster live at each checkpoint epoch, so a
+	// checkpoint taken after a death completes (and restores) without the
+	// dead slots' manifests. Wired before Start: worker goroutines read the
+	// config when a checkpoint command reaches them.
+	ckpt.Config.LiveAt = mc.LiveWorkersAt
+
+	if cfg.MigrateAt > 0 {
+		// The Section 5 schedule, rendered against the live roster at decision
+		// time: first imbalance onto half the live workers, then (MigrateTwo)
+		// rebalance back across all of them. Every process registers the same
+		// specs; only the leader renders and broadcasts the schedules.
+		at := core.Time(cfg.MigrateAt / cfg.EpochEvery)
+		mc.ScheduleMigration(plan.MigrationSpec{
+			At:       at,
+			Strategy: cfg.Strategy,
+			Batch:    cfg.Batch,
+			Target: func(cur plan.Assignment, live []int) plan.Assignment {
+				return plan.Rebalance(len(cur), live[:(len(live)+1)/2])
+			},
+		})
+		if cfg.MigrateTwo {
+			end := core.Time(cfg.Duration / cfg.EpochEvery)
+			at2 := at + (end-at)/2
+			if cfg.MigrateTwoAt > 0 {
+				at2 = core.Time(cfg.MigrateTwoAt / cfg.EpochEvery)
+			}
+			mc.ScheduleMigration(plan.MigrationSpec{
+				At:       at2,
+				Strategy: cfg.Strategy,
+				Batch:    cfg.Batch,
+				Target: func(cur plan.Assignment, live []int) plan.Assignment {
+					return plan.Rebalance(len(cur), live)
+				},
+			})
+		}
+	}
+
+	if cfg.Preload {
+		// Preload against the membership initial assignment (live-only when
+		// the roster starts with absent slots). A joiner owns no bins at
+		// start, so this is naturally a no-op on its process.
+		PreloadAssigned(cfg.Params, mc.Assignment(), handles, firstWorker, cfg.Workers)
+	}
+	exec.Start()
 
 	domain := uint64(cfg.Domain)
 	workload := cfg.Workload
@@ -129,6 +211,7 @@ func runMembership(cfg RunConfig) (harness.Result, error) {
 		CrashAt:         cfg.CrashAt,
 		CheckpointDir:   cfg.CheckpointDir,
 	})
+	res.FinishAdaptive(auto, meter)
 	ckpt.Finish(&res)
 	return res, err
 }

@@ -29,7 +29,10 @@ type RunConfig struct {
 	Batch      int
 	MigrateAt  time.Duration
 	MigrateTwo bool // also run the re-balancing second migration
-	Memory     bool
+	// MigrateTwoAt pins the second migration's epoch explicitly; zero keeps
+	// the default midpoint between MigrateAt and the end of the run.
+	MigrateTwoAt time.Duration
+	Memory       bool
 	// Workload selects the key distribution (zero value = the paper's
 	// uniform draw).
 	Workload harness.Workload
@@ -61,8 +64,11 @@ type RunConfig struct {
 	// Membership enables the dynamic-membership control plane: the roster
 	// may grow (Cluster.Absent slots joining mid-run) and shrink (drain- and
 	// crash-leave) while the dataflow keeps running. Requires Cluster and
-	// CheckpointDir; incompatible with Auto, scripted migrations, Preload
-	// and Recover.
+	// CheckpointDir; incompatible with Recover (crash recovery is per-member,
+	// inside the run). Scripted migrations ride the membership schedule
+	// broadcast, Preload consults the live-roster initial assignment, and
+	// Auto attaches the autoscaler as a telemetry plane whose load windows
+	// drive join/leave (see ScaleOutAbove/ScaleInBelow).
 	Membership bool
 	// LeaveAt makes this process request drain-leave once its drive loop
 	// passes that epoch (with Membership).
@@ -75,6 +81,15 @@ type RunConfig struct {
 	// the in-process stand-in for SIGKILL (with Membership; see
 	// harness.MembershipRunOptions.CrashAt).
 	CrashAt int64
+	// ScaleOutAbove and ScaleInBelow close the elasticity loop in
+	// membership+auto runs (plan.MembershipAutoscale): mean records per live
+	// worker per sampling window above which a registered standby is
+	// admitted, and below which the coldest member is drain-left (0 disables
+	// either direction). ScaleSustain is the number of consecutive windows
+	// the signal must persist (default 3).
+	ScaleOutAbove uint64
+	ScaleInBelow  uint64
+	ScaleSustain  int
 }
 
 // Run executes the benchmark and returns its measurements. In a cluster
@@ -181,8 +196,12 @@ func Run(cfg RunConfig) (harness.Result, error) {
 			Plan:    plan.Build(cfg.Strategy, initial, imbalanced, cfg.Batch),
 		})
 		if cfg.MigrateTwo {
+			epoch2 := epoch + (int64(cfg.Duration/cfg.EpochEvery)-epoch)/2
+			if cfg.MigrateTwoAt > 0 {
+				epoch2 = int64(cfg.MigrateTwoAt / cfg.EpochEvery)
+			}
 			migrations = append(migrations, harness.Migration{
-				AtEpoch: epoch + (int64(cfg.Duration/cfg.EpochEvery)-epoch)/2,
+				AtEpoch: epoch2,
 				Plan:    plan.Build(cfg.Strategy, imbalanced, initial, cfg.Batch),
 			})
 		}
@@ -211,7 +230,10 @@ func Run(cfg RunConfig) (harness.Result, error) {
 	})
 	res.FinishAdaptive(auto, meter)
 	ckpt.Finish(&res)
-	return res, nil
+	// A cluster run whose transport died (a peer unreachable past its dial
+	// timeout) halts instead of wedging; surface the cause alongside the
+	// partial measurements.
+	return res, exec.Err()
 }
 
 // attachSink adds a per-worker sink operator that renders every output

@@ -58,9 +58,13 @@ func Run(cfg RunConfig) (harness.Result, error) {
 
 	if cfg.Cluster != nil && cfg.Cluster.Absent != nil {
 		// Dynamic membership (absent roster slots joining and leaving) is a
-		// keycount-only mode for now: nexmark's windowed operators have no
-		// purge hooks for the membership barrier.
-		return harness.Result{}, fmt.Errorf("nexmark: dynamic membership (absent roster slots) is not supported")
+		// keycount-only mode for now: the membership barrier pauses the
+		// workers, inventories every capability hold and rebuilds the
+		// trackers from it, which needs each operator's holds to be bounded
+		// and purgeable at a cut epoch. nexmark's windowed operators (q5, q7,
+		// q8) hold capabilities for every open window with no purge hook, so
+		// the barrier can neither bound nor reconstruct their progress state.
+		return harness.Result{}, fmt.Errorf("nexmark: dynamic membership (absent roster slots) is keycount-only — windowed operators have unbounded, unpurgeable capability holds")
 	}
 	mesh, procs, proc, err := harness.JoinCluster("nexmark", cfg.Cluster, cfg.Params.Transfer, cfg.Auto != nil)
 	if err != nil {

@@ -96,6 +96,7 @@ type AutoController struct {
 	// cluster-wide view in cluster mode.
 	source            loadSource
 	prev, cur, window *core.LoadSnapshot
+	windowSeq         uint64 // completed sampling windows (see WindowSeq)
 
 	// lastHot and stability track how long the same worker has been the
 	// window's hottest (consecutive sampling windows); the cost model's
@@ -170,6 +171,7 @@ func (a *AutoController) Tick(now core.Time) {
 		a.cur = a.source.Snapshot(a.cur)
 		a.window = a.cur.Delta(a.prev, a.window)
 		a.prev, a.cur = a.cur, a.prev
+		a.windowSeq++
 		a.observeStability()
 		lead := true
 		if a.cluster != nil {
@@ -275,6 +277,29 @@ func (a *AutoController) record(d Decision, assign Assignment) {
 	if a.opts.OnDecision != nil {
 		a.opts.OnDecision(d)
 	}
+}
+
+// WindowSeq counts the sampling windows completed so far; a consumer on the
+// ticking goroutine can use a change in it as "a fresh window is available".
+// Like Window, it must only be read from the goroutine that calls Tick.
+func (a *AutoController) WindowSeq() uint64 { return a.windowSeq }
+
+// Window returns the newest completed sampling window and the cumulative
+// snapshot it was cut from (nil before the first window). Ticking-goroutine
+// only; the returned snapshots are reused by the next sample.
+func (a *AutoController) Window() (window, cumulative *core.LoadSnapshot) {
+	return a.window, a.prev
+}
+
+// TelemetryCovered reports whether, in cluster mode, every live peer's load
+// telemetry has reached the merged view for the current window (always true
+// single-process). A window missing a peer's rows reads as a phantom
+// imbalance, so consumers should skip it.
+func (a *AutoController) TelemetryCovered() bool {
+	if a.cluster == nil {
+		return true
+	}
+	return a.cluster.covered()
 }
 
 // Decisions returns the reconfigurations issued so far.

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,8 +164,53 @@ type MembershipOptions struct {
 	// zero (the default) advances on every Tick, which suits tests that
 	// step virtual time.
 	TickEvery time.Duration
+	// Autoscale, when non-nil, drives elasticity from load telemetry: a
+	// registered standby is admitted only when the cluster is saturated, and
+	// the coldest member is drain-left on sustained underload. Without it a
+	// Hello is admitted as soon as the leader is free to decide.
+	Autoscale *MembershipAutoscale
 	// Logf, when non-nil, receives membership lifecycle messages.
 	Logf func(format string, args ...any)
+}
+
+// MembershipAutoscale closes the elasticity loop: the membership leader reads
+// the autoscaler's cluster-wide load windows (the two planes share the mesh
+// control channel through a BusMux) and turns sustained saturation into a
+// standby admission and sustained underload into a drain-leave of the coldest
+// member, with the scale-out priced by the migrate-or-not cost model.
+type MembershipAutoscale struct {
+	// Auto is the cluster autoscale controller on the mux'd auto plane
+	// (required). The membership controller ticks it, so the drive loop only
+	// ever calls MembershipController.Tick. Its policy should be Static: in
+	// membership mode bin moves must route through the membership plane, and
+	// the controller is wanted purely for its converged load telemetry.
+	Auto *AutoController
+	// HotRecs is the mean records per live worker per sampling window above
+	// which the cluster counts as saturated (0 disables scale-out).
+	HotRecs uint64
+	// ColdRecs is the mean below which it counts as underloaded (0 disables
+	// scale-in).
+	ColdRecs uint64
+	// Sustain is the number of consecutive windows a signal must persist
+	// before the leader acts (default 3).
+	Sustain int
+	// Cost, when non-nil, gates a scale-out on the projected profitability of
+	// the rebalance it implies (see CostModel); a declined proposal resets
+	// the saturation streak, so the next attempt waits another Sustain
+	// windows.
+	Cost *CostModel
+	// MinProcs is the scale-in floor: never drain below this many live
+	// processes (default 2).
+	MinProcs int
+}
+
+func (as *MembershipAutoscale) defaults() {
+	if as.Sustain <= 0 {
+		as.Sustain = 3
+	}
+	if as.MinProcs < 2 {
+		as.MinProcs = 2
+	}
 }
 
 func (o *MembershipOptions) defaults() {
@@ -194,18 +240,18 @@ func (o *MembershipOptions) logf(format string, args ...any) {
 }
 
 // Membership control-plane payload kinds. They live above the autoscaler's
-// kinds (1, 2) so the two planes could share a bus if that restriction is
-// ever lifted; today membership owns the bus handler outright (the keycount
-// driver rejects -auto together with membership).
+// kinds (1, 2) so the two planes can share one mesh control channel through a
+// BusMux (see mux.go), which routes inbound frames by this first byte.
 const (
-	memKindBeat     byte = 10 // heartbeat
-	memKindHello    byte = 11 // joiner asks for admission
-	memKindLeaveReq byte = 12 // member asks to drain out
-	memKindDecision byte = 13 // leader's transition decision
-	memKindReady    byte = 14 // barrier: quiescence report (frontier + counters)
-	memKindInv      byte = 15 // barrier: capability-hold inventory + applied bounds
-	memKindDone     byte = 16 // barrier: tracker reset complete
-	memKindGoodbye  byte = 17 // leaver's final control frame before its FIN
+	memKindBeat      byte = 10 // heartbeat
+	memKindHello     byte = 11 // joiner asks for admission
+	memKindLeaveReq  byte = 12 // member asks to drain out
+	memKindDecision  byte = 13 // leader's transition decision
+	memKindReady     byte = 14 // barrier: quiescence report (frontier + counters)
+	memKindInv       byte = 15 // barrier: capability-hold inventory + applied bounds
+	memKindDone      byte = 16 // barrier: tracker reset complete
+	memKindGoodbye   byte = 17 // leaver's final control frame before its FIN
+	memKindMigration byte = 18 // leader's rendered scripted-migration schedule
 )
 
 // memStep is one step of the membership timeline: from epoch `from` onward,
@@ -237,6 +283,40 @@ type timedMoves struct {
 	moves []core.Move
 }
 
+// residentMove records one drained (injected) move: at `epoch`, bin moved
+// from `from` to `to`. The log, together with the resident base, lets the
+// controller reconstruct which worker actually held a bin's state at any
+// epoch — the assignment mirror alone only knows the scheduled end state.
+type residentMove struct {
+	epoch    core.Time
+	bin      int
+	from, to int
+}
+
+// MigrationSpec is one scripted migration in membership mode. Every process
+// registers the identical spec sequence before its drive loop starts (so a
+// leader failover re-renders the same script); only the leader renders it
+// into a fixed-epoch move schedule and broadcasts the result.
+type MigrationSpec struct {
+	// At is the earliest epoch the leader may decide this migration.
+	At core.Time
+	// Strategy and Batch render the diff into a plan, as in Build.
+	Strategy Strategy
+	Batch    int
+	// Target returns the destination assignment given the current mirror and
+	// the live worker set at decision time. It must be a pure function of its
+	// arguments (leader failover may re-evaluate it), and may return nil to
+	// skip the migration.
+	Target func(current Assignment, liveWorkers []int) Assignment
+}
+
+// scriptedMig pairs a registered spec with its registration sequence number,
+// which identifies it across processes in migration frames.
+type scriptedMig struct {
+	seq  uint64
+	spec MigrationSpec
+}
+
 // MembershipController runs one process's half of the membership protocol.
 // The drive loop owns Tick, NextCommit, RunBarrier, CommitDrain, MovesAt and
 // Covered; the bus's serialized handler owns inbound frames. The two sides
@@ -251,15 +331,35 @@ type MembershipController struct {
 	active   []bool // current (latest-decided) membership
 	timeline []memStep
 	memEpoch uint64
-	assign   Assignment // mirror of the executed bin assignment
+	assign   Assignment // mirror of the scheduled end-state bin assignment
+
+	// resident is the assignment as actually executed so far: it advances
+	// only when MovesAt drains an injection, and moveLog records each such
+	// move. assign always equals resident with every pending injection
+	// applied in epoch order (rebuildMirrorLocked maintains the invariant).
+	resident Assignment
+	moveLog  []residentMove
+	// residencyFloor is the first epoch this process witnessed residency
+	// from (0 for founding members, the join commit for a joiner): a crash
+	// declaration must restore from a checkpoint at or above it, because the
+	// move log below the floor is unknown here.
+	residencyFloor core.Time
 
 	pending    *Transition // decided, not yet committed by the drive loop
 	settleAt   core.Time   // leader: no new decision until the loop passes this
 	injections []timedMoves
 
-	helloFrom int // joiner slot awaiting admission; -1 none
-	leaveFrom int // member asking to drain; -1 none
-	deadGone  []bool
+	scripted []scriptedMig // registered migrations not yet rendered
+
+	helloFrom  int // joiner slot awaiting admission; -1 none
+	leaveFrom  int // member asking to drain; -1 none
+	deadGone   []bool
+	everActive []bool // slots that were ever live (drained-silent detection)
+
+	// Autoscale state: the last consumed telemetry window and the streak
+	// counters behind the Sustain gate.
+	asWindowSeq           uint64
+	hotStreak, coldStreak int
 
 	joinDecision *Transition // joiner side: our own admission
 
@@ -299,6 +399,12 @@ func NewMembershipController(opts MembershipOptions) *MembershipController {
 	if opts.InitialActive != nil && len(opts.InitialActive) != opts.Procs {
 		panic("plan: MembershipOptions.InitialActive length does not match Procs")
 	}
+	if opts.Autoscale != nil {
+		if opts.Autoscale.Auto == nil {
+			panic("plan: MembershipAutoscale needs the cluster AutoController for telemetry")
+		}
+		opts.Autoscale.defaults()
+	}
 	opts.defaults()
 	mc := &MembershipController{
 		opts:      opts,
@@ -315,6 +421,7 @@ func NewMembershipController(opts MembershipOptions) *MembershipController {
 	for p := range mc.active {
 		mc.active[p] = opts.InitialActive == nil || opts.InitialActive[p]
 	}
+	mc.everActive = append([]bool(nil), mc.active...)
 	mc.timeline = []memStep{{from: 0, active: append([]bool(nil), mc.active...)}}
 	// With absent roster slots, the operator's built-in initial assignment
 	// (round-robin over the full roster) would own bins with workers that do
@@ -325,8 +432,32 @@ func NewMembershipController(opts MembershipOptions) *MembershipController {
 	} else {
 		mc.assign = Rebalance(opts.Bins, mc.liveWorkers(live))
 	}
+	mc.resident = append(Assignment(nil), mc.assign...)
 	opts.Bus.SetControlHandler(mc.onControl)
 	return mc
+}
+
+// ScheduleMigration registers a scripted migration. Every process must
+// register the identical spec sequence before its drive loop starts; the
+// leader renders each due spec into a fixed-epoch schedule and broadcasts it
+// (memKindMigration), so the move set stays canonical cluster-wide.
+func (mc *MembershipController) ScheduleMigration(spec MigrationSpec) {
+	if spec.Target == nil {
+		panic("plan: MigrationSpec needs a Target function")
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.scripted = append(mc.scripted, scriptedMig{seq: uint64(len(mc.scripted)), spec: spec})
+}
+
+// LiveWorkersAt lists the global worker indices of the processes live at the
+// given epoch. The checkpoint writer records it in manifests
+// (core.CheckpointConfig.LiveAt), making checkpoints taken on a shrunk
+// roster complete — and restorable — without the dead slots' manifests.
+func (mc *MembershipController) LiveWorkersAt(e core.Time) []int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.liveWorkers(participantsOf(mc.activeAt(e)))
 }
 
 // Proc returns this process's roster index.
@@ -451,7 +582,9 @@ func (mc *MembershipController) NextCommit() *Transition {
 }
 
 // MovesAt removes and returns the control moves every member injects on its
-// local control input at epoch e (nil when none).
+// local control input at epoch e (nil when none). Draining an injection
+// advances the resident assignment and appends to the move log, so the
+// controller can later tell executed moves apart from still-scheduled ones.
 func (mc *MembershipController) MovesAt(e core.Time) []core.Move {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
@@ -465,12 +598,63 @@ func (mc *MembershipController) MovesAt(e core.Time) []core.Move {
 		}
 	}
 	mc.injections = kept
+	for _, m := range out {
+		if m.IsCheckpoint() || m.Bin < 0 || m.Bin >= len(mc.resident) {
+			continue
+		}
+		if old := mc.resident[m.Bin]; old != m.Worker {
+			mc.moveLog = append(mc.moveLog, residentMove{epoch: e, bin: m.Bin, from: old, to: m.Worker})
+			mc.resident[m.Bin] = m.Worker
+		}
+	}
+	return out
+}
+
+// rebuildMirrorLocked recomputes the assignment mirror as the resident
+// assignment with every pending injection applied in epoch order. Called
+// after anything changes the injection set.
+func (mc *MembershipController) rebuildMirrorLocked() {
+	mc.assign = append(mc.assign[:0], mc.resident...)
+	idx := make([]int, len(mc.injections))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return mc.injections[idx[a]].epoch < mc.injections[idx[b]].epoch
+	})
+	for _, i := range idx {
+		for _, m := range mc.injections[i].moves {
+			if !m.IsCheckpoint() && m.Bin >= 0 && m.Bin < len(mc.assign) {
+				mc.assign[m.Bin] = m.Worker
+			}
+		}
+	}
+}
+
+// residentAtLocked reconstructs which worker held each bin's state as of
+// moves executed strictly before epoch t: the resident base with every move
+// log entry at or above t undone, newest first.
+func (mc *MembershipController) residentAtLocked(t core.Time) Assignment {
+	out := append(Assignment(nil), mc.resident...)
+	for i := len(mc.moveLog) - 1; i >= 0; i-- {
+		if e := mc.moveLog[i]; e.epoch >= t {
+			out[e.bin] = e.from
+		}
+	}
 	return out
 }
 
 // Tick runs once per drive-loop epoch: it broadcasts the heartbeat, advances
-// the suspicion clock, and — on the leader — decides any pending transition.
+// the suspicion clock, ticks the attached autoscaler (when configured), and —
+// on the leader — decides any pending transition, due scripted migration, or
+// elasticity action.
 func (mc *MembershipController) Tick(now core.Time) {
+	if as := mc.opts.Autoscale; as != nil {
+		// The auto plane samples and converges telemetry on the same drive
+		// goroutine; its policy is Static in membership mode, so it never
+		// issues moves of its own.
+		as.Auto.Tick(now)
+	}
 	mc.lastTick.Store(int64(now))
 	mc.beatBuf = append(mc.beatBuf[:0], memKindBeat)
 	mc.opts.Bus.BroadcastControl(mc.beatBuf)
@@ -505,14 +689,25 @@ func (mc *MembershipController) Tick(now core.Time) {
 	if mc.pending != nil || now < mc.settleAt || now < mc.guardTill {
 		return
 	}
+	// A crash must be decidable even while a migration's schedule is still
+	// in flight (the decision reconciles the pending moves); every other
+	// transition waits for the injection queue to drain first, which keeps
+	// joins and drains from ever overlapping a migration.
+	if dead := mc.deadCandidateLocked(); dead >= 0 {
+		mc.decideCrashLocked(now, dead)
+		return
+	}
+	if len(mc.injections) > 0 {
+		return
+	}
 	switch {
-	case mc.helloFrom >= 0:
+	case mc.helloFrom >= 0 && mc.opts.Autoscale == nil:
 		mc.decideJoinLocked(now, mc.helloFrom)
 	case mc.leaveFrom >= 0:
 		mc.decideDrainLocked(now, mc.leaveFrom)
 	default:
-		if dead := mc.deadCandidateLocked(); dead >= 0 {
-			mc.decideCrashLocked(now, dead)
+		if !mc.decideScriptedLocked(now) {
+			mc.autoscaleLocked(now)
 		}
 	}
 }
@@ -555,12 +750,15 @@ func (mc *MembershipController) electLocked(now core.Time) bool {
 	return lead
 }
 
-// deadCandidateLocked returns a member to declare dead: active, not already
-// gone, and silent for SuspectAfter+DeathAfter windows.
+// deadCandidateLocked returns a member to declare dead: silent for
+// SuspectAfter+DeathAfter windows, not already retired, and either active or
+// once-active (a drain-leaver that went silent before its goodbye still holds
+// capabilities that wedge the frontier; only a crash declaration with its
+// barrier can clear them).
 func (mc *MembershipController) deadCandidateLocked() int {
 	n := mc.ticks.Load()
 	for q := 0; q < mc.opts.Procs; q++ {
-		if q == mc.opts.Proc || !mc.active[q] || mc.deadGone[q] {
+		if q == mc.opts.Proc || mc.deadGone[q] || !mc.everActive[q] {
 			continue
 		}
 		if n-mc.lastHeard[q].Load() > int64(mc.opts.SuspectAfter+mc.opts.DeathAfter) {
@@ -641,19 +839,20 @@ func (mc *MembershipController) liveWorkers(procs []int) []int {
 }
 
 // decideJoinLocked renders and broadcasts the admission of `slot`. The seed
-// moves replay the current assignment at the commit epoch — a no-op for the
+// moves replay the resident assignment at the commit epoch — a no-op for the
 // members, the routing history for the joiner — and the rebalance moves a
 // margin later migrate bins onto the joiner's workers through the ordinary
-// prepare/complete migration path.
+// prepare/complete migration path. Only called with an empty injection
+// queue, so resident and mirror agree.
 func (mc *MembershipController) decideJoinLocked(now core.Time, slot int) {
 	commit := now + mc.opts.Margin
 	after := append([]bool(nil), mc.active...)
 	after[slot] = true
 	tr := &Transition{Kind: TransitionJoin, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1}
-	seed := Diff(Initial(mc.opts.Bins, mc.opts.Procs*mc.opts.WorkersPerProc), mc.assign)
+	seed := Diff(Initial(mc.opts.Bins, mc.opts.Procs*mc.opts.WorkersPerProc), mc.resident)
 	rebalEpoch := commit + mc.opts.Margin
 	target := Rebalance(mc.opts.Bins, mc.liveWorkers(participantsOf(after)))
-	rebal := Diff(mc.assign, target)
+	rebal := Diff(mc.resident, target)
 	mc.helloFrom = -1
 	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, seed}, {rebalEpoch, rebal}}, target)
 }
@@ -665,14 +864,21 @@ func (mc *MembershipController) decideDrainLocked(now core.Time, slot int) {
 	after := append([]bool(nil), mc.active...)
 	after[slot] = false
 	tr := &Transition{Kind: TransitionDrain, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1}
-	moves, target := mc.reassignLocked(slot, after, 0)
+	moves, target := mc.reassignLocked(slot, after)
 	mc.leaveFrom = -1
 	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, moves}}, target)
 }
 
 // decideCrashLocked declares `slot` dead, provided a complete checkpoint
 // exists to rebuild its bins from (without one the state is unrecoverable,
-// so declaration waits for the next checkpoint to complete).
+// so declaration waits for the next checkpoint to complete — and, under
+// roster-aware completeness, a checkpoint whose live roster still lists the
+// dead slot can only complete with its manifests, so a death during a
+// checkpoint's commit defers to the next full epoch). Unlike joins and
+// drains, a crash may be decided while a migration schedule is in flight:
+// the decision classifies every bin the dead slot's state ever touched since
+// the checkpoint as lost, restores those from the checkpoint, and rewrites
+// the still-pending moves so none ships state into the retired slot.
 func (mc *MembershipController) decideCrashLocked(now core.Time, slot int) {
 	if mc.opts.CheckpointDir == "" {
 		panic(fmt.Sprintf("plan: process %d is dead but membership has no CheckpointDir to restore from (run with checkpointing enabled)", slot))
@@ -686,22 +892,98 @@ func (mc *MembershipController) decideCrashLocked(now core.Time, slot int) {
 		mc.opts.logf("megaphone: process %d is dead but no complete checkpoint exists yet; deferring declaration", slot)
 		return
 	}
+	if ckpt < mc.residencyFloor {
+		mc.opts.logf("megaphone: process %d is dead but the latest complete checkpoint (epoch %d) predates this leader's admission (epoch %d); deferring declaration",
+			slot, ckpt, mc.residencyFloor)
+		return
+	}
 	commit := now + mc.opts.Margin
 	after := append([]bool(nil), mc.active...)
 	after[slot] = false
 	tr := &Transition{Kind: TransitionCrash, Slot: slot, Epoch: commit, MemEpoch: mc.memEpoch + 1, Ckpt: ckpt}
-	moves, target := mc.reassignLocked(slot, after, ckpt)
+	moves, target := mc.crashReassignLocked(slot, after, ckpt, commit)
 	for _, m := range moves {
 		tr.DeadBins = append(tr.DeadBins, m.Bin)
 	}
 	mc.broadcastDecisionLocked(tr, after, [][2]any{{commit, moves}}, target)
 }
 
-// reassignLocked computes the moves that take slot's bins away: round-robin
-// onto the remaining members' workers, as plain moves (restoreEpoch 0) or as
-// restore commands when restoreEpoch is set. Returns the moves and the
-// post-transition assignment.
-func (mc *MembershipController) reassignLocked(slot int, after []bool, restoreEpoch core.Time) ([]core.Move, Assignment) {
+// crashReassignLocked classifies the bins lost with `slot` and renders their
+// restore moves. A bin is lost when its state is not reliably held by a
+// survivor: it resides on the dead slot, or any executed move at or after the
+// checkpoint epoch touched it (its state transited mid-flight machinery the
+// dead slot participated in — restoring from the checkpoint and replaying is
+// always correct, so the classification is deliberately conservative), or a
+// still-pending move targets the dead slot (the ship would land in the
+// void). Restore targets round-robin over the survivors' workers, skipping a
+// bin's owner-at-commit: the engine only executes a restore at a worker that
+// did not already own the bin, so restoring in place would silently keep the
+// live (possibly incomplete) state while the replay double-applied on top.
+func (mc *MembershipController) crashReassignLocked(slot int, after []bool, ckpt, commit core.Time) ([]core.Move, Assignment) {
+	w := mc.opts.WorkersPerProc
+	lost := make([]bool, len(mc.assign))
+	for b, owner := range mc.resident {
+		if owner/w == slot {
+			lost[b] = true
+		}
+	}
+	for _, e := range mc.moveLog {
+		if e.epoch >= ckpt {
+			lost[e.bin] = true
+		}
+	}
+	for _, tm := range mc.injections {
+		for _, m := range tm.moves {
+			if !m.IsCheckpoint() && m.Worker >= 0 && m.Worker/w == slot {
+				lost[m.Bin] = true
+			}
+		}
+	}
+	// Owner at the commit epoch: resident plus every pending move below the
+	// commit (they will have executed by the time the restores do).
+	cur := append(Assignment(nil), mc.resident...)
+	for _, tm := range mc.injections {
+		if tm.epoch >= commit {
+			continue
+		}
+		for _, m := range tm.moves {
+			if !m.IsCheckpoint() && m.Bin >= 0 && m.Bin < len(cur) {
+				cur[m.Bin] = m.Worker
+			}
+		}
+	}
+	lw := mc.liveWorkers(participantsOf(after))
+	target := append(Assignment(nil), mc.assign...)
+	var moves []core.Move
+	i := 0
+	for b := range lost {
+		if !lost[b] {
+			continue
+		}
+		nw := lw[i%len(lw)]
+		i++
+		if nw == cur[b] {
+			if len(lw) < 2 {
+				// A single surviving worker already owning the bin: the
+				// restore could never execute. Leave the bin on its live
+				// state (only reachable in 1-worker-per-process fixtures).
+				mc.opts.logf("megaphone: bin %d survives on the only remaining worker %d; skipping its restore", b, nw)
+				continue
+			}
+			nw = lw[i%len(lw)]
+			i++
+		}
+		target[b] = nw
+		moves = append(moves, core.RestoreMove(b, nw, ckpt))
+	}
+	return moves, target
+}
+
+// reassignLocked computes the moves that take slot's bins away round-robin
+// onto the remaining members' workers (the drain-leave path; only called
+// with an empty injection queue, so mirror and residency agree). Returns the
+// moves and the post-transition assignment.
+func (mc *MembershipController) reassignLocked(slot int, after []bool) ([]core.Move, Assignment) {
 	w := mc.opts.WorkersPerProc
 	lw := mc.liveWorkers(participantsOf(after))
 	target := append(Assignment(nil), mc.assign...)
@@ -714,13 +996,122 @@ func (mc *MembershipController) reassignLocked(slot int, after []bool, restoreEp
 		nw := lw[i%len(lw)]
 		i++
 		target[b] = nw
-		if restoreEpoch > 0 {
-			moves = append(moves, core.RestoreMove(b, nw, restoreEpoch))
-		} else {
-			moves = append(moves, core.Move{Bin: b, Worker: nw})
-		}
+		moves = append(moves, core.Move{Bin: b, Worker: nw})
 	}
 	return moves, target
+}
+
+// decideScriptedLocked renders the next due scripted migration (if any) into
+// a fixed-epoch move schedule and broadcasts it. Returns whether a migration
+// was issued. Frontier-paced stepping (the Controller's contract) is not
+// available here — every process must inject the identical moves at the
+// identical epochs — so steps land a fixed stride apart instead: one epoch
+// plus the step's own gap.
+func (mc *MembershipController) decideScriptedLocked(now core.Time) bool {
+	for len(mc.scripted) > 0 {
+		sm := mc.scripted[0]
+		if sm.spec.At > now {
+			return false
+		}
+		cur := append(Assignment(nil), mc.assign...)
+		tgt := sm.spec.Target(cur, mc.liveWorkers(participantsOf(mc.active)))
+		var pl Plan
+		if tgt != nil {
+			pl = Build(sm.spec.Strategy, mc.assign, tgt, sm.spec.Batch)
+		}
+		commit := now + mc.opts.Margin
+		var schedule []timedMoves
+		at := commit
+		for _, st := range pl.Steps {
+			schedule = append(schedule, timedMoves{epoch: at, moves: st.Moves})
+			at++
+			if st.Gap {
+				at++
+			}
+		}
+		// Broadcast even an empty schedule: it retires the spec's sequence
+		// number on every process, so a failed-over leader cannot re-render a
+		// migration its predecessor already decided was a no-op.
+		mc.broadcastMigrationLocked(sm.seq, schedule)
+		if len(schedule) > 0 {
+			mc.opts.logf("megaphone: process %d issued scripted migration %d: %d steps over epochs [%d, %d]",
+				mc.opts.Proc, sm.seq, len(schedule), commit, at-1)
+			return true
+		}
+	}
+	return false
+}
+
+// autoscaleLocked is the leader's elasticity evaluator: once per completed
+// telemetry window it compares the mean per-live-worker record volume
+// against the hot and cold thresholds, and on a sustained signal admits the
+// registered standby (scale-out, priced by the cost model) or drain-leaves
+// the coldest member (scale-in).
+func (mc *MembershipController) autoscaleLocked(now core.Time) {
+	as := mc.opts.Autoscale
+	if as == nil {
+		return
+	}
+	seq := as.Auto.WindowSeq()
+	if seq == mc.asWindowSeq || !as.Auto.TelemetryCovered() {
+		return
+	}
+	mc.asWindowSeq = seq
+	window, cumulative := as.Auto.Window()
+	if window == nil {
+		return
+	}
+	live := participantsOf(mc.active)
+	lw := mc.liveWorkers(live)
+	var total uint64
+	for _, w := range lw {
+		total += window.WorkerRecs[w]
+	}
+	mean := total / uint64(len(lw))
+	if as.HotRecs > 0 && mean >= as.HotRecs {
+		mc.hotStreak++
+	} else {
+		mc.hotStreak = 0
+	}
+	if as.ColdRecs > 0 && mean <= as.ColdRecs {
+		mc.coldStreak++
+	} else {
+		mc.coldStreak = 0
+	}
+	switch {
+	case mc.hotStreak >= as.Sustain && mc.helloFrom >= 0:
+		slot := mc.helloFrom
+		after := append([]bool(nil), mc.active...)
+		after[slot] = true
+		if as.Cost != nil {
+			tgt := Rebalance(mc.opts.Bins, mc.liveWorkers(participantsOf(after)))
+			if v := as.Cost.Evaluate(mc.assign, tgt, window, cumulative, mc.hotStreak); !v.Migrate {
+				mc.opts.logf("megaphone: process %d: saturation sustained but the cost model declined admitting standby %d (%s: volume %d, gain %d)",
+					mc.opts.Proc, slot, v.Reason, v.VolumeRecs, v.GainNanos)
+				mc.hotStreak = 0
+				return
+			}
+		}
+		mc.opts.logf("megaphone: process %d: cluster saturated for %d windows (mean %d recs/worker ≥ %d); admitting standby %d",
+			mc.opts.Proc, mc.hotStreak, mean, as.HotRecs, slot)
+		mc.hotStreak, mc.coldStreak = 0, 0
+		mc.decideJoinLocked(now, slot)
+	case mc.coldStreak >= as.Sustain && len(live) > as.MinProcs && mc.helloFrom < 0:
+		coldest, coldRecs := -1, uint64(0)
+		for _, p := range live {
+			var recs uint64
+			for i := 0; i < mc.opts.WorkersPerProc; i++ {
+				recs += window.WorkerRecs[p*mc.opts.WorkersPerProc+i]
+			}
+			if coldest < 0 || recs < coldRecs {
+				coldest, coldRecs = p, recs
+			}
+		}
+		mc.opts.logf("megaphone: process %d: cluster underloaded for %d windows (mean %d recs/worker ≤ %d); drain-leaving coldest member %d (%d recs)",
+			mc.opts.Proc, mc.coldStreak, mean, as.ColdRecs, coldest, coldRecs)
+		mc.hotStreak, mc.coldStreak = 0, 0
+		mc.decideDrainLocked(now, coldest)
+	}
 }
 
 func participantsOf(active []bool) []int {
@@ -766,6 +1157,44 @@ func scheduleOf(schedule [][2]any) []timedMoves {
 	return out
 }
 
+// broadcastMigrationLocked encodes and broadcasts a rendered migration
+// schedule, then applies it locally.
+func (mc *MembershipController) broadcastMigrationLocked(seq uint64, schedule []timedMoves) {
+	buf := []byte{memKindMigration}
+	buf = binenc.AppendUvarint(buf, seq)
+	buf = binenc.AppendUvarint(buf, uint64(len(schedule)))
+	for _, tm := range schedule {
+		buf = binenc.AppendUvarint(buf, uint64(tm.epoch))
+		buf = binenc.AppendUvarint(buf, uint64(len(tm.moves)))
+		for i := range tm.moves {
+			buf = tm.moves[i].AppendBinaryRec(buf)
+		}
+	}
+	mc.opts.Bus.BroadcastControl(buf)
+	mc.applyMigrationLocked(seq, schedule)
+}
+
+// applyMigrationLocked installs a rendered migration schedule: retire the
+// spec's sequence number, queue the injections, and rebuild the mirror. Runs
+// on the decider and, via onControl, on every member.
+func (mc *MembershipController) applyMigrationLocked(seq uint64, schedule []timedMoves) {
+	if len(schedule) > 0 {
+		if last := core.Time(mc.lastTick.Load()); schedule[0].epoch <= last {
+			panic(fmt.Sprintf("plan: process %d received a migration schedule starting at epoch %d but its loop is already at %d; raise the membership margin",
+				mc.opts.Proc, schedule[0].epoch, last))
+		}
+	}
+	kept := mc.scripted[:0]
+	for _, sm := range mc.scripted {
+		if sm.seq != seq {
+			kept = append(kept, sm)
+		}
+	}
+	mc.scripted = kept
+	mc.injections = append(mc.injections, schedule...)
+	mc.rebuildMirrorLocked()
+}
+
 // applyDecisionLocked applies one decision to the local state: timeline and
 // view, assignment mirror, move injections, peer retirement, and the pending
 // commit the drive loop will pick up. Runs on the decider and, via
@@ -792,24 +1221,41 @@ func (mc *MembershipController) applyDecisionLocked(tr *Transition, schedule []t
 	}
 	mc.opts.Fabric.InstallView(viewFrom, after)
 	mc.opts.Fabric.SetMembershipEpoch(tr.MemEpoch)
-	for _, tm := range schedule {
-		mc.injections = append(mc.injections, tm)
-		for _, m := range tm.moves {
-			if !m.IsCheckpoint() && m.Bin >= 0 && m.Bin < len(mc.assign) {
-				mc.assign[m.Bin] = m.Worker
-			}
-		}
+	if tr.Kind == TransitionCrash {
+		mc.reconcilePendingLocked(tr, schedule)
 	}
+	mc.injections = append(mc.injections, schedule...)
 	switch tr.Kind {
 	case TransitionCrash:
 		// Stop queueing frames to the dead slot immediately; the barrier at
 		// the commit epoch wipes the resulting phantom message counts.
 		mc.deadGone[tr.Slot] = true
 		mc.opts.Fabric.RetirePeer(tr.Slot)
+		// Move-log entries below the restore checkpoint can never matter
+		// again (every later declaration restores from an epoch at or above
+		// this one — checkpoints only move forward).
+		keptLog := mc.moveLog[:0]
+		for _, e := range mc.moveLog {
+			if e.epoch >= tr.Ckpt {
+				keptLog = append(keptLog, e)
+			}
+		}
+		mc.moveLog = keptLog
 	case TransitionJoin:
 		// The joiner starts its heartbeat clock now; give it a fresh window.
+		mc.everActive[tr.Slot] = true
 		mc.lastHeard[tr.Slot].Store(mc.ticks.Load())
+		if tr.Slot == mc.opts.Proc {
+			// Our own admission: the seed moves replay the leader's resident
+			// assignment over the operator's built-in initial one, so that is
+			// the residency base to apply them to. History below the commit
+			// epoch is unknown here — the floor records that.
+			mc.resident = Initial(mc.opts.Bins, mc.opts.Procs*mc.opts.WorkersPerProc)
+			mc.moveLog = nil
+			mc.residencyFloor = tr.Epoch
+		}
 	}
+	mc.rebuildMirrorLocked()
 	if mc.helloFrom == tr.Slot && mc.active[tr.Slot] {
 		mc.helloFrom = -1
 	}
@@ -823,6 +1269,65 @@ func (mc *MembershipController) applyDecisionLocked(tr *Transition, schedule []t
 		mc.pending = tr
 	}
 	mc.cond.Broadcast()
+}
+
+// reconcilePendingLocked rewrites the not-yet-drained injection queue of a
+// crash decision so no surviving move ships state into the retired slot, and
+// no move collides with a restore at the commit epoch. Three regimes, keyed
+// by each batch's epoch against the commit:
+//
+//   - below: left untouched. The margin only guarantees batches at or above
+//     the commit are undrained everywhere, so rewriting earlier ones could
+//     diverge from a process that already injected the originals — and the
+//     canonical-move-set invariant (same epoch, same bin, same target on
+//     every process) is load-bearing. A ship into the dead slot lands in the
+//     void; the bin is in the lost set and its restore rebuilds it.
+//   - at the commit: moves whose bin is being restored are dropped. Keeping
+//     them would put a plain move and a restore for the same bin at the same
+//     epoch, and the old owner's ship would race the checkpoint install.
+//   - above: moves targeting the dead slot are redirected to the bin's
+//     restore target, where they degrade to no-ops (the engine skips a move
+//     whose target already owns the bin).
+func (mc *MembershipController) reconcilePendingLocked(tr *Transition, schedule []timedMoves) {
+	w := mc.opts.WorkersPerProc
+	rt := make(map[int]int)
+	for _, tm := range schedule {
+		for _, m := range tm.moves {
+			if !m.IsCheckpoint() {
+				rt[m.Bin] = m.Worker
+			}
+		}
+	}
+	for ti := range mc.injections {
+		tm := &mc.injections[ti]
+		switch {
+		case tm.epoch < tr.Epoch:
+		case tm.epoch == tr.Epoch:
+			kept := tm.moves[:0]
+			for _, m := range tm.moves {
+				if _, restored := rt[m.Bin]; restored && !m.IsCheckpoint() {
+					continue
+				}
+				kept = append(kept, m)
+			}
+			tm.moves = kept
+		default:
+			for i := range tm.moves {
+				m := &tm.moves[i]
+				if m.IsCheckpoint() || m.Worker < 0 || m.Worker/w != tr.Slot {
+					continue
+				}
+				if nw, ok := rt[m.Bin]; ok {
+					m.Worker = nw
+				} else {
+					// Only reachable through the single-surviving-worker
+					// degenerate case, where the restore was skipped: pin the
+					// bin where its state lives.
+					m.Worker = mc.resident[m.Bin]
+				}
+			}
+		}
+	}
 }
 
 // CommitDrain marks a drain-leave transition committed: the drive loop calls
@@ -941,19 +1446,25 @@ func (mc *MembershipController) RunBarrier(tr *Transition) BarrierResult {
 }
 
 // binCutLocked renders a crash barrier's per-bin replay boundaries from the
-// exchanged applied bounds: the checkpoint epoch for the dead member's bins
-// (their state rolled back there), the owner's applied bound for everyone
-// else's (its state holds every application below the bound and none above).
-// Every participant computes the same boundaries from the same exchanged
-// bounds and the same assignment mirror. A missing owner bound falls back to
-// the wedged cut, which is correct whenever the owner never applied past it.
+// exchanged applied bounds: the checkpoint epoch for restored bins (their
+// state rolled back there), the owner's applied bound for everyone else's
+// (its state holds every application below the bound and none above). The
+// owner consulted is the one holding the bin's state at pause time — the
+// residency as of the restore checkpoint, not the mirror: every bin moved at
+// or after the checkpoint is in the restore set anyway, and a bin scheduled
+// to move but not yet shipped still has its state (and bound) at the old
+// owner. Every participant computes the same boundaries from the same
+// exchanged bounds and the same move log. A missing owner bound falls back
+// to the wedged cut, which is correct whenever the owner never applied past
+// it.
 func (mc *MembershipController) binCutLocked(tr *Transition, cut core.Time, bounds map[int]core.Time) []core.Time {
 	dead := make(map[int]bool, len(tr.DeadBins))
 	for _, b := range tr.DeadBins {
 		dead[b] = true
 	}
-	out := make([]core.Time, len(mc.assign))
-	for b, owner := range mc.assign {
+	owners := mc.residentAtLocked(tr.Ckpt)
+	out := make([]core.Time, len(owners))
+	for b, owner := range owners {
 		switch bo, ok := bounds[owner]; {
 		case dead[b]:
 			out[b] = tr.Ckpt
@@ -994,7 +1505,8 @@ func (mc *MembershipController) collectReady(epoch core.Time, own *barSnap) map[
 
 // barrierQuiesced evaluates the quiescence conditions over one round's
 // reports and, when met, returns the agreed cut: the common frontier of the
-// participants — the commit epoch at a join, the wedged floor at a crash.
+// participants at a join (the commit epoch), the minimum of their wedged
+// frontiers at a crash.
 // Every epoch below the cut is fully applied everywhere; above it,
 // applications vary per worker (the frontier wedges at whatever the dead
 // process last acknowledged, not at what the survivors have applied), which
@@ -1007,9 +1519,21 @@ func barrierQuiesced(parts []int, snaps map[int]*barSnap, tr *Transition) (bool,
 		if s == nil {
 			return false, 0
 		}
-		if i == 0 {
+		switch {
+		case i == 0:
 			cut = s.frontier
-		} else if s.frontier != cut {
+		case tr.Kind == TransitionCrash:
+			// Survivors' frontiers need not agree after a crash: the dead
+			// process's final progress broadcasts may have reached one
+			// survivor and not another, so their trackers diverge by those
+			// deltas and wedge at permanently different floors. Demanding
+			// equality would never quiesce. The minimum is the sound cut —
+			// every epoch below it is fully applied at every survivor — and
+			// phase 3's tracker rebuild erases the divergence itself.
+			if s.frontier < cut {
+				cut = s.frontier
+			}
+		case s.frontier != cut:
 			return false, 0
 		}
 	}
@@ -1192,6 +1716,16 @@ func (mc *MembershipController) onControl(from int, payload []byte) {
 			panic(fmt.Sprintf("plan: process %d: corrupt membership decision from %d: %v", mc.opts.Proc, from, err))
 		}
 		mc.applyDecisionLocked(tr, schedule)
+	case memKindMigration:
+		seq, rest, err := binenc.Uvarint(body)
+		var schedule []timedMoves
+		if err == nil {
+			schedule, _, err = parseSchedule(rest)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("plan: process %d: corrupt migration schedule from %d: %v", mc.opts.Proc, from, err))
+		}
+		mc.applyMigrationLocked(seq, schedule)
 	case memKindReady, memKindInv, memKindDone:
 		e, rest, err := binenc.Uvarint(body)
 		if err != nil {
@@ -1248,27 +1782,11 @@ func (mc *MembershipController) onControl(from int, payload []byte) {
 	}
 }
 
-// parseDecision decodes a decision frame (sans kind byte).
-func parseDecision(data []byte) (*Transition, []timedMoves, error) {
-	var k, slot, epoch, mem, ckpt, ns uint64
-	var err error
-	if k, data, err = binenc.Uvarint(data); err != nil {
-		return nil, nil, err
-	}
-	if slot, data, err = binenc.Uvarint(data); err != nil {
-		return nil, nil, err
-	}
-	if epoch, data, err = binenc.Uvarint(data); err != nil {
-		return nil, nil, err
-	}
-	if mem, data, err = binenc.Uvarint(data); err != nil {
-		return nil, nil, err
-	}
-	if ckpt, data, err = binenc.Uvarint(data); err != nil {
-		return nil, nil, err
-	}
-	tr := &Transition{Kind: TransitionKind(k), Slot: int(slot), Epoch: core.Time(epoch), MemEpoch: mem, Ckpt: core.Time(ckpt)}
-	if ns, data, err = binenc.Uvarint(data); err != nil {
+// parseSchedule decodes a [count]{[epoch][nmoves][moves]} move schedule, as
+// appended by both decision and migration frames.
+func parseSchedule(data []byte) ([]timedMoves, []byte, error) {
+	ns, data, err := binenc.Uvarint(data)
+	if err != nil {
 		return nil, nil, err
 	}
 	var schedule []timedMoves
@@ -1287,6 +1805,33 @@ func parseDecision(data []byte) (*Transition, []timedMoves, error) {
 			}
 		}
 		schedule = append(schedule, tm)
+	}
+	return schedule, data, nil
+}
+
+// parseDecision decodes a decision frame (sans kind byte).
+func parseDecision(data []byte) (*Transition, []timedMoves, error) {
+	var k, slot, epoch, mem, ckpt uint64
+	var err error
+	if k, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if slot, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if epoch, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if mem, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	if ckpt, data, err = binenc.Uvarint(data); err != nil {
+		return nil, nil, err
+	}
+	tr := &Transition{Kind: TransitionKind(k), Slot: int(slot), Epoch: core.Time(epoch), MemEpoch: mem, Ckpt: core.Time(ckpt)}
+	schedule, _, err := parseSchedule(data)
+	if err != nil {
+		return nil, nil, err
 	}
 	if tr.Kind == TransitionCrash {
 		for _, tm := range schedule {

@@ -1,6 +1,7 @@
 package plan_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -143,8 +144,10 @@ func (f *fakeFabric) retiredSlots() []int {
 }
 
 // writeFakeCheckpoint fabricates a complete checkpoint at the given epoch:
-// completeness is judged by manifest presence per worker (core.LatestCheckpoint),
-// which is all the membership controller's declaration gate reads.
+// completeness is judged per worker against the roster the manifests record
+// (core.LatestCheckpoint), which is all the membership controller's
+// declaration gate reads. The manifests are real (parseable) but empty of
+// bins.
 func writeFakeCheckpoint(t *testing.T, dir string, epoch core.Time, workers int) {
 	t.Helper()
 	ed := filepath.Join(dir, "count", fmt.Sprintf("epoch-%d", epoch))
@@ -152,7 +155,12 @@ func writeFakeCheckpoint(t *testing.T, dir string, epoch core.Time, workers int)
 		t.Fatal(err)
 	}
 	for w := 0; w < workers; w++ {
-		if err := os.WriteFile(filepath.Join(ed, fmt.Sprintf("manifest-w%d.json", w)), []byte("{}"), 0o666); err != nil {
+		m := core.Manifest{Op: "count", Epoch: uint64(epoch), Worker: w, Peers: workers, Codec: "binary"}
+		data, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(ed, fmt.Sprintf("manifest-w%d.json", w)), data, 0o666); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,87 @@
+package plan
+
+import "sync"
+
+// BusMux multiplexes the autoscale and membership control planes onto one
+// ControlBus (one mesh control channel). Outbound frames pass straight
+// through; inbound frames route on their first byte — the autoscaler's kinds
+// sit below 10 (ctrlKindLoad, ctrlKindDecision), the membership kinds at 10
+// and above — so each plane sees exactly the frames it would have seen owning
+// the bus alone. Frames arriving before a plane has registered its handler
+// are buffered and replayed on registration, preserving the underlying bus's
+// no-frame-lost contract for late-constructed controllers.
+type BusMux struct {
+	bus ControlBus
+
+	mu      sync.Mutex
+	auto    func(from int, payload []byte)
+	mem     func(from int, payload []byte)
+	autoLog []muxFrame
+	memLog  []muxFrame
+}
+
+type muxFrame struct {
+	from    int
+	payload []byte
+}
+
+// NewBusMux wraps the bus and takes over its control handler. Both plane
+// views must be claimed (SetControlHandler called) by controllers on the same
+// process; delivery within a plane stays serialized because the underlying
+// bus serializes its handler.
+func NewBusMux(bus ControlBus) *BusMux {
+	m := &BusMux{bus: bus}
+	bus.SetControlHandler(m.dispatch)
+	return m
+}
+
+func (m *BusMux) dispatch(from int, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	// The handler lookup is under mu, but the call is not: plane handlers may
+	// broadcast (the bus must not be re-entered under our lock), and the
+	// underlying bus already serializes deliveries.
+	m.mu.Lock()
+	h, log := &m.mem, &m.memLog
+	if payload[0] < memKindBeat {
+		h, log = &m.auto, &m.autoLog
+	}
+	if *h == nil {
+		*log = append(*log, muxFrame{from: from, payload: append([]byte(nil), payload...)})
+		m.mu.Unlock()
+		return
+	}
+	deliver := *h
+	m.mu.Unlock()
+	deliver(from, payload)
+}
+
+// Auto returns the autoscale plane's view of the bus.
+func (m *BusMux) Auto() ControlBus { return &muxPlane{m: m, mem: false} }
+
+// Membership returns the membership plane's view of the bus.
+func (m *BusMux) Membership() ControlBus { return &muxPlane{m: m, mem: true} }
+
+type muxPlane struct {
+	m   *BusMux
+	mem bool
+}
+
+func (p *muxPlane) BroadcastControl(payload []byte) {
+	p.m.bus.BroadcastControl(payload)
+}
+
+func (p *muxPlane) SetControlHandler(h func(from int, payload []byte)) {
+	p.m.mu.Lock()
+	var backlog []muxFrame
+	if p.mem {
+		p.m.mem, backlog, p.m.memLog = h, p.m.memLog, nil
+	} else {
+		p.m.auto, backlog, p.m.autoLog = h, p.m.autoLog, nil
+	}
+	p.m.mu.Unlock()
+	for _, f := range backlog {
+		h(f.from, f.payload)
+	}
+}

@@ -1,9 +1,14 @@
 package plan
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"megaphone/internal/core"
+	"megaphone/internal/progress"
 )
 
 // nopBus satisfies ControlBus for tests that only exercise the local half of
@@ -125,5 +130,133 @@ func TestSuspicionCoverageGate(t *testing.T) {
 	heard(cs, 1)
 	if !cs.covered() {
 		t.Fatal("peer 2 silent past the suspect window must count as covered (suspicion stands in for telemetry)")
+	}
+}
+
+// nullFabric satisfies Fabric for declaration-gate tests that never run a
+// barrier: only the decision-time calls (RetirePeer, InstallView,
+// SetMembershipEpoch) land, and nothing observes them.
+type nullFabric struct{}
+
+func (nullFabric) Pause()                               {}
+func (nullFabric) Resume()                              {}
+func (nullFabric) HoldInventory(b *progress.Batch)      {}
+func (nullFabric) PurgeDeferred(cut core.Time)          {}
+func (nullFabric) AppliedBounds() map[int]core.Time     { return nil }
+func (nullFabric) ResetProgress(b *progress.Batch)      {}
+func (nullFabric) InstallView(from core.Time, a []bool) {}
+func (nullFabric) Activate(p int)                       {}
+func (nullFabric) RetirePeer(p int)                     {}
+func (nullFabric) SetMembershipEpoch(e uint64)          {}
+func (nullFabric) DataCounters() (sent, recv []uint64)  { return nil, nil }
+
+// writeManifests writes manifest files for the given workers at one epoch,
+// each recording the given live roster (nil = full roster). Writing a strict
+// subset of a manifest's live set models a checkpoint caught mid-commit.
+func writeManifests(t *testing.T, dir string, epoch core.Time, peers int, workers, live []int) {
+	t.Helper()
+	ed := filepath.Join(dir, "count", fmt.Sprintf("epoch-%d", epoch))
+	if err := os.MkdirAll(ed, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		m := core.Manifest{Op: "count", Epoch: uint64(epoch), Worker: w, Peers: peers, Live: live, Codec: "binary"}
+		data, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(ed, fmt.Sprintf("manifest-w%d.json", w)), data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newDeclTicker builds a membership controller for process 1 of a
+// three-process roster whose peers stay silent: ticking it alone walks
+// process 0 through suspicion into death declaration, gated on a complete
+// checkpoint in dir.
+func newDeclTicker(t *testing.T, dir string) *MembershipController {
+	t.Helper()
+	return NewMembershipController(MembershipOptions{
+		Bus:            nopBus{},
+		Fabric:         nullFabric{},
+		Frontier:       func() core.Time { return core.None },
+		Procs:          3,
+		Proc:           1,
+		WorkersPerProc: 2,
+		Bins:           8,
+		SuspectAfter:   2,
+		DeathAfter:     2,
+		Margin:         3,
+		CheckpointDir:  dir,
+		Logf:           t.Logf,
+	})
+}
+
+// TestDeathDeclarationWaitsForCompleteEpoch pins the declaration gate against
+// a checkpoint caught mid-commit: suspicion escalates to death-qualification
+// while only some of an epoch's live workers have committed their manifests,
+// and the declaration must wait — an epoch is complete only when every worker
+// the manifests record as live has committed. Once the missing manifest
+// lands, the declaration proceeds with that epoch as the restore cut.
+func TestDeathDeclarationWaitsForCompleteEpoch(t *testing.T) {
+	const peers = 6 // 3 procs * 2 workers
+	dir := t.TempDir()
+	mc := newDeclTicker(t, dir)
+
+	// A full-roster checkpoint at epoch 2, missing worker 5's manifest: the
+	// crash fired mid-commit. Silence qualifies process 0 for death at tick
+	// 5; the incomplete epoch must hold the declaration indefinitely.
+	writeManifests(t, dir, 2, peers, []int{0, 1, 2, 3, 4}, nil)
+	e := core.Time(1)
+	for ; e <= 30; e++ {
+		mc.Tick(e)
+		if tr := mc.NextCommit(); tr != nil {
+			t.Fatalf("tick %d: death declared against an incomplete checkpoint epoch: %+v", e, tr)
+		}
+	}
+
+	// The straggler commits: the epoch is now complete under the roster the
+	// manifests record, and the declaration must follow.
+	writeManifests(t, dir, 2, peers, []int{5}, nil)
+	var tr *Transition
+	for ; e <= 60; e++ {
+		mc.Tick(e)
+		if tr = mc.NextCommit(); tr != nil {
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatal("death never declared after the checkpoint epoch completed")
+	}
+	if tr.Kind != TransitionCrash || tr.Slot != 0 || tr.Ckpt != 2 {
+		t.Fatalf("crash decision %+v, want process 0 dead with restore cut at epoch 2", tr)
+	}
+}
+
+// TestDeathDeclarationAcceptsShrunkRoster pins the other half of roster-aware
+// completeness: a checkpoint whose manifests record a shrunk live roster is
+// complete once exactly those live workers committed — the absent slots'
+// missing manifests must not hold the declaration (they will never arrive).
+func TestDeathDeclarationAcceptsShrunkRoster(t *testing.T) {
+	const peers = 6
+	dir := t.TempDir()
+	mc := newDeclTicker(t, dir)
+
+	// Workers 2..5 (processes 1 and 2) are the recorded live roster; the
+	// suspect's workers 0 and 1 have no manifests, by design.
+	writeManifests(t, dir, 3, peers, []int{2, 3, 4, 5}, []int{2, 3, 4, 5})
+	var tr *Transition
+	for e := core.Time(1); e <= 60; e++ {
+		mc.Tick(e)
+		if tr = mc.NextCommit(); tr != nil {
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatal("death never declared against a complete shrunk-roster checkpoint")
+	}
+	if tr.Kind != TransitionCrash || tr.Slot != 0 || tr.Ckpt != 3 {
+		t.Fatalf("crash decision %+v, want process 0 dead with restore cut at epoch 3", tr)
 	}
 }

@@ -46,6 +46,13 @@ type Config struct {
 	Listener net.Listener
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Fatal, when non-nil, is invoked (once, from a transport goroutine) when
+	// the transport dies irrecoverably — a non-retired peer unreachable for
+	// DialTimeout of consecutive redial failures. By the time it runs the
+	// transport is already torn down; the hook's job is to unwedge whatever
+	// sits above (a dataflow blocked on the dead session) so the error can
+	// surface through the normal shutdown path instead of a panic.
+	Fatal func(err error)
 	// Absent marks roster slots that are not members of the cluster when
 	// this process starts. Addrs is the full fixed roster; membership is
 	// which slots are live. Absent[i] for a peer means: do not dial it and
@@ -158,6 +165,9 @@ type Transport struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
+
+	fatalMu  sync.Mutex
+	fatalErr error
 }
 
 // Dial joins the cluster: it binds the local listener, connects to every
@@ -529,9 +539,9 @@ func (p *peer) startRedialLocked() {
 
 // redial connects to the peer with exponential backoff, performs the
 // handshake (carrying our receive cursor so the peer replays what we
-// missed), and installs the connection. It gives up — panicking, since the
-// dataflow above cannot make progress without the session — only after
-// DialTimeout of consecutive failures.
+// missed), and installs the connection. It gives up — declaring the
+// transport dead via fail, since the dataflow above cannot make progress
+// without the session — only after DialTimeout of consecutive failures.
 func (p *peer) redial() {
 	defer p.t.wg.Done()
 	t := p.t
@@ -575,8 +585,9 @@ func (p *peer) redial() {
 			if t.isClosed() || retired {
 				return
 			}
-			panic(fmt.Sprintf("transport: process %d: cannot reach peer %d at %s after %v: %v",
+			t.fail(fmt.Errorf("transport: process %d: cannot reach peer %d at %s after %v: %w",
 				t.cfg.Index, p.index, t.cfg.Addrs[p.index], t.cfg.DialTimeout, err))
+			return
 		}
 		select {
 		case <-time.After(backoff):
@@ -862,6 +873,12 @@ func (t *Transport) finish(timeout time.Duration, waitPeerFin bool) error {
 	}
 	deadline := time.Now().Add(timeout)
 	for {
+		if err := t.Err(); err != nil {
+			// The transport died (peer unreachable past DialTimeout): the
+			// barrier can never drain. Surface the cause, not the timeout.
+			t.Close()
+			return err
+		}
 		done := true
 		for _, p := range t.peers {
 			if p == nil {
@@ -901,10 +918,38 @@ func (t *Transport) finish(timeout time.Duration, waitPeerFin bool) error {
 	}
 }
 
-// Close tears the transport down immediately: all connections and the
-// listener are closed and the goroutines exit. Prefer Finish for an orderly
-// shutdown.
-func (t *Transport) Close() {
+// fail records the transport's first fatal error, tears the sessions down
+// (without waiting for the transport goroutines — the caller is one of
+// them), and invokes the Fatal hook so the layer above can stop waiting on
+// the fabric. Later failures are ignored: only the first is the cause.
+func (t *Transport) fail(err error) {
+	t.fatalMu.Lock()
+	first := t.fatalErr == nil
+	if first {
+		t.fatalErr = err
+	}
+	t.fatalMu.Unlock()
+	if !first {
+		return
+	}
+	t.logf("transport: process %d: fatal: %v", t.cfg.Index, err)
+	t.shutdown()
+	if t.cfg.Fatal != nil {
+		t.cfg.Fatal(err)
+	}
+}
+
+// Err returns the fatal error that killed the transport, or nil while it is
+// healthy (or was shut down in an orderly way).
+func (t *Transport) Err() error {
+	t.fatalMu.Lock()
+	defer t.fatalMu.Unlock()
+	return t.fatalErr
+}
+
+// shutdown closes the listener and every session exactly once, releasing
+// all transport goroutines, without waiting for them to exit.
+func (t *Transport) shutdown() {
 	t.closeOnce.Do(func() {
 		close(t.closed)
 		t.ln.Close()
@@ -923,5 +968,12 @@ func (t *Transport) Close() {
 			p.poke()
 		}
 	})
+}
+
+// Close tears the transport down immediately: all connections and the
+// listener are closed and the goroutines exit. Prefer Finish for an orderly
+// shutdown.
+func (t *Transport) Close() {
+	t.shutdown()
 	t.wg.Wait()
 }

@@ -339,3 +339,67 @@ func TestRejectsWrongCluster(t *testing.T) {
 	}
 	_ = fmt.Sprintf // keep fmt for future debugging
 }
+
+// TestUnreachablePeerFailsWithoutPanic pins the redial give-up path: when a
+// peer stays unreachable past DialTimeout, the transport must not panic (it
+// used to, killing the whole process from a goroutine) but record the error,
+// invoke the Fatal hook once, and surface the cause from the shutdown
+// barrier.
+func TestUnreachablePeerFailsWithoutPanic(t *testing.T) {
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var fatals atomic.Int64
+	fatalCh := make(chan error, 1)
+	var ts [2]*Transport
+	var wg sync.WaitGroup
+	var errs [2]error
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{Addrs: addrs, Index: i, Listener: lns[i], DialTimeout: 10 * time.Second}
+			if i == 1 {
+				cfg.DialTimeout = 400 * time.Millisecond
+				cfg.Fatal = func(err error) {
+					fatals.Add(1)
+					fatalCh <- err
+				}
+			}
+			ts[i], errs[i] = Dial(cfg, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+	// Peer 0 vanishes for good: close it outright and release its address so
+	// peer 1's redial dials a dead port until its timeout expires.
+	ts[0].Close()
+	select {
+	case err := <-fatalCh:
+		if err == nil {
+			t.Fatal("Fatal hook invoked with nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Fatal hook never invoked for unreachable peer")
+	}
+	if err := ts[1].Err(); err == nil {
+		t.Fatal("Err() nil after fatal redial failure")
+	}
+	if err := ts[1].Finish(2 * time.Second); err == nil {
+		t.Fatal("Finish returned nil on a fatally failed transport")
+	}
+	if n := fatals.Load(); n != 1 {
+		t.Fatalf("Fatal hook invoked %d times, want 1", n)
+	}
+}

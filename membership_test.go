@@ -10,6 +10,7 @@
 package megaphone_test
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,7 +18,9 @@ import (
 	"time"
 
 	"megaphone/internal/core"
+	"megaphone/internal/harness"
 	"megaphone/internal/keycount"
+	"megaphone/internal/plan"
 )
 
 // maxCounts folds "key:count" output lines into the final (maximum) count
@@ -174,5 +177,303 @@ func TestMembershipJoinCrashDrainEquivalence(t *testing.T) {
 	}
 	if len(got) != len(want) {
 		t.Fatalf("membership run produced %d distinct keys, reference %d", len(got), len(want))
+	}
+}
+
+// logCapture collects cluster log lines across processes for assertions on
+// leader decisions (which process produced a line does not matter: every
+// decision is logged by the leader that took it).
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logCapture) logf(t *testing.T, p int) func(string, ...any) {
+	return func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		l.mu.Lock()
+		l.lines = append(l.lines, line)
+		l.mu.Unlock()
+		t.Logf("proc %d: %s", p, line)
+	}
+}
+
+func (l *logCapture) contains(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, line := range l.lines {
+		if strings.Contains(line, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMembershipCrashMidMigrationEquivalence is the crash-safe migration
+// acceptance test: a 4-slot roster runs a scripted membership migration and
+// process 3 is crashed between the migration's decision and its commit, so
+// the leader must reconcile the in-flight move schedule against the death
+// (fold the dead member's bins into the restore cut, redirect or drop the
+// rest) instead of rejecting the overlap. Later, after the roster has shrunk
+// to three, process 2 crashes too — its bins restore from a checkpoint whose
+// manifests already record the shrunk roster (worker 3's manifest never
+// existed, and roster-aware completeness must not wait for it). The merged
+// per-key maximum count must equal an uninterrupted single-process run.
+func TestMembershipCrashMidMigrationEquivalence(t *testing.T) {
+	const (
+		procs = 4
+		wpp   = 1
+		// Epoch timeline (slack 12 scales the decision margin to 96 epochs,
+		// enough to absorb inter-process loop skew under the race detector):
+		// checkpoints every 200 epochs; the first scripted migration is
+		// decided at 300 and commits at ~396, with process 3 killed at 320 —
+		// inside the decision-to-commit window, its migration moves still
+		// pending when the death is declared. The second migration is pinned
+		// at 450, after the kill but before the death declaration: it is
+		// rendered against the full roster and ships bins into the silent
+		// dead slot, whose restore the declaration barrier must fold in.
+		// Both migrations are decided before any barrier can stall the
+		// leader's loop (post-barrier epochs sprint to catch up with the
+		// wall clock, which would void the decision margin). Process 2 is
+		// killed at 1400, well clear of the first declaration, and restores
+		// from a checkpoint whose manifests never included worker 3.
+		durationEpochs  = 2600
+		checkpointEvery = 200 * time.Millisecond
+		migrateAt       = 300 * time.Millisecond
+		migrateTwoAt    = 450 * time.Millisecond
+		crash1At        = 320
+		crash2At        = 1400
+	)
+	base := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: keycount.HashCount,
+			LogBins: 4,
+			Domain:  1 << 10,
+			Preload: false,
+		},
+		Rate:       20000,
+		Duration:   durationEpochs * time.Millisecond,
+		EpochEvery: time.Millisecond,
+	}
+
+	var ref collector
+	refCfg := base
+	refCfg.Workers = procs * wpp
+	refCfg.Sink = ref.add
+	refRes, err := keycount.Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Records == 0 {
+		t.Fatal("reference run injected no records")
+	}
+
+	specs := localClusterSpecs(t, procs)
+	ckptDir := t.TempDir()
+	var logs logCapture
+	var clu collector
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	epochs := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Workers = wpp
+			cfg.Cluster = &specs[p]
+			cfg.Cluster.Logf = logs.logf(t, p)
+			cfg.Sink = clu.add
+			cfg.Membership = true
+			cfg.CheckpointDir = ckptDir
+			cfg.CheckpointEvery = checkpointEvery
+			cfg.MembershipSlack = 12
+			cfg.Strategy = plan.Batched
+			cfg.Batch = 4
+			cfg.MigrateAt = migrateAt
+			cfg.MigrateTwo = true
+			cfg.MigrateTwoAt = migrateTwoAt
+			switch p {
+			case 3:
+				cfg.CrashAt = crash1At
+			case 2:
+				cfg.CrashAt = crash2At
+			}
+			res, err := keycount.Run(cfg)
+			errs[p] = err
+			epochs[p] = res.Epochs
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+
+	for _, p := range []int{2, 3} {
+		if epochs[p] == durationEpochs {
+			t.Fatalf("crash victim %d drove the full %d epochs without abandoning", p, durationEpochs)
+		}
+	}
+	for _, p := range []int{0, 1} {
+		if epochs[p] != durationEpochs {
+			t.Fatalf("survivor %d stopped at epoch %d, want %d", p, epochs[p], durationEpochs)
+		}
+	}
+	// The scripted migration must actually have been issued through the
+	// membership plane, and both deaths declared.
+	if !logs.contains("issued scripted migration") {
+		t.Fatal("no scripted migration was ever issued through the membership controller")
+	}
+	if !logs.contains("decided crash-leave of process 3") {
+		t.Fatal("death of process 3 (mid-migration) never declared")
+	}
+	if !logs.contains("decided crash-leave of process 2") {
+		t.Fatal("death of process 2 (shrunk roster) never declared")
+	}
+
+	want := maxCounts(t, ref.lines)
+	got := maxCounts(t, clu.lines)
+	var off int
+	for k, w := range want {
+		if g := got[k]; g != w {
+			off++
+			if off <= 5 {
+				t.Errorf("key %s: final count %d, reference %d", k, g, w)
+			}
+		}
+	}
+	if off > 0 {
+		t.Fatalf("%d of %d keys differ from the uninterrupted reference", off, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("membership run produced %d distinct keys, reference %d", len(got), len(want))
+	}
+}
+
+// TestMembershipAutoscaleJoin closes the elasticity loop end to end: a
+// 4-slot roster starts with slot 3 as a registered standby (absent, waiting
+// in AwaitAdmission) and the cluster runs a hot-shift workload whose mean
+// per-worker load sits above the scale-out threshold. The membership leader,
+// reading the autoscaler's load windows over the multiplexed control bus,
+// must admit the standby — plain hello auto-admission is disabled when the
+// autoscaler drives membership — after which the joiner runs to the end and
+// the merged output still matches the uninterrupted reference. (RunMembership
+// has no latency probe, so the "p99 settles" half of the story is asserted
+// by scripts/cluster.sh autoscale against the real binaries; here admission
+// and output equivalence are the invariants.)
+func TestMembershipAutoscaleJoin(t *testing.T) {
+	const (
+		procs           = 4
+		wpp             = 1
+		durationEpochs  = 1000
+		checkpointEvery = 200 * time.Millisecond
+	)
+	base := keycount.RunConfig{
+		Params: keycount.Params{
+			Variant: keycount.HashCount,
+			LogBins: 4,
+			Domain:  1 << 10,
+			Preload: false,
+		},
+		Rate:       20000,
+		Duration:   durationEpochs * time.Millisecond,
+		EpochEvery: time.Millisecond,
+		Workload: harness.Workload{
+			Kind:        harness.HotShift,
+			HotFraction: 0.85,
+			HotKeys:     16,
+			HotStride:   uint64((1 << 10) >> 4 * 2),
+			ShiftEvery:  400,
+		},
+	}
+
+	var ref collector
+	refCfg := base
+	refCfg.Workers = procs * wpp
+	refCfg.Sink = ref.add
+	refRes, err := keycount.Run(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.Records == 0 {
+		t.Fatal("reference run injected no records")
+	}
+
+	specs := localClusterSpecs(t, procs)
+	absent := make([]bool, procs)
+	absent[procs-1] = true
+	ckptDir := t.TempDir()
+	var logs logCapture
+	var clu collector
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	epochs := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Workers = wpp
+			cfg.Cluster = &specs[p]
+			cfg.Cluster.Absent = absent
+			cfg.Cluster.Logf = logs.logf(t, p)
+			cfg.Sink = clu.add
+			cfg.Membership = true
+			cfg.CheckpointDir = ckptDir
+			cfg.CheckpointEvery = checkpointEvery
+			cfg.MembershipSlack = 6
+			// Telemetry-only autoscaler: sample fast enough for the hot
+			// streak to sustain well inside the run. At 20k rec/s over three
+			// live workers a 50-epoch window holds ~333 recs/worker, far
+			// above the threshold, so scale-out triggers as soon as the
+			// telemetry coverage and sustain gates clear.
+			cfg.Auto = &plan.AutoOptions{
+				Policy:      plan.Static{},
+				SampleEvery: 50,
+			}
+			cfg.ScaleOutAbove = 150
+			cfg.ScaleSustain = 3
+			res, err := keycount.Run(cfg)
+			errs[p] = err
+			epochs[p] = res.Epochs
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+
+	if !logs.contains("admitting standby") {
+		t.Fatal("the autoscaler never admitted the registered standby")
+	}
+	if !logs.contains("decided join of process 3") {
+		t.Fatal("the standby's join was never decided")
+	}
+	for p := 0; p < procs; p++ {
+		if epochs[p] != durationEpochs {
+			t.Fatalf("process %d stopped at epoch %d, want %d", p, epochs[p], durationEpochs)
+		}
+	}
+
+	want := maxCounts(t, ref.lines)
+	got := maxCounts(t, clu.lines)
+	var off int
+	for k, w := range want {
+		if g := got[k]; g != w {
+			off++
+			if off <= 5 {
+				t.Errorf("key %s: final count %d, reference %d", k, g, w)
+			}
+		}
+	}
+	if off > 0 {
+		t.Fatalf("%d of %d keys differ from the reference", off, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("autoscale membership run produced %d distinct keys, reference %d", len(got), len(want))
 	}
 }

@@ -37,9 +37,18 @@
 # single-process run's. Timing-sensitive like autoscale, so failed attempts
 # retry up to MEMBERSHIP_ATTEMPTS times with per-attempt logs kept.
 #
+# A sixth mode, `crash-mid-migration`, crosses membership with scripted
+# migrations: an all-live keycount roster runs with -migrate-at under
+# periodic checkpoints, and the shell SIGKILLs a member as soon as the
+# leader logs the scripted migration's schedule — inside or just past the
+# decide-to-commit window, with migration moves in flight. The survivors
+# must declare the death, reconcile the move log against the restore, and
+# the merged final counts (max per key) must equal the uninterrupted
+# single-process run's. Retries like join-leave.
+#
 # Usage: scripts/cluster.sh [-n procs] [-w workers-per-proc] [-d duration]
 #                           [-r rate] [-o logdir]
-#                           [keycount|nexmark|recovery|autoscale|join-leave|all]
+#                           [keycount|nexmark|recovery|autoscale|join-leave|crash-mid-migration|all]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,7 +64,7 @@ while getopts "n:w:d:r:o:" opt; do
         d) DURATION=$OPTARG ;;
         r) RATE=$OPTARG ;;
         o) LOGDIR=$OPTARG ;;
-        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|recovery|autoscale|join-leave|all]" >&2; exit 2 ;;
+        *) echo "usage: $0 [-n procs] [-w workers] [-d duration] [-r rate] [-o logdir] [keycount|nexmark|recovery|autoscale|join-leave|crash-mid-migration|all]" >&2; exit 2 ;;
     esac
 done
 shift $((OPTIND - 1))
@@ -352,6 +361,106 @@ if [[ $TARGET == join-leave ]]; then
     done
     if [[ -z $membership_ok ]]; then
         echo "join-leave: no attempt passed the dynamic-membership gauntlet (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
+        fail=1
+    fi
+fi
+
+if [[ $TARGET == crash-mid-migration ]]; then
+    # Crash during a scripted migration, against real binaries: an all-live
+    # roster migrates at a fixed epoch, and the victim is SIGKILLed the
+    # moment the leader logs the rendered schedule — its moves still in
+    # flight. The survivors must declare the death, fold the shipped-into-
+    # the-void bins into the restore and redirect the pending moves. Fixed
+    # durations: the migration point must trail the first complete
+    # checkpoint and lead the kill by as little as the shell can manage.
+    MTOTAL=$((PROCS * WORKERS))
+    MDUR=6s
+    MMIG=1500ms # after the first 600ms-cadence checkpoint completes
+    MSLACK=${MEMBERSHIP_SLACK:-12}
+    MATTEMPTS=${MEMBERSHIP_ATTEMPTS:-3}
+    VICTIM=$((PROCS - 1))
+    canon_max() { awk -F: '$2 + 0 >= m[$1] { m[$1] = $2 + 0 } END { for (k in m) printf "%s:%d\n", k, m[k] }' "$@" | sort; }
+
+    echo "== crash-mid-migration: uninterrupted single-process reference ($MTOTAL workers)" >&2
+    "$TMP/keycount" -workers "$MTOTAL" -dump "$TMP/cmm.single" \
+        -rate "$RATE" -duration "$MDUR" -bins 4 -domain 2048 -migrate-at 0 \
+        > "$LOGDIR/crash-mid-migration.single.log" 2>&1
+
+    cmm_ok=
+    for ((attempt = 1; attempt <= MATTEMPTS; attempt++)); do
+        CKPT=$TMP/cmm-ckpt.$attempt
+        rm -f "$TMP"/cmm.proc.*
+        pick_ports
+        echo "== crash-mid-migration: $PROCS-process roster on $HOSTS — migrate at $MMIG, SIGKILL $VICTIM on schedule issue (attempt $attempt/$MATTEMPTS)" >&2
+        pids=()
+        for ((p = 0; p < PROCS; p++)); do
+            "$TMP/keycount" -workers "$WORKERS" -hosts "$HOSTS" -process "$p" \
+                -rate "$RATE" -duration "$MDUR" -bins 4 -domain 2048 \
+                -membership -membership-slack "$MSLACK" -migrate-at "$MMIG" \
+                -checkpoint-dir "$CKPT" -checkpoint-every 600ms \
+                -dump "$TMP/cmm.proc.$p" \
+                > "$LOGDIR/crash-mid-migration.attempt$attempt.proc.$p.log" 2>&1 &
+            pids+=($!)
+            PIDS+=($!)
+        done
+
+        # Kill the victim the moment the leader renders the schedule: the
+        # tighter the poll, the more likely the SIGKILL lands inside the
+        # decide-to-commit window with the migration moves still pending.
+        killed=
+        for ((i = 0; i < 200; i++)); do # up to 4s
+            kill -0 "${pids[VICTIM]}" 2>/dev/null || break
+            if grep -hq "issued scripted migration" \
+                "$LOGDIR/crash-mid-migration.attempt$attempt.proc."*.log 2>/dev/null; then
+                echo "== crash-mid-migration: schedule issued; SIGKILL process $VICTIM" >&2
+                kill -9 "${pids[VICTIM]}" 2>/dev/null || true
+                killed=1
+                break
+            fi
+            sleep 0.02
+        done
+
+        crashed=
+        for ((p = 0; p < PROCS; p++)); do
+            if ((p == VICTIM)); then
+                wait "${pids[$p]}" 2>/dev/null || true
+                continue
+            fi
+            if ! wait "${pids[$p]}"; then
+                echo "crash-mid-migration process $p failed (attempt $attempt); log follows:" >&2
+                cat "$LOGDIR/crash-mid-migration.attempt$attempt.proc.$p.log" >&2
+                crashed=1
+            fi
+        done
+        PIDS=()
+        for ((p = 0; p < PROCS; p++)); do
+            cp "$LOGDIR/crash-mid-migration.attempt$attempt.proc.$p.log" "$LOGDIR/crash-mid-migration.proc.$p.log"
+        done
+        if [[ -n $crashed ]]; then
+            continue
+        fi
+        if [[ -z $killed ]]; then
+            echo "crash-mid-migration: the leader never issued the scripted migration (attempt $attempt/$MATTEMPTS)" >&2
+            continue
+        fi
+        if ! grep -hq "decided crash-leave of process $VICTIM" \
+            "$LOGDIR/crash-mid-migration.attempt$attempt.proc."*.log; then
+            echo "crash-mid-migration: survivors never declared process $VICTIM dead (attempt $attempt/$MATTEMPTS)" >&2
+            continue
+        fi
+
+        canon_max "$TMP"/cmm.proc.* > "$TMP/cmm.cluster.canon"
+        canon_max "$TMP/cmm.single" > "$TMP/cmm.single.canon"
+        if cmp -s "$TMP/cmm.cluster.canon" "$TMP/cmm.single.canon"; then
+            echo "crash-mid-migration: merged final counts after SIGKILL inside the migration window == uninterrupted run ($(wc -l < "$TMP/cmm.single.canon") keys) [attempt $attempt]" | tee -a "$LOGDIR/verdict.txt"
+            cmm_ok=1
+            break
+        fi
+        echo "crash-mid-migration: OUTPUT MISMATCH (attempt $attempt/$MATTEMPTS; see $LOGDIR)" >&2
+        diff "$TMP/cmm.single.canon" "$TMP/cmm.cluster.canon" | head -20 >&2 || true
+    done
+    if [[ -z $cmm_ok ]]; then
+        echo "crash-mid-migration: no attempt passed the gauntlet (see $LOGDIR)" | tee -a "$LOGDIR/verdict.txt" >&2
         fail=1
     fi
 fi
