@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 			"migration codec: "+strings.Join(core.CodecNames(), ", "))
 		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
 		proc  = fs.Int("process", 0, "this process's index into -hosts")
+		conns = fs.Int("conns", 2, "with -hosts: connections per peer pair (traffic stripes by sending worker)")
 		dump  = fs.String("dump", "", "write one line per output record to this file (for cross-run output-equivalence checks)")
 
 		ckptDir   = fs.String("checkpoint-dir", "", "enable epoch-aligned checkpoints into this directory")
@@ -142,7 +143,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *hosts != "" {
-		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
+		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc, Conns: *conns}
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery
@@ -227,6 +228,13 @@ func run(args []string, out io.Writer) error {
 			ck.Epoch, ck.Bins, ck.Bytes, ck.Write*1e3)
 	}
 	fmt.Fprintf(out, "# records=%d overall: %s\n", res.Records, res.Hist.Summary())
+	if res.Elapsed > 0 {
+		// Achieved throughput: when the system keeps up this is ~rate; when
+		// it falls behind, records/elapsed is the sustained capacity
+		// (scripts/bench.sh reads this line for the cluster benchmark).
+		fmt.Fprintf(out, "# throughput records=%d elapsed=%.3fs records_s=%.0f\n",
+			res.Records, res.Elapsed, float64(res.Records)/res.Elapsed)
+	}
 	if *ccdf {
 		fmt.Fprintln(out, "# CCDF: latency[ms] fraction-greater")
 		for _, p := range res.Hist.CCDF() {

@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 			"migration codec: "+strings.Join(core.CodecNames(), ", "))
 		hosts = fs.String("hosts", "", "comma-separated host:port list, one per process; enables the multi-process runtime (every process runs -workers workers)")
 		proc  = fs.Int("process", 0, "this process's index into -hosts")
+		conns = fs.Int("conns", 2, "with -hosts: connections per peer pair (traffic stripes by sending worker)")
 		dump  = fs.String("dump", "", "write one line per output record to this file (for cross-run output-equivalence checks)")
 
 		ckptDir   = fs.String("checkpoint-dir", "", "enable epoch-aligned checkpoints into this directory")
@@ -123,7 +124,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-auto requires -impl megaphone")
 	}
 	if *hosts != "" {
-		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc}
+		cfg.Cluster = &dataflow.ClusterSpec{Hosts: strings.Split(*hosts, ","), Process: *proc, Conns: *conns}
 	}
 	cfg.CheckpointDir = *ckptDir
 	cfg.CheckpointEvery = *ckptEvery

@@ -1,0 +1,140 @@
+package dataflow
+
+import "sync/atomic"
+
+// Batch envelopes make the record buffers flowing along edges recyclable.
+// A batch traveling an edge as `any` is either a raw []T (remote decode,
+// direct user sends — garbage-collected as before) or a *batchEnv[T], a
+// refcounted wrapper whose buffer returns to a per-worker free list when
+// its last consumer is done. Envelope pointers box into `any` without
+// allocating, which is what takes the exchange hot path from one
+// interface-box allocation per batch hop to zero.
+//
+// Ownership protocol:
+//   - Wrappers created on behalf of a producer (adoptEnv for input staging,
+//     SendBatch's copy) start with refs=1: the creator owns them until
+//     OpCtx.Send drops that reference after enqueueing.
+//   - Wrappers created by partitioners (partitionBy) start with refs=0:
+//     they are borrowed until Send increfs them per enqueue, and released
+//     outright if their destination turns out to be retired.
+//   - Every enqueue (local inbox or remote outMsg) increfs; every consumer
+//     (ForEach after the callback, sendRemote after encoding) releases.
+//     The count reaches zero only when no reference remains, so a buffer is
+//     never recycled while a queue, callback, or encoder can still see it.
+//
+// Free lists are per worker and only touched from that worker's goroutine
+// (producers get from their own list, the final releaser puts to its own),
+// so they need no locking; refs is atomic because a broadcast envelope is
+// released concurrently by the workers that consumed it.
+type batchEnv[T any] struct {
+	s    []T
+	refs atomic.Int32
+}
+
+// envPool is one worker's free list for a single envelope element type. The
+// lists are segregated by type because a saturated dataflow releases
+// envelopes in per-operator bursts: a single mixed stack buries one edge's
+// type under hundreds of another's, and any bounded scan then misses
+// constantly. typ is the typed-nil *batchEnv[T] boxed as `any` — interface
+// equality on two typed nils compares just the type words, so the lookup
+// needs no reflection.
+type envPool struct {
+	typ  any
+	free []any // stack of *batchEnv[T] matching typ
+}
+
+// batchRef is the type-erased envelope handle OpCtx.Send and the consumers
+// use; raw []T batches simply fail the assertion and are left to the GC.
+type batchRef interface {
+	incref()
+	release(w *Worker)
+}
+
+func (e *batchEnv[T]) incref() { e.refs.Add(1) }
+
+// release drops one reference; the last one clears the buffer (pooled
+// buffers must not pin record-internal pointers — migrated state payloads
+// can be large) and returns the envelope to w's free list for its type.
+func (e *batchEnv[T]) release(w *Worker) {
+	if e.refs.Add(-1) > 0 {
+		return
+	}
+	clear(e.s)
+	e.s = e.s[:0]
+	key := any((*batchEnv[T])(nil))
+	for i := range w.envPools {
+		if p := &w.envPools[i]; p.typ == key {
+			if len(p.free) < envPoolCap {
+				p.free = append(p.free, e)
+			}
+			return
+		}
+	}
+	w.envPools = append(w.envPools, envPool{typ: key, free: []any{e}})
+}
+
+// envPoolCap bounds each per-type free list; overflow is left to the GC.
+// The bound is sized for saturation: an open-loop driver running past
+// capacity adopts and partitions whole backlogs in one scheduling, so the
+// creation bursts between consumption rounds run to the hundreds of
+// envelopes per edge.
+const envPoolCap = 1024
+
+// getEnv returns an envelope of element type T with capacity for n records
+// and refs=0 (borrowed), reusing w's free list for T when it can. The pool
+// list is a handful of entries (one per envelope type crossing this
+// worker), so the linear type match stays cheaper than a map.
+func getEnv[T any](w *Worker, n int) *batchEnv[T] {
+	key := any((*batchEnv[T])(nil))
+	for i := range w.envPools {
+		p := &w.envPools[i]
+		if p.typ != key {
+			continue
+		}
+		if last := len(p.free) - 1; last >= 0 {
+			e := p.free[last].(*batchEnv[T])
+			p.free[last] = nil
+			p.free = p.free[:last]
+			e.refs.Store(0)
+			if cap(e.s) < n {
+				e.s = make([]T, 0, n)
+			}
+			return e
+		}
+		break
+	}
+	return &batchEnv[T]{s: make([]T, 0, n)}
+}
+
+// adoptEnv wraps a slice whose ownership the caller transfers to the
+// runtime (input staging buffers) in an owned envelope: refs=1, released by
+// Send after enqueueing. The envelope's pooled buffer, if any, is dropped
+// in favor of the adopted one, which enters the pool when released.
+func adoptEnv[T any](w *Worker, s []T) *batchEnv[T] {
+	e := getEnv[T](w, 0)
+	e.s = s
+	e.refs.Store(1)
+	return e
+}
+
+// asBatch unwraps the records of a batch traveling as `any`.
+func asBatch[T any](data any) []T {
+	if e, ok := data.(*batchEnv[T]); ok {
+		return e.s
+	}
+	return data.([]T)
+}
+
+// increfAny / releaseAny apply the envelope protocol to a batch that may be
+// a raw slice (no-ops there).
+func increfAny(data any) {
+	if r, ok := data.(batchRef); ok {
+		r.incref()
+	}
+}
+
+func releaseAny(w *Worker, data any) {
+	if r, ok := data.(batchRef); ok {
+		r.release(w)
+	}
+}

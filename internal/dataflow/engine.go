@@ -223,6 +223,9 @@ func NewExecution(cfg Config) *Execution {
 			inbox: make(chan message, cfg.InboxSize),
 			wake:  make(chan struct{}, 1),
 		}
+		if e.mesh != nil {
+			w.coalBuf = make([][]byte, e.mesh.procs)
+		}
 		w.ctx.w = w
 		e.workers = append(e.workers, w)
 	}
@@ -484,8 +487,19 @@ type Worker struct {
 	activeQ []*opInstance // FIFO of activated operators
 	ctx     OpCtx         // reusable scheduling context (batch/remote/local scratch)
 
-	wireBuf []byte // reusable cross-process data frame scratch
+	wireBuf []byte // reusable cross-process record encode scratch
 	progBuf []byte // reusable cross-process progress frame scratch
+
+	// Cross-process coalescing state (mesh executions only): per destination
+	// process, encoded records staged during the current scheduling, flushed
+	// as one frame at the scheduling boundary or the size threshold.
+	// coalDirty lists the destinations touched this scheduling.
+	coalBuf   [][]byte
+	coalDirty []int
+
+	// Recycled batch envelopes, one free list per element type (see
+	// batch.go). Only this worker's goroutine touches them.
+	envPools []envPool
 
 	pendingWatches []pendingWatch
 }
@@ -718,6 +732,12 @@ func (w *Worker) schedule(op *opInstance) {
 	}
 	for i := range c.remote {
 		w.send(c.remote[i])
+	}
+	if len(w.coalDirty) > 0 {
+		// Ship the records staged for remote processes before this
+		// scheduling ends: coalescing batches within a scheduling, never
+		// across them.
+		w.flushRemotes()
 	}
 	for i := range c.local {
 		w.route(c.local[i])

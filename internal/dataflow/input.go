@@ -44,7 +44,8 @@ func NewInput[T any](w *Worker, name string) (*InputHandle[T], Stream[T]) {
 }
 
 // SendAt stages a batch of records at time t. t must not be earlier than the
-// handle's current epoch.
+// handle's current epoch. The records are copied, so callers may pass a
+// retained slice variadically.
 func (h *InputHandle[T]) SendAt(t Time, data ...T) {
 	if len(data) == 0 {
 		return
@@ -58,13 +59,16 @@ func (h *InputHandle[T]) SendAt(t Time, data ...T) {
 		h.mu.Unlock()
 		panic(fmt.Sprintf("dataflow: SendAt(%v) behind epoch %v", t, h.epoch))
 	}
-	h.staged = append(h.staged, stagedBatch[T]{time: t, data: data})
+	h.staged = append(h.staged, stagedBatch[T]{time: t, data: append([]T(nil), data...)})
 	h.dirty = true
 	h.mu.Unlock()
 	h.w.poke()
 }
 
 // SendBatchAt stages an already-built batch at time t without copying.
+// Ownership of data passes to the runtime, which recycles the buffer once
+// the batch is consumed: the caller must not reuse or read the slice after
+// the call.
 func (h *InputHandle[T]) SendBatchAt(t Time, data []T) {
 	if len(data) == 0 {
 		return
@@ -155,7 +159,9 @@ func (h *InputHandle[T]) schedule(c *OpCtx) {
 
 	for _, b := range staged {
 		if len(b.data) > 0 {
-			c.Send(0, b.time, b.data)
+			// The staged buffer is owned by the runtime (see SendBatchAt):
+			// adopt it into an envelope so consumers recycle it.
+			c.Send(0, b.time, adoptEnv(c.w, b.data))
 		}
 	}
 	clear(staged) // drop record references before recycling

@@ -23,10 +23,24 @@ type ClusterSpec struct {
 	// Process is this process's index into Hosts.
 	Process int
 	// MaxFrame bounds one wire frame (transport.DefaultMaxFrame when 0).
-	// One frame carries one exchanged batch, so it must exceed the largest
-	// encoded batch a worker can emit (state migration batches are bounded
-	// by the operator's ChunkBytes).
+	// Workers coalesce many exchanged batches into one frame, but a single
+	// batch is never split, so MaxFrame must exceed the largest encoded
+	// batch a worker can emit (state migration batches are bounded by the
+	// operator's ChunkBytes).
 	MaxFrame int
+	// Conns is the number of TCP connections per peer process pair
+	// (default 1). Workers stripe their traffic over the connections by
+	// worker index: each worker's progress-before-data order is preserved
+	// on its own lane, and lanes run on separate sockets, send loops, and
+	// receive goroutines, scaling the wire across cores. Every process
+	// must configure the same value.
+	Conns int
+	// CoalesceBytes caps how many encoded batch bytes a worker buffers per
+	// destination process before flushing them as one data frame (default
+	// 128 KiB, clamped under MaxFrame). Buffers also flush at every
+	// scheduling boundary, so coalescing never delays a batch beyond the
+	// scheduling that produced it.
+	CoalesceBytes int
 	// DialTimeout bounds connection establishment, covering peers that
 	// start late (default 30s).
 	DialTimeout time.Duration
@@ -86,7 +100,16 @@ type Mesh struct {
 	exec  *Execution
 	ready chan struct{} // closed at Execution.Start; gates inbound dispatch
 
-	scratch []*progress.Batch // per-peer decode scratch (recv is per-peer serial)
+	// Per-peer progress decode scratch. Frames from one peer may arrive on
+	// several striped connections whose receive goroutines run concurrently,
+	// so each peer's scratch is guarded by its mutex (uncontended with one
+	// lane; progress decode is far off the data hot path regardless).
+	scratch   []*progress.Batch
+	scratchMu []sync.Mutex
+
+	// coalesce is the per-destination buffering threshold for outbound data
+	// records (see ClusterSpec.CoalesceBytes).
+	coalesce int
 
 	// active[p] says whether roster slot p currently participates in the
 	// dataflow. Broadcast paths (progress, graph digest, control) skip
@@ -166,6 +189,18 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 	for i := range m.scratch {
 		m.scratch[i] = &progress.Batch{}
 	}
+	m.scratchMu = make([]sync.Mutex, len(spec.Hosts))
+	maxFrame := spec.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = transport.DefaultMaxFrame
+	}
+	m.coalesce = spec.CoalesceBytes
+	if m.coalesce <= 0 {
+		m.coalesce = 128 << 10
+	}
+	if lim := maxFrame - 64; m.coalesce > lim {
+		m.coalesce = lim
+	}
 	m.activeInit = make([]bool, len(spec.Hosts))
 	m.active = make([]atomic.Bool, len(spec.Hosts))
 	m.retired = make([]atomic.Bool, len(spec.Hosts))
@@ -188,6 +223,7 @@ func JoinMesh(spec ClusterSpec) (*Mesh, error) {
 		ClusterID:       clusterID,
 		MaxFrame:        spec.MaxFrame,
 		DialTimeout:     spec.DialTimeout,
+		Conns:           spec.Conns,
 		Listener:        spec.Listener,
 		Logf:            spec.Logf,
 		Absent:          spec.Absent,
@@ -427,10 +463,14 @@ func (m *Mesh) finish() {
 	}
 }
 
-// onFrame dispatches one inbound frame. It runs on the transport's per-peer
-// receive goroutine: frames from one peer are handled in FIFO order, so a
-// peer's progress deltas are always applied before the data they cover, and
-// its delta batches apply in generation order.
+// onFrame dispatches one inbound frame. It runs on a transport receive
+// goroutine; frames from one peer arrive in per-lane FIFO order, so a
+// worker's progress deltas are always applied before the data they cover
+// (the worker keys both by its index), and its delta batches apply in
+// generation order. Frames from different lanes of one peer may be handled
+// concurrently — safe because the tracker already serializes Apply and
+// cross-worker interleaving is indistinguishable from the cross-process
+// interleaving the tracker tolerates.
 func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 	<-m.ready
 	if kind != kindCtrl {
@@ -445,23 +485,39 @@ func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 				from, theirs, ours))
 		}
 	case kindProgress:
+		m.scratchMu[from].Lock()
 		b := m.scratch[from]
-		if err := b.DecodeWire(payload); err != nil {
+		err := b.DecodeWire(payload)
+		if err == nil {
+			e.tracker.Apply(b)
+		}
+		m.scratchMu[from].Unlock()
+		if err != nil {
 			panic(fmt.Sprintf("dataflow: corrupt progress frame from process %d: %v", from, err))
 		}
-		e.tracker.Apply(b)
 	case kindData:
-		worker, rest, err := binenc.Uvarint(payload)
-		if err == nil {
-			var edge, tm uint64
-			if edge, rest, err = binenc.Uvarint(rest); err == nil {
-				if tm, rest, err = binenc.Uvarint(rest); err == nil {
-					err = m.deliverData(int(worker), progress.Edge(edge), Time(tm), rest)
+		// One data frame carries a run of coalesced records, each
+		// [worker][edge][time][len][payload] with uvarint header fields.
+		for len(payload) > 0 {
+			worker, rest, err := binenc.Uvarint(payload)
+			if err == nil {
+				var edge, tm, n uint64
+				if edge, rest, err = binenc.Uvarint(rest); err == nil {
+					if tm, rest, err = binenc.Uvarint(rest); err == nil {
+						if n, rest, err = binenc.Uvarint(rest); err == nil {
+							if n > uint64(len(rest)) {
+								err = fmt.Errorf("record of %d bytes exceeds frame remainder %d", n, len(rest))
+							} else {
+								err = m.deliverData(int(worker), progress.Edge(edge), Time(tm), rest[:n])
+								payload = rest[n:]
+							}
+						}
+					}
 				}
 			}
-		}
-		if err != nil {
-			panic(fmt.Sprintf("dataflow: corrupt data frame from process %d: %v", from, err))
+			if err != nil {
+				panic(fmt.Sprintf("dataflow: corrupt data frame from process %d: %v", from, err))
+			}
 		}
 	case kindCtrl:
 		m.ctrlMu.Lock()
@@ -500,32 +556,70 @@ func (m *Mesh) deliverData(worker int, edge progress.Edge, t Time, payload []byt
 	return nil
 }
 
-// sendRemote ships one outbound message to a remote worker: the batch is
+// sendRemote stages one outbound message for a remote worker: the batch is
 // serialized with its edge's wire codec into the worker-owned scratch
-// buffer (the transport copies it into pooled frame storage, so the scratch
-// is immediately reusable) and enqueued on the destination process's
-// connection, after this scheduling's progress broadcast.
+// buffer and appended — behind a compact record header — to the worker's
+// coalescing buffer for the destination process. The buffer is flushed as
+// one multi-record frame when it reaches the mesh's coalescing threshold or,
+// at the latest, at the end of the scheduling that produced it (so
+// coalescing adds no latency and buffers are always empty between
+// schedulings, which the membership barrier's quiescence check relies on).
 func (w *Worker) sendRemote(m outMsg) {
 	e := w.exec
 	edge := m.msg.edge
 	if int(edge) >= len(e.edgeCodecs) || e.edgeCodecs[edge].enc == nil {
 		panic(fmt.Sprintf("dataflow: edge %d crosses processes but has no wire codec (connect it with dataflow.Connect)", edge))
 	}
-	buf := w.wireBuf[:0]
+	rec := e.edgeCodecs[edge].enc(m.msg.data, w.wireBuf[:0])
+	w.wireBuf = rec
+	releaseAny(w, m.msg.data) // the remote's reference: encoded, copy owned by us
+	dst := m.peer / e.cfg.Workers
+	buf := w.coalBuf[dst]
+	if len(buf) > 0 && len(buf)+len(rec)+4*binary.MaxVarintLen64 > e.mesh.coalesce {
+		w.flushRemote(dst)
+		buf = w.coalBuf[dst]
+	}
+	if len(buf) == 0 {
+		w.coalDirty = append(w.coalDirty, dst)
+	}
 	buf = binenc.AppendUvarint(buf, uint64(m.peer))
 	buf = binenc.AppendUvarint(buf, uint64(edge))
 	buf = binenc.AppendUvarint(buf, uint64(m.msg.time))
-	buf = e.edgeCodecs[edge].enc(m.msg.data, buf)
-	w.wireBuf = buf
-	dst := m.peer / e.cfg.Workers
-	e.mesh.tr.Send(dst, kindData, buf)
+	buf = binenc.AppendUvarint(buf, uint64(len(rec)))
+	buf = append(buf, rec...)
+	w.coalBuf[dst] = buf
+}
+
+// flushRemote ships this worker's coalescing buffer for process dst as one
+// data frame, keyed by the worker's local index so all of the worker's
+// traffic — this frame and the progress broadcast that preceded it — rides
+// one FIFO lane. The transport copies the payload into pooled frame storage,
+// so the buffer is immediately reusable.
+func (w *Worker) flushRemote(dst int) {
+	buf := w.coalBuf[dst]
+	if len(buf) == 0 {
+		return
+	}
+	e := w.exec
+	e.mesh.tr.SendKeyed(dst, w.local, kindData, buf)
 	e.mesh.sentN[dst].Add(1)
+	w.coalBuf[dst] = buf[:0]
+}
+
+// flushRemotes flushes every destination staged during the current
+// scheduling, in first-touched order.
+func (w *Worker) flushRemotes() {
+	for _, dst := range w.coalDirty {
+		w.flushRemote(dst)
+	}
+	w.coalDirty = w.coalDirty[:0]
 }
 
 // broadcastProgress ships one scheduling's (already coalesced) progress
-// batch to every remote process. It must run before the scheduling's remote
-// data sends: per-connection FIFO then guarantees every receiver accounts
-// the produced pointstamps before it can observe the messages.
+// batch to every remote process, keyed by the worker's local index. It must
+// run before the scheduling's remote data flush: per-lane FIFO then
+// guarantees every receiver accounts the produced pointstamps before it can
+// observe the messages (data and progress from one worker share a lane).
 func (w *Worker) broadcastProgress(b *progress.Batch) {
 	e := w.exec
 	if !e.mesh.active[e.mesh.proc].Load() {
@@ -542,7 +636,7 @@ func (w *Worker) broadcastProgress(b *progress.Batch) {
 		if p == e.mesh.proc || !e.mesh.active[p].Load() {
 			continue
 		}
-		e.mesh.tr.Send(p, kindProgress, buf)
+		e.mesh.tr.SendKeyed(p, w.local, kindProgress, buf)
 		e.mesh.sentN[p].Add(1)
 	}
 }

@@ -10,8 +10,9 @@ import (
 )
 
 // joinLocalMeshes builds an n-process cluster inside this test process:
-// n meshes over loopback TCP with pre-bound listeners.
-func joinLocalMeshes(t *testing.T, n int) []*Mesh {
+// n meshes over loopback TCP with pre-bound listeners. Optional tweak
+// functions adjust each spec before joining (striping, coalescing, ...).
+func joinLocalMeshes(t *testing.T, n int, tweaks ...func(*ClusterSpec)) []*Mesh {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	hosts := make([]string, n)
@@ -30,12 +31,16 @@ func joinLocalMeshes(t *testing.T, n int) []*Mesh {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			meshes[i], errs[i] = JoinMesh(ClusterSpec{
+			spec := ClusterSpec{
 				Hosts:       hosts,
 				Process:     i,
 				Listener:    lns[i],
 				DialTimeout: 10 * time.Second,
-			})
+			}
+			for _, tw := range tweaks {
+				tw(&spec)
+			}
+			meshes[i], errs[i] = JoinMesh(spec)
 		}(i)
 	}
 	wg.Wait()
@@ -125,6 +130,23 @@ func runKeyCountProcess(mesh *Mesh, wpp, epochs int, sink *[]kcOut, mu *sync.Mut
 // process with 6 workers and as a 3-process x 2-worker cluster over
 // loopback TCP, and requires identical output multisets.
 func TestMeshKeyCountEquivalence(t *testing.T) {
+	testMeshKeyCountEquivalence(t)
+}
+
+// TestMeshKeyCountEquivalenceStriped is the same equivalence check with the
+// cluster side striped over 3 connections per peer pair and a tiny
+// coalescing threshold, so record batches split across many multi-record
+// frames on many lanes. Output must still match the single-process run
+// exactly: per-lane FIFO keyed by sending worker keeps each worker's
+// progress ahead of its data.
+func TestMeshKeyCountEquivalenceStriped(t *testing.T) {
+	testMeshKeyCountEquivalence(t, func(s *ClusterSpec) {
+		s.Conns = 3
+		s.CoalesceBytes = 64
+	})
+}
+
+func testMeshKeyCountEquivalence(t *testing.T, tweaks ...func(*ClusterSpec)) {
 	const procs, wpp, epochs = 3, 2, 40
 
 	// Single-process reference.
@@ -155,7 +177,7 @@ func TestMeshKeyCountEquivalence(t *testing.T) {
 	exec.Wait()
 
 	// Clustered run.
-	meshes := joinLocalMeshes(t, procs)
+	meshes := joinLocalMeshes(t, procs, tweaks...)
 	var cluMu sync.Mutex
 	var clu []kcOut
 	var wg sync.WaitGroup

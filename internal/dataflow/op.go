@@ -275,7 +275,10 @@ func (c *OpCtx) Frontier(i int) Time { return c.frontiers[i] }
 func (c *OpCtx) NumQueued(i int) int { return len(c.op.queues[i]) }
 
 // ForEach drains input port i, invoking f once per queued batch. The data
-// argument is the []T the producer sent; ownership passes to the callee.
+// argument is the batch the producer sent; it is only valid during the
+// callback — the runtime may recycle the buffer afterwards, so a callee
+// that wants to keep records must copy them out (every forwarding path,
+// SendBatch included, already does).
 func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
 	q := c.op.queues[i]
 	if len(q) == 0 {
@@ -289,25 +292,32 @@ func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
 	for _, b := range q {
 		c.batch.Add(loc, b.time, -1)
 		f(b.time, b.data)
+		releaseAny(c.w, b.data)
 	}
 	clear(q) // drop batch references before the backing array is reused
 }
 
-// Send emits a batch (a []T boxed as any) at time t on output port o. The
-// batch is routed along every edge attached to the port according to each
-// edge's partitioner; empty partitions are filtered by the partitioners
-// themselves (typed code can check emptiness, the runtime cannot). Send
-// panics if t is not covered by a held capability or by the operator's
-// input frontier.
+// Send emits a batch (a []T or *batchEnv[T] boxed as any) at time t on
+// output port o. The batch is routed along every edge attached to the port
+// according to each edge's partitioner; empty partitions are filtered by
+// the partitioners themselves (typed code can check emptiness, the runtime
+// cannot). Send panics if t is not covered by a held capability or by the
+// operator's input frontier.
+//
+// Send consumes one reference to data: each enqueue (local or remote) takes
+// its own reference, and the creator's is dropped on return, so an owned
+// envelope with no consumers recycles immediately.
 func (c *OpCtx) Send(o int, t Time, data any) {
 	c.assertCanSendAt(o, t)
 	if o >= len(c.op.outEdges) {
-		return // no consumers
+		releaseAny(c.w, data) // no consumers
+		return
 	}
 	for _, oe := range c.op.outEdges[o] {
 		if oe.part == nil {
 			// Pipeline: deliver locally.
 			c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
+			increfAny(data)
 			c.local = append(c.local, message{edge: oe.edge, time: t, data: data})
 			continue
 		}
@@ -319,19 +329,26 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 			m := message{edge: oe.edge, time: t, data: pd}
 			if peer == c.w.index {
 				c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
+				increfAny(pd)
 				c.local = append(c.local, m)
 			} else if mesh := c.w.exec.mesh; mesh == nil || !mesh.Retired(peer/c.w.exec.cfg.Workers) {
 				c.batch.Add(c.w.exec.tracker.EdgeLocation(oe.edge), t, 1)
+				increfAny(pd)
 				c.remote = append(c.remote, outMsg{peer: peer, msg: m})
+			} else if pd != data {
+				// The destination slot is retired and the partition was built
+				// for it alone: recycle it. (When the partitioner forwarded the
+				// input itself, the release below covers it.) The message is
+				// dropped without a pointstamp, which could never cancel
+				// (nothing will consume it) and would wedge the frontier at t.
+				// A migration that straddled a death ships its dead-bound bins
+				// into this void; the bins are in the crash's lost set and
+				// their restore rebuilds them from the checkpoint.
+				releaseAny(c.w, pd)
 			}
-			// else: the destination slot is retired. The transport would drop
-			// the frame; drop it here without a pointstamp, which could never
-			// cancel (nothing will consume the message) and would wedge the
-			// frontier at t. A migration that straddled a death ships its dead-
-			// bound bins into this void; the bins are in the crash's lost set
-			// and their restore rebuilds them from the checkpoint.
 		}
 	}
+	releaseAny(c.w, data)
 }
 
 func (c *OpCtx) assertCanSendAt(o int, t Time) {

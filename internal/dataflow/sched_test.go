@@ -95,13 +95,21 @@ func TestNoLostWakeups(t *testing.T) {
 // exchangeWorkload drives epochs*perEpoch records through an
 // input -> exchange -> sink dataflow on two workers: the
 // route -> exchange -> apply hot path with no operator work on top.
+// The driver paces itself against a probe with a bounded number of epochs
+// in flight, the way the cluster harnesses do: an unpaced loop measures the
+// allocator growing unbounded staging queues (and defeats the runtime's
+// batch-buffer recycling, which needs consumption to keep up with
+// production), not the per-record routing cost.
 func exchangeWorkload(epochs, perEpoch int) {
+	const window = 32
 	exec := dataflow.NewExecution(dataflow.Config{Workers: 2})
 	var inputs []*dataflow.InputHandle[uint64]
+	var probe *dataflow.Probe
 	exec.Build(func(w *dataflow.Worker) {
 		in, s := dataflow.NewInput[uint64](w, "input")
 		inputs = append(inputs, in)
 		ex := operators.ExchangeBy(w, "exchange", s, func(x uint64) uint64 { return x })
+		probe = dataflow.NewProbe(w, ex)
 		operators.Sink(w, "sink", ex, func(dataflow.Time, []uint64) {})
 	})
 	exec.Start()
@@ -113,6 +121,9 @@ func exchangeWorkload(epochs, perEpoch int) {
 			}
 			in.SendBatchAt(dataflow.Time(e), batch)
 			in.AdvanceTo(dataflow.Time(e))
+		}
+		for e > window && probe.LessThan(dataflow.Time(e-window)) {
+			time.Sleep(5 * time.Microsecond)
 		}
 	}
 	for _, in := range inputs {
@@ -131,10 +142,11 @@ func BenchmarkExchangeHotPath(b *testing.B) {
 
 // TestExchangePathAllocsPerRecord pins the allocation count of the exchange
 // hot path: the seed runtime spent ~1 allocation per record here (fresh
-// OpCtx, per-peer append growth, map multiset churn); the overhauled
-// runtime reuses all of it and must stay under 0.15 allocs/record — the
-// driver's batch allocation plus the exchange's one buffer and two boxed
-// partitions per 256-record epoch, with headroom for map/slice growth.
+// OpCtx, per-peer append growth, map multiset churn). With recycled batch
+// envelopes the steady state is 2 allocations per 512-record epoch — the
+// driver's own input batches; partitions, forwarding copies, and interface
+// boxes all come from the per-worker envelope pools — so the budget is
+// 0.02 allocs/record, leaving ~4x headroom for map/slice growth.
 func TestExchangePathAllocsPerRecord(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation pin is not meaningful under -short")
@@ -146,7 +158,7 @@ func TestExchangePathAllocsPerRecord(t *testing.T) {
 		exchangeWorkload(epochs, perEpoch)
 	})
 	perRecord := allocs / float64(epochs*perEpoch*2)
-	if perRecord > 0.15 {
-		t.Errorf("exchange hot path allocates %.3f allocs/record (budget 0.15); run BenchmarkExchangeHotPath -benchmem to investigate", perRecord)
+	if perRecord > 0.02 {
+		t.Errorf("exchange hot path allocates %.4f allocs/record (budget 0.02); run BenchmarkExchangeHotPath -benchmem to investigate", perRecord)
 	}
 }

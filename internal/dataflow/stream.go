@@ -45,7 +45,7 @@ func (e Exchange[T]) partitioner(w *Worker) Partitioner {
 		// Identity: ship the (already boxed) input batch itself.
 		out := make([]any, 1)
 		return func(t Time, data any) []any {
-			if len(data.([]T)) == 0 {
+			if len(asBatch[T](data)) == 0 {
 				return nil
 			}
 			out[0] = data
@@ -53,7 +53,7 @@ func (e Exchange[T]) partitioner(w *Worker) Partitioner {
 		}
 	}
 	ex := w.exec
-	return partitionBy[T](peers, func(t Time, r T) int {
+	return partitionBy[T](w, peers, func(t Time, r T) int {
 		p := int(hash(r) % uint64(peers))
 		if v := ex.viewAt(t); !v.full && !v.workerActive(p) {
 			p = v.workers[p%len(v.workers)]
@@ -81,22 +81,23 @@ type ExchangeTo[T any] struct {
 
 func (e ExchangeTo[T]) partitioner(w *Worker) Partitioner {
 	to := e.To
-	return partitionBy[T](w.Peers(), func(_ Time, r T) int { return to(r) })
+	return partitionBy[T](w, w.Peers(), func(_ Time, r T) int { return to(r) })
 }
 
 // partitionBy builds a partitioner that splits each batch by a per-record
-// destination. Records for all peers are copied into one contiguous buffer
-// (the only allocation that outlives the call; it is owned by the
-// receivers), and the result slice, destination table, and offset tables
-// are scratch reused across calls — partitioners are per-worker and only
-// invoked from their worker's scheduling loop.
-func partitionBy[T any](peers int, to func(Time, T) int) Partitioner {
+// destination. Each non-empty partition is a borrowed envelope (refs=0;
+// Send takes the receivers' references) drawn from the worker's free list,
+// so a warmed steady state partitions without allocating; the result
+// slice, destination table, and count tables are scratch reused across
+// calls — partitioners are per-worker and only invoked from their worker's
+// scheduling loop.
+func partitionBy[T any](w *Worker, peers int, to func(Time, T) int) Partitioner {
 	out := make([]any, peers)
-	offs := make([]int32, peers+1)
-	cur := make([]int32, peers)
+	envs := make([]*batchEnv[T], peers)
+	counts := make([]int32, peers)
 	var dest []int32
 	return func(t Time, data any) []any {
-		in := data.([]T)
+		in := asBatch[T](data)
 		if len(in) == 0 {
 			return nil
 		}
@@ -104,30 +105,27 @@ func partitionBy[T any](peers int, to func(Time, T) int) Partitioner {
 			dest = make([]int32, len(in))
 		}
 		dest = dest[:len(in)]
-		for i := range offs {
-			offs[i] = 0
+		for i := range counts {
+			counts[i] = 0
 		}
 		for i, r := range in {
 			p := to(t, r)
 			dest[i] = int32(p)
-			offs[p+1]++
+			counts[p]++
 		}
 		for p := 0; p < peers; p++ {
-			offs[p+1] += offs[p]
-			cur[p] = offs[p]
-		}
-		buf := make([]T, len(in))
-		for i, r := range in {
-			p := dest[i]
-			buf[cur[p]] = r
-			cur[p]++
-		}
-		for p := 0; p < peers; p++ {
-			if a, b := offs[p], offs[p+1]; a < b {
-				out[p] = buf[a:b:b]
-			} else {
+			if counts[p] == 0 {
+				envs[p] = nil
 				out[p] = nil
+				continue
 			}
+			e := getEnv[T](w, int(counts[p]))
+			envs[p] = e
+			out[p] = e
+		}
+		for i, r := range in {
+			e := envs[dest[i]]
+			e.s = append(e.s, r)
 		}
 		return out
 	}
@@ -143,7 +141,7 @@ func (Broadcast[T]) partitioner(w *Worker) Partitioner {
 	out := make([]any, w.Peers())
 	ex := w.exec
 	return func(t Time, data any) []any {
-		if len(data.([]T)) == 0 {
+		if len(asBatch[T](data)) == 0 {
 			return nil
 		}
 		v := ex.viewAt(t)
@@ -172,18 +170,25 @@ func Connect[T any](b *OpBuilder, s Stream[T], p Pact[T]) int {
 	return i
 }
 
-// SendBatch emits a typed batch on output port o at time t.
+// SendBatch emits a typed batch on output port o at time t. The records are
+// copied into a recycled envelope, so the caller keeps ownership of data
+// and may reuse it immediately — forwarding a slice received from
+// ForEachBatch is safe.
 func SendBatch[T any](c *OpCtx, o int, t Time, data []T) {
 	if len(data) == 0 {
 		return
 	}
-	c.Send(o, t, data)
+	env := getEnv[T](c.w, len(data))
+	env.s = append(env.s, data...)
+	env.refs.Store(1)
+	c.Send(o, t, env)
 }
 
 // ForEachBatch drains input i, invoking f once per batch with its typed
-// contents.
+// contents. The slice is only valid during the callback; copy records out
+// to retain them.
 func ForEachBatch[T any](c *OpCtx, i int, f func(t Time, data []T)) {
-	c.ForEach(i, func(t Time, data any) { f(t, data.([]T)) })
+	c.ForEach(i, func(t Time, data any) { f(t, asBatch[T](data)) })
 }
 
 // Output returns output port o of the built streams as a typed stream.

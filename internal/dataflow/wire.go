@@ -49,7 +49,7 @@ func wireCodecFor[T any]() wireCodec {
 }
 
 func encodeWireRecs[T any](data any, buf []byte) []byte {
-	s := data.([]T)
+	s := asBatch[T](data)
 	buf = binenc.AppendUvarint(buf, uint64(len(s)))
 	for i := range s {
 		buf = any(&s[i]).(wireRec).AppendBinaryRec(buf)
@@ -75,7 +75,7 @@ func decodeWireRecs[T any](payload []byte) (any, error) {
 }
 
 func encodeWireU64s(data any, buf []byte) []byte {
-	return binenc.AppendU64s(buf, data.([]uint64))
+	return binenc.AppendU64s(buf, asBatch[uint64](data))
 }
 
 func decodeWireU64s(payload []byte) (any, error) {
@@ -95,7 +95,7 @@ func decodeWireU64s(payload []byte) (any, error) {
 // moves) all implement the binary contract and never take this path.
 func encodeWireGob[T any](data any, buf []byte) []byte {
 	w := bytes.NewBuffer(buf)
-	if err := gob.NewEncoder(w).Encode(data.([]T)); err != nil {
+	if err := gob.NewEncoder(w).Encode(asBatch[T](data)); err != nil {
 		panic(fmt.Sprintf("dataflow: gob-encoding %T batch: %v", data, err))
 	}
 	return w.Bytes()

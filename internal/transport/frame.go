@@ -24,6 +24,7 @@ const (
 	kindAck      byte = 2 // cumulative receive acknowledgement
 	kindFin      byte = 3 // sender has no further frames (shutdown barrier)
 	kindReject   byte = 4 // handshake rejection with a reason, acceptor -> dialer
+	kindBatch    byte = 5 // coalesced run of numbered frames (see sub-frame format)
 
 	// KindUser is the first frame kind available to the layer above.
 	KindUser byte = 16
@@ -35,19 +36,38 @@ const (
 	Magic uint32 = 0x4d475048 // "MGPH"
 	// Version is the wire protocol version; a handshake with any other
 	// version is rejected. Version 2 added the membership epoch to the
-	// handshake (dynamic membership): a version-1 hello is one a build
-	// predating reconfigurable clusters would send, and is rejected rather
-	// than defaulted so a stale binary cannot silently join under epoch 0.
-	Version uint16 = 2
+	// handshake (dynamic membership). Version 3 added batched framing and
+	// multi-connection peers: the hello carries which lane of the peer pair
+	// the connection is, and how many lanes the dialer was configured with
+	// (the counts must agree or the acceptor's stripes would not line up
+	// with the dialer's). Earlier versions are rejected rather than
+	// defaulted so a stale binary cannot silently join with a framing the
+	// rest of the cluster does not speak.
+	Version uint16 = 3
 	// DefaultMaxFrame bounds the total encoded size of one frame unless
 	// Config.MaxFrame overrides it. Oversized frames are rejected on both
-	// sides: Send panics (a programming error — the layer above bounds its
-	// batches) and the reader kills the connection.
+	// sides: Send reports it through the transport's fatal error path (the
+	// layer above bounds its batches, so it is a configuration error, but a
+	// data-dependent one — see Transport.Send) and the reader kills the
+	// connection.
 	DefaultMaxFrame = 64 << 20
 
 	// frameOverhead is the fixed per-frame framing cost: a u32 length
 	// (covering kind+seq+payload), a kind byte, and a u64 sequence number.
 	frameOverhead = 4 + 1 + 8
+
+	// subOverhead is the per-sub-frame cost inside a kindBatch frame: a u32
+	// length (covering kind+payload) and a kind byte. The sequence number is
+	// implicit — sub-frame i of a batch with first sequence s carries s+i —
+	// which is what makes coalescing pay: 5 bytes instead of 13 per frame,
+	// and one length-prefixed read instead of many.
+	subOverhead = 4 + 1
+
+	// defaultCoalesce caps how many payload bytes the send loop coalesces
+	// into one kindBatch frame. Large enough to amortize framing and the
+	// writev syscall, small enough to keep per-frame latency and the
+	// receiver's contiguous read buffer modest.
+	defaultCoalesce = 256 << 10
 )
 
 // ErrFrameTooLarge reports a frame whose declared length exceeds the
@@ -117,6 +137,42 @@ func (fr *FrameReader) Next() (kind byte, seq uint64, payload []byte, err error)
 	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
 }
 
+// appendSubFrame appends the encoding of one coalesced sub-frame to buf: a
+// u32 length covering kind+payload, the kind byte, and the payload. The
+// sub-frame's sequence number is implicit in its position within the
+// enclosing kindBatch frame. The send loop builds sub-frames with vectored
+// writes instead of this helper; it exists for tests and documentation of
+// the format.
+func appendSubFrame(buf []byte, kind byte, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(1+len(payload)))
+	buf = append(buf, kind)
+	return append(buf, payload...)
+}
+
+// forEachSub walks the payload of a kindBatch frame, invoking f for each
+// sub-frame with its implicit sequence number (firstSeq + position). f
+// returns false to stop the walk early (the caller is tearing the
+// connection down); forEachSub then returns nil — the walk's abort is the
+// caller's doing, not a format error.
+func forEachSub(firstSeq uint64, payload []byte, f func(seq uint64, kind byte, body []byte) bool) error {
+	seq := firstSeq
+	for len(payload) > 0 {
+		if len(payload) < subOverhead {
+			return fmt.Errorf("transport: %d trailing bytes inside a batch frame", len(payload))
+		}
+		n := int(binary.BigEndian.Uint32(payload))
+		if n < 1 || subOverhead-1+n > len(payload) {
+			return fmt.Errorf("transport: sub-frame length %d exceeds batch remainder %d", n, len(payload)-subOverhead+1)
+		}
+		if !f(seq, payload[4], payload[5:4+n]) {
+			return nil
+		}
+		payload = payload[4+n:]
+		seq++
+	}
+	return nil
+}
+
 // hello is the handshake payload exchanged on every new connection. RecvSeq
 // resumes a broken session: it is the highest contiguous frame sequence the
 // sender of the hello has received from its peer, so the peer replays
@@ -134,12 +190,18 @@ type hello struct {
 	// carried for observability and for the acceptor to admit dials from
 	// peers it has not itself activated yet.
 	MembershipEpoch uint64
+	// Lane identifies which of the peer pair's striped connections this
+	// handshake establishes; Lanes is the dialer's configured connection
+	// count per peer, verified to match the acceptor's (like Procs).
+	Lane  int
+	Lanes int
 }
 
 // appendHello encodes h at the given protocol version (the version argument
 // exists so tests can forge a mismatching handshake). Version 1 emits the
-// legacy 26-byte payload without the membership epoch, exactly as an old
-// build would, so rejection tests exercise the true old wire format.
+// legacy 26-byte payload without the membership epoch and version 2 the
+// 34-byte payload without the lane fields, exactly as an old build would, so
+// rejection tests exercise the true old wire formats.
 func appendHello(buf []byte, h hello, version uint16) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, Magic)
 	buf = binary.BigEndian.AppendUint16(buf, version)
@@ -149,6 +211,10 @@ func appendHello(buf []byte, h hello, version uint16) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, h.RecvSeq)
 	if version >= 2 {
 		buf = binary.BigEndian.AppendUint64(buf, h.MembershipEpoch)
+	}
+	if version >= 3 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(h.Lane))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(h.Lanes))
 	}
 	return buf
 }
@@ -161,16 +227,19 @@ func parseHello(p []byte) (hello, error) {
 	if m := binary.BigEndian.Uint32(p[0:4]); m != Magic {
 		return hello{}, fmt.Errorf("transport: bad handshake magic %#x", m)
 	}
-	// Version is checked before length so a version-1 hello (8 bytes
-	// shorter: no membership epoch) is reported as the version skew it is,
-	// not as a truncated payload.
+	// Version is checked before length so an old hello (shorter payloads:
+	// no membership epoch, no lane fields) is reported as the version skew
+	// it is, not as a truncated payload.
 	if v := binary.BigEndian.Uint16(p[4:6]); v != Version {
-		if v == 1 {
+		switch v {
+		case 1:
 			return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks 1, this build speaks %d (version 1 predates the membership-epoch handshake; upgrade the peer)", Version)
+		case 2:
+			return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks 2, this build speaks %d (version 2 predates batched framing and multi-connection peers; upgrade the peer)", Version)
 		}
 		return hello{}, fmt.Errorf("transport: protocol version mismatch: peer speaks %d, this build speaks %d", v, Version)
 	}
-	if len(p) != 4+2+8+2+2+8+8 {
+	if len(p) != 4+2+8+2+2+8+8+2+2 {
 		return hello{}, fmt.Errorf("transport: handshake payload of %d bytes", len(p))
 	}
 	return hello{
@@ -179,5 +248,7 @@ func parseHello(p []byte) (hello, error) {
 		Procs:           int(binary.BigEndian.Uint16(p[16:18])),
 		RecvSeq:         binary.BigEndian.Uint64(p[18:26]),
 		MembershipEpoch: binary.BigEndian.Uint64(p[26:34]),
+		Lane:            int(binary.BigEndian.Uint16(p[34:36])),
+		Lanes:           int(binary.BigEndian.Uint16(p[36:38])),
 	}, nil
 }

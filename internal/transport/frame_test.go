@@ -65,13 +65,89 @@ func TestFrameTornReads(t *testing.T) {
 }
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	h := hello{ClusterID: 0xfeedface, From: 3, Procs: 5, RecvSeq: 42, MembershipEpoch: 7}
+	h := hello{ClusterID: 0xfeedface, From: 3, Procs: 5, RecvSeq: 42, MembershipEpoch: 7, Lane: 2, Lanes: 4}
 	got, err := parseHello(appendHello(nil, h, Version))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != h {
 		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+// TestBatchSubFrameRoundTrip pins the coalesced sub-frame format: a batch
+// payload built from appendSubFrame walks back out of forEachSub with
+// consecutive implicit sequence numbers and byte-identical bodies.
+func TestBatchSubFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	var buf []byte
+	for i, p := range payloads {
+		buf = appendSubFrame(buf, KindUser+byte(i), p)
+	}
+	i := 0
+	err := forEachSub(10, buf, func(seq uint64, kind byte, body []byte) bool {
+		if seq != uint64(10+i) || kind != KindUser+byte(i) {
+			t.Fatalf("sub %d: got seq=%d kind=%d", i, seq, kind)
+		}
+		if !bytes.Equal(body, payloads[i]) {
+			t.Fatalf("sub %d: body mismatch (%d vs %d bytes)", i, len(body), len(payloads[i]))
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(payloads) {
+		t.Fatalf("walked %d subs, want %d", i, len(payloads))
+	}
+}
+
+// TestBatchTornAndMalformed: any truncation of a batch payload inside a
+// sub-frame is a format error, and an early false from the callback stops the
+// walk without an error (the caller aborted, the format is fine).
+func TestBatchTornAndMalformed(t *testing.T) {
+	full := appendSubFrame(appendSubFrame(nil, KindUser, []byte("first")), KindUser+1, []byte("second"))
+	for cut := 1; cut < len(full); cut++ {
+		// Cuts at sub-frame boundaries are valid shorter batches; all others
+		// must error.
+		if cut == subOverhead+len("first") {
+			continue
+		}
+		n := 0
+		if err := forEachSub(1, full[:cut], func(uint64, byte, []byte) bool { n++; return true }); err == nil {
+			t.Fatalf("cut at %d accepted after %d subs", cut, n)
+		}
+	}
+	// Zero-length sub frame (n < 1) is malformed, not an infinite loop.
+	if err := forEachSub(1, []byte{0, 0, 0, 0, 16}, func(uint64, byte, []byte) bool { return true }); err == nil {
+		t.Fatal("zero-length sub-frame accepted")
+	}
+	calls := 0
+	if err := forEachSub(1, full, func(uint64, byte, []byte) bool { calls++; return false }); err != nil {
+		t.Fatalf("early stop reported error: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("early stop walked %d subs, want 1", calls)
+	}
+}
+
+// TestHandshakeVersion2Rejected pins the second compatibility break: a
+// version-2 hello — 4 bytes shorter because it predates lane striping — is
+// rejected as the version skew it is.
+func TestHandshakeVersion2Rejected(t *testing.T) {
+	p := appendHello(nil, hello{ClusterID: 1, From: 1, Procs: 2, RecvSeq: 3, MembershipEpoch: 4}, 2)
+	if want := 4 + 2 + 8 + 2 + 2 + 8 + 8; len(p) != want {
+		t.Fatalf("version-2 hello is %d bytes, want %d", len(p), want)
+	}
+	_, err := parseHello(p)
+	if err == nil {
+		t.Fatal("expected rejection of version-2 hello")
+	}
+	for _, sub := range []string{"version mismatch", "batched framing"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(sub)) {
+			t.Fatalf("error %q does not mention %q", err, sub)
+		}
 	}
 }
 

@@ -41,6 +41,18 @@ type Config struct {
 	// AckEvery is the number of received frames between acknowledgements
 	// (default 64); it bounds how much a sender retains for replay.
 	AckEvery int
+	// Conns is the number of TCP connections ("lanes") per peer pair
+	// (default 1, max 64). Each lane is an independent FIFO exactly-once
+	// session with its own sequence space, acks, and replay retention;
+	// SendKeyed stripes frames over lanes by key, so everything sent under
+	// one key stays FIFO while different keys use different connections
+	// (and different cores) in parallel. Every process must configure the
+	// same count — the handshake verifies it like the peer count.
+	Conns int
+	// Coalesce caps how many payload bytes the send loop packs into one
+	// batch frame (defaultCoalesce if 0, never more than MaxFrame). Frames
+	// larger than the cap travel alone, up to MaxFrame.
+	Coalesce int
 	// Listener, when non-nil, is a pre-bound listener for Addrs[Index]
 	// (tests bind :0 first to pick free ports without a race).
 	Listener net.Listener
@@ -76,6 +88,18 @@ func (c *Config) defaults() {
 	if c.AckEvery <= 0 {
 		c.AckEvery = 64
 	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Conns > 64 {
+		c.Conns = 64
+	}
+	if c.Coalesce <= 0 {
+		c.Coalesce = defaultCoalesce
+	}
+	if c.Coalesce > c.MaxFrame {
+		c.Coalesce = c.MaxFrame
+	}
 	if c.ClusterID == 0 {
 		h := fnv.New64a()
 		h.Write([]byte(strings.Join(c.Addrs, ",")))
@@ -83,9 +107,12 @@ func (c *Config) defaults() {
 	}
 }
 
-// Handler receives every user frame (kind >= KindUser), in per-peer FIFO
-// order, exactly once. It runs on the receiving connection's goroutine; the
-// payload is only valid for the duration of the call.
+// Handler receives every user frame (kind >= KindUser), exactly once, in
+// per-lane FIFO order: frames sent under one SendKeyed key arrive in send
+// order, frames from different lanes of the same peer may be handled
+// concurrently (with Conns == 1 this degenerates to the old per-peer FIFO).
+// It runs on the receiving connection's goroutine; the payload is only valid
+// for the duration of the call.
 type Handler func(from int, kind byte, payload []byte)
 
 // frame is one queued or retained outbound frame. data is pool-owned and
@@ -103,30 +130,44 @@ type connIO struct {
 	br *bufio.Reader
 }
 
-// peer is the state of one remote process: the outbound queue and retained
-// frames, the live connection, and receive-side bookkeeping.
+// peerSet is everything shared by the striped sessions ("lanes") to one
+// remote process. Lifecycle operations (Retire, the shutdown barrier, the
+// startup wait) apply to every lane; the per-session state lives on each
+// lane's peer.
+type peerSet struct {
+	lanes []*peer
+}
+
+// peer is the state of one lane of one remote process: the outbound queue
+// and retained frames, the live connection, and receive-side bookkeeping.
+// With Conns == 1 a peer is exactly the old one-session-per-process state.
 type peer struct {
 	t      *Transport
 	index  int
+	lane   int
 	dials  bool // we dial this peer (our index is higher, or we are a joiner)
 	absent bool // roster slot inactive at our startup; may join later
 
-	mu        sync.Mutex
-	notify    chan struct{} // latched wake for the sender goroutine
-	q         []frame       // enqueued, not yet written
-	spareQ    []frame       // recycled batch backing array
-	unacked   []frame       // written on some conn, awaiting ack
-	pool      [][]byte      // recycled frame payload buffers
-	sendSeq   uint64        // last assigned outbound sequence number
-	ackedSeq  uint64        // highest outbound seq acked by the peer
-	recvSeq   uint64        // highest contiguous inbound seq received
-	lastAck   uint64        // recvSeq when we last enqueued an ack
-	finRecvd  bool
-	finSeq    uint64 // our FIN's seq (0 until Finish)
-	inFlight  bool   // sender is mid-write on a batch taken from q
-	joined    bool   // a connection was installed at least once
-	retired   bool   // peer left the cluster for good; drop sends, no redial
-	retiredUs bool   // the peer rejected our dial as retired: it will never
+	mu      sync.Mutex
+	notify  chan struct{} // latched wake for the sender goroutine
+	q       []frame       // enqueued, not yet written
+	spareQ  []frame       // recycled batch backing array
+	unacked []frame       // written on some conn, awaiting ack
+	// unackedHead indexes the first retained frame in unacked: acks advance
+	// the cursor instead of memmoving the (potentially large) retained tail
+	// on every ack; the array compacts only when the dead prefix dominates.
+	unackedHead int
+	pool        [][]byte // recycled frame payload buffers
+	sendSeq     uint64   // last assigned outbound sequence number
+	ackedSeq    uint64   // highest outbound seq acked by the peer
+	recvSeq     uint64   // highest contiguous inbound seq received
+	lastAck     uint64   // recvSeq when we last enqueued an ack
+	finRecvd    bool
+	finSeq      uint64 // our FIN's seq (0 until Finish)
+	inFlight    bool   // sender is mid-write on a batch taken from q
+	joined      bool   // a connection was installed at least once
+	retired     bool   // peer left the cluster for good; drop sends, no redial
+	retiredUs   bool   // the peer rejected our dial as retired: it will never
 	// ack another frame of ours, so shutdown barriers must not wait for it.
 	// Set only on a leaver (survivors retire a departed member on its
 	// goodbye, which can close the connection before the leaver's FIN is
@@ -153,12 +194,13 @@ type peer struct {
 	dispatch sync.Mutex
 }
 
-// Transport is one process's endpoint of the cluster mesh: N-1 reliable,
-// FIFO, exactly-once frame sessions, one per peer process.
+// Transport is one process's endpoint of the cluster mesh: (N-1) * Conns
+// reliable, FIFO, exactly-once frame sessions — Conns striped lanes per peer
+// process.
 type Transport struct {
 	cfg      Config
 	handler  Handler
-	peers    []*peer
+	peers    []*peerSet
 	ln       net.Listener
 	memEpoch atomic.Uint64
 
@@ -188,15 +230,19 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 			t.peers = append(t.peers, nil)
 			continue
 		}
-		p := &peer{
-			t:      t,
-			index:  i,
-			dials:  cfg.Index > i || selfJoiner,
-			absent: absent(i),
-			notify: make(chan struct{}, 1),
-			up:     make(chan struct{}),
+		ps := &peerSet{}
+		for l := 0; l < cfg.Conns; l++ {
+			ps.lanes = append(ps.lanes, &peer{
+				t:      t,
+				index:  i,
+				lane:   l,
+				dials:  cfg.Index > i || selfJoiner,
+				absent: absent(i),
+				notify: make(chan struct{}, 1),
+				up:     make(chan struct{}),
+			})
 		}
-		t.peers = append(t.peers, p)
+		t.peers = append(t.peers, ps)
 	}
 
 	ln := cfg.Listener
@@ -211,35 +257,40 @@ func Dial(cfg Config, handler Handler) (*Transport, error) {
 	t.wg.Add(1)
 	go t.acceptLoop()
 
-	for _, p := range t.peers {
-		if p == nil {
+	for _, ps := range t.peers {
+		if ps == nil {
 			continue
 		}
-		t.wg.Add(1)
-		go p.sendLoop()
-		if p.dials && !p.absent {
-			p.mu.Lock()
-			p.startRedialLocked()
-			p.mu.Unlock()
+		for _, p := range ps.lanes {
+			t.wg.Add(1)
+			go p.sendLoop()
+			if p.dials && !p.absent {
+				p.mu.Lock()
+				p.startRedialLocked()
+				p.mu.Unlock()
+			}
 		}
 	}
 
 	waited := 0
 	deadline := time.After(cfg.DialTimeout)
-	for _, p := range t.peers {
-		if p == nil || p.absent {
+	for _, ps := range t.peers {
+		if ps == nil || ps.lanes[0].absent {
 			continue
 		}
 		waited++
-		select {
-		case <-p.up:
-		case <-deadline:
-			t.Close()
-			return nil, fmt.Errorf("transport: process %d: peer %d did not connect within %v",
-				cfg.Index, p.index, cfg.DialTimeout)
+		for _, p := range ps.lanes {
+			select {
+			case <-p.up:
+			case <-deadline:
+				t.Close()
+				return nil, fmt.Errorf("transport: process %d: peer %d (lane %d) did not connect within %v",
+					cfg.Index, p.index, p.lane, cfg.DialTimeout)
+			}
 		}
 	}
-	t.logf("transport: process %d/%d connected to %d peers", cfg.Index, len(cfg.Addrs), waited)
+	t.logf("transport: process %d/%d connected to %d peers over %d lanes each",
+		cfg.Index, len(cfg.Addrs), waited, cfg.Conns)
 	return t, nil
 }
 
@@ -265,36 +316,40 @@ func (t *Transport) MembershipEpoch() uint64 { return t.memEpoch.Load() }
 // silently, and the shutdown barriers skip it. Used after a drain-leave FIN
 // or a declared crash death; there is no un-retire.
 func (t *Transport) Retire(i int) {
-	p := t.peers[i]
-	if p == nil {
+	ps := t.peers[i]
+	if ps == nil {
 		return
 	}
-	p.mu.Lock()
-	already := p.retired
-	p.retired = true
-	if p.conn != nil {
-		p.conn.c.Close()
-		p.conn = nil
-	}
-	if p.pending != nil {
-		p.pending.io.c.Close()
-		p.pending = nil
-	}
-	for _, f := range p.q {
-		if f.data != nil {
-			p.putBufLocked(f.data)
+	already := true
+	for _, p := range ps.lanes {
+		p.mu.Lock()
+		already = already && p.retired
+		p.retired = true
+		if p.conn != nil {
+			p.conn.c.Close()
+			p.conn = nil
 		}
-	}
-	p.q = p.q[:0]
-	for _, f := range p.unacked {
-		if f.data != nil {
-			p.putBufLocked(f.data)
+		if p.pending != nil {
+			p.pending.io.c.Close()
+			p.pending = nil
 		}
+		for _, f := range p.q {
+			if f.data != nil {
+				p.putBufLocked(f.data)
+			}
+		}
+		p.q = p.q[:0]
+		for _, f := range p.unacked[p.unackedHead:] {
+			if f.data != nil {
+				p.putBufLocked(f.data)
+			}
+		}
+		p.unacked = p.unacked[:0]
+		p.unackedHead = 0
+		p.mu.Unlock()
+		p.upOnce.Do(func() { close(p.up) })
+		p.poke()
 	}
-	p.unacked = p.unacked[:0]
-	p.mu.Unlock()
-	p.upOnce.Do(func() { close(p.up) })
-	p.poke()
 	if !already {
 		t.logf("transport: process %d: retired peer %d", t.cfg.Index, i)
 	}
@@ -302,27 +357,35 @@ func (t *Transport) Retire(i int) {
 
 // Retired reports whether peer i has been retired.
 func (t *Transport) Retired(i int) bool {
-	p := t.peers[i]
-	if p == nil {
+	ps := t.peers[i]
+	if ps == nil {
 		return false
 	}
+	p := ps.lanes[0] // Retire flips every lane together
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.retired
 }
 
-// Joined reports whether a session with peer i was ever installed. An
-// absent roster slot flips to joined when the late process dials in; the
-// mesh's control-plane broadcast uses this to reach a joiner that is
-// connected but not yet an active dataflow participant.
+// Joined reports whether a session with peer i was ever installed (on any
+// lane — a joiner's lanes come up one dial at a time). An absent roster slot
+// flips to joined when the late process dials in; the mesh's control-plane
+// broadcast uses this to reach a joiner that is connected but not yet an
+// active dataflow participant.
 func (t *Transport) Joined(i int) bool {
-	p := t.peers[i]
-	if p == nil {
+	ps := t.peers[i]
+	if ps == nil {
 		return false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.joined && !p.retired
+	for _, p := range ps.lanes {
+		p.mu.Lock()
+		ok := p.joined && !p.retired
+		p.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *Transport) logf(format string, args ...any) {
@@ -350,18 +413,43 @@ func (t *Transport) isClosed() bool {
 // and retained frames grow until the peer recovers or the run is killed.
 // The enqueue itself is allocation-free at steady state: the payload copy
 // lands in a recycled buffer and the queue reuses its backing array.
+//
+// An oversized frame (payload beyond MaxFrame) is not a recoverable
+// condition — the layer above sized its batches against MaxFrame, so the
+// session's framing contract is broken — but it is data-dependent, so it is
+// reported through the transport's fatal error path (the frame is dropped,
+// the transport tears down, and the Fatal hook unwedges the layer above)
+// rather than by panicking on whichever worker goroutine happened to send it.
 func (t *Transport) Send(to int, kind byte, payload []byte) {
+	t.sendLane(to, 0, kind, payload)
+}
+
+// SendKeyed enqueues one user frame to a peer process on the lane selected
+// by key (key modulo the configured connection count). Frames sharing a key
+// are delivered in send order; frames under different keys may be reordered
+// relative to each other. With Conns == 1 SendKeyed is Send.
+func (t *Transport) SendKeyed(to, key int, kind byte, payload []byte) {
+	t.sendLane(to, key, kind, payload)
+}
+
+func (t *Transport) sendLane(to, key int, kind byte, payload []byte) {
 	if kind < KindUser {
 		panic(fmt.Sprintf("transport: Send with reserved kind %d", kind))
 	}
 	if frameOverhead+len(payload) > t.cfg.MaxFrame {
-		panic(ErrFrameTooLarge{Declared: frameOverhead + len(payload), Max: t.cfg.MaxFrame})
+		t.fail(fmt.Errorf("transport: process %d: send of %d bytes to peer %d: %w",
+			t.cfg.Index, len(payload), to,
+			ErrFrameTooLarge{Declared: frameOverhead + len(payload), Max: t.cfg.MaxFrame}))
+		return
 	}
-	p := t.peers[to]
-	if p == nil {
+	ps := t.peers[to]
+	if ps == nil {
 		panic(fmt.Sprintf("transport: Send to self (process %d)", to))
 	}
-	p.enqueue(kind, payload, true)
+	if key < 0 {
+		key = -key
+	}
+	ps.lanes[key%len(ps.lanes)].enqueue(kind, payload, true)
 }
 
 // enqueue appends one frame (numbered when numbered is true) to the peer's
@@ -405,21 +493,35 @@ func (p *peer) getBufLocked(n int) []byte {
 }
 
 func (p *peer) putBufLocked(buf []byte) {
-	if len(p.pool) < 64 {
+	// The pool must cover the whole in-flight window — enqueued, written,
+	// awaiting ack — or the enqueue path falls back to the allocator between
+	// ack roundtrips. 8192 buffers bound it at a few MB per lane for typical
+	// frame sizes while absorbing a saturating producer.
+	if len(p.pool) < 8192 {
 		p.pool = append(p.pool, buf[:0])
 	}
 }
 
-// sendLoop is the peer's single sender goroutine. It alone adopts new
+// sendLoop is the lane's single sender goroutine. It alone adopts new
 // connections and moves frames between q and unacked, which keeps replay
 // ordering trivially correct: frames enter unacked only after a write
 // attempt, and a newly adopted connection first drains unacked (minus what
 // the peer already acknowledged) back into the front of q.
+//
+// Each round drains the queue into one vectored write (net.Buffers): runs of
+// numbered frames coalesce into kindBatch frames whose 5-byte sub-headers
+// live in a reused header arena and whose payloads are referenced in place
+// from their pooled buffers — nothing is copied into a scratch frame buffer,
+// and one writev replaces per-frame Write calls. Replay after a reconnect
+// re-coalesces naturally: retention is per frame, and the receiver
+// deduplicates by the sub-frames' implicit sequence numbers.
 func (p *peer) sendLoop() {
 	defer p.t.wg.Done()
-	var bw *bufio.Writer
 	var conn *connIO
-	var scratch []byte
+	var hdrs []byte   // header arena; pre-sized per round so slices into it stay valid
+	var vecs [][]byte // iovec list, rebuilt per round
+	var outerPad [frameOverhead]byte
+	coalesce := p.t.cfg.Coalesce
 	for {
 		p.mu.Lock()
 		for {
@@ -430,13 +532,13 @@ func (p *peer) sendLoop() {
 				nd := p.pending
 				p.pending = nil
 				p.trimUnackedLocked(nd.peerRecv)
-				if len(p.unacked) > 0 {
-					p.q = append(p.unacked, p.q...)
+				if retained := p.unacked[p.unackedHead:]; len(retained) > 0 {
+					p.q = append(retained, p.q...)
 					p.unacked = nil
+					p.unackedHead = 0
 				}
 				conn = nd.io
 				p.conn = conn
-				bw = bufio.NewWriterSize(conn.c, 64<<10)
 			}
 			if len(p.q) > 0 && conn != nil {
 				break
@@ -455,17 +557,82 @@ func (p *peer) sendLoop() {
 		p.inFlight = true
 		p.mu.Unlock()
 
-		writeErr := false
-		for _, f := range batch {
-			scratch = AppendFrame(scratch[:0], f.kind, f.seq, f.data)
-			if _, err := bw.Write(scratch); err != nil {
-				writeErr = true
-				break
+		// Worst case every frame opens its own group (plain header + first
+		// sub-header); sizing the arena up front means later appends never
+		// reallocate, so the header slices already in vecs stay valid.
+		if need := (frameOverhead + subOverhead) * len(batch); cap(hdrs) < need {
+			hdrs = make([]byte, 0, need)
+		}
+		hdrs = hdrs[:0]
+		vecs = vecs[:0]
+
+		// Open-group state: arena offset of the outer header, vec index of
+		// the group's first entry, first sequence number, accumulated
+		// sub-frame bytes, and sub count.
+		groupOff, groupVec, groupLen, groupN := -1, -1, 0, 0
+		var groupSeq uint64
+		closeGroup := func() {
+			if groupOff < 0 {
+				return
 			}
+			h := hdrs[groupOff:]
+			if groupN == 1 {
+				// A lone frame reverts to the plain format in place: the
+				// reserved outer+sub header region is rewritten as one
+				// 13-byte frame header and its vec entry shrunk to match.
+				binary.BigEndian.PutUint32(h, uint32(1+8+groupLen-subOverhead))
+				h[4] = h[frameOverhead+4] // the sub's kind byte
+				binary.BigEndian.PutUint64(h[5:], groupSeq)
+				vecs[groupVec] = vecs[groupVec][:frameOverhead]
+			} else {
+				binary.BigEndian.PutUint32(h, uint32(1+8+groupLen))
+				h[4] = kindBatch
+				binary.BigEndian.PutUint64(h[5:], groupSeq)
+			}
+			groupOff, groupVec, groupLen, groupN = -1, -1, 0, 0
 		}
-		if !writeErr {
-			writeErr = bw.Flush() != nil
+		for _, f := range batch {
+			if f.seq == 0 {
+				// Unnumbered frames (acks) travel alone in the plain format.
+				closeGroup()
+				off := len(hdrs)
+				hdrs = binary.BigEndian.AppendUint32(hdrs, uint32(1+8+len(f.data)))
+				hdrs = append(hdrs, f.kind)
+				hdrs = binary.BigEndian.AppendUint64(hdrs, 0)
+				vecs = append(vecs, hdrs[off:off+frameOverhead])
+				if len(f.data) > 0 {
+					vecs = append(vecs, f.data)
+				}
+				continue
+			}
+			if groupOff >= 0 && frameOverhead+1+8+groupLen+subOverhead+len(f.data) > coalesce {
+				closeGroup()
+			}
+			if groupOff < 0 {
+				// Start a group: reserve the outer header and the first
+				// sub-header contiguously (one vec entry; patched on close).
+				groupOff, groupVec, groupSeq = len(hdrs), len(vecs), f.seq
+				hdrs = append(hdrs, outerPad[:]...)
+			}
+			off := len(hdrs)
+			hdrs = binary.BigEndian.AppendUint32(hdrs, uint32(1+len(f.data)))
+			hdrs = append(hdrs, f.kind)
+			if groupN == 0 {
+				vecs = append(vecs, hdrs[groupOff:off+subOverhead])
+			} else {
+				vecs = append(vecs, hdrs[off:off+subOverhead])
+			}
+			if len(f.data) > 0 {
+				vecs = append(vecs, f.data)
+			}
+			groupLen += subOverhead + len(f.data)
+			groupN++
 		}
+		closeGroup()
+
+		bufs := net.Buffers(vecs)
+		_, err := bufs.WriteTo(conn.c)
+		writeErr := err != nil
 
 		p.mu.Lock()
 		for _, f := range batch {
@@ -480,7 +647,7 @@ func (p *peer) sendLoop() {
 		p.mu.Unlock()
 		if writeErr {
 			p.connBroken(conn)
-			conn, bw = nil, nil
+			conn = nil
 		}
 	}
 }
@@ -490,12 +657,18 @@ func (p *peer) trimUnackedLocked(seq uint64) {
 	if seq > p.ackedSeq {
 		p.ackedSeq = seq
 	}
-	i := 0
+	i := p.unackedHead
 	for ; i < len(p.unacked) && p.unacked[i].seq <= seq; i++ {
 		p.putBufLocked(p.unacked[i].data)
+		p.unacked[i].data = nil
 	}
-	if i > 0 {
+	p.unackedHead = i
+	if i == len(p.unacked) {
+		p.unacked = p.unacked[:0]
+		p.unackedHead = 0
+	} else if i > 1024 && i > len(p.unacked)-i {
 		p.unacked = p.unacked[:copy(p.unacked, p.unacked[i:])]
+		p.unackedHead = 0
 	}
 }
 
@@ -559,7 +732,7 @@ func (p *peer) redial() {
 		}
 		c, err := net.DialTimeout("tcp", t.cfg.Addrs[p.index], 2*time.Second)
 		if err == nil {
-			io := &connIO{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+			io := &connIO{c: c, br: bufio.NewReaderSize(c, 256<<10)}
 			if err = p.handshakeDial(io); err == nil {
 				p.mu.Lock()
 				p.redialing = false
@@ -568,11 +741,19 @@ func (p *peer) redial() {
 			}
 			c.Close()
 			if err == errRetiredByPeer {
-				p.mu.Lock()
-				p.retiredUs = true
-				p.redialing = false
-				p.mu.Unlock()
-				p.poke()
+				// The peer retired us for good: no lane of this pair will
+				// ever be acked again, so stand every lane down (another
+				// lane's connection may have died without its own redial to
+				// learn this, which would wedge the shutdown barrier).
+				for _, l := range t.peers[p.index].lanes {
+					l.mu.Lock()
+					l.retiredUs = true
+					if l == p {
+						l.redialing = false
+					}
+					l.mu.Unlock()
+					l.poke()
+				}
 				t.logf("transport: process %d: peer %d has retired us; standing down", t.cfg.Index, p.index)
 				return
 			}
@@ -607,7 +788,7 @@ func (p *peer) handshakeDial(io *connIO) error {
 	recv := p.recvSeq
 	p.mu.Unlock()
 	h := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs),
-		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load()}
+		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load(), Lane: p.lane, Lanes: t.cfg.Conns}
 	io.c.SetDeadline(time.Now().Add(5 * time.Second))
 	if _, err := io.c.Write(AppendFrame(nil, kindHello, 0, appendHello(nil, h, Version))); err != nil {
 		return err
@@ -630,9 +811,9 @@ func (p *peer) handshakeDial(io *connIO) error {
 	if err != nil {
 		return err
 	}
-	if ack.ClusterID != t.cfg.ClusterID || ack.From != p.index || ack.Procs != len(t.cfg.Addrs) {
-		return fmt.Errorf("transport: hello-ack identity mismatch dialing peer %d at %s: remote says cluster %x from %d procs %d, want cluster %x from %d procs %d",
-			p.index, io.c.RemoteAddr(), ack.ClusterID, ack.From, ack.Procs, t.cfg.ClusterID, p.index, len(t.cfg.Addrs))
+	if ack.ClusterID != t.cfg.ClusterID || ack.From != p.index || ack.Procs != len(t.cfg.Addrs) || ack.Lane != p.lane {
+		return fmt.Errorf("transport: hello-ack identity mismatch dialing peer %d (lane %d) at %s: remote says cluster %x from %d procs %d lane %d, want cluster %x from %d procs %d lane %d",
+			p.index, p.lane, io.c.RemoteAddr(), ack.ClusterID, ack.From, ack.Procs, ack.Lane, t.cfg.ClusterID, p.index, len(t.cfg.Addrs), p.lane)
 	}
 	io.c.SetDeadline(time.Time{})
 	p.install(io, ack.RecvSeq)
@@ -660,7 +841,7 @@ func (t *Transport) acceptLoop() {
 }
 
 func (t *Transport) acceptOne(c net.Conn) error {
-	io := &connIO{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+	io := &connIO{c: c, br: bufio.NewReaderSize(c, 256<<10)}
 	c.SetDeadline(time.Now().Add(5 * time.Second))
 	fr := NewFrameReader(io.br, t.cfg.MaxFrame)
 	kind, _, payload, err := fr.Next()
@@ -682,6 +863,14 @@ func (t *Transport) acceptOne(c net.Conn) error {
 		return fmt.Errorf("peer count mismatch accepting dial from %s (peer index %d): peer says %d, ours %d",
 			remote, h.From, h.Procs, len(t.cfg.Addrs))
 	}
+	if h.Lanes != t.cfg.Conns {
+		return fmt.Errorf("connection count mismatch accepting dial from %s (peer index %d): peer stripes over %d lanes, ours %d (every process must configure the same Conns)",
+			remote, h.From, h.Lanes, t.cfg.Conns)
+	}
+	if h.Lane < 0 || h.Lane >= t.cfg.Conns {
+		return fmt.Errorf("lane %d out of range accepting dial from %s (peer index %d, %d lanes)",
+			h.Lane, remote, h.From, t.cfg.Conns)
+	}
 	// The usual rule is higher-index-dials-lower; a slot marked absent in
 	// our roster is a late joiner, which dials everyone, so its dial is
 	// legitimate regardless of index order.
@@ -689,7 +878,7 @@ func (t *Transport) acceptOne(c net.Conn) error {
 	if h.From == t.cfg.Index || h.From < 0 || h.From >= len(t.cfg.Addrs) || (h.From < t.cfg.Index && !fromAbsent) {
 		return fmt.Errorf("unexpected dial from process %d at %s to process %d (acceptor side)", h.From, remote, t.cfg.Index)
 	}
-	p := t.peers[h.From]
+	p := t.peers[h.From].lanes[h.Lane]
 	p.mu.Lock()
 	retired := p.retired
 	recv := p.recvSeq
@@ -703,7 +892,7 @@ func (t *Transport) acceptOne(c net.Conn) error {
 		return fmt.Errorf("dial from retired process %d at %s", h.From, remote)
 	}
 	ack := hello{ClusterID: t.cfg.ClusterID, From: t.cfg.Index, Procs: len(t.cfg.Addrs),
-		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load()}
+		RecvSeq: recv, MembershipEpoch: t.memEpoch.Load(), Lane: h.Lane, Lanes: t.cfg.Conns}
 	if _, err := c.Write(AppendFrame(nil, kindHelloAck, 0, appendHello(nil, ack, Version))); err != nil {
 		return err
 	}
@@ -765,6 +954,12 @@ func (p *peer) recvLoop(io *connIO) {
 			}
 			continue
 		}
+		if kind == kindBatch {
+			if !p.dispatchBatch(io, seq, payload) {
+				return
+			}
+			continue
+		}
 		if !p.dispatchFrame(io, kind, seq, payload) {
 			return
 		}
@@ -772,26 +967,68 @@ func (p *peer) recvLoop(io *connIO) {
 }
 
 // dispatchFrame performs the receive step for one numbered frame under the
-// peer's dispatch lock, so receive loops of overlapping connection
+// lane's dispatch lock, so receive loops of overlapping connection
 // generations never process frames concurrently or out of order. It
 // reports false when the frame is a sequence-gap protocol violation (the
 // connection is torn down and the caller's loop must exit).
 func (p *peer) dispatchFrame(io *connIO, kind byte, seq uint64, payload []byte) bool {
-	t := p.t
 	p.dispatch.Lock()
 	defer p.dispatch.Unlock()
+	dup := false
+	ok := p.dispatchOne(io, kind, seq, payload, &dup)
+	if ok && dup {
+		p.reack()
+	}
+	return ok
+}
+
+// dispatchBatch performs the receive step for every sub-frame of one
+// coalesced frame under a single dispatch-lock acquisition. Sub-frame i
+// carries the implicit sequence number firstSeq+i; a replayed prefix (from a
+// reconnect whose ack died with the old connection) is deduplicated
+// sub-frame by sub-frame and re-acknowledged once at the end.
+func (p *peer) dispatchBatch(io *connIO, firstSeq uint64, payload []byte) bool {
+	p.dispatch.Lock()
+	defer p.dispatch.Unlock()
+	dup, ok := false, true
+	if err := forEachSub(firstSeq, payload, func(seq uint64, kind byte, body []byte) bool {
+		ok = p.dispatchOne(io, kind, seq, body, &dup)
+		return ok
+	}); err != nil {
+		p.t.logf("transport: process %d: corrupt batch frame from peer %d: %v", p.t.cfg.Index, p.index, err)
+		p.connBroken(io)
+		return false
+	}
+	if ok && dup {
+		p.reack()
+	}
+	return ok
+}
+
+// reack re-announces the receive cursor: a replayed duplicate means the
+// sender never saw our covering ack (it died with the old connection) and
+// retains the frame — blocking its shutdown barrier — until some ack covers
+// it.
+func (p *peer) reack() {
+	p.mu.Lock()
+	cur := p.recvSeq
+	p.lastAck = cur
+	p.mu.Unlock()
+	var ab [8]byte
+	binary.BigEndian.PutUint64(ab[:], cur)
+	p.enqueue(kindAck, ab[:], false)
+}
+
+// dispatchOne is the receive step for one numbered frame; the caller holds
+// the dispatch lock. Duplicates are skipped (setting *dup so the caller
+// re-acks once), a sequence gap is a protocol violation that tears the
+// connection down and returns false.
+func (p *peer) dispatchOne(io *connIO, kind byte, seq uint64, payload []byte, dup *bool) bool {
+	t := p.t
 	p.mu.Lock()
 	if seq <= p.recvSeq {
-		// Replayed duplicate from before a reconnect. Re-ack it: the
-		// original ack may have died with the old connection, and the
-		// sender retains the frame (blocking its shutdown barrier) until
-		// some ack covers it.
-		cur := p.recvSeq
-		p.lastAck = cur
 		p.mu.Unlock()
-		var ab [8]byte
-		binary.BigEndian.PutUint64(ab[:], cur)
-		p.enqueue(kindAck, ab[:], false)
+		*dup = true
 		return true
 	}
 	if seq != p.recvSeq+1 {
@@ -855,21 +1092,23 @@ func (t *Transport) finish(timeout time.Duration, waitPeerFin bool) error {
 	skip := func(p *peer) bool {
 		return p.retired || p.retiredUs || (p.absent && !p.joined)
 	}
-	for _, p := range t.peers {
-		if p == nil {
+	for _, ps := range t.peers {
+		if ps == nil {
 			continue
 		}
-		p.mu.Lock()
-		if skip(p) {
+		for _, p := range ps.lanes {
+			p.mu.Lock()
+			if skip(p) {
+				p.mu.Unlock()
+				continue
+			}
+			p.sendSeq++
+			fin := frame{seq: p.sendSeq, kind: kindFin}
+			p.finSeq = fin.seq
+			p.q = append(p.q, fin)
 			p.mu.Unlock()
-			continue
+			p.poke()
 		}
-		p.sendSeq++
-		fin := frame{seq: p.sendSeq, kind: kindFin}
-		p.finSeq = fin.seq
-		p.q = append(p.q, fin)
-		p.mu.Unlock()
-		p.poke()
 	}
 	deadline := time.Now().Add(timeout)
 	for {
@@ -880,30 +1119,33 @@ func (t *Transport) finish(timeout time.Duration, waitPeerFin bool) error {
 			return err
 		}
 		done := true
-		for _, p := range t.peers {
-			if p == nil {
+	scan:
+		for _, ps := range t.peers {
+			if ps == nil {
 				continue
 			}
-			p.mu.Lock()
-			// Drained means: the peer acknowledged our FIN (so every frame
-			// we sent was received), their FIN arrived (so every frame they
-			// sent was handled — unless this is a one-sided leave), and
-			// nothing of ours — acks included — is still queued or mid-write.
-			// In a one-sided leave a peer whose connection is down with no
-			// redial in flight will never ack again — survivors retire a
-			// leaver on its goodbye and drop the connection, and when the
-			// peer owns the dialing there is no reject handshake to tell us
-			// so. The leaver verified application of everything it sent
-			// (probe past its hold epoch) before saying goodbye, so the
-			// unacknowledged tail is only the FIN formality.
-			drained := skip(p) ||
-				((p.finRecvd || !waitPeerFin) && p.ackedSeq >= p.finSeq &&
-					len(p.q) == 0 && !p.inFlight) ||
-				(!waitPeerFin && p.joined && p.conn == nil && !p.redialing)
-			p.mu.Unlock()
-			if !drained {
-				done = false
-				break
+			for _, p := range ps.lanes {
+				p.mu.Lock()
+				// Drained means: the peer acknowledged our FIN on this lane (so
+				// every frame we sent on it was received), their FIN arrived (so
+				// every frame they sent was handled — unless this is a one-sided
+				// leave), and nothing of ours — acks included — is still queued
+				// or mid-write. In a one-sided leave a lane whose connection is
+				// down with no redial in flight will never ack again — survivors
+				// retire a leaver on its goodbye and drop the connections, and
+				// when the peer owns the dialing there is no reject handshake to
+				// tell us so. The leaver verified application of everything it
+				// sent (probe past its hold epoch) before saying goodbye, so the
+				// unacknowledged tail is only the FIN formality.
+				drained := skip(p) ||
+					((p.finRecvd || !waitPeerFin) && p.ackedSeq >= p.finSeq &&
+						len(p.q) == 0 && !p.inFlight) ||
+					(!waitPeerFin && p.joined && p.conn == nil && !p.redialing)
+				p.mu.Unlock()
+				if !drained {
+					done = false
+					break scan
+				}
 			}
 		}
 		if done {
@@ -953,19 +1195,21 @@ func (t *Transport) shutdown() {
 	t.closeOnce.Do(func() {
 		close(t.closed)
 		t.ln.Close()
-		for _, p := range t.peers {
-			if p == nil {
+		for _, ps := range t.peers {
+			if ps == nil {
 				continue
 			}
-			p.mu.Lock()
-			if p.conn != nil {
-				p.conn.c.Close()
+			for _, p := range ps.lanes {
+				p.mu.Lock()
+				if p.conn != nil {
+					p.conn.c.Close()
+				}
+				if p.pending != nil {
+					p.pending.io.c.Close()
+				}
+				p.mu.Unlock()
+				p.poke()
 			}
-			if p.pending != nil {
-				p.pending.io.c.Close()
-			}
-			p.mu.Unlock()
-			p.poke()
 		}
 	})
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -145,15 +146,17 @@ func TestReconnectMidStream(t *testing.T) {
 			if k%2 == 1 {
 				tr = receiver
 			}
-			for _, p := range tr.peers {
-				if p == nil {
+			for _, ps := range tr.peers {
+				if ps == nil {
 					continue
 				}
-				p.mu.Lock()
-				if p.conn != nil {
-					p.conn.c.Close()
+				for _, p := range ps.lanes {
+					p.mu.Lock()
+					if p.conn != nil {
+						p.conn.c.Close()
+					}
+					p.mu.Unlock()
 				}
-				p.mu.Unlock()
 			}
 		}
 	}()
@@ -257,8 +260,11 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 }
 
-// TestOversizedSendPanics pins the sender-side frame bound.
-func TestOversizedSendPanics(t *testing.T) {
+// TestOversizedSendFails pins the sender-side frame bound: an oversized Send
+// must not panic the calling goroutine (it used to) but surface through the
+// transport's fatal error path — the Fatal hook fires, Err reports the cause,
+// and the shutdown barrier returns it instead of hanging.
+func TestOversizedSendFails(t *testing.T) {
 	lns := make([]net.Listener, 2)
 	addrs := make([]string, 2)
 	for i := range lns {
@@ -270,24 +276,237 @@ func TestOversizedSendPanics(t *testing.T) {
 		lns[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	fatalCh := make(chan error, 1)
 	var ts [2]*Transport
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ts[i], _ = Dial(Config{Addrs: addrs, Index: i, Listener: lns[i], MaxFrame: 1 << 10, DialTimeout: 10 * time.Second}, nil)
+			cfg := Config{Addrs: addrs, Index: i, Listener: lns[i], MaxFrame: 1 << 10, DialTimeout: 10 * time.Second}
+			if i == 1 {
+				cfg.Fatal = func(err error) { fatalCh <- err }
+			}
+			ts[i], _ = Dial(cfg, nil)
 		}(i)
 	}
 	wg.Wait()
 	defer ts[0].Close()
 	defer ts[1].Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on oversized Send")
-		}
-	}()
 	ts[1].Send(0, KindUser, make([]byte, 1<<11))
+	select {
+	case err := <-fatalCh:
+		var tooLarge ErrFrameTooLarge
+		if !errors.As(err, &tooLarge) {
+			t.Fatalf("Fatal hook got %v, want ErrFrameTooLarge", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Fatal hook never invoked for oversized Send")
+	}
+	if err := ts[1].Err(); err == nil {
+		t.Fatal("Err() nil after oversized Send")
+	}
+	if err := ts[1].Finish(2 * time.Second); err == nil {
+		t.Fatal("Finish returned nil on a transport killed by an oversized Send")
+	}
+}
+
+// TestStripedLanesKeyedFIFO runs a 3-lane cluster and checks the SendKeyed
+// contract: every frame arrives exactly once, and frames sharing a key stay
+// in send order even though different keys ride different connections.
+func TestStripedLanesKeyedFIFO(t *testing.T) {
+	const n, keys, perKey = 3, 5, 400
+	type rec struct{ from, to, key, i int }
+	var mu sync.Mutex
+	got := map[rec]bool{}
+	lastSeen := map[[3]int]int{} // (from,to,key) -> last index
+	violation := atomic.Bool{}
+
+	mk := func(to int) Handler {
+		return func(from int, kind byte, payload []byte) {
+			key := int(binary.BigEndian.Uint32(payload))
+			i := int(binary.BigEndian.Uint32(payload[4:]))
+			mu.Lock()
+			k := [3]int{from, to, key}
+			if prev, ok := lastSeen[k]; ok && i != prev+1 {
+				violation.Store(true)
+			}
+			lastSeen[k] = i
+			got[rec{from, to, key, i}] = true
+			mu.Unlock()
+		}
+	}
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ts := make([]*Transport, n)
+	var dw sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		dw.Add(1)
+		go func(i int) {
+			defer dw.Done()
+			ts[i], errs[i] = Dial(Config{
+				Addrs: addrs, Index: i, Listener: lns[i],
+				Conns: 3, DialTimeout: 10 * time.Second,
+			}, mk(i))
+		}(i)
+	}
+	dw.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, tr := range ts {
+		wg.Add(1)
+		go func(i int, tr *Transport) {
+			defer wg.Done()
+			var b [8]byte
+			for k := 0; k < perKey; k++ {
+				for key := 0; key < keys; key++ {
+					binary.BigEndian.PutUint32(b[:], uint32(key))
+					binary.BigEndian.PutUint32(b[4:], uint32(k))
+					for j := 0; j < n; j++ {
+						if j != i {
+							tr.SendKeyed(j, key, KindUser, b[:])
+						}
+					}
+				}
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	finishAll(t, ts)
+	if violation.Load() {
+		t.Fatal("per-key FIFO order violated across striped lanes")
+	}
+	want := n * (n - 1) * keys * perKey
+	if len(got) != want {
+		t.Fatalf("delivered %d distinct frames, want %d", len(got), want)
+	}
+}
+
+// TestBatchReplayExactlyOnce drives dispatchBatch directly with crafted
+// coalesced frames, pinning the replay semantics deterministically: a full
+// replay delivers nothing new but re-acks, a partially overlapping batch
+// (replay re-coalesced differently after a reconnect) delivers only the
+// unseen suffix, and a sequence gap inside a batch tears the connection down.
+func TestBatchReplayExactlyOnce(t *testing.T) {
+	var got []uint64
+	tr := &Transport{cfg: Config{Addrs: []string{"a", "b"}, Index: 0, MaxFrame: DefaultMaxFrame, AckEvery: 1 << 30, Conns: 1}, closed: make(chan struct{})}
+	tr.handler = func(from int, kind byte, payload []byte) {
+		got = append(got, binary.BigEndian.Uint64(payload))
+	}
+	p := &peer{t: tr, index: 1, notify: make(chan struct{}, 1), up: make(chan struct{})}
+	tr.peers = []*peerSet{nil, {lanes: []*peer{p}}}
+
+	mkBatch := func(first, last uint64) []byte {
+		var buf []byte
+		var b [8]byte
+		for s := first; s <= last; s++ {
+			binary.BigEndian.PutUint64(b[:], s)
+			buf = appendSubFrame(buf, KindUser, b[:])
+		}
+		return buf
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	io := &connIO{c: c1}
+	p.conn = io
+
+	if !p.dispatchBatch(io, 1, mkBatch(1, 3)) {
+		t.Fatal("initial batch rejected")
+	}
+	if !p.dispatchBatch(io, 1, mkBatch(1, 3)) {
+		t.Fatal("full replay rejected")
+	}
+	if len(p.q) != 1 || p.q[0].kind != kindAck {
+		t.Fatalf("full replay enqueued %d frames, want exactly one re-ack", len(p.q))
+	}
+	if !p.dispatchBatch(io, 2, mkBatch(2, 5)) {
+		t.Fatal("overlapping replay rejected")
+	}
+	want := []uint64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d frames (%v), want %v", len(got), got, want)
+	}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("frame %d carried %d, want %v", i, got[i], want)
+		}
+	}
+	// A gap (seq 8 after 5) is a protocol violation: the dispatch fails and
+	// the connection is torn down.
+	if p.dispatchBatch(io, 8, mkBatch(8, 9)) {
+		t.Fatal("sequence-gap batch accepted")
+	}
+	if p.conn == io {
+		t.Fatal("connection survived a sequence gap")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("gap batch leaked deliveries: %v", got)
+	}
+}
+
+// TestBatchedSendRecvAllocsPerFrame pins the allocation budget of the
+// coalescing wire path end-to-end: frames sent in bursts (so the send loop
+// actually builds multi-frame kindBatch groups) must stay within a small
+// constant per frame across enqueue, vectored encode, read, and batch
+// dispatch on the receiver.
+func TestBatchedSendRecvAllocsPerFrame(t *testing.T) {
+	var received atomic.Int64
+	mk := func(i int) Handler {
+		if i != 0 {
+			return nil
+		}
+		return func(from int, kind byte, payload []byte) { received.Add(1) }
+	}
+	ts := newLocalCluster(t, 2, mk)
+	defer finishAll(t, ts)
+	sender := ts[1]
+	payload := make([]byte, 256)
+	const burst = 64
+
+	var sent int64
+	send := func() {
+		for i := 0; i < burst; i++ {
+			sender.Send(0, KindUser, payload)
+		}
+		sent += burst
+		// Wait for delivery inside the measured run: the run then covers the
+		// full enqueue-coalesce-write-dispatch roundtrip, and buffer recycling
+		// (driven by the returning acks) keeps up run to run instead of
+		// depending on scheduler luck.
+		for received.Load() < sent {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	// Warm the pools, the queue backing arrays and the header arena.
+	for i := 0; i < 50; i++ {
+		send()
+	}
+
+	allocs := testing.AllocsPerRun(200, send)
+	// The budget is per burst of 64 frames: the enqueue path is
+	// allocation-free at steady state, so what remains is the sender,
+	// receiver and ack goroutines running concurrently with the measured
+	// loop. Allowing 1/2 alloc per frame keeps the pin meaningful (the old
+	// copying path cost several per frame) without flaking on scheduler
+	// noise.
+	if allocs > burst/2 {
+		t.Fatalf("batched wire path allocates %.2f objects per %d-frame burst, want <= %d", allocs, burst, burst/2)
+	}
 }
 
 // TestRejectsWrongCluster ensures a handshake from a different cluster (or
@@ -298,8 +517,8 @@ func TestRejectsWrongCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := []string{ln.Addr().String(), "127.0.0.1:1"} // peer 1 never dials
-	tr := &Transport{cfg: Config{Addrs: addrs, Index: 0, ClusterID: 7, MaxFrame: DefaultMaxFrame}, closed: make(chan struct{})}
-	tr.peers = []*peer{nil, {t: tr, index: 1, notify: make(chan struct{}, 1), up: make(chan struct{})}}
+	tr := &Transport{cfg: Config{Addrs: addrs, Index: 0, ClusterID: 7, MaxFrame: DefaultMaxFrame, Conns: 1}, closed: make(chan struct{})}
+	tr.peers = []*peerSet{nil, {lanes: []*peer{{t: tr, index: 1, notify: make(chan struct{}, 1), up: make(chan struct{})}}}}
 	tr.ln = ln
 	tr.wg.Add(1)
 	go tr.acceptLoop()
@@ -332,7 +551,7 @@ func TestRejectsWrongCluster(t *testing.T) {
 		}
 		c.Close()
 		select {
-		case <-tr.peers[1].up:
+		case <-tr.peers[1].lanes[0].up:
 			t.Fatalf("%s: session installed from forged handshake", name)
 		default:
 		}

@@ -238,6 +238,23 @@ func runMigChaos(t *testing.T, spec *dataflow.ClusterSpec, workers int,
 }
 
 func TestMigrationSurvivesConnLoss(t *testing.T) {
+	testMigrationSurvivesConnLoss(t, nil)
+}
+
+// TestMigrationSurvivesConnLossBatched is the same chaos scenario under
+// aggressively batched framing: a tiny mesh coalescing threshold makes
+// every scheduling ship many small multi-record data frames, which the
+// transport then packs into kindBatch frames across two striped lanes — so
+// the cut lands inside a coalesced multi-record frame, and the replay must
+// deduplicate at sub-frame granularity on both lanes.
+func TestMigrationSurvivesConnLossBatched(t *testing.T) {
+	testMigrationSurvivesConnLoss(t, func(s *dataflow.ClusterSpec) {
+		s.Conns = 2
+		s.CoalesceBytes = 512
+	})
+}
+
+func testMigrationSurvivesConnLoss(t *testing.T, tweak func(*dataflow.ClusterSpec)) {
 	// Single-process reference.
 	var refMu sync.Mutex
 	ref := make(map[string]int)
@@ -253,9 +270,9 @@ func TestMigrationSurvivesConnLoss(t *testing.T) {
 		t.Fatal("reference run produced no output")
 	}
 
-	// Cluster: the sole TCP session (process 1 dials process 0) runs
-	// through the proxy; hosts lists the proxy as process 0's address while
-	// process 0 actually listens on a pre-bound backend listener.
+	// Cluster: every TCP session (process 1 dials process 0, one per lane)
+	// runs through the proxy; hosts lists the proxy as process 0's address
+	// while process 0 actually listens on a pre-bound backend listener.
 	backend, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +287,11 @@ func TestMigrationSurvivesConnLoss(t *testing.T) {
 	specs := []dataflow.ClusterSpec{
 		{Hosts: hosts, Process: 0, Listener: backend, DialTimeout: 15 * time.Second},
 		{Hosts: hosts, Process: 1, Listener: ln1, DialTimeout: 15 * time.Second},
+	}
+	if tweak != nil {
+		for i := range specs {
+			tweak(&specs[i])
+		}
 	}
 
 	var cluMu sync.Mutex
