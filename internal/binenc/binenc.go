@@ -36,6 +36,8 @@ func Count(data []byte, minBytes int) (uint64, []byte, error) {
 }
 
 // AppendUvarint appends x in unsigned varint encoding.
+//
+//megalint:hotpath
 func AppendUvarint(buf []byte, x uint64) []byte {
 	return binary.AppendUvarint(buf, x)
 }
@@ -50,6 +52,8 @@ func Uvarint(data []byte) (uint64, []byte, error) {
 }
 
 // AppendVarint appends x in zig-zag signed varint encoding.
+//
+//megalint:hotpath
 func AppendVarint(buf []byte, x int64) []byte {
 	return binary.AppendVarint(buf, x)
 }
@@ -66,6 +70,8 @@ func Varint(data []byte) (int64, []byte, error) {
 // AppendU64 appends x as a fixed-width little-endian 64-bit value. Fixed
 // width trades a few bytes for branch-free decoding; use it for dense
 // numeric arrays where most values are large or uniformly distributed.
+//
+//megalint:hotpath
 func AppendU64(buf []byte, x uint64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, x)
 }
@@ -79,6 +85,8 @@ func U64(data []byte) (uint64, []byte, error) {
 }
 
 // AppendU64s appends a length-prefixed slice of fixed-width 64-bit values.
+//
+//megalint:hotpath
 func AppendU64s(buf []byte, xs []uint64) []byte {
 	buf = AppendUvarint(buf, uint64(len(xs)))
 	for _, x := range xs {
@@ -104,6 +112,8 @@ func U64s(data []byte) ([]uint64, []byte, error) {
 }
 
 // AppendString appends a length-prefixed string.
+//
+//megalint:hotpath
 func AppendString(buf []byte, s string) []byte {
 	buf = AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
@@ -122,6 +132,8 @@ func String(data []byte) (string, []byte, error) {
 }
 
 // AppendBool appends a boolean as one byte.
+//
+//megalint:hotpath
 func AppendBool(buf []byte, b bool) []byte {
 	if b {
 		return append(buf, 1)

@@ -49,6 +49,8 @@ func (m *LoadMeter) Bins() int { return m.bins }
 // add records n applications taking nanos of service time against (worker,
 // bin). Called from the owning worker's goroutine (hot path: two uncontended
 // atomic adds, no allocation).
+//
+//megalint:hotpath
 func (m *LoadMeter) add(worker, bin int, n, nanos uint64) {
 	c := &m.cells[worker*m.bins+bin]
 	c.recs.Add(n)
@@ -56,6 +58,8 @@ func (m *LoadMeter) add(worker, bin int, n, nanos uint64) {
 }
 
 // row returns worker w's cells (for the S operator to cache).
+//
+//megalint:hotpath
 func (m *LoadMeter) row(worker int) []meterCell {
 	return m.cells[worker*m.bins : (worker+1)*m.bins]
 }
@@ -64,6 +68,8 @@ func (m *LoadMeter) row(worker int) []meterCell {
 // (each must have length Bins). The cluster control plane uses it to compute
 // per-row deltas for the load-telemetry wire without aggregating across
 // workers the way Snapshot does.
+//
+//megalint:hotpath
 func (m *LoadMeter) ReadRow(worker int, recs, nanos []uint64) {
 	row := m.row(worker)
 	for b := range row {

@@ -50,11 +50,14 @@ type batchRef interface {
 	release(w *Worker)
 }
 
+//megalint:hotpath
 func (e *batchEnv[T]) incref() { e.refs.Add(1) }
 
 // release drops one reference; the last one clears the buffer (pooled
 // buffers must not pin record-internal pointers — migrated state payloads
 // can be large) and returns the envelope to w's free list for its type.
+//
+//megalint:hotpath
 func (e *batchEnv[T]) release(w *Worker) {
 	if e.refs.Add(-1) > 0 {
 		return
@@ -70,6 +73,7 @@ func (e *batchEnv[T]) release(w *Worker) {
 			return
 		}
 	}
+	//megalint:allow hotalloc first release of a new envelope type registers its pool; once per type per worker
 	w.envPools = append(w.envPools, envPool{typ: key, free: []any{e}})
 }
 
@@ -84,6 +88,8 @@ const envPoolCap = 1024
 // and refs=0 (borrowed), reusing w's free list for T when it can. The pool
 // list is a handful of entries (one per envelope type crossing this
 // worker), so the linear type match stays cheaper than a map.
+//
+//megalint:hotpath
 func getEnv[T any](w *Worker, n int) *batchEnv[T] {
 	key := any((*batchEnv[T])(nil))
 	for i := range w.envPools {
@@ -97,12 +103,14 @@ func getEnv[T any](w *Worker, n int) *batchEnv[T] {
 			p.free = p.free[:last]
 			e.refs.Store(0)
 			if cap(e.s) < n {
+				//megalint:allow hotalloc pool hit with undersized buffer: grows once, then sticks at high-water capacity
 				e.s = make([]T, 0, n)
 			}
 			return e
 		}
 		break
 	}
+	//megalint:allow hotalloc pool miss: the free list is warm at steady state, misses only during ramp-up
 	return &batchEnv[T]{s: make([]T, 0, n)}
 }
 
@@ -110,6 +118,8 @@ func getEnv[T any](w *Worker, n int) *batchEnv[T] {
 // runtime (input staging buffers) in an owned envelope: refs=1, released by
 // Send after enqueueing. The envelope's pooled buffer, if any, is dropped
 // in favor of the adopted one, which enters the pool when released.
+//
+//megalint:hotpath
 func adoptEnv[T any](w *Worker, s []T) *batchEnv[T] {
 	e := getEnv[T](w, 0)
 	e.s = s
@@ -118,6 +128,8 @@ func adoptEnv[T any](w *Worker, s []T) *batchEnv[T] {
 }
 
 // asBatch unwraps the records of a batch traveling as `any`.
+//
+//megalint:hotpath
 func asBatch[T any](data any) []T {
 	if e, ok := data.(*batchEnv[T]); ok {
 		return e.s
@@ -127,12 +139,15 @@ func asBatch[T any](data any) []T {
 
 // increfAny / releaseAny apply the envelope protocol to a batch that may be
 // a raw slice (no-ops there).
+//
+//megalint:hotpath
 func increfAny(data any) {
 	if r, ok := data.(batchRef); ok {
 		r.incref()
 	}
 }
 
+//megalint:hotpath
 func releaseAny(w *Worker, data any) {
 	if r, ok := data.(batchRef); ok {
 		r.release(w)

@@ -511,6 +511,8 @@ func (w *Worker) Index() int { return w.index }
 func (w *Worker) Peers() int { return w.exec.totalWorkers }
 
 // poke wakes the worker if it is parked.
+//
+//megalint:hotpath
 func (w *Worker) poke() {
 	select {
 	case w.wake <- struct{}{}:
@@ -553,6 +555,8 @@ func (w *Worker) WatchFrontier(s StreamCore, p *Probe) {
 }
 
 // activate queues op for scheduling if it is not already queued.
+//
+//megalint:hotpath
 func (w *Worker) activate(op *opInstance) {
 	if !op.active {
 		op.active = true
@@ -562,6 +566,8 @@ func (w *Worker) activate(op *opInstance) {
 
 // route places an inbound message on the owning operator's input queue and
 // activates the operator.
+//
+//megalint:hotpath
 func (w *Worker) route(m message) {
 	dst := w.exec.canonEdges[m.edge].dst
 	op := w.ops[dst.Node]
@@ -570,6 +576,8 @@ func (w *Worker) route(m message) {
 }
 
 // drainInbox moves all currently queued inbound messages to operator queues.
+//
+//megalint:hotpath
 func (w *Worker) drainInbox() bool {
 	any := false
 	for {
@@ -588,6 +596,8 @@ func (w *Worker) drainInbox() bool {
 // epochs moved since their frontiers were last computed, and
 // capability-holding operators whose watched ports moved. It reads only the
 // tracker's atomics — no locks. Reports whether anything was activated.
+//
+//megalint:hotpath
 func (w *Worker) sweep() bool {
 	tr := w.exec.tracker
 	any := false
@@ -694,6 +704,8 @@ func (w *Worker) run() {
 // exact. The context's delta batch and send buffers are reused across
 // schedulings, so a steady-state scheduling performs one lock acquisition
 // (the Apply) and no allocations.
+//
+//megalint:hotpath
 func (w *Worker) schedule(op *opInstance) {
 	tr := w.exec.tracker
 	if op.fdirty {
@@ -749,6 +761,8 @@ func (w *Worker) schedule(op *opInstance) {
 // mesh (whose per-peer queues never block, so no cross-process send
 // deadlock exists), local peers through their inbox channel, draining our
 // own inbox while the peer's inbox is full to avoid send-send deadlocks.
+//
+//megalint:hotpath
 func (w *Worker) send(m outMsg) {
 	li := m.peer - w.exec.firstGlobal
 	if li < 0 || li >= len(w.exec.workers) {

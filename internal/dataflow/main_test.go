@@ -1,0 +1,12 @@
+package dataflow
+
+import (
+	"testing"
+
+	"megaphone/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: worker event
+// loops must exit with their execution and mesh-backed runs must join
+// their transport goroutines on Finish.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -471,6 +471,8 @@ func (m *Mesh) finish() {
 // concurrently — safe because the tracker already serializes Apply and
 // cross-worker interleaving is indistinguishable from the cross-process
 // interleaving the tracker tolerates.
+//
+//megalint:hotpath
 func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 	<-m.ready
 	if kind != kindCtrl {
@@ -506,6 +508,7 @@ func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 					if tm, rest, err = binenc.Uvarint(rest); err == nil {
 						if n, rest, err = binenc.Uvarint(rest); err == nil {
 							if n > uint64(len(rest)) {
+								//megalint:allow hotalloc corrupt-frame error path; panics below
 								err = fmt.Errorf("record of %d bytes exceeds frame remainder %d", n, len(rest))
 							} else {
 								err = m.deliverData(int(worker), progress.Edge(edge), Time(tm), rest[:n])
@@ -522,8 +525,11 @@ func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 	case kindCtrl:
 		m.ctrlMu.Lock()
 		if m.ctrlHandler == nil {
-			m.ctrlPending = append(m.ctrlPending,
-				ctrlFrame{from: from, payload: append([]byte(nil), payload...)})
+			// The transport recycles payload after this call returns, so the
+			// backlog keeps its own copy.
+			//megalint:allow hotalloc control frames only queue before handler registration, a startup-only window
+			cp := append([]byte(nil), payload...)
+			m.ctrlPending = append(m.ctrlPending, ctrlFrame{from: from, payload: cp})
 		} else {
 			m.ctrlHandler(from, payload)
 		}
@@ -537,17 +543,22 @@ func (m *Mesh) onFrame(from int, kind byte, payload []byte) {
 // worker's inbox. The decoded batch is freshly allocated (the wire payload
 // is transient), so ownership passes to the receiving operator as with the
 // in-process path.
+//
+//megalint:hotpath
 func (m *Mesh) deliverData(worker int, edge progress.Edge, t Time, payload []byte) error {
 	e := m.exec
 	li := worker - e.firstGlobal
 	if li < 0 || li >= len(e.workers) {
+		//megalint:allow hotalloc corrupt-frame error path; the caller panics on it
 		return fmt.Errorf("worker %d is not local to process %d", worker, m.proc)
 	}
 	if int(edge) >= len(e.edgeCodecs) || e.edgeCodecs[edge].dec == nil {
+		//megalint:allow hotalloc corrupt-frame error path; the caller panics on it
 		return fmt.Errorf("edge %d has no wire codec", edge)
 	}
 	data, err := e.edgeCodecs[edge].dec(payload)
 	if err != nil {
+		//megalint:allow hotalloc corrupt-frame error path; the caller panics on it
 		return fmt.Errorf("edge %d payload: %w", edge, err)
 	}
 	w := e.workers[li]
@@ -564,6 +575,8 @@ func (m *Mesh) deliverData(worker int, edge progress.Edge, t Time, payload []byt
 // at the latest, at the end of the scheduling that produced it (so
 // coalescing adds no latency and buffers are always empty between
 // schedulings, which the membership barrier's quiescence check relies on).
+//
+//megalint:hotpath
 func (w *Worker) sendRemote(m outMsg) {
 	e := w.exec
 	edge := m.msg.edge
@@ -595,6 +608,8 @@ func (w *Worker) sendRemote(m outMsg) {
 // traffic — this frame and the progress broadcast that preceded it — rides
 // one FIFO lane. The transport copies the payload into pooled frame storage,
 // so the buffer is immediately reusable.
+//
+//megalint:hotpath
 func (w *Worker) flushRemote(dst int) {
 	buf := w.coalBuf[dst]
 	if len(buf) == 0 {
@@ -608,6 +623,8 @@ func (w *Worker) flushRemote(dst int) {
 
 // flushRemotes flushes every destination staged during the current
 // scheduling, in first-touched order.
+//
+//megalint:hotpath
 func (w *Worker) flushRemotes() {
 	for _, dst := range w.coalDirty {
 		w.flushRemote(dst)
@@ -620,6 +637,8 @@ func (w *Worker) flushRemotes() {
 // run before the scheduling's remote data flush: per-lane FIFO then
 // guarantees every receiver accounts the produced pointstamps before it can
 // observe the messages (data and progress from one worker share a lane).
+//
+//megalint:hotpath
 func (w *Worker) broadcastProgress(b *progress.Batch) {
 	e := w.exec
 	if !e.mesh.active[e.mesh.proc].Load() {

@@ -279,6 +279,8 @@ func (c *OpCtx) NumQueued(i int) int { return len(c.op.queues[i]) }
 // callback — the runtime may recycle the buffer afterwards, so a callee
 // that wants to keep records must copy them out (every forwarding path,
 // SendBatch included, already does).
+//
+//megalint:hotpath
 func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
 	q := c.op.queues[i]
 	if len(q) == 0 {
@@ -307,6 +309,8 @@ func (c *OpCtx) ForEach(i int, f func(t Time, data any)) {
 // Send consumes one reference to data: each enqueue (local or remote) takes
 // its own reference, and the creator's is dropped on return, so an owned
 // envelope with no consumers recycles immediately.
+//
+//megalint:hotpath
 func (c *OpCtx) Send(o int, t Time, data any) {
 	c.assertCanSendAt(o, t)
 	if o >= len(c.op.outEdges) {
@@ -351,6 +355,7 @@ func (c *OpCtx) Send(o int, t Time, data any) {
 	releaseAny(c.w, data)
 }
 
+//megalint:hotpath
 func (c *OpCtx) assertCanSendAt(o int, t Time) {
 	if h := c.op.holds[o]; h != None && t >= h {
 		return
@@ -369,6 +374,8 @@ func (c *OpCtx) assertCanSendAt(o int, t Time) {
 // operator to send at times >= t in future schedulings. Holding at a time
 // earlier than the current hold or before the input frontier is rejected
 // unless covered by the previous hold.
+//
+//megalint:hotpath
 func (c *OpCtx) Hold(o int, t Time) {
 	prev := c.op.holds[o]
 	if t == prev {
@@ -392,6 +399,8 @@ func (c *OpCtx) Hold(o int, t Time) {
 }
 
 // DropHold releases the capability hold of output port o.
+//
+//megalint:hotpath
 func (c *OpCtx) DropHold(o int) {
 	prev := c.op.holds[o]
 	if prev == None {

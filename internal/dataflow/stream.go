@@ -174,6 +174,8 @@ func Connect[T any](b *OpBuilder, s Stream[T], p Pact[T]) int {
 // copied into a recycled envelope, so the caller keeps ownership of data
 // and may reuse it immediately — forwarding a slice received from
 // ForEachBatch is safe.
+//
+//megalint:hotpath
 func SendBatch[T any](c *OpCtx, o int, t Time, data []T) {
 	if len(data) == 0 {
 		return
@@ -187,7 +189,10 @@ func SendBatch[T any](c *OpCtx, o int, t Time, data []T) {
 // ForEachBatch drains input i, invoking f once per batch with its typed
 // contents. The slice is only valid during the callback; copy records out
 // to retain them.
+//
+//megalint:hotpath
 func ForEachBatch[T any](c *OpCtx, i int, f func(t Time, data []T)) {
+	//megalint:allow hotalloc one adapter closure per drain, amortized over the whole batch run
 	c.ForEach(i, func(t Time, data any) { f(t, asBatch[T](data)) })
 }
 

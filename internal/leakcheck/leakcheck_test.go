@@ -1,0 +1,54 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckCleanPasses: a quiescent binary has nothing to report.
+func TestCheckCleanPasses(t *testing.T) {
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("clean state reported a leak: %v", err)
+	}
+}
+
+// TestCheckCatchesLeak: a goroutine parked past the deadline is reported
+// with its stack, and is no longer reported once released.
+func TestCheckCatchesLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+	err := Check(50 * time.Millisecond)
+	if err == nil {
+		close(block)
+		t.Fatal("parked goroutine was not reported")
+	}
+	if !strings.Contains(err.Error(), "TestCheckCatchesLeak") {
+		t.Errorf("report does not name the leaking test:\n%v", err)
+	}
+	close(block)
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("released goroutine still reported: %v", err)
+	}
+}
+
+// TestCheckGracePeriod: a goroutine mid-teardown that exits within the
+// deadline is not a leak.
+func TestCheckGracePeriod(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("goroutine exiting within the grace period reported: %v", err)
+	}
+	<-done
+}
+
+func TestMain(m *testing.M) { Main(m) }

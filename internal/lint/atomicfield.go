@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a field
+// that is ever accessed through a sync/atomic function (atomic.LoadUint64,
+// atomic.AddInt64, ...) must be accessed that way everywhere in the
+// package. A single plain read racing the atomic writers is undefined
+// behavior the race detector only catches on the schedules it happens to
+// see; this proves the absence of the mixed-access class outright (the
+// runtime's LoadMeter cells, tracker version/live counters, and mesh
+// retired flags all migrated to typed atomics for exactly this reason —
+// the analyzer keeps function-style stragglers from creeping back in).
+//
+// Composite-literal field keys are exempt: initialization completes before
+// the value is shared. Intentional non-atomic access (a single-writer
+// fast path reading its own cell) must carry
+// //megalint:allow atomicfield <justification>.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: find fields whose address is taken as the pointer argument of
+	// a sync/atomic call, and remember those argument expressions.
+	atomicFields := map[types.Object]bool{}
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					atomicFields[s.Obj()] = true
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic. Composite
+	// literal keys need no exemption: they are plain identifiers, and only
+	// selector accesses are considered.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal || !atomicFields[s.Obj()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races the atomic users", s.Obj().Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc proves //megalint:hotpath functions free of allocating
+// constructs: the static twin of the allocs/op benchmark pins
+// (TestExchangePathAllocsPerRecord, TestBatchedSendRecvAllocsPerFrame).
+// A hot function may not:
+//
+//   - call into package fmt (formatting allocates, always)
+//   - contain a closure literal (captures escape)
+//   - call make or new, or take the address of a composite literal
+//   - build a map or slice literal
+//   - append without reusing its argument: append(x, ...) must be
+//     assigned back to x (amortized growth of a retained buffer), take an
+//     explicit re-slice append(x[:0], ...) (buffer reuse), or extend a
+//     function parameter directly in a return statement (the encoder
+//     idiom `return append(buf, ...)`, where the caller owns the
+//     assignment); a result bound to a fresh variable grows an unretained
+//     buffer every call
+//   - box a non-pointer-shaped value into an interface (the per-batch
+//     interface-box allocation PR 2 eliminated from the exchange path)
+//   - concatenate strings or convert between string and []byte/[]rune
+//
+// Arguments to panic() are exempt: a hot path's failure branch is allowed
+// to allocate while crashing. Cold sub-paths inside a hot function (pool
+// misses, one-time registrations, fatal-error reporting) are suppressed
+// explicitly with //megalint:allow hotalloc <justification> so every
+// exception is visible and justified in the source.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs in //megalint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !Hotpath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	params := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				params[pass.Info.Defs[name]] = true
+			}
+		}
+	}
+	// First pass: map append calls to the expression their result is
+	// assigned to, so the reuse idiom x = append(x, ...) is recognizable
+	// when the call itself is visited. `return append(param, ...)` is the
+	// same idiom with the assignment on the caller's side, so it maps the
+	// call to its own first argument.
+	appendTarget := map[*ast.CallExpr]ast.Expr{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pass.Info.Uses[id] == types.Universe.Lookup("append") {
+						appendTarget[call] = n.Lhs[i]
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != types.Universe.Lookup("append") {
+					continue
+				}
+				if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && params[pass.Info.Uses[arg]] {
+					appendTarget[call] = call.Args[0]
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(pass, n) {
+				return false // failure branches may allocate while crashing
+			}
+			checkHotCall(pass, n, appendTarget)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path: closure literal allocates")
+			return false
+		case *ast.CompositeLit:
+			t := pass.Info.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hot path: map literal allocates")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hot path: slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path: &composite literal allocates")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(pass.Info.Types[n.X].Type) {
+				pass.Reportf(n.Pos(), "hot path: string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n)
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, fmt calls, allocating
+// conversions, and interface boxing in call arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, appendTarget map[*ast.CallExpr]ast.Expr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.Info.Uses[fun] {
+		case types.Universe.Lookup("make"):
+			pass.Reportf(call.Pos(), "hot path: make allocates")
+			return
+		case types.Universe.Lookup("new"):
+			pass.Reportf(call.Pos(), "hot path: new allocates")
+			return
+		case types.Universe.Lookup("append"):
+			checkHotAppend(pass, call, appendTarget)
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path: call to fmt.%s allocates", obj.Name())
+			return
+		}
+	}
+
+	// Conversion T(x): string<->[]byte/[]rune copies; conversion to an
+	// interface type boxes.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.Info.Types[call.Args[0]].Type
+		switch {
+		case isString(to) && !isString(from.Underlying()):
+			pass.Reportf(call.Pos(), "hot path: conversion to string allocates")
+		case !isString(to.Underlying()) && isString(from) && !types.IsInterface(to):
+			pass.Reportf(call.Pos(), "hot path: conversion from string allocates")
+		case types.IsInterface(to):
+			checkBox(pass, call.Args[0], to)
+		}
+		return
+	}
+
+	// Interface boxing at argument positions.
+	sig, _ := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param != nil && types.IsInterface(param) {
+			checkBox(pass, arg, param)
+		}
+	}
+}
+
+// checkHotAppend enforces the reuse idiom: append must either take an
+// explicit re-slice of its destination or be assigned back to the same
+// expression it extends.
+func checkHotAppend(pass *Pass, call *ast.CallExpr, appendTarget map[*ast.CallExpr]ast.Expr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+		return // append(x[:0], ...): explicit buffer reuse
+	}
+	if parent, ok := appendTarget[call]; ok && types.ExprString(parent) == types.ExprString(call.Args[0]) {
+		return // x = append(x, ...): amortized growth of a retained buffer
+	}
+	pass.Reportf(call.Pos(), "hot path: append result is not assigned back to %s (unretained buffer growth)", types.ExprString(call.Args[0]))
+}
+
+func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		// Boxing on assignment to an interface-typed location.
+		lt := pass.Info.Types[as.Lhs[i]].Type
+		if lt == nil {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil && types.IsInterface(lt) {
+			checkBox(pass, rhs, lt)
+		}
+	}
+}
+
+func checkHotReturn(pass *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fd.Type.Results == nil {
+		return
+	}
+	var results []types.Type
+	for _, field := range fd.Type.Results.List {
+		t := pass.Info.Types[field.Type].Type
+		n := max(len(field.Names), 1)
+		for range n {
+			results = append(results, t)
+		}
+	}
+	for i, e := range ret.Results {
+		if i < len(results) && results[i] != nil && types.IsInterface(results[i]) {
+			checkBox(pass, e, results[i])
+		}
+	}
+}
+
+// checkBox reports expr if storing it into target boxes a non-pointer-shaped
+// value into an interface. Pointer-shaped values (pointers, channels, maps,
+// funcs, unsafe.Pointer) fit the interface data word; everything else —
+// ints, strings, structs, slices — escapes to the heap.
+func checkBox(pass *Pass, expr ast.Expr, target types.Type) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if types.IsInterface(from) {
+		return // interface-to-interface copies the existing box
+	}
+	if _, ok := from.(*types.Tuple); ok {
+		// Comma-ok assertions and multi-value calls: the interface values
+		// they yield were boxed elsewhere (or extracted, not boxed).
+		return
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	pass.Reportf(expr.Pos(), "hot path: boxing %s into %s allocates", from, target)
+}
+
+func isPanic(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == types.Universe.Lookup("panic")
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

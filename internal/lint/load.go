@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the slice of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// loader type-checks module packages on demand, memoizing results so shared
+// dependencies are checked once. Imports outside the module (the standard
+// library — the module has no external dependencies) resolve through the
+// compiler's source importer, which needs no installed export data.
+type loader struct {
+	fset  *token.FileSet
+	index map[string]*listedPkg // module import path -> metadata
+	done  map[string]*Package   // module import path -> loaded package
+	std   types.ImporterFrom
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:  fset,
+		index: make(map[string]*listedPkg),
+		done:  make(map[string]*Package),
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer over the loader's two-tier resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.index[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, "", 0)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.done[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := l.index[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not in module index", path)
+	}
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.done[path] = pkg
+	return pkg, nil
+}
+
+// Load type-checks the module packages matching the go list patterns,
+// resolved relative to dir (any directory inside the module). Packages are
+// returned in import-path order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	l := newLoader()
+
+	// Index every module package so imports among them resolve from source,
+	// then expand the requested patterns against the same index.
+	all, err := goList(dir, "./...")
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range all {
+		l.index[p.ImportPath] = p
+	}
+	matched, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, m := range matched {
+		if _, ok := l.index[m.ImportPath]; !ok {
+			continue // outside the module (e.g. a std pattern); not analyzable
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.load(m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func goList(dir string, patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// LoadFixture type-checks one package from a testdata source tree laid out
+// analysistest-style: root/src/<importpath>/*.go. Fixture packages may
+// import each other and the standard library.
+func LoadFixture(root, path string) (*Package, error) {
+	l := newLoader()
+	src := filepath.Join(root, "src")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return nil, err
+	}
+	var walk func(prefix string, entries []os.DirEntry) error
+	walk = func(prefix string, ents []os.DirEntry) error {
+		for _, e := range ents {
+			if !e.IsDir() {
+				continue
+			}
+			ip := e.Name()
+			if prefix != "" {
+				ip = prefix + "/" + e.Name()
+			}
+			dir := filepath.Join(src, filepath.FromSlash(ip))
+			names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				var files []string
+				for _, n := range names {
+					files = append(files, filepath.Base(n))
+				}
+				sort.Strings(files)
+				l.index[ip] = &listedPkg{ImportPath: ip, Dir: dir, GoFiles: files}
+			}
+			sub, err := os.ReadDir(dir)
+			if err != nil {
+				return err
+			}
+			if err := walk(ip, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk("", entries); err != nil {
+		return nil, err
+	}
+	return l.load(path)
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Pointstamp checks that recorded pointstamps are retirable. A call to
+// Batch.Add with a positive delta promises the progress tracker that a
+// message or capability will later cancel it with a matching negative
+// delta; a +1 whose message is then dropped wedges the frontier at that
+// timestamp forever — exactly PR 8's retired-slot bug, where OpCtx.Send
+// recorded the edge pointstamp for a destination the transport was going
+// to discard. Two rules:
+//
+//   - pairing: a positive Batch.Add must be followed, in the same
+//     statement list before control leaves it, by the delivery it
+//     accounts for — a queue append, a channel send, an enqueue/deliver
+//     call, or a hold-table assignment. A bare +1 with no adjacent
+//     delivery is an unretirable promise.
+//
+//   - retired-guard: when the adjacent delivery is a remote enqueue (the
+//     append target's name contains "remote"), the statement must be
+//     dominated by a condition consulting Retired(...): remote slots
+//     retire on membership changes, and an unguarded record-and-enqueue
+//     re-creates the PR 8 wedge the moment a migration straddles a death.
+//
+// The receiver type must be named Batch (the progress package's delta
+// batch), and only *edge* records — a location argument containing an
+// EdgeLocation(...) call — are message promises subject to the rules;
+// capability records (CapLocation: holds, inventory rebuilds) retire
+// through the hold table instead. Fixtures model the types with local
+// shapes of the same names.
+var Pointstamp = &Analyzer{
+	Name: "pointstamp",
+	Doc:  "recorded pointstamps must have a reachable delivery, and remote records a Retired() guard",
+	Run:  runPointstamp,
+}
+
+func runPointstamp(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var stack []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					checkStampList(pass, n.List, stack)
+				case *ast.CaseClause:
+					checkStampList(pass, n.Body, stack)
+				case *ast.CommClause:
+					checkStampList(pass, n.Body, stack)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isPositiveBatchAdd reports whether stmt is `<batch>.Add(loc, t, +n)` on a
+// type named Batch with a constant positive final argument.
+func isPositiveBatchAdd(pass *Pass, stmt ast.Stmt) (*ast.CallExpr, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 3 {
+		return nil, false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Add" {
+		return nil, false
+	}
+	obj, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Batch" {
+		return nil, false
+	}
+	tv, ok := pass.Info.Types[call.Args[2]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok || v <= 0 {
+		return nil, false
+	}
+	// Only edge pointstamps are message promises needing a delivery; a
+	// capability record (CapLocation — holds, inventory rebuilds) is
+	// retired through the hold table, not a queue. Edge records are
+	// recognized by an EdgeLocation call in the location argument.
+	edgeLoc := false
+	ast.Inspect(call.Args[0], func(m ast.Node) bool {
+		if c, ok := m.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "EdgeLocation" {
+				edgeLoc = true
+				return false
+			}
+		}
+		return true
+	})
+	return call, edgeLoc
+}
+
+// delivery classifies a statement as the consumption that retires a
+// recorded pointstamp. Returns the append target's rendered name for
+// remote-guard checking ("" when not an append).
+func delivery(stmt ast.Stmt) (ok bool, appendTarget string) {
+	switch s := stmt.(type) {
+	case *ast.SendStmt:
+		return true, ""
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			if call, okc := ast.Unparen(rhs).(*ast.CallExpr); okc {
+				if id, oki := ast.Unparen(call.Fun).(*ast.Ident); oki && id.Name == "append" && i < len(s.Lhs) {
+					return true, types.ExprString(s.Lhs[i])
+				}
+			}
+		}
+		// A plain assignment counts as delivery only when it updates a
+		// hold table (capability bookkeeping, e.g. op.holds[o] = t).
+		for _, lhs := range s.Lhs {
+			if strings.Contains(strings.ToLower(types.ExprString(lhs)), "hold") {
+				return true, ""
+			}
+		}
+		return false, ""
+	case *ast.ExprStmt:
+		if call, okc := s.X.(*ast.CallExpr); okc {
+			name := ""
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			lower := strings.ToLower(name)
+			if strings.Contains(lower, "enqueue") || strings.Contains(lower, "deliver") || strings.Contains(lower, "send") {
+				return true, ""
+			}
+		}
+	}
+	return false, ""
+}
+
+// exitsList reports whether stmt transfers control out of the statement
+// list before any later statement runs.
+func exitsList(stmt ast.Stmt) bool {
+	switch stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+func checkStampList(pass *Pass, list []ast.Stmt, stack []ast.Node) {
+	for i, stmt := range list {
+		call, ok := isPositiveBatchAdd(pass, stmt)
+		if !ok {
+			continue
+		}
+		found := false
+		for j := i + 1; j < len(list); j++ {
+			ok, target := delivery(list[j])
+			if ok {
+				found = true
+				if strings.Contains(strings.ToLower(target), "remote") && !retiredGuarded(pass, stack) {
+					pass.Reportf(call.Pos(), "pointstamp recorded for a remote enqueue without a Retired() guard: a send to a retired slot records an uncancellable +1 and wedges the frontier")
+				}
+				break
+			}
+			if exitsList(list[j]) {
+				break
+			}
+		}
+		if !found {
+			pass.Reportf(call.Pos(), "recorded pointstamp has no reachable delivery in this block: an unconsumed +1 wedges the frontier at its timestamp")
+		}
+	}
+}
+
+// retiredGuarded reports whether any enclosing if/else-if condition on the
+// current traversal path consults a method named Retired.
+func retiredGuarded(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Retired" {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

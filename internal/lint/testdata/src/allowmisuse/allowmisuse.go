@@ -1,0 +1,25 @@
+// Package allowmisuse fixtures the allow-directive hygiene checks: a
+// suppression must name a known analyzer and carry a justification.
+// Checked by TestAllowMisuse directly (the diagnostics anchor to the
+// directive lines themselves, which cannot also carry want comments).
+package allowmisuse
+
+type w struct{ buf []byte }
+
+//megalint:hotpath
+func (x *w) naked() {
+	//megalint:allow hotalloc
+	x.buf = make([]byte, 1) // unjustified allow does not suppress: still a finding
+}
+
+//megalint:hotpath
+func (x *w) unknown() {
+	//megalint:allow nosuchanalyzer because reasons
+	x.buf = make([]byte, 1)
+}
+
+//megalint:hotpath
+func (x *w) nameless() {
+	//megalint:allow
+	x.buf = make([]byte, 1)
+}

@@ -1,0 +1,47 @@
+// Package atomicfield fixtures the atomicfield analyzer: a field accessed
+// through sync/atomic anywhere must be accessed that way everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+// meter mirrors the LoadMeter cell shape before it migrated to typed
+// atomics: raw integers addressed by atomic functions.
+type meter struct {
+	recs  uint64
+	nanos uint64
+	bins  int // never atomic: out of scope
+}
+
+func (m *meter) add(n, d uint64) {
+	atomic.AddUint64(&m.recs, n)
+	atomic.AddUint64(&m.nanos, d)
+}
+
+func (m *meter) snapshot() (uint64, uint64) {
+	return atomic.LoadUint64(&m.recs), atomic.LoadUint64(&m.nanos)
+}
+
+// reset is the mixed-access bug: plain writes racing the atomic adders.
+func (m *meter) reset() {
+	m.recs = 0  // want "field recs is accessed with sync/atomic elsewhere"
+	m.nanos = 0 // want "field nanos is accessed with sync/atomic elsewhere"
+	m.bins = 0
+}
+
+// peek is the subtler read side: a torn or stale read the race detector
+// only sees on the right schedule.
+func (m *meter) peek() uint64 {
+	return m.recs // want "field recs is accessed with sync/atomic elsewhere"
+}
+
+// newMeter initializes via composite literal, which happens before the
+// value is shared: not flagged.
+func newMeter() *meter {
+	return &meter{recs: 0, nanos: 0}
+}
+
+// allowedSingleWriter documents the justified exception path.
+func (m *meter) allowedSingleWriter() uint64 {
+	//megalint:allow atomicfield single-writer row: only this goroutine mutates, readers use Load
+	return m.nanos
+}

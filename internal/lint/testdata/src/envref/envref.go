@@ -1,0 +1,72 @@
+// Package envref fixtures the envref analyzer with a miniature of
+// internal/dataflow's refcounted batch envelopes (PR 9): every enqueue
+// increfs, every consumer releases, and the analyzer's job is to keep
+// incref/release sites paired and adjacent.
+package envref
+
+import "sync/atomic"
+
+type batchEnv struct {
+	s    []int
+	refs atomic.Int32
+}
+
+func (e *batchEnv) incref() { e.refs.Add(1) }
+func (e *batchEnv) release() {
+	if e.refs.Add(-1) == 0 {
+		e.s = e.s[:0]
+	}
+}
+
+type queue struct {
+	local []*batchEnv
+	inbox chan *batchEnv
+}
+
+// good is the protocol as written: each incref immediately precedes the
+// enqueue taking the reference, and the creator's reference is dropped
+// exactly once at the end.
+func (q *queue) good(env *batchEnv, broadcast bool) {
+	env.incref()
+	q.local = append(q.local, env)
+	if broadcast {
+		env.incref()
+		q.inbox <- env
+	}
+	env.release()
+}
+
+// leakedRef increfs with no adjacent enqueue: nothing will ever release
+// the extra reference and the buffer never returns to the pool.
+func (q *queue) leakedRef(env *batchEnv) {
+	env.incref() // want "incref of env with no adjacent enqueue"
+	if len(env.s) == 0 {
+		return
+	}
+}
+
+// recycleTwice is the PR 9 bug shape: a refactor left two release calls
+// on the same path, so the envelope recycles while the enqueued consumer
+// can still see it.
+func (q *queue) recycleTwice(env *batchEnv) {
+	env.incref()
+	q.local = append(q.local, env)
+	env.release()
+	env.release() // want "envelope env released twice on this path"
+}
+
+// touchAfterFree touches the buffer after dropping the reference that
+// kept it alive.
+func (q *queue) touchAfterFree(env *batchEnv) {
+	env.release()
+	_ = len(env.s) // want "envelope env used after release"
+}
+
+// reassignedIsFresh shows the path-sensitivity boundary: rebinding the
+// variable to a fresh envelope clears the released state.
+func (q *queue) reassignedIsFresh(env *batchEnv, next *batchEnv) {
+	env.release()
+	env = next
+	_ = len(env.s)
+	_ = env
+}

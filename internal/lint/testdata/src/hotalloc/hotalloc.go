@@ -1,0 +1,116 @@
+// Package hotalloc fixtures the hotalloc analyzer: allocating constructs
+// inside //megalint:hotpath functions are flagged; the same constructs in
+// unannotated functions are not.
+package hotalloc
+
+import "fmt"
+
+type message struct {
+	time int
+	data any
+}
+
+type worker struct {
+	local   []message
+	scratch []byte
+	sink    any
+}
+
+// notHot allocates freely: unannotated functions are out of scope.
+func notHot() []int {
+	s := make([]int, 8)
+	_ = fmt.Sprintf("%d", len(s))
+	return append(s, 1)
+}
+
+// send is the clean hot-path shape: struct value literals, same-target
+// append, pointer boxing, and explicit buffer reuse are all allocation-free.
+//
+//megalint:hotpath
+func (w *worker) send(t int, data any) {
+	m := message{time: t, data: data}
+	w.local = append(w.local, m)          // amortized growth of a retained buffer
+	w.scratch = append(w.scratch[:0], 42) // explicit reuse
+	w.sink = w                            // boxing a pointer fits the data word
+	if t < 0 {
+		panic(fmt.Sprintf("bad time %d", t)) // failure branches may allocate
+	}
+}
+
+//megalint:hotpath
+func (w *worker) hotFmt(t int) {
+	_ = fmt.Sprintf("%d", t) // want "call to fmt.Sprintf allocates"
+}
+
+//megalint:hotpath
+func (w *worker) hotClosure(t int) {
+	f := func() int { return t } // want "closure literal allocates"
+	_ = f
+}
+
+//megalint:hotpath
+func (w *worker) hotMakeNew() {
+	_ = make([]int, 4) // want "make allocates"
+	_ = new(message)   // want "new allocates"
+	_ = &message{}     // want "&composite literal allocates"
+	_ = []int{1, 2}    // want "slice literal allocates"
+	_ = map[int]int{}  // want "map literal allocates"
+}
+
+//megalint:hotpath
+func (w *worker) hotAppend(extra []message) []message {
+	out := append(w.local, extra...) // want "append result is not assigned back to w.local"
+	return out
+}
+
+// hotUnbox: comma-ok assertions and multi-value calls yield values that
+// were boxed elsewhere — extraction is free.
+//
+//megalint:hotpath
+func (w *worker) hotUnbox(data any) int {
+	m, ok := data.(message)
+	if !ok {
+		return 0
+	}
+	return m.time
+}
+
+// hotEncode is the encoder buffer-threading idiom: appending to a
+// parameter and returning the result leaves the reuse assignment to the
+// caller, so it is exempt; binding it to a fresh local is not.
+//
+//megalint:hotpath
+func hotEncode(buf []byte, b byte) []byte {
+	return append(buf, b)
+}
+
+//megalint:hotpath
+func hotEncodeLeak(buf []byte, b byte) []byte {
+	out := append(buf, b) // want "append result is not assigned back to buf"
+	return out
+}
+
+//megalint:hotpath
+func (w *worker) hotBox(t int, m message) {
+	w.sink = t // want "boxing int into any allocates"
+	consume(m) // want "boxing hotalloc.message into any allocates"
+}
+
+//megalint:hotpath
+func (w *worker) hotString(name string, raw []byte) {
+	_ = name + "!"   // want "string concatenation allocates"
+	_ = string(raw)  // want "conversion to string allocates"
+	_ = []byte(name) // want "conversion from string allocates"
+}
+
+// hotAllowed shows the suppression contract: a justified allow silences
+// the line below it (misuse of the directive itself is covered by
+// TestAllowMisuse against the allowmisuse fixture).
+//
+//megalint:hotpath
+func (w *worker) hotAllowed() {
+	//megalint:allow hotalloc pool miss: one-time slow path, measured cold
+	w.scratch = make([]byte, 0, 64)
+}
+
+func consume(v any) { _ = v }

@@ -1,0 +1,93 @@
+// Package pointstamp fixtures the pointstamp analyzer with a miniature of
+// the dataflow progress protocol: Batch.Add(EdgeLocation(...), t, +1)
+// promises the tracker a message that a later -1 will cancel. The
+// prEightBug function reproduces PR 8's wedged-frontier bug: recording the
+// edge pointstamp for a destination slot that may be retired, with no
+// Retired() guard — the transport drops the frame but the +1 stands
+// forever.
+package pointstamp
+
+type (
+	Location int
+	Edge     int
+	Time     int
+)
+
+type Batch struct{ n int }
+
+func (b *Batch) Add(loc Location, t Time, delta int) { b.n += delta }
+
+type Tracker struct{}
+
+func (tr *Tracker) EdgeLocation(e Edge) Location { return Location(e) }
+func (tr *Tracker) CapLocation(p int) Location   { return Location(p) }
+
+type Mesh struct{}
+
+func (m *Mesh) Retired(p int) bool { return false }
+
+type message struct {
+	edge Edge
+	time Time
+}
+
+type outMsg struct {
+	peer int
+	msg  message
+}
+
+type ctx struct {
+	batch   Batch
+	tracker *Tracker
+	mesh    *Mesh
+	local   []message
+	remote  []outMsg
+	holds   []Time
+}
+
+// goodSend is the fixed OpCtx.Send shape: the local enqueue needs no
+// guard, the remote record-and-enqueue is dominated by a Retired() check.
+func (c *ctx) goodSend(edge Edge, t Time, peers []int, self int) {
+	for _, peer := range peers {
+		m := message{edge: edge, time: t}
+		if peer == self {
+			c.batch.Add(c.tracker.EdgeLocation(edge), t, 1)
+			c.local = append(c.local, m)
+		} else if c.mesh == nil || !c.mesh.Retired(peer) {
+			c.batch.Add(c.tracker.EdgeLocation(edge), t, 1)
+			c.remote = append(c.remote, outMsg{peer: peer, msg: m})
+		}
+	}
+}
+
+// prEightBug un-fixes the guard: the remote enqueue records its +1
+// unconditionally, so a send to a retired slot wedges the frontier at t.
+func (c *ctx) prEightBug(edge Edge, t Time, peer int) {
+	m := message{edge: edge, time: t}
+	c.batch.Add(c.tracker.EdgeLocation(edge), t, 1) // want "without a Retired\\(\\) guard"
+	c.remote = append(c.remote, outMsg{peer: peer, msg: m})
+}
+
+// unpaired records a pointstamp nothing ever delivers: the +1 can never
+// cancel.
+func (c *ctx) unpaired(edge Edge, t Time, drop bool) {
+	c.batch.Add(c.tracker.EdgeLocation(edge), t, 1) // want "no reachable delivery"
+	if drop {
+		return
+	}
+}
+
+// hold records a capability, not an edge promise: CapLocation records
+// retire through the hold table and are out of scope.
+func (c *ctx) hold(o int, t Time) {
+	c.batch.Add(c.tracker.CapLocation(o), t, 1)
+	c.holds[o] = t
+}
+
+type router struct{ inbox chan message }
+
+// deliverLocal pairs the record with a channel send: a valid delivery.
+func (c *ctx) deliverLocal(r *router, edge Edge, t Time) {
+	c.batch.Add(c.tracker.EdgeLocation(edge), t, 1)
+	r.inbox <- message{edge: edge, time: t}
+}

@@ -1,0 +1,93 @@
+// Package sendunderlock fixtures the sendunderlock analyzer: no blocking
+// channel send or transport send while holding a mutex — the
+// dispatch/reconnect deadlock class.
+package sendunderlock
+
+import (
+	"sync"
+
+	"transport"
+)
+
+type dispatcher struct {
+	mu    sync.Mutex
+	inbox chan int
+	tr    *transport.Transport
+	buf   []byte
+}
+
+// deadlockSend is the bug shape: the per-peer dispatch mutex is held while
+// blocking on a channel a peer must drain — two processes doing this to
+// each other wedge forever.
+func (d *dispatcher) deadlockSend(v int) {
+	d.mu.Lock()
+	d.inbox <- v // want "blocking channel send while holding d.mu"
+	d.mu.Unlock()
+}
+
+// deadlockDeferred: defer holds the lock to the end of the function, so
+// the send is still under it.
+func (d *dispatcher) deadlockDeferred(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inbox <- v // want "blocking channel send while holding d.mu"
+}
+
+// deadlockTransport: a wire send under the lock blocks on the session the
+// peer may be mid-reconnect on.
+func (d *dispatcher) deadlockTransport() {
+	d.mu.Lock()
+	d.tr.Send(1, 32, d.buf) // want "transport send while holding d.mu"
+	d.mu.Unlock()
+}
+
+// deadlockSelect: a select without default still blocks.
+func (d *dispatcher) deadlockSelect(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case d.inbox <- v: // want "blocking channel send while holding d.mu"
+	case <-make(chan int):
+	}
+}
+
+// okOutsideLock releases before sending.
+func (d *dispatcher) okOutsideLock(v int) {
+	d.mu.Lock()
+	d.buf = append(d.buf, byte(v))
+	d.mu.Unlock()
+	d.inbox <- v
+	d.tr.Send(1, 32, d.buf)
+}
+
+// okNonBlocking: select with default cannot block, mirroring the
+// transport's poke pattern.
+func (d *dispatcher) okNonBlocking(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case d.inbox <- v:
+	default:
+	}
+}
+
+// okBranchLocal: a lock taken in one branch is not held in a sibling.
+func (d *dispatcher) okBranchLocal(v int, lock bool) {
+	if lock {
+		d.mu.Lock()
+		d.buf = d.buf[:0]
+		d.mu.Unlock()
+	} else {
+		d.inbox <- v
+	}
+}
+
+// okGoroutine: a function literal runs on its own goroutine with its own
+// lock context.
+func (d *dispatcher) okGoroutine(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		d.inbox <- v
+	}()
+}

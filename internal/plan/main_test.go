@@ -1,0 +1,12 @@
+package plan
+
+import (
+	"testing"
+
+	"megaphone/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: control buses,
+// autoscaler loops, and cluster harness processes all must shut down with
+// the runs that started them.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package transport
+
+import (
+	"testing"
+
+	"megaphone/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: every recvLoop
+// generation, sendLoop, acceptor, and dialer the tests start must be
+// joined by Close/Finish before the test returns.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

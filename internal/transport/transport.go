@@ -420,6 +420,8 @@ func (t *Transport) isClosed() bool {
 // reported through the transport's fatal error path (the frame is dropped,
 // the transport tears down, and the Fatal hook unwedges the layer above)
 // rather than by panicking on whichever worker goroutine happened to send it.
+//
+//megalint:hotpath
 func (t *Transport) Send(to int, kind byte, payload []byte) {
 	t.sendLane(to, 0, kind, payload)
 }
@@ -428,15 +430,19 @@ func (t *Transport) Send(to int, kind byte, payload []byte) {
 // by key (key modulo the configured connection count). Frames sharing a key
 // are delivered in send order; frames under different keys may be reordered
 // relative to each other. With Conns == 1 SendKeyed is Send.
+//
+//megalint:hotpath
 func (t *Transport) SendKeyed(to, key int, kind byte, payload []byte) {
 	t.sendLane(to, key, kind, payload)
 }
 
+//megalint:hotpath
 func (t *Transport) sendLane(to, key int, kind byte, payload []byte) {
 	if kind < KindUser {
 		panic(fmt.Sprintf("transport: Send with reserved kind %d", kind))
 	}
 	if frameOverhead+len(payload) > t.cfg.MaxFrame {
+		//megalint:allow hotalloc oversized-frame fatal path: the transport tears down after this
 		t.fail(fmt.Errorf("transport: process %d: send of %d bytes to peer %d: %w",
 			t.cfg.Index, len(payload), to,
 			ErrFrameTooLarge{Declared: frameOverhead + len(payload), Max: t.cfg.MaxFrame}))
@@ -454,6 +460,8 @@ func (t *Transport) sendLane(to, key int, kind byte, payload []byte) {
 
 // enqueue appends one frame (numbered when numbered is true) to the peer's
 // outbound queue, copying payload into a pooled buffer.
+//
+//megalint:hotpath
 func (p *peer) enqueue(kind byte, payload []byte, numbered bool) {
 	p.mu.Lock()
 	if p.retired {
@@ -472,6 +480,7 @@ func (p *peer) enqueue(kind byte, payload []byte, numbered bool) {
 	p.poke()
 }
 
+//megalint:hotpath
 func (p *peer) poke() {
 	select {
 	case p.notify <- struct{}{}:
@@ -481,6 +490,8 @@ func (p *peer) poke() {
 
 // getBufLocked pops a recycled payload buffer with enough capacity, or
 // allocates one.
+//
+//megalint:hotpath
 func (p *peer) getBufLocked(n int) []byte {
 	if l := len(p.pool); l > 0 {
 		buf := p.pool[l-1]
@@ -489,9 +500,11 @@ func (p *peer) getBufLocked(n int) []byte {
 			return buf
 		}
 	}
+	//megalint:allow hotalloc pool miss or undersized buffer: the pool is warm at steady state
 	return make([]byte, 0, n)
 }
 
+//megalint:hotpath
 func (p *peer) putBufLocked(buf []byte) {
 	// The pool must cover the whole in-flight window — enqueued, written,
 	// awaiting ack — or the enqueue path falls back to the allocator between
